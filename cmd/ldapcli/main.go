@@ -1,0 +1,255 @@
+// Command ldapcli is a small LDAP command-line client — the stand-in for
+// "any tool that can perform LDAP updates" (paper §1). It works against the
+// LTAP gateway or any plain LDAP server.
+//
+// Usage:
+//
+//	ldapcli -addr HOST:PORT search  BASE [FILTER] [ATTR...]
+//	ldapcli -addr HOST:PORT add     DN attr=value [attr=value...]
+//	ldapcli -addr HOST:PORT modify  DN replace:attr=value [add:attr=value] [delete:attr[=value]]...
+//	ldapcli -addr HOST:PORT delete  DN
+//	ldapcli -addr HOST:PORT rename  DN NEWRDN
+//	ldapcli -addr HOST:PORT compare DN attr value
+//	ldapcli -addr HOST:PORT quiesce on|off
+//	ldapcli -addr HOST:PORT export  BASE [FILTER]       (LDIF to stdout)
+//	ldapcli -addr HOST:PORT import  [FILE]              (LDIF adds; stdin default)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"metacomm/internal/ldap"
+	"metacomm/internal/ldapclient"
+	"metacomm/internal/ldif"
+	"metacomm/internal/ltap"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ldapcli -addr HOST:PORT {search|add|modify|delete|rename|compare|quiesce} ...")
+	os.Exit(2)
+}
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:3890", "LDAP server (LTAP) address")
+		bindDN = flag.String("D", "", "bind DN")
+		bindPW = flag.String("w", "", "bind password")
+		scope  = flag.String("scope", "sub", "search scope: base|one|sub")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	conn, err := ldapclient.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+	if *bindDN != "" {
+		if err := conn.Bind(*bindDN, *bindPW); err != nil {
+			fatal(err)
+		}
+	}
+
+	switch args[0] {
+	case "search":
+		doSearch(conn, *scope, args[1:])
+	case "add":
+		doAdd(conn, args[1:])
+	case "modify":
+		doModify(conn, args[1:])
+	case "delete":
+		if len(args) != 2 {
+			usage()
+		}
+		check(conn.Delete(args[1]))
+	case "rename":
+		if len(args) != 3 {
+			usage()
+		}
+		check(conn.ModifyDN(args[1], args[2], true))
+	case "compare":
+		if len(args) != 4 {
+			usage()
+		}
+		match, err := conn.Compare(args[1], args[2], args[3])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(match)
+	case "export":
+		doExport(conn, args[1:])
+	case "import":
+		doImport(conn, args[1:])
+	case "quiesce":
+		if len(args) != 2 {
+			usage()
+		}
+		oid := ltap.OIDQuiesceBegin
+		if args[1] == "off" {
+			oid = ltap.OIDQuiesceEnd
+		}
+		_, err := conn.Extended(oid, nil)
+		check(err)
+	default:
+		usage()
+	}
+}
+
+func doSearch(conn *ldapclient.Conn, scopeStr string, args []string) {
+	if len(args) < 1 {
+		usage()
+	}
+	req := &ldap.SearchRequest{BaseDN: args[0], Scope: ldap.ScopeWholeSubtree}
+	switch scopeStr {
+	case "base":
+		req.Scope = ldap.ScopeBaseObject
+	case "one":
+		req.Scope = ldap.ScopeSingleLevel
+	}
+	if len(args) > 1 {
+		f, err := ldap.ParseFilter(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		req.Filter = f
+	}
+	if len(args) > 2 {
+		req.Attributes = args[2:]
+	}
+	entries, err := conn.Search(req)
+	if err != nil {
+		fatal(err)
+	}
+	for _, e := range entries {
+		fmt.Printf("dn: %s\n", e.DN)
+		for _, a := range e.Attributes {
+			for _, v := range a.Values {
+				fmt.Printf("%s: %s\n", a.Type, v)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Fprintf(os.Stderr, "%d entries\n", len(entries))
+}
+
+func doAdd(conn *ldapclient.Conn, args []string) {
+	if len(args) < 2 {
+		usage()
+	}
+	byAttr := map[string][]string{}
+	var order []string
+	for _, kv := range args[1:] {
+		attr, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad attribute %q (want attr=value)", kv))
+		}
+		if _, seen := byAttr[attr]; !seen {
+			order = append(order, attr)
+		}
+		byAttr[attr] = append(byAttr[attr], val)
+	}
+	var attrs []ldap.Attribute
+	for _, a := range order {
+		attrs = append(attrs, ldap.Attribute{Type: a, Values: byAttr[a]})
+	}
+	check(conn.Add(args[0], attrs))
+}
+
+func doModify(conn *ldapclient.Conn, args []string) {
+	if len(args) < 2 {
+		usage()
+	}
+	var changes []ldap.Change
+	for _, spec := range args[1:] {
+		opStr, rest, ok := strings.Cut(spec, ":")
+		if !ok {
+			fatal(fmt.Errorf("bad change %q (want op:attr=value)", spec))
+		}
+		attr, val, hasVal := strings.Cut(rest, "=")
+		c := ldap.Change{Attribute: ldap.Attribute{Type: attr}}
+		if hasVal {
+			c.Attribute.Values = []string{val}
+		}
+		switch opStr {
+		case "add":
+			c.Op = ldap.ModAdd
+		case "replace":
+			c.Op = ldap.ModReplace
+		case "delete":
+			c.Op = ldap.ModDelete
+		default:
+			fatal(fmt.Errorf("bad change op %q", opStr))
+		}
+		changes = append(changes, c)
+	}
+	check(conn.Modify(args[0], changes))
+}
+
+// doExport dumps a subtree as LDIF (parents sort before children, so the
+// output re-imports cleanly).
+func doExport(conn *ldapclient.Conn, args []string) {
+	if len(args) < 1 {
+		usage()
+	}
+	req := &ldap.SearchRequest{BaseDN: args[0], Scope: ldap.ScopeWholeSubtree}
+	if len(args) > 1 {
+		f, err := ldap.ParseFilter(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		req.Filter = f
+	}
+	entries, err := conn.Search(req)
+	if err != nil {
+		fatal(err)
+	}
+	if err := ldif.Marshal(os.Stdout, ldif.FromSearchEntries(entries)); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%d entries\n", len(entries))
+}
+
+// doImport adds every entry from an LDIF file (or stdin), in order.
+func doImport(conn *ldapclient.Conn, args []string) {
+	in := os.Stdin
+	if len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if len(args) > 1 {
+		usage()
+	}
+	entries, err := ldif.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	added := 0
+	for _, e := range entries {
+		if err := conn.Add(e.DN, e.Attrs); err != nil {
+			fatal(fmt.Errorf("adding %q (after %d ok): %w", e.DN, added, err))
+		}
+		added++
+	}
+	fmt.Printf("added %d entries\n", added)
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("ok")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ldapcli:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command metacommd runs the complete MetaComm meta-directory: the backing
+// LDAP directory server, the LTAP trigger gateway, the Update Manager, the
+// embedded Definity PBX and messaging-platform simulators, and the
+// Web-Based Administration.
+//
+// Example:
+//
+//	metacommd -ltap 127.0.0.1:3890 -wba 127.0.0.1:8080
+//
+// Then point any LDAP tool at the LTAP address, a browser at the WBA
+// address, and a telnet session at the printed PBX address for direct
+// device updates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	metacomm "metacomm"
+	"metacomm/internal/wba"
+)
+
+func main() {
+	var (
+		suffix   = flag.String("suffix", "o=Lucent", "directory suffix")
+		dirAddr  = flag.String("directory", "127.0.0.1:0", "backing LDAP server listen address")
+		ltap     = flag.String("ltap", "127.0.0.1:3890", "LTAP gateway listen address (the public LDAP endpoint)")
+		pbxAddr  = flag.String("pbx", "127.0.0.1:0", "PBX simulator listen address")
+		mpAddr   = flag.String("mp", "127.0.0.1:0", "messaging platform listen address")
+		wbaAddr  = flag.String("wba", "127.0.0.1:8080", "web administration listen address (empty disables)")
+		mode     = flag.String("mode", "gateway", "LTAP coupling: gateway or library")
+		dataDir  = flag.String("data", "", "data directory for the durable directory journal (empty = in-memory)")
+		replAddr = flag.String("replication", "", "replication stream listen address for read replicas (empty disables)")
+		audit    = flag.String("audit", "", "audit log file ('-' = stderr, empty disables)")
+		quiet    = flag.Bool("quiet", false, "suppress operational logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "metacomm: ", log.LstdFlags)
+	if *quiet {
+		logger = nil
+	}
+	var auditW io.Writer
+	switch *audit {
+	case "":
+	case "-":
+		auditW = os.Stderr
+	default:
+		f, err := os.OpenFile(*audit, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("metacommd: audit log: %v", err)
+		}
+		defer f.Close()
+		auditW = f
+	}
+	sys, err := metacomm.Start(metacomm.Config{
+		Suffix:          *suffix,
+		DirectoryAddr:   *dirAddr,
+		LTAPAddr:        *ltap,
+		PBXAddr:         *pbxAddr,
+		MPAddr:          *mpAddr,
+		Mode:            metacomm.Mode(*mode),
+		InitialSync:     true,
+		DataDir:         *dataDir,
+		ReplicationAddr: *replAddr,
+		AuditLog:        auditW,
+		Logger:          logger,
+	})
+	if err != nil {
+		log.Fatalf("metacommd: %v", err)
+	}
+	defer sys.Close()
+
+	fmt.Printf("LDAP (via LTAP):   %s\n", sys.LTAPAddrActual)
+	fmt.Printf("backing directory: %s\n", sys.DirectoryAddrActual)
+	fmt.Printf("Definity PBX:      %s\n", sys.PBXAddrActual)
+	fmt.Printf("messaging platform:%s\n", sys.MPAddrActual)
+	if sys.ReplicationAddrActual != "" {
+		fmt.Printf("replication stream: %s\n", sys.ReplicationAddrActual)
+	}
+
+	if *wbaAddr != "" {
+		conn, err := sys.Client()
+		if err != nil {
+			log.Fatalf("metacommd: wba connection: %v", err)
+		}
+		defer conn.Close()
+		go func() {
+			fmt.Printf("web administration: http://%s/\n", *wbaAddr)
+			if err := http.ListenAndServe(*wbaAddr, wba.New(conn, *suffix)); err != nil {
+				log.Fatalf("metacommd: wba: %v", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+}

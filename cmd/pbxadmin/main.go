@@ -1,0 +1,122 @@
+// Command pbxadmin drives the Definity PBX simulator through its legacy
+// administration protocol — the interface a switch administrator keeps
+// using after MetaComm is deployed. Every change made here is a direct
+// device update (DDU) that MetaComm propagates into the directory.
+//
+// Usage:
+//
+//	pbxadmin -addr HOST:PORT add    EXT [Field value]...
+//	pbxadmin -addr HOST:PORT change EXT Field value [Field value]...
+//	pbxadmin -addr HOST:PORT remove EXT
+//	pbxadmin -addr HOST:PORT show   EXT
+//	pbxadmin -addr HOST:PORT list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"metacomm/internal/device/pbx"
+	"metacomm/internal/lexpress"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:5038", "PBX administration address")
+		session = flag.String("session", "pbxadmin", "administrator session name")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	conv, err := pbx.Dial(*addr, *session)
+	if err != nil {
+		fatal(err)
+	}
+	defer conv.Close()
+
+	switch args[0] {
+	case "add":
+		if len(args) < 2 || len(args)%2 != 0 {
+			usage()
+		}
+		rec := lexpress.NewRecord()
+		rec.Set(pbx.KeyField, args[1])
+		for i := 2; i+1 < len(args); i += 2 {
+			rec.Set(args[i], args[i+1])
+		}
+		if _, err := conv.Add(rec); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	case "change":
+		if len(args) < 4 || len(args)%2 != 0 {
+			usage()
+		}
+		rec, err := conv.Get(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		for i := 2; i+1 < len(args); i += 2 {
+			if args[i+1] == "" {
+				rec.Set(args[i])
+			} else {
+				rec.Set(args[i], args[i+1])
+			}
+		}
+		if _, err := conv.Modify(args[1], rec); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	case "remove":
+		if len(args) != 2 {
+			usage()
+		}
+		if err := conv.Delete(args[1]); err != nil {
+			fatal(err)
+		}
+		fmt.Println("ok")
+	case "show":
+		if len(args) != 2 {
+			usage()
+		}
+		rec, err := conv.Get(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		printStation(rec)
+	case "list":
+		recs, err := conv.Dump()
+		if err != nil {
+			fatal(err)
+		}
+		for _, rec := range recs {
+			printStation(rec)
+			fmt.Println()
+		}
+		fmt.Fprintf(os.Stderr, "%d stations\n", len(recs))
+	default:
+		usage()
+	}
+}
+
+func printStation(rec lexpress.Record) {
+	for _, f := range pbx.Fields {
+		if v := rec.First(f); v != "" {
+			fmt.Printf("%-10s %s\n", f, v)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pbxadmin -addr HOST:PORT {add|change|remove|show|list} ...")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pbxadmin:", err)
+	os.Exit(1)
+}

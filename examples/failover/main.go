@@ -1,0 +1,88 @@
+// Failover: the paper's availability argument (§1) — "updates can still be
+// made directly to the device even if the directory becomes inaccessible."
+// This example simulates a directory outage: administrators keep working at
+// the devices through their legacy interfaces; when connectivity returns,
+// a synchronization pass reconciles everything the directory missed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	metacomm "metacomm"
+	"metacomm/internal/ldap"
+	"metacomm/internal/lexpress"
+)
+
+func main() {
+	sys, err := metacomm.Start(metacomm.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	conn, err := sys.Client()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Normal operation: a person exists everywhere.
+	err = conn.Add("cn=Oncall Engineer,o=Lucent", []ldap.Attribute{
+		{Type: "objectClass", Values: []string{"mcPerson", "definityUser"}},
+		{Type: "cn", Values: []string{"Oncall Engineer"}},
+		{Type: "sn", Values: []string{"Engineer"}},
+		{Type: "definityExtension", Values: []string{"2-1111"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("normal operation: Oncall Engineer provisioned everywhere")
+
+	// Outage: the link between MetaComm and the PBX is down. Changes are
+	// committed at the switch but their notifications never reach the
+	// filter. (Committing under MetaComm's own session name makes the
+	// converter drop the notification — indistinguishable from a network
+	// partition.)
+	fmt.Println("\n--- directory link down; switch administrators keep working ---")
+	station, _ := sys.PBX.Store.Get("2-1111")
+	station.Set("room", "WAR-ROOM")
+	if _, err := sys.PBX.Store.Modify("metacomm", "2-1111", station); err != nil {
+		log.Fatal(err)
+	}
+	emergency := lexpress.NewRecord()
+	emergency.Set("extension", "2-2222")
+	emergency.Set("name", "Emergency Line")
+	if _, err := sys.PBX.Store.Add("metacomm", emergency); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("during outage: moved 2-1111 to WAR-ROOM, added emergency line 2-2222")
+
+	// The directory is stale.
+	e, _ := conn.SearchOne(&ldap.SearchRequest{
+		BaseDN: "cn=Oncall Engineer,o=Lucent", Scope: ldap.ScopeBaseObject})
+	fmt.Printf("directory (stale): roomNumber=%q\n", e.First("roomNumber"))
+
+	// Recovery: one synchronization pass under quiesce.
+	fmt.Println("\n--- link restored; synchronizing ---")
+	stats, err := sys.UM.Synchronize("pbx")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sync: %d device records, %d directory adds, %d directory mods, %d errors\n",
+		stats.DeviceRecords, stats.DirectoryAdds, stats.DirectoryMods, stats.Errors)
+
+	e, err = conn.SearchOne(&ldap.SearchRequest{
+		BaseDN: "cn=Oncall Engineer,o=Lucent", Scope: ldap.ScopeBaseObject})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("directory (recovered): roomNumber=%q\n", e.First("roomNumber"))
+	if e.First("roomNumber") != "WAR-ROOM" {
+		log.Fatal("lost update not recovered")
+	}
+	if _, err := conn.SearchOne(&ldap.SearchRequest{
+		BaseDN: "cn=Emergency Line,o=Lucent", Scope: ldap.ScopeBaseObject}); err != nil {
+		log.Fatal("emergency line not recovered: ", err)
+	}
+	fmt.Println("emergency line present in directory — full recovery")
+}

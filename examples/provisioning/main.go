@@ -1,0 +1,88 @@
+// Provisioning: deploy MetaComm over devices that already hold data. The
+// PBX has years of station records entered through its proprietary
+// interface; MetaComm's synchronization facility (paper §4.4) populates the
+// directory from them, after which bulk onboarding of new hires flows the
+// other way — one LDAP add per person configures both devices.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	metacomm "metacomm"
+	"metacomm/internal/ldap"
+	"metacomm/internal/lexpress"
+)
+
+func main() {
+	sys, err := metacomm.Start(metacomm.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Legacy data: 20 stations entered at the switch long before MetaComm.
+	names := []string{"Alice Martin", "Bob Chen", "Carol Diaz", "Dave Patel", "Eve Novak"}
+	for i := 0; i < 20; i++ {
+		rec := lexpress.NewRecord()
+		rec.Set("extension", fmt.Sprintf("2-5%03d", i))
+		rec.Set("name", fmt.Sprintf("%s %d", names[i%len(names)], i))
+		rec.Set("cos", fmt.Sprintf("%d", 1+i%3))
+		if _, err := sys.PBX.Store.Add("legacy", rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("seeded 20 legacy stations directly on the PBX")
+
+	// Initial population: one synchronization pass, run in isolation under
+	// LTAP quiesce.
+	stats, err := sys.UM.Synchronize("pbx")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synchronization: %d device records -> %d directory adds (quiesced=%v)\n",
+		stats.DeviceRecords, stats.DirectoryAdds, stats.QuiesceApplied)
+
+	conn, err := sys.Client()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	entries, err := conn.Search(&ldap.SearchRequest{
+		BaseDN: "o=Lucent", Scope: ldap.ScopeWholeSubtree,
+		Filter: ldap.Present("definityExtension"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("directory now holds %d PBX users\n", len(entries))
+
+	// Bulk onboarding: 10 new hires via LDAP; each add provisions the PBX
+	// and (through the closure) a voice mailbox.
+	for i := 0; i < 10; i++ {
+		dn := fmt.Sprintf("cn=New Hire %02d,o=Lucent", i)
+		err := conn.Add(dn, []ldap.Attribute{
+			{Type: "objectClass", Values: []string{"mcPerson", "definityUser"}},
+			{Type: "cn", Values: []string{fmt.Sprintf("New Hire %02d", i)}},
+			{Type: "sn", Values: []string{fmt.Sprintf("Hire %02d", i)}},
+			{Type: "definityExtension", Values: []string{fmt.Sprintf("3-1%03d", i)}},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("onboarded 10 new hires through LDAP: PBX now has %d stations, msgplat %d mailboxes\n",
+		sys.PBX.Store.Len(), sys.MP.Store.Len())
+
+	// A second synchronization pass finds nothing to do — everything
+	// already converged through the live update path.
+	stats, err = sys.UM.Synchronize("pbx")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-sync: %d records, %d already in sync, %d adds, %d mods\n",
+		stats.DeviceRecords, stats.AlreadyInSync, stats.DirectoryAdds, stats.DirectoryMods)
+	if stats.DirectoryAdds != 0 || stats.DirectoryMods != 0 {
+		log.Fatal("re-sync found drift after live updates")
+	}
+}

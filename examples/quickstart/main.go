@@ -1,0 +1,109 @@
+// Quickstart: bring up a complete MetaComm system, create one person
+// through LDAP, and watch the single update configure the Definity PBX and
+// the messaging platform — then make a direct device update and watch it
+// flow back into the directory.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	metacomm "metacomm"
+	"metacomm/internal/ldap"
+)
+
+func main() {
+	sys, err := metacomm.Start(metacomm.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	fmt.Println("MetaComm up:")
+	fmt.Println("  LDAP (LTAP):", sys.LTAPAddrActual)
+	fmt.Println("  PBX:        ", sys.PBXAddrActual)
+	fmt.Println("  msgplat:    ", sys.MPAddrActual)
+
+	// 1. One LDAP add — any LDAP tool could send this.
+	conn, err := sys.Client()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	err = conn.Add("cn=John Doe,o=Lucent", []ldap.Attribute{
+		{Type: "objectClass", Values: []string{"mcPerson", "definityUser"}},
+		{Type: "cn", Values: []string{"John Doe"}},
+		{Type: "sn", Values: []string{"Doe"}},
+		{Type: "definityExtension", Values: []string{"2-9000"}},
+		{Type: "roomNumber", Values: []string{"2C-401"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nadded cn=John Doe through LDAP")
+
+	// 2. The PBX was configured by that one update...
+	station, err := sys.PBX.Store.Get("2-9000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PBX station 2-9000: Name=%q Room=%q\n",
+		station.First("name"), station.First("room"))
+
+	// ...and the messaging platform too (extension -> telephone -> mailbox
+	// transitive closure), including its generated mailbox id.
+	mbx, err := sys.MP.Store.Get("9000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mailbox 9000: Name=%q generated id=%s\n",
+		mbx.First("name"), mbx.First("mailboxid"))
+
+	// 3. The directory materialized everything, including the device-
+	// generated mailbox id.
+	entry, err := conn.SearchOne(&ldap.SearchRequest{
+		BaseDN: "cn=John Doe,o=Lucent", Scope: ldap.ScopeBaseObject})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndirectory entry:")
+	for _, a := range entry.Attributes {
+		for _, v := range a.Values {
+			fmt.Printf("  %s: %s\n", a.Type, v)
+		}
+	}
+
+	// 4. A direct device update through the legacy interface: the switch
+	// administrator moves the phone to a new room.
+	admin, err := sys.PBXAdmin("craft-terminal")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer admin.Close()
+	rec, _ := admin.Get("2-9000")
+	rec.Set("Room", "5A-777")
+	if _, err := admin.Modify("2-9000", rec); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nswitch administrator moved 2-9000 to room 5A-777 (direct device update)")
+
+	// The DDU propagates asynchronously; poll the directory briefly.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		e, err := conn.SearchOne(&ldap.SearchRequest{
+			BaseDN: "cn=John Doe,o=Lucent", Scope: ldap.ScopeBaseObject})
+		if err == nil && e.First("roomNumber") == "5A-777" {
+			fmt.Println("directory caught up: roomNumber =", e.First("roomNumber"))
+			printStats(sys)
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	log.Fatal("directory did not converge")
+}
+
+func printStats(sys *metacomm.System) {
+	s := sys.UM.Stats()
+	fmt.Printf("\nupdate manager: %d updates processed, %d device applies, %d conditional reapplies\n",
+		s.UpdatesProcessed, s.DeviceApplies, s.Reapplies)
+}

@@ -1,0 +1,3 @@
+module metacomm
+
+go 1.22

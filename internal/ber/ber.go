@@ -1,0 +1,462 @@
+// Package ber implements the subset of ASN.1 Basic Encoding Rules used by
+// the LDAP v3 protocol (RFC 2251/4511): definite-length encodings of
+// BOOLEAN, INTEGER, ENUMERATED, OCTET STRING, NULL, SEQUENCE and SET, plus
+// application- and context-specific tagged forms.
+//
+// The package models a BER value as an Element tree. Encoding is
+// deterministic (definite lengths, minimal-length integers), and decoding is
+// strict: truncated or over-long inputs return errors rather than partial
+// values, which matters for a network-facing directory server.
+package ber
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Class is the ASN.1 tag class of an element.
+type Class uint8
+
+// Tag classes.
+const (
+	ClassUniversal   Class = 0x00
+	ClassApplication Class = 0x40
+	ClassContext     Class = 0x80
+	ClassPrivate     Class = 0xC0
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassUniversal:
+		return "universal"
+	case ClassApplication:
+		return "application"
+	case ClassContext:
+		return "context"
+	case ClassPrivate:
+		return "private"
+	}
+	return fmt.Sprintf("class(%#x)", uint8(c))
+}
+
+// Universal tag numbers used by LDAP.
+const (
+	TagBoolean     = 0x01
+	TagInteger     = 0x02
+	TagOctetString = 0x04
+	TagNull        = 0x05
+	TagEnumerated  = 0x0A
+	TagSequence    = 0x10
+	TagSet         = 0x11
+)
+
+// Limits protecting the decoder from hostile input.
+const (
+	// MaxElementSize bounds the content length of a single element.
+	MaxElementSize = 16 << 20
+	// maxDepth bounds the nesting of constructed elements.
+	maxDepth = 64
+)
+
+// Element is a decoded or to-be-encoded BER value. Constructed elements
+// carry Children; primitive elements carry Value.
+type Element struct {
+	Class       Class
+	Tag         uint32
+	Constructed bool
+	Value       []byte
+	Children    []*Element
+}
+
+// ErrTruncated reports that the input ended before a complete element.
+var ErrTruncated = errors.New("ber: truncated element")
+
+// NewSequence returns an empty universal SEQUENCE.
+func NewSequence(children ...*Element) *Element {
+	return &Element{Class: ClassUniversal, Tag: TagSequence, Constructed: true, Children: children}
+}
+
+// NewSet returns an empty universal SET.
+func NewSet(children ...*Element) *Element {
+	return &Element{Class: ClassUniversal, Tag: TagSet, Constructed: true, Children: children}
+}
+
+// NewOctetString returns a universal OCTET STRING holding s.
+func NewOctetString(s string) *Element {
+	return &Element{Class: ClassUniversal, Tag: TagOctetString, Value: []byte(s)}
+}
+
+// NewBytes returns a universal OCTET STRING holding b.
+func NewBytes(b []byte) *Element {
+	return &Element{Class: ClassUniversal, Tag: TagOctetString, Value: b}
+}
+
+// NewInteger returns a universal INTEGER holding v.
+func NewInteger(v int64) *Element {
+	return &Element{Class: ClassUniversal, Tag: TagInteger, Value: encodeInt(v)}
+}
+
+// NewEnumerated returns a universal ENUMERATED holding v.
+func NewEnumerated(v int64) *Element {
+	return &Element{Class: ClassUniversal, Tag: TagEnumerated, Value: encodeInt(v)}
+}
+
+// NewBoolean returns a universal BOOLEAN holding v.
+func NewBoolean(v bool) *Element {
+	b := byte(0x00)
+	if v {
+		b = 0xFF
+	}
+	return &Element{Class: ClassUniversal, Tag: TagBoolean, Value: []byte{b}}
+}
+
+// NewNull returns a universal NULL.
+func NewNull() *Element {
+	return &Element{Class: ClassUniversal, Tag: TagNull}
+}
+
+// Tagged re-tags e with the given class and tag, keeping its content. It
+// returns a copy; e is not modified. This implements ASN.1 IMPLICIT tagging
+// as used throughout LDAP.
+func Tagged(class Class, tag uint32, e *Element) *Element {
+	return &Element{Class: class, Tag: tag, Constructed: e.Constructed, Value: e.Value, Children: e.Children}
+}
+
+// ContextPrimitive returns a context-specific primitive element with raw
+// content b.
+func ContextPrimitive(tag uint32, b []byte) *Element {
+	return &Element{Class: ClassContext, Tag: tag, Value: b}
+}
+
+// ContextConstructed returns a context-specific constructed element.
+func ContextConstructed(tag uint32, children ...*Element) *Element {
+	return &Element{Class: ClassContext, Tag: tag, Constructed: true, Children: children}
+}
+
+// ApplicationPrimitive returns an application-class primitive element.
+func ApplicationPrimitive(tag uint32, b []byte) *Element {
+	return &Element{Class: ClassApplication, Tag: tag, Value: b}
+}
+
+// ApplicationConstructed returns an application-class constructed element.
+func ApplicationConstructed(tag uint32, children ...*Element) *Element {
+	return &Element{Class: ClassApplication, Tag: tag, Constructed: true, Children: children}
+}
+
+// Append adds children to a constructed element and returns e for chaining.
+func (e *Element) Append(children ...*Element) *Element {
+	e.Children = append(e.Children, children...)
+	return e
+}
+
+// Str returns the element content interpreted as a string.
+func (e *Element) Str() string { return string(e.Value) }
+
+// Bool returns the element content interpreted as a BOOLEAN.
+func (e *Element) Bool() (bool, error) {
+	if e.Constructed || len(e.Value) != 1 {
+		return false, fmt.Errorf("ber: invalid boolean encoding (len %d)", len(e.Value))
+	}
+	return e.Value[0] != 0, nil
+}
+
+// Int returns the element content interpreted as a two's-complement INTEGER
+// or ENUMERATED.
+func (e *Element) Int() (int64, error) {
+	if e.Constructed {
+		return 0, errors.New("ber: integer must be primitive")
+	}
+	n := len(e.Value)
+	if n == 0 {
+		return 0, errors.New("ber: empty integer")
+	}
+	if n > 8 {
+		return 0, fmt.Errorf("ber: integer too large (%d bytes)", n)
+	}
+	v := int64(0)
+	if e.Value[0]&0x80 != 0 {
+		v = -1 // sign-extend
+	}
+	for _, b := range e.Value {
+		v = v<<8 | int64(b)
+	}
+	return v, nil
+}
+
+// Is reports whether e has the given class and tag.
+func (e *Element) Is(class Class, tag uint32) bool {
+	return e.Class == class && e.Tag == tag
+}
+
+// Child returns the i-th child, or an error when absent. It exists so
+// message decoders read as straight-line code with checked access.
+func (e *Element) Child(i int) (*Element, error) {
+	if i < 0 || i >= len(e.Children) {
+		return nil, fmt.Errorf("ber: missing child %d (have %d)", i, len(e.Children))
+	}
+	return e.Children[i], nil
+}
+
+func encodeInt(v int64) []byte {
+	// Minimal two's-complement encoding.
+	n := 1
+	for ; n < 8; n++ {
+		if v>>(uint(n)*8-1) == 0 || v>>(uint(n)*8-1) == -1 {
+			break
+		}
+	}
+	out := make([]byte, n)
+	for i := n - 1; i >= 0; i-- {
+		out[i] = byte(v)
+		v >>= 8
+	}
+	return out
+}
+
+func encodeLength(n int) []byte {
+	if n < 0x80 {
+		return []byte{byte(n)}
+	}
+	var tmp [8]byte
+	i := len(tmp)
+	for n > 0 {
+		i--
+		tmp[i] = byte(n)
+		n >>= 8
+	}
+	out := make([]byte, 0, 1+len(tmp)-i)
+	out = append(out, 0x80|byte(len(tmp)-i))
+	return append(out, tmp[i:]...)
+}
+
+func encodeIdentifier(class Class, tag uint32, constructed bool) []byte {
+	b := byte(class)
+	if constructed {
+		b |= 0x20
+	}
+	if tag < 31 {
+		return []byte{b | byte(tag)}
+	}
+	// High-tag-number form.
+	out := []byte{b | 0x1F}
+	var tmp [5]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte(tag & 0x7F)
+		tag >>= 7
+		if tag == 0 {
+			break
+		}
+	}
+	for j := i; j < len(tmp)-1; j++ {
+		tmp[j] |= 0x80
+	}
+	return append(out, tmp[i:]...)
+}
+
+// Encode returns the complete BER encoding of e.
+func (e *Element) Encode() []byte {
+	content := e.content()
+	id := encodeIdentifier(e.Class, e.Tag, e.Constructed)
+	length := encodeLength(len(content))
+	out := make([]byte, 0, len(id)+len(length)+len(content))
+	out = append(out, id...)
+	out = append(out, length...)
+	return append(out, content...)
+}
+
+func (e *Element) content() []byte {
+	if !e.Constructed {
+		return e.Value
+	}
+	var out []byte
+	for _, c := range e.Children {
+		out = append(out, c.Encode()...)
+	}
+	return out
+}
+
+// WriteTo encodes e to w.
+func (e *Element) WriteTo(w io.Writer) (int64, error) {
+	b := e.Encode()
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// Decode parses a single element from the front of b, returning the element
+// and the number of bytes consumed.
+func Decode(b []byte) (*Element, int, error) {
+	return decode(b, 0)
+}
+
+// DecodeFull parses b as exactly one element with no trailing bytes.
+func DecodeFull(b []byte) (*Element, error) {
+	e, n, err := Decode(b)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(b) {
+		return nil, fmt.Errorf("ber: %d trailing bytes after element", len(b)-n)
+	}
+	return e, nil
+}
+
+func decode(b []byte, depth int) (*Element, int, error) {
+	if depth > maxDepth {
+		return nil, 0, errors.New("ber: nesting too deep")
+	}
+	if len(b) == 0 {
+		return nil, 0, ErrTruncated
+	}
+	ident := b[0]
+	class := Class(ident & 0xC0)
+	constructed := ident&0x20 != 0
+	tag := uint32(ident & 0x1F)
+	off := 1
+	if tag == 0x1F {
+		tag = 0
+		for {
+			if off >= len(b) {
+				return nil, 0, ErrTruncated
+			}
+			if tag > (1<<25)-1 {
+				return nil, 0, errors.New("ber: tag number too large")
+			}
+			c := b[off]
+			off++
+			tag = tag<<7 | uint32(c&0x7F)
+			if c&0x80 == 0 {
+				break
+			}
+		}
+	}
+	length, n, err := decodeLength(b[off:])
+	if err != nil {
+		return nil, 0, err
+	}
+	off += n
+	if length > MaxElementSize {
+		return nil, 0, fmt.Errorf("ber: element of %d bytes exceeds limit", length)
+	}
+	if off+length > len(b) {
+		return nil, 0, ErrTruncated
+	}
+	content := b[off : off+length]
+	e := &Element{Class: class, Tag: tag, Constructed: constructed}
+	if !constructed {
+		e.Value = content
+		return e, off + length, nil
+	}
+	for rest := content; len(rest) > 0; {
+		child, n, err := decode(rest, depth+1)
+		if err != nil {
+			return nil, 0, err
+		}
+		e.Children = append(e.Children, child)
+		rest = rest[n:]
+	}
+	return e, off + length, nil
+}
+
+func decodeLength(b []byte) (length, consumed int, err error) {
+	if len(b) == 0 {
+		return 0, 0, ErrTruncated
+	}
+	first := b[0]
+	if first < 0x80 {
+		return int(first), 1, nil
+	}
+	n := int(first & 0x7F)
+	if n == 0 {
+		return 0, 0, errors.New("ber: indefinite length not supported")
+	}
+	if n > 4 {
+		return 0, 0, fmt.Errorf("ber: length of %d bytes not supported", n)
+	}
+	if len(b) < 1+n {
+		return 0, 0, ErrTruncated
+	}
+	v := 0
+	for _, c := range b[1 : 1+n] {
+		v = v<<8 | int(c)
+	}
+	return v, 1 + n, nil
+}
+
+// ReadElement reads one complete BER element from r. It reads the identifier
+// and length octets byte-at-a-time, then the content in full, so it can sit
+// directly on a net.Conn without framing.
+func ReadElement(r io.Reader) (*Element, error) {
+	header := make([]byte, 0, 8)
+	one := make([]byte, 1)
+
+	readByte := func() (byte, error) {
+		if _, err := io.ReadFull(r, one); err != nil {
+			return 0, err
+		}
+		header = append(header, one[0])
+		return one[0], nil
+	}
+
+	ident, err := readByte()
+	if err != nil {
+		return nil, err
+	}
+	if ident&0x1F == 0x1F {
+		for {
+			c, err := readByte()
+			if err != nil {
+				return nil, err
+			}
+			if c&0x80 == 0 {
+				break
+			}
+			if len(header) > 6 {
+				return nil, errors.New("ber: tag number too large")
+			}
+		}
+	}
+	lb, err := readByte()
+	if err != nil {
+		return nil, err
+	}
+	length := 0
+	if lb < 0x80 {
+		length = int(lb)
+	} else {
+		n := int(lb & 0x7F)
+		if n == 0 || n > 4 {
+			return nil, fmt.Errorf("ber: unsupported length form %#x", lb)
+		}
+		for i := 0; i < n; i++ {
+			c, err := readByte()
+			if err != nil {
+				return nil, err
+			}
+			length = length<<8 | int(c)
+		}
+	}
+	if length > MaxElementSize {
+		return nil, fmt.Errorf("ber: element of %d bytes exceeds limit", length)
+	}
+	buf := make([]byte, len(header)+length)
+	copy(buf, header)
+	if _, err := io.ReadFull(r, buf[len(header):]); err != nil {
+		return nil, err
+	}
+	e, _, err := Decode(buf)
+	return e, err
+}
+
+// String renders e for debugging.
+func (e *Element) String() string {
+	if e == nil {
+		return "<nil>"
+	}
+	if e.Constructed {
+		return fmt.Sprintf("%s[%d]{%d children}", e.Class, e.Tag, len(e.Children))
+	}
+	return fmt.Sprintf("%s[%d](%q)", e.Class, e.Tag, e.Value)
+}

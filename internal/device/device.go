@@ -1,0 +1,359 @@
+// Package device defines the unified device API that every MetaComm filter's
+// protocol converter provides (paper §4.1): retrieve a record by key,
+// add/modify/delete records, dump all relevant data (for synchronization),
+// and receive change notifications from the device.
+//
+// It also provides the common in-memory record store the simulated devices
+// (Definity PBX, messaging platform) are built on. The store is faithful to
+// the paper's substrate assumptions: weakly typed (every field is a string),
+// atomic only per record, no transactions, and it reports committed changes
+// to subscribers together with the session that made them — which is how
+// direct device updates (DDUs) are distinguished from updates applied by
+// MetaComm itself.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"metacomm/internal/lexpress"
+)
+
+// Well-known errors returned by device operations.
+var (
+	ErrNotFound = errors.New("device: record not found")
+	ErrExists   = errors.New("device: record already exists")
+	ErrDown     = errors.New("device: unavailable")
+)
+
+// Notification reports one committed change at a device.
+type Notification struct {
+	// Device is the device name ("pbx", "msgplat").
+	Device string
+	// Session identifies who committed the change; filters use it to
+	// ignore the echo of updates they applied themselves.
+	Session string
+	Op      lexpress.OpKind
+	Key     string
+	Old     lexpress.Record
+	New     lexpress.Record
+}
+
+// Converter is the unified API for one repository (the protocol-converter
+// half of a filter).
+type Converter interface {
+	// Name returns the repository name used in descriptors and mappings.
+	Name() string
+	// Get retrieves a record by key.
+	Get(key string) (lexpress.Record, error)
+	// Add creates a record; the returned record includes any
+	// device-generated fields (paper §5.5).
+	Add(rec lexpress.Record) (lexpress.Record, error)
+	// Modify replaces the record stored under key with rec.
+	Modify(key string, rec lexpress.Record) (lexpress.Record, error)
+	// Delete removes the record under key.
+	Delete(key string) error
+	// Dump returns all records (synchronization support).
+	Dump() ([]lexpress.Record, error)
+	// Notifications returns the channel of committed changes.
+	Notifications() <-chan Notification
+	// Close releases the converter's connection.
+	Close() error
+}
+
+// Store is the weakly-typed record store inside a simulated device.
+type Store struct {
+	name    string
+	keyAttr string
+
+	mu      sync.Mutex
+	records map[string]lexpress.Record
+	subs    []chan Notification
+	down    bool
+	// failNext holds error messages to inject on upcoming updates
+	// (failure-injection for the error-logging benches).
+	failNext []string
+	seq      uint64
+	// generate, when set, is called on Add to produce device-generated
+	// fields (e.g. a unique mailbox id).
+	generate func(n uint64, rec lexpress.Record)
+}
+
+// NewStore builds a device store. keyAttr names the key field.
+func NewStore(name, keyAttr string) *Store {
+	return &Store{name: name, keyAttr: keyAttr, records: map[string]lexpress.Record{}}
+}
+
+// SetGenerator installs a device-generated-field hook applied on Add.
+func (s *Store) SetGenerator(f func(n uint64, rec lexpress.Record)) { s.generate = f }
+
+// Name returns the device name.
+func (s *Store) Name() string { return s.name }
+
+// KeyAttr returns the name of the key field.
+func (s *Store) KeyAttr() string { return s.keyAttr }
+
+// SetDown simulates the device becoming unreachable (or reachable again).
+func (s *Store) SetDown(down bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.down = down
+}
+
+// FailNext injects a failure: the next update operation returns an error
+// with the given message.
+func (s *Store) FailNext(msg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failNext = append(s.failNext, msg)
+}
+
+func (s *Store) takeInjectedFailure() error {
+	if len(s.failNext) == 0 {
+		return nil
+	}
+	msg := s.failNext[0]
+	s.failNext = s.failNext[1:]
+	return fmt.Errorf("device %s: %s", s.name, msg)
+}
+
+// Subscribe registers a notification channel. The channel is buffered; a
+// full channel drops the oldest pending notification (devices do not block
+// on slow listeners — lost notifications are exactly what the UM's
+// synchronization facility recovers from).
+func (s *Store) Subscribe() <-chan Notification {
+	ch := make(chan Notification, 256)
+	s.mu.Lock()
+	s.subs = append(s.subs, ch)
+	s.mu.Unlock()
+	return ch
+}
+
+// Unsubscribe removes a channel returned by Subscribe and closes it.
+// Closing is safe here: sends only happen under s.mu, which we hold.
+func (s *Store) Unsubscribe(ch <-chan Notification) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, c := range s.subs {
+		if (<-chan Notification)(c) == ch {
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+			close(c)
+			return
+		}
+	}
+}
+
+func (s *Store) notifyLocked(n Notification) {
+	n.Device = s.name
+	for _, ch := range s.subs {
+		for {
+			select {
+			case ch <- n:
+			default:
+				// Drop the oldest to make room; the subscriber will
+				// resynchronize.
+				select {
+				case <-ch:
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}
+
+// Get returns a copy of the record under key.
+func (s *Store) Get(key string) (lexpress.Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return nil, ErrDown
+	}
+	rec, ok := s.records[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return rec.Clone(), nil
+}
+
+// Add commits a new record. session identifies the committer.
+func (s *Store) Add(session string, rec lexpress.Record) (lexpress.Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return nil, ErrDown
+	}
+	if err := s.takeInjectedFailure(); err != nil {
+		return nil, err
+	}
+	key := rec.First(s.keyAttr)
+	if key == "" {
+		return nil, fmt.Errorf("device %s: record has no %s", s.name, s.keyAttr)
+	}
+	if _, dup := s.records[key]; dup {
+		return nil, ErrExists
+	}
+	stored := rec.Clone()
+	s.seq++
+	if s.generate != nil {
+		s.generate(s.seq, stored)
+	}
+	s.records[key] = stored
+	s.notifyLocked(Notification{Session: session, Op: lexpress.OpAdd, Key: key, New: stored.Clone()})
+	return stored.Clone(), nil
+}
+
+// Modify atomically replaces the record under key. Missing records error;
+// there is deliberately no upsert (the conditional-update logic in the
+// filters exists because devices behave this way).
+func (s *Store) Modify(session, key string, rec lexpress.Record) (lexpress.Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return nil, ErrDown
+	}
+	if err := s.takeInjectedFailure(); err != nil {
+		return nil, err
+	}
+	old, ok := s.records[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	stored := rec.Clone()
+	if stored.First(s.keyAttr) == "" {
+		stored.Set(s.keyAttr, key)
+	}
+	newKey := stored.First(s.keyAttr)
+	if newKey != key {
+		if _, dup := s.records[newKey]; dup {
+			return nil, ErrExists
+		}
+		delete(s.records, key)
+	}
+	s.records[newKey] = stored
+	if old.Equal(stored) {
+		// No observable change: devices do not emit commit notifications
+		// for no-op updates (this is also what terminates the reapply
+		// cycle of §5.4).
+		return stored.Clone(), nil
+	}
+	s.notifyLocked(Notification{Session: session, Op: lexpress.OpModify, Key: newKey, Old: old.Clone(), New: stored.Clone()})
+	return stored.Clone(), nil
+}
+
+// Delete removes the record under key.
+func (s *Store) Delete(session, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return ErrDown
+	}
+	if err := s.takeInjectedFailure(); err != nil {
+		return err
+	}
+	old, ok := s.records[key]
+	if !ok {
+		return ErrNotFound
+	}
+	delete(s.records, key)
+	s.notifyLocked(Notification{Session: session, Op: lexpress.OpDelete, Key: key, Old: old.Clone()})
+	return nil
+}
+
+// Dump returns copies of all records, sorted by key.
+func (s *Store) Dump() ([]lexpress.Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return nil, ErrDown
+	}
+	keys := make([]string, 0, len(s.records))
+	for k := range s.records {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]lexpress.Record, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s.records[k].Clone())
+	}
+	return out, nil
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.records)
+}
+
+// quoteField renders a field value for the line protocols: values with
+// spaces or quotes are double-quoted.
+func quoteField(v string) string {
+	if v != "" && !strings.ContainsAny(v, " \t\"\\") {
+		return v
+	}
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '"', '\\':
+			b.WriteByte('\\')
+		}
+		b.WriteByte(v[i])
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// QuoteField is exported for the device wire protocols.
+func QuoteField(v string) string { return quoteField(v) }
+
+// SplitFields tokenizes a protocol line into fields shell-style: whitespace
+// separates tokens, double quotes group (and may appear mid-token, so
+// FIELD="two words" is one token), backslash escapes inside quotes.
+func SplitFields(line string) ([]string, error) {
+	var out []string
+	var b strings.Builder
+	inToken, inQuote := false, false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inQuote:
+			switch c {
+			case '\\':
+				if i+1 >= len(line) {
+					return nil, errors.New("device: trailing backslash")
+				}
+				i++
+				b.WriteByte(line[i])
+			case '"':
+				inQuote = false
+			default:
+				b.WriteByte(c)
+			}
+		case c == '"':
+			inQuote = true
+			inToken = true
+		case c == ' ' || c == '\t':
+			if inToken {
+				out = append(out, b.String())
+				b.Reset()
+				inToken = false
+			}
+		default:
+			b.WriteByte(c)
+			inToken = true
+		}
+	}
+	if inQuote {
+		return nil, errors.New("device: unterminated quote")
+	}
+	if inToken {
+		out = append(out, b.String())
+	}
+	return out, nil
+}

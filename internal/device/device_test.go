@@ -1,0 +1,286 @@
+package device
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"metacomm/internal/lexpress"
+)
+
+func rec(kv ...string) lexpress.Record {
+	r := lexpress.NewRecord()
+	for i := 0; i < len(kv); i += 2 {
+		r.Set(kv[i], kv[i+1])
+	}
+	return r
+}
+
+func TestStoreCRUD(t *testing.T) {
+	s := NewStore("pbx", "extension")
+	if _, err := s.Add("admin", rec("Extension", "2-9000", "Name", "John Doe")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("2-9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.First("name") != "John Doe" {
+		t.Errorf("name = %q", got.First("name"))
+	}
+	if _, err := s.Add("admin", rec("Extension", "2-9000")); !errors.Is(err, ErrExists) {
+		t.Errorf("dup add err = %v", err)
+	}
+	if _, err := s.Modify("admin", "2-9000", rec("Extension", "2-9000", "Name", "J")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("admin", "2-9000"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("2-9000"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("get err = %v", err)
+	}
+	if err := s.Delete("admin", "2-9000"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("del err = %v", err)
+	}
+}
+
+func TestStoreNotificationsCarrySession(t *testing.T) {
+	s := NewStore("pbx", "extension")
+	ch := s.Subscribe()
+	if _, err := s.Add("operator", rec("Extension", "1", "Name", "A")); err != nil {
+		t.Fatal(err)
+	}
+	n := <-ch
+	if n.Session != "operator" || n.Op != lexpress.OpAdd || n.Key != "1" {
+		t.Errorf("notification = %+v", n)
+	}
+	if n.New.First("name") != "A" {
+		t.Error("new image missing")
+	}
+}
+
+func TestNoOpModifyDoesNotNotify(t *testing.T) {
+	s := NewStore("pbx", "extension")
+	if _, err := s.Add("a", rec("Extension", "1", "Name", "A")); err != nil {
+		t.Fatal(err)
+	}
+	ch := s.Subscribe()
+	if _, err := s.Modify("a", "1", rec("Extension", "1", "Name", "A")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-ch:
+		t.Errorf("no-op modify notified: %+v", n)
+	default:
+	}
+}
+
+func TestKeyChangeViaModify(t *testing.T) {
+	s := NewStore("pbx", "extension")
+	if _, err := s.Add("a", rec("Extension", "1", "Name", "A")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Modify("a", "1", rec("Extension", "2", "Name", "A")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("1"); !errors.Is(err, ErrNotFound) {
+		t.Error("old key still resolves")
+	}
+	if _, err := s.Get("2"); err != nil {
+		t.Error("new key missing")
+	}
+}
+
+func TestDownAndFailureInjection(t *testing.T) {
+	s := NewStore("pbx", "extension")
+	s.SetDown(true)
+	if _, err := s.Get("x"); !errors.Is(err, ErrDown) {
+		t.Errorf("down get err = %v", err)
+	}
+	if _, err := s.Dump(); !errors.Is(err, ErrDown) {
+		t.Errorf("down dump err = %v", err)
+	}
+	s.SetDown(false)
+	s.FailNext("extension range exhausted")
+	_, err := s.Add("a", rec("Extension", "1"))
+	if err == nil || errors.Is(err, ErrExists) {
+		t.Errorf("injected failure err = %v", err)
+	}
+	// Next op succeeds.
+	if _, err := s.Add("a", rec("Extension", "1")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDumpSortedAndIsolated(t *testing.T) {
+	s := NewStore("pbx", "extension")
+	for _, k := range []string{"3", "1", "2"} {
+		if _, err := s.Add("a", rec("Extension", k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dump, err := s.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump) != 3 || dump[0].First("extension") != "1" || dump[2].First("extension") != "3" {
+		t.Errorf("dump = %v", dump)
+	}
+	dump[0].Set("Name", "mutated")
+	got, _ := s.Get("1")
+	if got.Has("name") {
+		t.Error("dump aliases store")
+	}
+}
+
+func TestSplitFieldsQuoting(t *testing.T) {
+	cases := map[string][]string{
+		`a b c`:                       {"a", "b", "c"},
+		`add station Name "John Doe"`: {"add", "station", "Name", "John Doe"},
+		`NAME="John Doe" COS=1`:       {"NAME=John Doe", "COS=1"},
+		`x ""`:                        {"x", ""},
+		`val "with \"quote\""`:        {"val", `with "quote"`},
+		``:                            nil,
+		`  spaced   out  `:            {"spaced", "out"},
+	}
+	for in, want := range cases {
+		got, err := SplitFields(in)
+		if err != nil {
+			t.Fatalf("SplitFields(%q): %v", in, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("SplitFields(%q) = %v, want %v", in, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("SplitFields(%q)[%d] = %q, want %q", in, i, got[i], want[i])
+			}
+		}
+	}
+	if _, err := SplitFields(`"unterminated`); err == nil {
+		t.Error("unterminated quote accepted")
+	}
+	if _, err := SplitFields(`"trailing\`); err == nil {
+		t.Error("trailing backslash accepted")
+	}
+}
+
+func TestQuoteFieldRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		clean := sanitize(s)
+		got, err := SplitFields("prefix " + QuoteField(clean))
+		if err != nil || len(got) != 2 {
+			return false
+		}
+		return got[1] == clean
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r >= 0x20 && r < 0x7F {
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+func TestSubscribeDropOldestWhenFull(t *testing.T) {
+	s := NewStore("pbx", "extension")
+	ch := s.Subscribe()
+	for i := 0; i < 300; i++ { // exceeds the 256 buffer
+		if _, err := s.Add("a", rec("Extension", itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The channel must hold the most recent items, not block the store.
+	var last Notification
+	for {
+		select {
+		case n := <-ch:
+			last = n
+			continue
+		default:
+		}
+		break
+	}
+	if last.Key != itoa(299) {
+		t.Errorf("last buffered = %q, want 299 (oldest should have been dropped)", last.Key)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestGeneratorRunsOnAdd(t *testing.T) {
+	s := NewStore("mp", "mailbox")
+	s.SetGenerator(func(n uint64, r lexpress.Record) { r.Set("id", "GEN") })
+	got, err := s.Add("a", rec("Mailbox", "9000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.First("id") != "GEN" {
+		t.Error("generator did not run")
+	}
+	stored, _ := s.Get("9000")
+	if stored.First("id") != "GEN" {
+		t.Error("generated field not persisted")
+	}
+}
+
+func TestStoreConverterEchoSuppression(t *testing.T) {
+	s := NewStore("pager", "pin")
+	c := NewStoreConverter(s, "metacomm")
+	defer c.Close()
+	if c.Name() != "pager" {
+		t.Errorf("name = %q", c.Name())
+	}
+	// Own update: no notification.
+	if _, err := c.Add(rec("pin", "P1", "holder", "A")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-c.Notifications():
+		t.Fatalf("echoed own update: %+v", n)
+	default:
+	}
+	// Foreign update: delivered.
+	if _, err := s.Modify("console", "P1", rec("pin", "P1", "holder", "B")); err != nil {
+		t.Fatal(err)
+	}
+	n := <-c.Notifications()
+	if n.Session != "console" || n.New.First("holder") != "B" {
+		t.Errorf("notification = %+v", n)
+	}
+	// CRUD surface works.
+	got, err := c.Get("P1")
+	if err != nil || got.First("holder") != "B" {
+		t.Errorf("get = %v, %v", got, err)
+	}
+	dump, err := c.Dump()
+	if err != nil || len(dump) != 1 {
+		t.Errorf("dump = %v, %v", dump, err)
+	}
+	if err := c.Delete("P1"); err != nil {
+		t.Fatal(err)
+	}
+	// Close unsubscribes; the pump channel drains and closes.
+	c.Close()
+	c.Close() // idempotent
+	for range c.Notifications() {
+	}
+}

@@ -1,0 +1,341 @@
+package msgplat
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"metacomm/internal/device"
+	"metacomm/internal/lexpress"
+)
+
+// Converter is the messaging-platform filter's protocol converter. Like the
+// PBX converter it uses a command connection plus a subscription connection,
+// but it speaks the platform's numeric-response protocol — the mapper above
+// it never sees the difference, which is the point of the protocol/mapper
+// split (paper §4.1).
+type Converter struct {
+	session string
+
+	mu  sync.Mutex
+	cmd net.Conn
+	r   *bufio.Reader
+	w   *bufio.Writer
+
+	sub    net.Conn
+	notifs chan device.Notification
+	closed bool
+}
+
+var _ device.Converter = (*Converter)(nil)
+
+// Dial connects a converter to a messaging platform.
+func Dial(addr, session string) (*Converter, error) {
+	cmd, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &Converter{
+		session: session,
+		cmd:     cmd,
+		r:       bufio.NewReader(cmd),
+		w:       bufio.NewWriter(cmd),
+		notifs:  make(chan device.Notification, 256),
+	}
+	if _, err := c.readReply(); err != nil { // 220 greeting
+		cmd.Close()
+		return nil, err
+	}
+	if _, err := c.command(fmt.Sprintf("HELO %s", device.QuoteField(session))); err != nil {
+		cmd.Close()
+		return nil, err
+	}
+	sub, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		cmd.Close()
+		return nil, err
+	}
+	c.sub = sub
+	sw := bufio.NewWriter(sub)
+	sr := bufio.NewReader(sub)
+	if _, err := sr.ReadString('\n'); err != nil { // greeting
+		c.Close()
+		return nil, err
+	}
+	fmt.Fprintf(sw, "HELO %s-sub\r\nSUBSCRIBE\r\n", device.QuoteField(session))
+	if err := sw.Flush(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	for i := 0; i < 2; i++ { // HELO + SUBSCRIBE replies
+		line, err := sr.ReadString('\n')
+		if err != nil || !strings.HasPrefix(line, "250") {
+			c.Close()
+			return nil, fmt.Errorf("msgplat: subscribe failed: %q %v", line, err)
+		}
+	}
+	go c.subscribeLoop(sr)
+	return c, nil
+}
+
+// Name implements device.Converter.
+func (c *Converter) Name() string { return DeviceName }
+
+// Close shuts both connections down.
+func (c *Converter) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	fmt.Fprintf(c.w, "QUIT\r\n")
+	c.w.Flush()
+	c.cmd.Close()
+	if c.sub != nil {
+		c.sub.Close()
+	}
+	return nil
+}
+
+// Notifications implements device.Converter.
+func (c *Converter) Notifications() <-chan device.Notification { return c.notifs }
+
+// readReply reads one complete (possibly multi-line 250-) reply.
+func (c *Converter) readReply() ([]string, error) {
+	var lines []string
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		lines = append(lines, line)
+		if len(line) >= 4 && line[3] == '-' {
+			continue
+		}
+		return lines, nil
+	}
+}
+
+func (c *Converter) command(line string) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("msgplat: converter closed")
+	}
+	fmt.Fprintf(c.w, "%s\r\n", line)
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	lines, err := c.readReply()
+	if err != nil {
+		return nil, err
+	}
+	final := lines[len(lines)-1]
+	if strings.HasPrefix(final, "250") || strings.HasPrefix(final, "221") {
+		return lines, nil
+	}
+	return nil, statusError(final)
+}
+
+func statusError(line string) error {
+	code, msg := line, ""
+	if i := strings.IndexByte(line, ' '); i > 0 {
+		code, msg = line[:i], line[i+1:]
+	}
+	switch code {
+	case "550":
+		return fmt.Errorf("%w: %s", device.ErrNotFound, msg)
+	case "551":
+		return fmt.Errorf("%w: %s", device.ErrExists, msg)
+	case "553":
+		return fmt.Errorf("%w: %s", device.ErrDown, msg)
+	}
+	return fmt.Errorf("msgplat: %s", line)
+}
+
+// Add implements device.Converter; the reply carries the generated id,
+// which is folded into the returned record (paper §5.5).
+func (c *Converter) Add(rec lexpress.Record) (lexpress.Record, error) {
+	key := rec.First(KeyField)
+	if key == "" {
+		return nil, fmt.Errorf("msgplat: record has no %s", KeyField)
+	}
+	lines, err := c.command(fmt.Sprintf("ADD %s %s", device.QuoteField(key), encodeUserAssignments(rec)))
+	if err != nil {
+		return nil, err
+	}
+	out := rec.Clone()
+	final := lines[len(lines)-1]
+	if i := strings.Index(final, "ID="); i >= 0 {
+		out.Set(GeneratedField, strings.TrimSpace(final[i+3:]))
+	}
+	return out, nil
+}
+
+// Modify implements device.Converter by writing every user-settable field.
+func (c *Converter) Modify(key string, rec lexpress.Record) (lexpress.Record, error) {
+	if _, err := c.command(fmt.Sprintf("MOD %s %s", device.QuoteField(key), encodeAllUserFields(rec))); err != nil {
+		return nil, err
+	}
+	return c.Get(key)
+}
+
+// Delete implements device.Converter.
+func (c *Converter) Delete(key string) error {
+	_, err := c.command("DEL " + device.QuoteField(key))
+	return err
+}
+
+// Get implements device.Converter.
+func (c *Converter) Get(key string) (lexpress.Record, error) {
+	lines, err := c.command("GET " + device.QuoteField(key))
+	if err != nil {
+		return nil, err
+	}
+	rec := lexpress.NewRecord()
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "250-FIELD ") {
+			continue
+		}
+		if err := parseAssignmentsInto(rec, strings.TrimPrefix(line, "250-FIELD ")); err != nil {
+			return nil, err
+		}
+	}
+	return rec, nil
+}
+
+// Dump implements device.Converter.
+func (c *Converter) Dump() ([]lexpress.Record, error) {
+	lines, err := c.command("DUMP")
+	if err != nil {
+		return nil, err
+	}
+	var out []lexpress.Record
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "250-MBX ") {
+			continue
+		}
+		rec, err := parseAssignments(strings.TrimPrefix(line, "250-MBX "))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func parseAssignments(s string) (lexpress.Record, error) {
+	rec := lexpress.NewRecord()
+	if err := parseAssignmentsInto(rec, s); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// parseAssignmentsInto tokenizes s once (honoring quotes) and folds each
+// FIELD=value token into rec.
+func parseAssignmentsInto(rec lexpress.Record, s string) error {
+	tokens, err := device.SplitFields(s)
+	if err != nil {
+		return err
+	}
+	for _, t := range tokens {
+		i := strings.IndexByte(t, '=')
+		if i <= 0 {
+			return fmt.Errorf("msgplat: bad assignment %q", t)
+		}
+		rec.Set(t[:i], t[i+1:])
+	}
+	return nil
+}
+
+// encodeUserAssignments renders the user-settable non-empty fields.
+func encodeUserAssignments(rec lexpress.Record) string {
+	var parts []string
+	for _, f := range Fields {
+		if f == KeyField || f == GeneratedField {
+			continue
+		}
+		if v := rec.First(f); v != "" {
+			parts = append(parts, f+"="+device.QuoteField(v))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// encodeAllUserFields renders every user-settable field, clearing absent
+// ones so the stored record converges to rec.
+func encodeAllUserFields(rec lexpress.Record) string {
+	var parts []string
+	for _, f := range Fields {
+		if f == KeyField || f == GeneratedField {
+			continue
+		}
+		parts = append(parts, f+"="+device.QuoteField(rec.First(f)))
+	}
+	return strings.Join(parts, " ")
+}
+
+func (c *Converter) subscribeLoop(r *bufio.Reader) {
+	defer close(c.notifs)
+	var cur *device.Notification
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if !strings.HasPrefix(line, "* ") {
+			continue
+		}
+		body := strings.TrimPrefix(line, "* ")
+		switch {
+		case strings.HasPrefix(body, "EVENT "):
+			tokens, err := device.SplitFields(strings.TrimPrefix(body, "EVENT "))
+			if err != nil || len(tokens) != 3 {
+				cur = nil
+				continue
+			}
+			n := device.Notification{Device: DeviceName}
+			switch tokens[0] {
+			case "ADD":
+				n.Op = lexpress.OpAdd
+			case "MOD":
+				n.Op = lexpress.OpModify
+			case "DEL":
+				n.Op = lexpress.OpDelete
+			default:
+				continue
+			}
+			n.Session = strings.TrimPrefix(tokens[1], "SESSION=")
+			n.Key = strings.TrimPrefix(tokens[2], "KEY=")
+			cur = &n
+		case strings.HasPrefix(body, "OLD "):
+			if cur != nil {
+				if rec, err := parseAssignments(strings.TrimPrefix(body, "OLD ")); err == nil {
+					cur.Old = rec
+				}
+			}
+		case strings.HasPrefix(body, "NEW "):
+			if cur != nil {
+				if rec, err := parseAssignments(strings.TrimPrefix(body, "NEW ")); err == nil {
+					cur.New = rec
+				}
+			}
+		case body == "END":
+			if cur != nil && cur.Session != c.session {
+				select {
+				case c.notifs <- *cur:
+				default:
+				}
+			}
+			cur = nil
+		}
+	}
+}

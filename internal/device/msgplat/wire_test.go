@@ -1,0 +1,109 @@
+package msgplat
+
+// Raw wire-protocol tests for the messaging platform's numeric-response
+// protocol.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+type wire struct {
+	t  *testing.T
+	nc net.Conn
+	r  *bufio.Reader
+}
+
+func dialWire(t *testing.T, addr string) *wire {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	w := &wire{t: t, nc: nc, r: bufio.NewReader(nc)}
+	w.expect("220") // greeting
+	return w
+}
+
+func (w *wire) send(line string) {
+	w.t.Helper()
+	if _, err := fmt.Fprintf(w.nc, "%s\r\n", line); err != nil {
+		w.t.Fatal(err)
+	}
+}
+
+func (w *wire) expect(prefix string) string {
+	w.t.Helper()
+	line, err := w.r.ReadString('\n')
+	if err != nil {
+		w.t.Fatalf("read: %v", err)
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if !strings.HasPrefix(line, prefix) {
+		w.t.Fatalf("got %q, want prefix %q", line, prefix)
+	}
+	return line
+}
+
+func TestWireSession(t *testing.T) {
+	_, addr := startMP(t)
+	w := dialWire(t, addr)
+	w.send("HELO console")
+	w.expect("250 hello console")
+	w.send(`ADD 9000 Name="John Doe" COS=1`)
+	reply := w.expect("250 OK ID=MBX")
+	id := strings.TrimPrefix(reply, "250 OK ID=")
+	w.send("GET 9000")
+	w.expect("250-FIELD Mailbox=9000")
+	w.expect("250-FIELD MailboxID=" + id)
+	w.expect(`250-FIELD Name="John Doe"`)
+	w.expect("250-FIELD COS=1")
+	w.expect("250 END")
+	w.send("MOD 9000 COS=")
+	w.expect("250 OK")
+	w.send("DEL 9000")
+	w.expect("250 OK")
+	w.send("DEL 9000")
+	w.expect("550")
+	w.send("QUIT")
+	w.expect("221")
+}
+
+func TestWireErrorReplies(t *testing.T) {
+	_, addr := startMP(t)
+	w := dialWire(t, addr)
+	w.send("HELO x")
+	w.expect("250")
+	w.send("ADD") // missing mailbox
+	w.expect("501")
+	w.send("ADD 1 Shoe=42") // unknown field
+	w.expect("501")
+	w.send("NONSENSE")
+	w.expect("500")
+	w.send("ADD 1 Name=ok")
+	w.expect("250 OK ID=")
+	w.send("ADD 1 Name=dup")
+	w.expect("551")
+}
+
+func TestWireEventStream(t *testing.T) {
+	m, addr := startMP(t)
+	w := dialWire(t, addr)
+	w.send("HELO watcher")
+	w.expect("250")
+	w.send("SUBSCRIBE")
+	w.expect("250 OK")
+
+	rec := mailbox("42", "Eve")
+	if _, err := m.Store.Add("voicemail-console", rec); err != nil {
+		t.Fatal(err)
+	}
+	w.expect("* EVENT ADD SESSION=voicemail-console KEY=42")
+	w.expect("* NEW Mailbox=42")
+	w.expect("* END")
+}

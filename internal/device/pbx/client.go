@@ -1,0 +1,327 @@
+package pbx
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"metacomm/internal/device"
+	"metacomm/internal/lexpress"
+)
+
+// Converter is the PBX filter's protocol converter: it speaks the switch's
+// proprietary administration protocol over two TCP connections — one for
+// commands, one in monitor mode for change notifications — and presents the
+// unified device API of paper §4.1.
+type Converter struct {
+	session string
+	device  string
+
+	mu  sync.Mutex
+	cmd net.Conn
+	r   *bufio.Reader
+	w   *bufio.Writer
+
+	mon    net.Conn
+	notifs chan device.Notification
+	closed bool
+}
+
+var _ device.Converter = (*Converter)(nil)
+
+// Dial connects a converter to a PBX. session names this administrator;
+// notifications committed under the same session name are suppressed so the
+// filter does not see the echo of its own updates.
+func Dial(addr, session string) (*Converter, error) {
+	return DialNamed(addr, session, DeviceName)
+}
+
+// DialNamed connects a converter to a PBX registered under a non-default
+// repository name (multi-switch deployments).
+func DialNamed(addr, session, deviceName string) (*Converter, error) {
+	cmd, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &Converter{
+		session: session,
+		device:  deviceName,
+		cmd:     cmd,
+		r:       bufio.NewReader(cmd),
+		w:       bufio.NewWriter(cmd),
+		notifs:  make(chan device.Notification, 256),
+	}
+	if _, err := c.roundTrip(fmt.Sprintf("login %s", device.QuoteField(session))); err != nil {
+		cmd.Close()
+		return nil, err
+	}
+	mon, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		cmd.Close()
+		return nil, err
+	}
+	c.mon = mon
+	mw := bufio.NewWriter(mon)
+	mr := bufio.NewReader(mon)
+	fmt.Fprintf(mw, "login %s-monitor\nmonitor on\n", device.QuoteField(session))
+	if err := mw.Flush(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	for i := 0; i < 2; i++ { // login + monitor replies
+		line, err := mr.ReadString('\n')
+		if err != nil || strings.TrimSpace(line) != "ok" {
+			c.Close()
+			return nil, fmt.Errorf("pbx: monitor setup failed: %q %v", line, err)
+		}
+	}
+	go c.monitorLoop(mr)
+	return c, nil
+}
+
+// Name implements device.Converter.
+func (c *Converter) Name() string { return c.device }
+
+// Close shuts both connections down.
+func (c *Converter) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	fmt.Fprintln(c.w, "logout")
+	c.w.Flush()
+	c.cmd.Close()
+	if c.mon != nil {
+		c.mon.Close()
+	}
+	return nil
+}
+
+// Notifications implements device.Converter.
+func (c *Converter) Notifications() <-chan device.Notification { return c.notifs }
+
+// roundTrip sends one command line and reads a single-line reply.
+func (c *Converter) roundTrip(line string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.roundTripLocked(line)
+}
+
+func (c *Converter) roundTripLocked(line string) (string, error) {
+	if c.closed {
+		return "", errors.New("pbx: converter closed")
+	}
+	fmt.Fprintln(c.w, line)
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	reply, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(reply, "\r\n"), nil
+}
+
+func parseError(reply string) error {
+	if reply == "ok" {
+		return nil
+	}
+	if !strings.HasPrefix(reply, "error ") {
+		return fmt.Errorf("pbx: unexpected reply %q", reply)
+	}
+	rest := strings.TrimPrefix(reply, "error ")
+	code, msg := "", rest
+	if i := strings.IndexByte(rest, ' '); i > 0 {
+		code, msg = rest[:i], rest[i+1:]
+	}
+	switch code {
+	case "1":
+		return fmt.Errorf("%w: %s", device.ErrNotFound, msg)
+	case "2":
+		return fmt.Errorf("%w: %s", device.ErrExists, msg)
+	case "4":
+		return fmt.Errorf("%w: %s", device.ErrDown, msg)
+	}
+	return fmt.Errorf("pbx: %s", msg)
+}
+
+// Get implements device.Converter via "display station".
+func (c *Converter) Get(key string) (lexpress.Record, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("pbx: converter closed")
+	}
+	fmt.Fprintf(c.w, "display station %s\n", device.QuoteField(key))
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	rec := lexpress.NewRecord()
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "end":
+			return rec, nil
+		case strings.HasPrefix(line, "field "):
+			fields, err := device.SplitFields(line)
+			if err != nil || len(fields) != 3 {
+				return nil, fmt.Errorf("pbx: bad field line %q", line)
+			}
+			rec.Set(fields[1], fields[2])
+		case strings.HasPrefix(line, "error "):
+			return nil, parseError(line)
+		default:
+			return nil, fmt.Errorf("pbx: unexpected display line %q", line)
+		}
+	}
+}
+
+// Add implements device.Converter via "add station".
+func (c *Converter) Add(rec lexpress.Record) (lexpress.Record, error) {
+	for _, a := range rec.Attrs() {
+		if !validField(a) {
+			return nil, fmt.Errorf("pbx: unknown field %q", a)
+		}
+	}
+	reply, err := c.roundTrip("add station " + encodeFields(rec))
+	if err != nil {
+		return nil, err
+	}
+	if err := parseError(reply); err != nil {
+		return nil, err
+	}
+	return rec.Clone(), nil
+}
+
+// Modify implements device.Converter via "change station": all fields of
+// the switch vocabulary are written, absent ones cleared, so the stored
+// record converges to rec exactly.
+func (c *Converter) Modify(key string, rec lexpress.Record) (lexpress.Record, error) {
+	var parts []string
+	for _, f := range Fields {
+		parts = append(parts, f, device.QuoteField(rec.First(f)))
+	}
+	reply, err := c.roundTrip(fmt.Sprintf("change station %s %s",
+		device.QuoteField(key), strings.Join(parts, " ")))
+	if err != nil {
+		return nil, err
+	}
+	if err := parseError(reply); err != nil {
+		return nil, err
+	}
+	return rec.Clone(), nil
+}
+
+// Delete implements device.Converter via "remove station".
+func (c *Converter) Delete(key string) error {
+	reply, err := c.roundTrip("remove station " + device.QuoteField(key))
+	if err != nil {
+		return err
+	}
+	return parseError(reply)
+}
+
+// Dump implements device.Converter via "dump".
+func (c *Converter) Dump() ([]lexpress.Record, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("pbx: converter closed")
+	}
+	fmt.Fprintln(c.w, "dump")
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	var out []lexpress.Record
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "end":
+			return out, nil
+		case strings.HasPrefix(line, "record "):
+			fields, err := device.SplitFields(strings.TrimPrefix(line, "record "))
+			if err != nil {
+				return nil, err
+			}
+			rec, err := decodeFields(fields)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rec)
+		case strings.HasPrefix(line, "error "):
+			return nil, parseError(line)
+		default:
+			return nil, fmt.Errorf("pbx: unexpected dump line %q", line)
+		}
+	}
+}
+
+// monitorLoop parses notify blocks and forwards foreign-session ones.
+func (c *Converter) monitorLoop(r *bufio.Reader) {
+	defer close(c.notifs)
+	var cur *device.Notification
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		fields, err := device.SplitFields(line)
+		if err != nil || len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "notify":
+			// notify <op> session <name> key <ext>
+			if len(fields) != 6 {
+				continue
+			}
+			n := device.Notification{Device: c.device, Session: fields[3], Key: fields[5]}
+			switch fields[1] {
+			case "add":
+				n.Op = lexpress.OpAdd
+			case "change":
+				n.Op = lexpress.OpModify
+			case "remove":
+				n.Op = lexpress.OpDelete
+			default:
+				continue
+			}
+			cur = &n
+		case "old":
+			if cur != nil {
+				if rec, err := decodeFields(fields[1:]); err == nil {
+					cur.Old = rec
+				}
+			}
+		case "new":
+			if cur != nil {
+				if rec, err := decodeFields(fields[1:]); err == nil {
+					cur.New = rec
+				}
+			}
+		case "end":
+			if cur != nil && cur.Session != c.session {
+				select {
+				case c.notifs <- *cur:
+				default:
+				}
+			}
+			cur = nil
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package pbx
+
+// Raw wire-protocol tests: drive the administration protocol the way a
+// human on a terminal (or a legacy provisioning script) would, without the
+// Converter.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+type wireSession struct {
+	t  *testing.T
+	nc net.Conn
+	r  *bufio.Reader
+}
+
+func dialWire(t *testing.T, addr string) *wireSession {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return &wireSession{t: t, nc: nc, r: bufio.NewReader(nc)}
+}
+
+func (s *wireSession) send(line string) {
+	s.t.Helper()
+	if _, err := fmt.Fprintf(s.nc, "%s\n", line); err != nil {
+		s.t.Fatal(err)
+	}
+}
+
+func (s *wireSession) expect(prefix string) string {
+	s.t.Helper()
+	line, err := s.r.ReadString('\n')
+	if err != nil {
+		s.t.Fatalf("read: %v", err)
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if !strings.HasPrefix(line, prefix) {
+		s.t.Fatalf("got %q, want prefix %q", line, prefix)
+	}
+	return line
+}
+
+func TestWireSession(t *testing.T) {
+	_, addr := startPBX(t)
+	s := dialWire(t, addr)
+
+	s.send("login craft")
+	s.expect("ok")
+	s.send(`add station Extension 2-9000 Name "John Doe" Room 2C-401`)
+	s.expect("ok")
+	s.send("display station 2-9000")
+	s.expect("field Extension 2-9000")
+	s.expect(`field Name "John Doe"`)
+	s.expect("field Room 2C-401")
+	s.expect("end")
+	s.send("change station 2-9000 Room \"\"") // clear
+	s.expect("ok")
+	s.send("display station 2-9000")
+	s.expect("field Extension")
+	s.expect("field Name")
+	s.expect("end") // Room gone
+	s.send("remove station 2-9000")
+	s.expect("ok")
+	s.send("remove station 2-9000")
+	s.expect("error 1")
+	s.send("logout")
+	s.expect("ok")
+}
+
+func TestWireErrors(t *testing.T) {
+	_, addr := startPBX(t)
+	s := dialWire(t, addr)
+	s.send("login x")
+	s.expect("ok")
+	s.send("add station Extension") // odd field count
+	s.expect("error 3")
+	s.send("add station Shoe 42") // unknown field
+	s.expect("error 3")
+	s.send("frobnicate")
+	s.expect("error 3")
+	s.send(`add station Extension "unterminated`)
+	s.expect("error 3")
+	s.send("display station nope")
+	s.expect("error 1")
+	// The session survives all of that.
+	s.send("add station Extension 1 Name ok")
+	s.expect("ok")
+}
+
+func TestWireMonitorStream(t *testing.T) {
+	p, addr := startPBX(t)
+	mon := dialWire(t, addr)
+	mon.send("login watcher")
+	mon.expect("ok")
+	mon.send("monitor on")
+	mon.expect("ok")
+
+	// A change committed by someone else streams as a notify block.
+	if _, err := p.Store.Add("other-admin", station("2-1", "A")); err != nil {
+		t.Fatal(err)
+	}
+	mon.expect("notify add session other-admin key 2-1")
+	mon.expect("new Extension 2-1 Name A")
+	mon.expect("end")
+}

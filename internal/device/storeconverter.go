@@ -1,0 +1,93 @@
+package device
+
+import (
+	"sync"
+
+	"metacomm/internal/lexpress"
+)
+
+// StoreConverter adapts a Store directly to the Converter interface for
+// devices that live in the same process — the quickest way to integrate a
+// new data source (paper §7: "new data sources can be easily added"): build
+// a Store with the device's fields, write two lexpress mappings, wrap with
+// a StoreConverter, register a DeviceFilter.
+//
+// Like the network converters it suppresses notifications for its own
+// session's commits, so the Update Manager never sees an echo of the
+// updates it applied itself.
+type StoreConverter struct {
+	store   *Store
+	session string
+
+	mu     sync.Mutex
+	raw    <-chan Notification
+	out    chan Notification
+	closed bool
+}
+
+var _ Converter = (*StoreConverter)(nil)
+
+// NewStoreConverter wraps store; session names the integration (updates it
+// applies are committed under this name and not echoed back).
+func NewStoreConverter(store *Store, session string) *StoreConverter {
+	c := &StoreConverter{
+		store:   store,
+		session: session,
+		raw:     store.Subscribe(),
+		out:     make(chan Notification, 256),
+	}
+	go c.pump()
+	return c
+}
+
+func (c *StoreConverter) pump() {
+	defer close(c.out)
+	for n := range c.raw {
+		if n.Session == c.session {
+			continue
+		}
+		select {
+		case c.out <- n:
+		default: // drop; synchronization recovers
+		}
+	}
+}
+
+// Name implements Converter.
+func (c *StoreConverter) Name() string { return c.store.Name() }
+
+// Get implements Converter.
+func (c *StoreConverter) Get(key string) (lexpress.Record, error) { return c.store.Get(key) }
+
+// Add implements Converter.
+func (c *StoreConverter) Add(rec lexpress.Record) (lexpress.Record, error) {
+	return c.store.Add(c.session, rec)
+}
+
+// Modify implements Converter.
+func (c *StoreConverter) Modify(key string, rec lexpress.Record) (lexpress.Record, error) {
+	return c.store.Modify(c.session, key, rec)
+}
+
+// Delete implements Converter.
+func (c *StoreConverter) Delete(key string) error { return c.store.Delete(c.session, key) }
+
+// Dump implements Converter.
+func (c *StoreConverter) Dump() ([]lexpress.Record, error) { return c.store.Dump() }
+
+// Notifications implements Converter.
+func (c *StoreConverter) Notifications() <-chan Notification { return c.out }
+
+// Close implements Converter. The pump goroutine exits when the store
+// unsubscribes the raw channel... the Store API keeps raw channels open, so
+// Close just marks the converter unusable; the buffered pump is garbage
+// once the Store itself is released.
+func (c *StoreConverter) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		c.store.Unsubscribe(c.raw)
+	}
+	return nil
+}

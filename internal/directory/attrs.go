@@ -1,0 +1,180 @@
+// Package directory implements the in-memory directory information tree
+// (DIT) that backs the MetaComm LDAP server: entries addressed by
+// distinguished name, hierarchical parent/child structure, LDAP update
+// semantics (add/delete leaf, modify node, modify RDN), search with filter
+// evaluation, and optional schema checking.
+//
+// Faithful to the paper's substrate assumptions, the DIT offers *atomic
+// single-entry updates only*: there are no transactions, no triggers
+// (LTAP adds those externally), and set-valued attributes hold atomic
+// strings only.
+package directory
+
+import (
+	"sort"
+	"strings"
+)
+
+// Attrs is a case-insensitive multi-valued attribute map. Attribute type
+// names compare case-insensitively but the first-seen spelling is preserved
+// for display, as LDAP servers do.
+type Attrs struct {
+	names map[string]string   // lower-cased type -> display spelling
+	vals  map[string][]string // lower-cased type -> values
+}
+
+// NewAttrs returns an empty attribute map.
+func NewAttrs() *Attrs {
+	return &Attrs{names: map[string]string{}, vals: map[string][]string{}}
+}
+
+// AttrsFrom builds an Attrs from a plain map (convenient in tests and
+// loaders).
+func AttrsFrom(m map[string][]string) *Attrs {
+	a := NewAttrs()
+	for k, vs := range m {
+		for _, v := range vs {
+			a.Add(k, v)
+		}
+	}
+	return a
+}
+
+func lower(s string) string { return strings.ToLower(s) }
+
+// Get returns all values of attr (nil when absent). The returned slice is
+// shared; callers must not mutate it.
+func (a *Attrs) Get(attr string) []string { return a.vals[lower(attr)] }
+
+// First returns the first value of attr, or "".
+func (a *Attrs) First(attr string) string {
+	if vs := a.vals[lower(attr)]; len(vs) > 0 {
+		return vs[0]
+	}
+	return ""
+}
+
+// Has reports whether attr has at least one value.
+func (a *Attrs) Has(attr string) bool { return len(a.vals[lower(attr)]) > 0 }
+
+// HasValue reports whether attr contains value (case-insensitively).
+func (a *Attrs) HasValue(attr, value string) bool {
+	for _, v := range a.vals[lower(attr)] {
+		if strings.EqualFold(v, value) {
+			return true
+		}
+	}
+	return false
+}
+
+// Put replaces all values of attr.
+func (a *Attrs) Put(attr string, values ...string) {
+	k := lower(attr)
+	if len(values) == 0 {
+		delete(a.vals, k)
+		delete(a.names, k)
+		return
+	}
+	if _, ok := a.names[k]; !ok {
+		a.names[k] = attr
+	}
+	a.vals[k] = append([]string(nil), values...)
+}
+
+// Add appends a value to attr, refusing duplicates (LDAP sets have no
+// duplicate values). It reports whether the value was added.
+func (a *Attrs) Add(attr, value string) bool {
+	if a.HasValue(attr, value) {
+		return false
+	}
+	k := lower(attr)
+	if _, ok := a.names[k]; !ok {
+		a.names[k] = attr
+	}
+	a.vals[k] = append(a.vals[k], value)
+	return true
+}
+
+// DeleteValue removes one value from attr, reporting whether it was present.
+// When the last value goes, the attribute disappears.
+func (a *Attrs) DeleteValue(attr, value string) bool {
+	k := lower(attr)
+	vs := a.vals[k]
+	for i, v := range vs {
+		if strings.EqualFold(v, value) {
+			vs = append(vs[:i], vs[i+1:]...)
+			if len(vs) == 0 {
+				delete(a.vals, k)
+				delete(a.names, k)
+			} else {
+				a.vals[k] = vs
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Delete removes attr entirely, reporting whether it existed.
+func (a *Attrs) Delete(attr string) bool {
+	k := lower(attr)
+	if _, ok := a.vals[k]; !ok {
+		return false
+	}
+	delete(a.vals, k)
+	delete(a.names, k)
+	return true
+}
+
+// Names returns the display spellings of all present attributes, sorted
+// case-insensitively for deterministic iteration.
+func (a *Attrs) Names() []string {
+	out := make([]string, 0, len(a.names))
+	for _, display := range a.names {
+		out = append(out, display)
+	}
+	sort.Slice(out, func(i, j int) bool { return lower(out[i]) < lower(out[j]) })
+	return out
+}
+
+// Len returns the number of distinct attribute types.
+func (a *Attrs) Len() int { return len(a.vals) }
+
+// Clone returns a deep copy.
+func (a *Attrs) Clone() *Attrs {
+	c := NewAttrs()
+	for k, display := range a.names {
+		c.names[k] = display
+		c.vals[k] = append([]string(nil), a.vals[k]...)
+	}
+	return c
+}
+
+// Map returns a plain map copy keyed by display names.
+func (a *Attrs) Map() map[string][]string {
+	out := make(map[string][]string, len(a.vals))
+	for k, display := range a.names {
+		out[display] = append([]string(nil), a.vals[k]...)
+	}
+	return out
+}
+
+// Equal reports whether two attribute maps hold the same types and value
+// sets (value order-insensitive, case-insensitive values).
+func (a *Attrs) Equal(b *Attrs) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for k, vs := range a.vals {
+		ws := b.vals[k]
+		if len(vs) != len(ws) {
+			return false
+		}
+		for _, v := range vs {
+			if !b.HasValue(k, v) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,90 @@
+package directory
+
+import "sort"
+
+// Changelog subscriptions: replicas (and any other consumer) receive every
+// committed update as an UpdateRecord with its commit sequence number. The
+// paper's directory world leans on replication for availability (§2);
+// internal/replica builds the wire protocol on top of this hook.
+
+// changeSub is one changelog subscriber.
+type changeSub struct {
+	ch chan UpdateRecord
+	// overflowed marks a subscriber that missed records because its buffer
+	// filled; its channel has been closed and the consumer must resync.
+	overflowed bool
+}
+
+// SnapshotAndSubscribe atomically captures the full directory state and
+// registers a changelog subscription starting at the next commit: every
+// update after the returned snapshot appears exactly once on the channel.
+//
+// A consumer that falls behind (buffer overflow) gets its channel CLOSED —
+// the signal to resynchronize from a fresh snapshot. cancel releases the
+// subscription.
+func (d *DIT) SnapshotAndSubscribe(buffer int) (snapshot []Entry, changes <-chan UpdateRecord, cancel func()) {
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	d.mu.Lock()
+	snapshot = d.allLocked()
+	sub := &changeSub{ch: make(chan UpdateRecord, buffer)}
+	d.subs = append(d.subs, sub)
+	d.mu.Unlock()
+
+	cancel = func() {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		for i, s := range d.subs {
+			if s == sub {
+				d.subs = append(d.subs[:i], d.subs[i+1:]...)
+				if !sub.overflowed {
+					close(sub.ch)
+				}
+				return
+			}
+		}
+	}
+	return snapshot, sub.ch, cancel
+}
+
+// emitLocked fans a committed record out to subscribers. Caller holds d.mu;
+// rec.Seq must be set.
+func (d *DIT) emitLocked(rec UpdateRecord) {
+	if len(d.subs) == 0 {
+		return
+	}
+	keep := d.subs[:0]
+	for _, sub := range d.subs {
+		select {
+		case sub.ch <- rec:
+			keep = append(keep, sub)
+		default:
+			// Slow consumer: close to force a resync rather than block
+			// the commit path or grow without bound.
+			sub.overflowed = true
+			close(sub.ch)
+		}
+	}
+	d.subs = keep
+}
+
+// allLocked snapshots every entry, parents first. Caller holds d.mu.
+func (d *DIT) allLocked() []Entry {
+	out := make([]Entry, 0, len(d.entries))
+	for _, n := range d.entries {
+		out = append(out, Entry{DN: n.dn, Attrs: n.attrs.Clone()})
+	}
+	sortEntries(out)
+	return out
+}
+
+func sortEntries(out []Entry) {
+	// Parents before children; stable order for deterministic snapshots.
+	sort.Slice(out, func(i, j int) bool {
+		if di, dj := out[i].DN.Depth(), out[j].DN.Depth(); di != dj {
+			return di < dj
+		}
+		return out[i].DN.Normalize() < out[j].DN.Normalize()
+	})
+}

@@ -1,0 +1,477 @@
+package directory
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"metacomm/internal/dn"
+	"metacomm/internal/ldap"
+)
+
+// Error is a directory error carrying an LDAP result code.
+type Error struct {
+	Code ldap.ResultCode
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("directory: %s: %s", e.Code, e.Msg) }
+
+// errf builds an *Error.
+func errf(code ldap.ResultCode, format string, args ...any) *Error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// CodeOf extracts the LDAP result code from a directory error, defaulting to
+// ResultOther.
+func CodeOf(err error) ldap.ResultCode {
+	if err == nil {
+		return ldap.ResultSuccess
+	}
+	if de, ok := err.(*Error); ok {
+		return de.Code
+	}
+	if c, ok := ldap.Code(err); ok {
+		return c
+	}
+	return ldap.ResultOther
+}
+
+// Entry is a snapshot of a directory entry: its DN and attributes. Entries
+// returned by the DIT are copies; mutating them does not affect the tree.
+type Entry struct {
+	DN    dn.DN
+	Attrs *Attrs
+}
+
+// Clone returns a deep copy of the entry.
+func (e Entry) Clone() Entry {
+	return Entry{DN: append(dn.DN(nil), e.DN...), Attrs: e.Attrs.Clone()}
+}
+
+type node struct {
+	dn       dn.DN
+	attrs    *Attrs
+	children map[string]bool // normalized child DNs
+}
+
+// DIT is the in-memory directory information tree. All operations are
+// individually atomic under an internal lock; there is deliberately no
+// multi-operation transaction facility, matching the paper's substrate.
+type DIT struct {
+	mu      sync.RWMutex
+	entries map[string]*node
+	schema  *Schema
+	// indexes holds the equality indexes (see index.go); nil when none are
+	// enabled.
+	indexes attrIndex
+	// journal, when attached, receives a write-ahead record of every
+	// committed update (see persist.go).
+	journal *Journal
+	// subs are changelog subscribers (see changelog.go).
+	subs []*changeSub
+	// seq counts committed updates; used by tests and the synchronization
+	// logic to detect change cheaply.
+	seq uint64
+}
+
+// New returns an empty DIT. schema may be nil to disable validation.
+func New(schema *Schema) *DIT {
+	return &DIT{entries: map[string]*node{}, schema: schema}
+}
+
+// Schema returns the schema in force (nil when unvalidated).
+func (d *DIT) Schema() *Schema { return d.schema }
+
+// Seq returns the number of committed updates.
+func (d *DIT) Seq() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.seq
+}
+
+// Len returns the number of entries.
+func (d *DIT) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.entries)
+}
+
+// Add creates a new leaf entry. The parent must exist (except for
+// depth-1 suffix entries). RDN attribute values are folded into the entry's
+// attributes as LDAP requires.
+func (d *DIT) Add(name dn.DN, attrs *Attrs) error {
+	if name.IsRoot() {
+		return errf(ldap.ResultInvalidDNSyntax, "cannot add root entry")
+	}
+	a := attrs.Clone()
+	for _, ava := range name.RDN() {
+		if !a.HasValue(ava.Attr, ava.Value) {
+			a.Add(ava.Attr, ava.Value)
+		}
+	}
+	if d.schema != nil {
+		a = canonicalDisplay(a, d.schema)
+	}
+	if d.schema != nil {
+		if err := d.schema.CheckEntry(a); err != nil {
+			return err
+		}
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := name.Normalize()
+	if _, exists := d.entries[key]; exists {
+		return errf(ldap.ResultEntryAlreadyExists, "entry %q already exists", name)
+	}
+	parent := name.Parent()
+	parentKey := parent.Normalize()
+	if !parent.IsRoot() {
+		p, ok := d.entries[parentKey]
+		if !ok {
+			return errf(ldap.ResultNoSuchObject, "parent of %q does not exist", name)
+		}
+		p.children[key] = true
+	}
+	rec := UpdateRecord{Op: "add", DN: name.String(), Attrs: a.Map()}
+	if err := d.journalAppend(rec); err != nil {
+		if p, ok := d.entries[parentKey]; ok {
+			delete(p.children, key)
+		}
+		return err
+	}
+	d.entries[key] = &node{dn: name, attrs: a, children: map[string]bool{}}
+	d.indexEntry(key, a)
+	d.seq++
+	rec.Seq = d.seq
+	d.emitLocked(rec)
+	return nil
+}
+
+// Delete removes a leaf entry.
+func (d *DIT) Delete(name dn.DN) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := name.Normalize()
+	n, ok := d.entries[key]
+	if !ok {
+		return errf(ldap.ResultNoSuchObject, "no entry %q", name)
+	}
+	if len(n.children) > 0 {
+		return errf(ldap.ResultNotAllowedOnNonLeaf, "entry %q has children", name)
+	}
+	rec := UpdateRecord{Op: "delete", DN: name.String()}
+	if err := d.journalAppend(rec); err != nil {
+		return err
+	}
+	delete(d.entries, key)
+	d.unindexEntry(key, n.attrs)
+	if p, ok := d.entries[name.Parent().Normalize()]; ok {
+		delete(p.children, key)
+	}
+	d.seq++
+	rec.Seq = d.seq
+	d.emitLocked(rec)
+	return nil
+}
+
+// Modify applies a sequence of changes to one entry atomically: either all
+// changes apply and the result passes schema validation, or none do.
+// Attribute values that appear in the entry's RDN may not be removed
+// (notAllowedOnRDN) — that requires ModifyDN, which is precisely the
+// non-atomicity the paper wrestles with.
+func (d *DIT) Modify(name dn.DN, changes []ldap.Change) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := name.Normalize()
+	n, ok := d.entries[key]
+	if !ok {
+		return errf(ldap.ResultNoSuchObject, "no entry %q", name)
+	}
+	work := n.attrs.Clone()
+	for _, c := range changes {
+		attr := c.Attribute.Type
+		if d.schema != nil {
+			attr = d.schema.DisplayName(attr)
+		}
+		switch c.Op {
+		case ldap.ModAdd:
+			if len(c.Attribute.Values) == 0 {
+				return errf(ldap.ResultProtocolError, "add of %q without values", attr)
+			}
+			for _, v := range c.Attribute.Values {
+				if !work.Add(attr, v) {
+					return errf(ldap.ResultAttributeOrValueExists, "%q already has value %q", attr, v)
+				}
+			}
+		case ldap.ModDelete:
+			if d.rdnProtects(name, attr, c.Attribute.Values) {
+				return errf(ldap.ResultNotAllowedOnRDN, "attribute %q is part of the RDN", attr)
+			}
+			if len(c.Attribute.Values) == 0 {
+				if !work.Delete(attr) {
+					return errf(ldap.ResultNoSuchAttribute, "no attribute %q", attr)
+				}
+			} else {
+				for _, v := range c.Attribute.Values {
+					if !work.DeleteValue(attr, v) {
+						return errf(ldap.ResultNoSuchAttribute, "no value %q for %q", v, attr)
+					}
+				}
+			}
+		case ldap.ModReplace:
+			if d.rdnProtects(name, attr, c.Attribute.Values) {
+				return errf(ldap.ResultNotAllowedOnRDN, "attribute %q is part of the RDN", attr)
+			}
+			work.Put(attr, c.Attribute.Values...)
+		default:
+			return errf(ldap.ResultProtocolError, "unknown modify op %d", c.Op)
+		}
+	}
+	if d.schema != nil {
+		if err := d.schema.CheckEntry(work); err != nil {
+			return err
+		}
+	}
+	rec := modifyRecord(name, changes)
+	if err := d.journalAppend(rec); err != nil {
+		return err
+	}
+	d.reindexEntry(key, n.attrs, work)
+	n.attrs = work
+	d.seq++
+	rec.Seq = d.seq
+	d.emitLocked(rec)
+	return nil
+}
+
+// modifyRecord converts a change list into its journal form.
+func modifyRecord(name dn.DN, changes []ldap.Change) UpdateRecord {
+	rec := UpdateRecord{Op: "modify", DN: name.String()}
+	for _, c := range changes {
+		rec.Changes = append(rec.Changes, UpdateChange{
+			Op: c.Op.String(), Attr: c.Attribute.Type, Values: c.Attribute.Values})
+	}
+	return rec
+}
+
+// canonicalDisplay rewrites attribute names to the schema's spelling.
+func canonicalDisplay(a *Attrs, s *Schema) *Attrs {
+	out := NewAttrs()
+	for _, n := range a.Names() {
+		out.Put(s.DisplayName(n), a.Get(n)...)
+	}
+	return out
+}
+
+// rdnProtects reports whether removing/replacing attr with newValues would
+// strip an RDN value from the entry.
+func (d *DIT) rdnProtects(name dn.DN, attr string, newValues []string) bool {
+	for _, ava := range name.RDN() {
+		if !strings.EqualFold(ava.Attr, attr) {
+			continue
+		}
+		for _, v := range newValues {
+			if strings.EqualFold(v, ava.Value) {
+				return false // value retained
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// ModifyDN renames an entry (and its subtree) to a new leaf RDN. The old
+// RDN values are removed from the attributes when deleteOldRDN is set; the
+// new RDN values are added.
+func (d *DIT) ModifyDN(name dn.DN, newRDN dn.RDN, deleteOldRDN bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := name.Normalize()
+	n, ok := d.entries[key]
+	if !ok {
+		return errf(ldap.ResultNoSuchObject, "no entry %q", name)
+	}
+	newDN := name.WithRDN(newRDN)
+	newKey := newDN.Normalize()
+	if newKey == key {
+		return nil
+	}
+	if _, exists := d.entries[newKey]; exists {
+		return errf(ldap.ResultEntryAlreadyExists, "entry %q already exists", newDN)
+	}
+	work := n.attrs.Clone()
+	if deleteOldRDN {
+		for _, ava := range name.RDN() {
+			work.DeleteValue(ava.Attr, ava.Value)
+		}
+	}
+	for _, ava := range newRDN {
+		if !work.HasValue(ava.Attr, ava.Value) {
+			work.Add(ava.Attr, ava.Value)
+		}
+	}
+	if d.schema != nil {
+		if err := d.schema.CheckEntry(work); err != nil {
+			return err
+		}
+	}
+
+	mdnRec := UpdateRecord{Op: "modifydn", DN: name.String(),
+		NewRDN: newRDN.String(), DeleteOldRDN: deleteOldRDN}
+	if err := d.journalAppend(mdnRec); err != nil {
+		return err
+	}
+
+	// Collect the subtree, then rewrite keys.
+	var subtree []*node
+	var collect func(*node)
+	collect = func(nd *node) {
+		subtree = append(subtree, nd)
+		for ck := range nd.children {
+			collect(d.entries[ck])
+		}
+	}
+	collect(n)
+	for _, nd := range subtree {
+		d.unindexEntry(nd.dn.Normalize(), nd.attrs)
+	}
+
+	if p, ok := d.entries[name.Parent().Normalize()]; ok {
+		delete(p.children, key)
+		p.children[newKey] = true
+	}
+	depth := name.Depth()
+	for _, nd := range subtree {
+		delete(d.entries, nd.dn.Normalize())
+	}
+	for _, nd := range subtree {
+		suffixStart := nd.dn.Depth() - depth
+		rebased := make(dn.DN, 0, nd.dn.Depth())
+		rebased = append(rebased, nd.dn[:suffixStart]...)
+		rebased = append(rebased, newDN...)
+		nd.dn = rebased
+		nd.children = map[string]bool{}
+	}
+	n.attrs = work
+	for _, nd := range subtree {
+		k := nd.dn.Normalize()
+		d.entries[k] = nd
+		d.indexEntry(k, nd.attrs)
+		if pk := nd.dn.Parent().Normalize(); pk != "" {
+			if p, ok := d.entries[pk]; ok {
+				p.children[k] = true
+			}
+		}
+	}
+	d.seq++
+	mdnRec.Seq = d.seq
+	d.emitLocked(mdnRec)
+	return nil
+}
+
+// Get returns a copy of the entry at name.
+func (d *DIT) Get(name dn.DN) (Entry, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n, ok := d.entries[name.Normalize()]
+	if !ok {
+		return Entry{}, errf(ldap.ResultNoSuchObject, "no entry %q", name)
+	}
+	return Entry{DN: n.dn, Attrs: n.attrs.Clone()}, nil
+}
+
+// Compare tests an attribute/value assertion against an entry.
+func (d *DIT) Compare(name dn.DN, attr, value string) (bool, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n, ok := d.entries[name.Normalize()]
+	if !ok {
+		return false, errf(ldap.ResultNoSuchObject, "no entry %q", name)
+	}
+	return n.attrs.HasValue(attr, value), nil
+}
+
+// Search evaluates filter over the entries selected by base and scope and
+// returns matching entries sorted by DN depth then name (parents before
+// children), truncated at sizeLimit when positive.
+func (d *DIT) Search(base dn.DN, scope ldap.Scope, filter *ldap.Filter, sizeLimit int) ([]Entry, error) {
+	if filter == nil {
+		// An AND of zero terms is vacuously true: match everything.
+		filter = &ldap.Filter{Kind: ldap.FilterAnd}
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+
+	baseKey := base.Normalize()
+	if !base.IsRoot() {
+		if _, ok := d.entries[baseKey]; !ok {
+			return nil, errf(ldap.ResultNoSuchObject, "search base %q does not exist", base)
+		}
+	}
+	var out []Entry
+	add := func(n *node) {
+		if filter.Matches(n.attrs.Get) {
+			out = append(out, Entry{DN: n.dn, Attrs: n.attrs.Clone()})
+		}
+	}
+	switch scope {
+	case ldap.ScopeBaseObject:
+		if n, ok := d.entries[baseKey]; ok {
+			add(n)
+		}
+	case ldap.ScopeSingleLevel:
+		if base.IsRoot() {
+			for _, n := range d.entries {
+				if n.dn.Depth() == 1 {
+					add(n)
+				}
+			}
+		} else if n, ok := d.entries[baseKey]; ok {
+			for ck := range n.children {
+				add(d.entries[ck])
+			}
+		}
+	case ldap.ScopeWholeSubtree:
+		if cands, ok := d.indexCandidates(filter); ok {
+			// Indexed fast path: verify scope and the full filter on the
+			// candidate set only.
+			for key := range cands {
+				n := d.entries[key]
+				if n == nil {
+					continue
+				}
+				if base.IsRoot() || key == baseKey || n.dn.IsDescendantOf(base) {
+					add(n)
+				}
+			}
+			break
+		}
+		for _, n := range d.entries {
+			if base.IsRoot() || n.dn.Normalize() == baseKey || n.dn.IsDescendantOf(base) {
+				add(n)
+			}
+		}
+	default:
+		return nil, errf(ldap.ResultProtocolError, "unknown scope %d", scope)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if d1, d2 := out[i].DN.Depth(), out[j].DN.Depth(); d1 != d2 {
+			return d1 < d2
+		}
+		return out[i].DN.Normalize() < out[j].DN.Normalize()
+	})
+	if sizeLimit > 0 && len(out) > sizeLimit {
+		return out[:sizeLimit], errf(ldap.ResultSizeLimitExceeded, "size limit %d exceeded", sizeLimit)
+	}
+	return out, nil
+}
+
+// All returns every entry, parents before children. Used by the UM's
+// synchronization facility to dump the directory.
+func (d *DIT) All() []Entry {
+	out, _ := d.Search(dn.DN{}, ldap.ScopeWholeSubtree, nil, 0)
+	return out
+}

@@ -1,0 +1,396 @@
+package directory
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"metacomm/internal/dn"
+	"metacomm/internal/ldap"
+)
+
+func person(cn string) *Attrs {
+	return AttrsFrom(map[string][]string{
+		"objectClass": {"person"},
+		"cn":          {cn},
+	})
+}
+
+func org(o string) *Attrs {
+	return AttrsFrom(map[string][]string{
+		"objectClass": {"organization"},
+		"o":           {o},
+	})
+}
+
+// buildFigure2 builds the paper's Figure 2 sample tree.
+func buildFigure2(t testing.TB) *DIT {
+	d := New(nil)
+	adds := []struct {
+		dn    string
+		attrs *Attrs
+	}{
+		{"o=Lucent", org("Lucent")},
+		{"o=Marketing,o=Lucent", org("Marketing")},
+		{"o=Accounting,o=Lucent", org("Accounting")},
+		{"o=R&D,o=Lucent", org("R&D")},
+		{"o=DEN Group,o=R&D,o=Lucent", org("DEN Group")},
+		{"cn=John Doe,o=Marketing,o=Lucent", person("John Doe")},
+		{"cn=Pat Smith,o=Marketing,o=Lucent", person("Pat Smith")},
+		{"cn=Tim Dickens,o=Accounting,o=Lucent", person("Tim Dickens")},
+		{"cn=Jill Lu,o=R&D,o=Lucent", person("Jill Lu")},
+	}
+	for _, a := range adds {
+		if err := d.Add(dn.MustParse(a.dn), a.attrs); err != nil {
+			t.Fatalf("add %s: %v", a.dn, err)
+		}
+	}
+	return d
+}
+
+func TestFigure2TreeBuildAndGet(t *testing.T) {
+	d := buildFigure2(t)
+	if d.Len() != 9 {
+		t.Fatalf("len = %d, want 9", d.Len())
+	}
+	e, err := d.Get(dn.MustParse("cn=John Doe, o=Marketing, o=Lucent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Attrs.First("cn") != "John Doe" {
+		t.Errorf("cn = %q", e.Attrs.First("cn"))
+	}
+}
+
+func TestAddRequiresParent(t *testing.T) {
+	d := New(nil)
+	err := d.Add(dn.MustParse("cn=x,o=Nowhere"), person("x"))
+	if CodeOf(err) != ldap.ResultNoSuchObject {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	d := buildFigure2(t)
+	err := d.Add(dn.MustParse("cn=JOHN DOE,o=marketing,o=lucent"), person("John Doe"))
+	if CodeOf(err) != ldap.ResultEntryAlreadyExists {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAddFoldsRDNValues(t *testing.T) {
+	d := New(nil)
+	if err := d.Add(dn.MustParse("o=Lucent"), AttrsFrom(map[string][]string{"objectClass": {"organization"}})); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := d.Get(dn.MustParse("o=Lucent"))
+	if e.Attrs.First("o") != "Lucent" {
+		t.Error("RDN value not folded into attributes")
+	}
+}
+
+func TestDeleteLeafOnly(t *testing.T) {
+	d := buildFigure2(t)
+	err := d.Delete(dn.MustParse("o=Marketing,o=Lucent"))
+	if CodeOf(err) != ldap.ResultNotAllowedOnNonLeaf {
+		t.Errorf("err = %v", err)
+	}
+	if err := d.Delete(dn.MustParse("cn=John Doe,o=Marketing,o=Lucent")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete(dn.MustParse("cn=John Doe,o=Marketing,o=Lucent")); CodeOf(err) != ldap.ResultNoSuchObject {
+		t.Errorf("double delete err = %v", err)
+	}
+}
+
+func TestModifySemantics(t *testing.T) {
+	d := buildFigure2(t)
+	name := dn.MustParse("cn=John Doe,o=Marketing,o=Lucent")
+
+	// replace
+	if err := d.Modify(name, []ldap.Change{{Op: ldap.ModReplace,
+		Attribute: ldap.Attribute{Type: "telephoneNumber", Values: []string{"+1 908 582 9000"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	// add duplicate value -> attributeOrValueExists
+	err := d.Modify(name, []ldap.Change{{Op: ldap.ModAdd,
+		Attribute: ldap.Attribute{Type: "telephoneNumber", Values: []string{"+1 908 582 9000"}}}})
+	if CodeOf(err) != ldap.ResultAttributeOrValueExists {
+		t.Errorf("dup add err = %v", err)
+	}
+	// delete one value
+	if err := d.Modify(name, []ldap.Change{{Op: ldap.ModDelete,
+		Attribute: ldap.Attribute{Type: "telephoneNumber", Values: []string{"+1 908 582 9000"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := d.Get(name)
+	if e.Attrs.Has("telephoneNumber") {
+		t.Error("value delete left attribute behind")
+	}
+	// delete absent -> noSuchAttribute
+	err = d.Modify(name, []ldap.Change{{Op: ldap.ModDelete,
+		Attribute: ldap.Attribute{Type: "telephoneNumber"}}})
+	if CodeOf(err) != ldap.ResultNoSuchAttribute {
+		t.Errorf("absent delete err = %v", err)
+	}
+}
+
+func TestModifyIsAtomicOnError(t *testing.T) {
+	d := buildFigure2(t)
+	name := dn.MustParse("cn=Pat Smith,o=Marketing,o=Lucent")
+	err := d.Modify(name, []ldap.Change{
+		{Op: ldap.ModReplace, Attribute: ldap.Attribute{Type: "roomNumber", Values: []string{"2C-401"}}},
+		{Op: ldap.ModDelete, Attribute: ldap.Attribute{Type: "noSuchThing"}},
+	})
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	e, _ := d.Get(name)
+	if e.Attrs.Has("roomNumber") {
+		t.Error("failed modify partially applied — single-entry atomicity violated")
+	}
+}
+
+func TestModifyCannotStripRDN(t *testing.T) {
+	d := buildFigure2(t)
+	name := dn.MustParse("cn=John Doe,o=Marketing,o=Lucent")
+	err := d.Modify(name, []ldap.Change{{Op: ldap.ModDelete,
+		Attribute: ldap.Attribute{Type: "cn"}}})
+	if CodeOf(err) != ldap.ResultNotAllowedOnRDN {
+		t.Errorf("err = %v", err)
+	}
+	// Replacing cn but keeping the RDN value is fine.
+	if err := d.Modify(name, []ldap.Change{{Op: ldap.ModReplace,
+		Attribute: ldap.Attribute{Type: "cn", Values: []string{"John Doe", "Johnny"}}}}); err != nil {
+		t.Errorf("replace retaining RDN value: %v", err)
+	}
+	// Replacing cn with values omitting the RDN value is not.
+	err = d.Modify(name, []ldap.Change{{Op: ldap.ModReplace,
+		Attribute: ldap.Attribute{Type: "cn", Values: []string{"Someone Else"}}}})
+	if CodeOf(err) != ldap.ResultNotAllowedOnRDN {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestModifyDNRenamesEntry(t *testing.T) {
+	d := buildFigure2(t)
+	old := dn.MustParse("cn=John Doe,o=Marketing,o=Lucent")
+	if err := d.ModifyDN(old, dn.RDN{{Attr: "cn", Value: "John Q Doe"}}, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get(old); CodeOf(err) != ldap.ResultNoSuchObject {
+		t.Error("old DN still resolves")
+	}
+	e, err := d.Get(dn.MustParse("cn=John Q Doe,o=Marketing,o=Lucent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Attrs.HasValue("cn", "John Doe") {
+		t.Error("deleteOldRDN did not remove old value")
+	}
+	if !e.Attrs.HasValue("cn", "John Q Doe") {
+		t.Error("new RDN value missing")
+	}
+}
+
+func TestModifyDNKeepOldRDNValue(t *testing.T) {
+	d := buildFigure2(t)
+	old := dn.MustParse("cn=Pat Smith,o=Marketing,o=Lucent")
+	if err := d.ModifyDN(old, dn.RDN{{Attr: "cn", Value: "Patricia Smith"}}, false); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := d.Get(dn.MustParse("cn=Patricia Smith,o=Marketing,o=Lucent"))
+	if !e.Attrs.HasValue("cn", "Pat Smith") || !e.Attrs.HasValue("cn", "Patricia Smith") {
+		t.Errorf("cn values = %v", e.Attrs.Get("cn"))
+	}
+}
+
+func TestModifyDNRenamesSubtree(t *testing.T) {
+	d := buildFigure2(t)
+	if err := d.ModifyDN(dn.MustParse("o=R&D,o=Lucent"), dn.RDN{{Attr: "o", Value: "Research"}}, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get(dn.MustParse("cn=Jill Lu,o=Research,o=Lucent")); err != nil {
+		t.Errorf("descendant not renamed: %v", err)
+	}
+	if _, err := d.Get(dn.MustParse("o=DEN Group,o=Research,o=Lucent")); err != nil {
+		t.Errorf("grandchild not renamed: %v", err)
+	}
+	if _, err := d.Get(dn.MustParse("cn=Jill Lu,o=R&D,o=Lucent")); err == nil {
+		t.Error("old descendant DN still resolves")
+	}
+	// Parent's child index must track the rename: add under the new name.
+	if err := d.Add(dn.MustParse("cn=New Hire,o=Research,o=Lucent"), person("New Hire")); err != nil {
+		t.Errorf("add under renamed node: %v", err)
+	}
+}
+
+func TestModifyDNCollision(t *testing.T) {
+	d := buildFigure2(t)
+	err := d.ModifyDN(dn.MustParse("cn=John Doe,o=Marketing,o=Lucent"),
+		dn.RDN{{Attr: "cn", Value: "Pat Smith"}}, true)
+	if CodeOf(err) != ldap.ResultEntryAlreadyExists {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSearchScopes(t *testing.T) {
+	d := buildFigure2(t)
+	base := dn.MustParse("o=Lucent")
+
+	got, err := d.Search(base, ldap.ScopeBaseObject, nil, 0)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("base: %d entries, err %v", len(got), err)
+	}
+	got, err = d.Search(base, ldap.ScopeSingleLevel, nil, 0)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("one: %d entries, err %v", len(got), err)
+	}
+	got, err = d.Search(base, ldap.ScopeWholeSubtree, nil, 0)
+	if err != nil || len(got) != 9 {
+		t.Fatalf("sub: %d entries, err %v", len(got), err)
+	}
+	// Parents sort before children.
+	for i := 1; i < len(got); i++ {
+		if got[i].DN.Depth() < got[i-1].DN.Depth() {
+			t.Fatal("subtree results not parent-first")
+		}
+	}
+}
+
+func TestSearchWithFilter(t *testing.T) {
+	d := buildFigure2(t)
+	f, _ := ldap.ParseFilter("(&(objectClass=person)(cn=J*))")
+	got, err := d.Search(dn.MustParse("o=Lucent"), ldap.ScopeWholeSubtree, f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range got {
+		names = append(names, e.Attrs.First("cn"))
+	}
+	if len(names) != 2 || names[0] != "John Doe" && names[1] != "John Doe" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestSearchSizeLimit(t *testing.T) {
+	d := buildFigure2(t)
+	got, err := d.Search(dn.MustParse("o=Lucent"), ldap.ScopeWholeSubtree, nil, 4)
+	if CodeOf(err) != ldap.ResultSizeLimitExceeded {
+		t.Errorf("err = %v", err)
+	}
+	if len(got) != 4 {
+		t.Errorf("len = %d", len(got))
+	}
+}
+
+func TestSearchMissingBase(t *testing.T) {
+	d := buildFigure2(t)
+	_, err := d.Search(dn.MustParse("o=Nokia"), ldap.ScopeWholeSubtree, nil, 0)
+	if CodeOf(err) != ldap.ResultNoSuchObject {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSearchResultsAreSnapshots(t *testing.T) {
+	d := buildFigure2(t)
+	got, _ := d.Search(dn.MustParse("o=Lucent"), ldap.ScopeBaseObject, nil, 0)
+	got[0].Attrs.Put("o", "Mutated")
+	e, _ := d.Get(dn.MustParse("o=Lucent"))
+	if e.Attrs.First("o") != "Lucent" {
+		t.Error("search result aliases live entry")
+	}
+}
+
+func TestSeqAdvancesOnCommit(t *testing.T) {
+	d := buildFigure2(t)
+	before := d.Seq()
+	name := dn.MustParse("cn=Jill Lu,o=R&D,o=Lucent")
+	if err := d.Modify(name, []ldap.Change{{Op: ldap.ModReplace,
+		Attribute: ldap.Attribute{Type: "roomNumber", Values: []string{"3A-100"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Seq() != before+1 {
+		t.Error("seq did not advance")
+	}
+	// Failed update must not advance.
+	d.Modify(name, []ldap.Change{{Op: ldap.ModDelete, Attribute: ldap.Attribute{Type: "zzz"}}})
+	if d.Seq() != before+1 {
+		t.Error("seq advanced on failed update")
+	}
+}
+
+func TestDITPropertyAddGetDelete(t *testing.T) {
+	d := New(nil)
+	if err := d.Add(dn.MustParse("o=Root"), org("Root")); err != nil {
+		t.Fatal(err)
+	}
+	f := func(name string) bool {
+		name = strings.TrimSpace(sanitizeValue(name))
+		if name == "" {
+			return true
+		}
+		child := dn.MustParse("o=Root").Child(dn.RDN{{Attr: "cn", Value: name}})
+		if err := d.Add(child, person(name)); err != nil {
+			// Acceptable only if a previous iteration added the same normalized name.
+			return CodeOf(err) == ldap.ResultEntryAlreadyExists
+		}
+		e, err := d.Get(child)
+		if err != nil || !strings.EqualFold(e.Attrs.First("cn"), strings.Join(strings.Fields(name), " ")) && e.Attrs.First("cn") != name {
+			return false
+		}
+		return d.Delete(child) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitizeValue(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 0x21 && r < 0x7F && r != ',' && r != '+' && r != '=' && r != '\\' && r != '#' && r != ';' && r != '<' && r != '>' && r != '"' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	d := buildFigure2(t)
+	done := make(chan error, 20)
+	for i := 0; i < 10; i++ {
+		go func(i int) {
+			name := dn.MustParse(fmt.Sprintf("cn=Worker %d,o=R&D,o=Lucent", i))
+			if err := d.Add(name, person(fmt.Sprintf("Worker %d", i))); err != nil {
+				done <- err
+				return
+			}
+			done <- d.Delete(name)
+		}(i)
+		go func() {
+			_, err := d.Search(dn.MustParse("o=Lucent"), ldap.ScopeWholeSubtree, nil, 0)
+			done <- err
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF2SampleTreeSearch(b *testing.B) {
+	d := buildFigure2(b)
+	f, _ := ldap.ParseFilter("(cn=J*)")
+	base := dn.MustParse("o=Lucent")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Search(base, ldap.ScopeWholeSubtree, f, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

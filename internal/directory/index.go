@@ -1,0 +1,154 @@
+package directory
+
+import (
+	"strings"
+
+	"metacomm/internal/ldap"
+)
+
+// Equality indexes. Directory servers index the attributes their workloads
+// search by; MetaComm's update path locates entries by device key
+// (definityExtension, mailboxNumber) on every translated update, so without
+// an index each update pays a full scan.
+//
+// The index maps attribute -> value -> normalized-DN set, maintained inside
+// the DIT's lock on every committed update. Search consults it for equality
+// filters (including equality terms inside an AND) and verifies candidates
+// against scope and the full filter, so indexed results are always exactly
+// the scan results.
+
+type attrIndex map[string]map[string]map[string]bool
+
+// EnableIndexes builds equality indexes over the named attributes and keeps
+// them maintained. Safe to call on a populated DIT; existing entries are
+// indexed immediately.
+func (d *DIT) EnableIndexes(attrs ...string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.indexes == nil {
+		d.indexes = attrIndex{}
+	}
+	for _, a := range attrs {
+		k := lower(a)
+		if _, dup := d.indexes[k]; dup {
+			continue
+		}
+		idx := map[string]map[string]bool{}
+		for key, n := range d.entries {
+			for _, v := range n.attrs.Get(k) {
+				addToIndex(idx, v, key)
+			}
+		}
+		d.indexes[k] = idx
+	}
+}
+
+// IndexedAttrs lists the indexed attributes (sorted order not guaranteed).
+func (d *DIT) IndexedAttrs() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.indexes))
+	for a := range d.indexes {
+		out = append(out, a)
+	}
+	return out
+}
+
+func addToIndex(idx map[string]map[string]bool, value, dnKey string) {
+	vk := strings.ToLower(value)
+	set := idx[vk]
+	if set == nil {
+		set = map[string]bool{}
+		idx[vk] = set
+	}
+	set[dnKey] = true
+}
+
+func removeFromIndex(idx map[string]map[string]bool, value, dnKey string) {
+	vk := strings.ToLower(value)
+	if set := idx[vk]; set != nil {
+		delete(set, dnKey)
+		if len(set) == 0 {
+			delete(idx, vk)
+		}
+	}
+}
+
+// indexEntry adds every indexed attribute of the entry. Caller holds d.mu.
+func (d *DIT) indexEntry(dnKey string, attrs *Attrs) {
+	for a, idx := range d.indexes {
+		for _, v := range attrs.Get(a) {
+			addToIndex(idx, v, dnKey)
+		}
+	}
+}
+
+// unindexEntry removes every indexed attribute of the entry. Caller holds
+// d.mu.
+func (d *DIT) unindexEntry(dnKey string, attrs *Attrs) {
+	for a, idx := range d.indexes {
+		for _, v := range attrs.Get(a) {
+			removeFromIndex(idx, v, dnKey)
+		}
+	}
+}
+
+// reindexEntry moves an entry's index postings from old to new state.
+// Caller holds d.mu.
+func (d *DIT) reindexEntry(dnKey string, old, new *Attrs) {
+	for a, idx := range d.indexes {
+		ov, nv := old.Get(a), new.Get(a)
+		if sameStrings(ov, nv) {
+			continue
+		}
+		for _, v := range ov {
+			removeFromIndex(idx, v, dnKey)
+		}
+		for _, v := range nv {
+			addToIndex(idx, v, dnKey)
+		}
+	}
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// indexCandidates returns the candidate DN-key set for a filter, or
+// (nil, false) when the filter has no usable indexed equality term. An AND
+// uses its most selective indexed term; the candidates are a superset of
+// the answer only in the AND case, never missing matches, because every
+// returned entry is still verified against the full filter.
+func (d *DIT) indexCandidates(f *ldap.Filter) (map[string]bool, bool) {
+	if len(d.indexes) == 0 || f == nil {
+		return nil, false
+	}
+	switch f.Kind {
+	case ldap.FilterEquality:
+		idx, ok := d.indexes[lower(f.Attr)]
+		if !ok {
+			return nil, false
+		}
+		return idx[strings.ToLower(f.Value)], true
+	case ldap.FilterAnd:
+		var best map[string]bool
+		found := false
+		for _, c := range f.Children {
+			if set, ok := d.indexCandidates(c); ok {
+				if !found || len(set) < len(best) {
+					best, found = set, true
+				}
+			}
+		}
+		return best, found
+	}
+	return nil, false
+}

@@ -1,0 +1,185 @@
+package directory
+
+import (
+	"fmt"
+	"testing"
+
+	"metacomm/internal/dn"
+	"metacomm/internal/ldap"
+)
+
+func personWith(cn, ext string) *Attrs {
+	a := AttrsFrom(map[string][]string{
+		"objectClass": {"person"},
+		"cn":          {cn},
+	})
+	if ext != "" {
+		a.Put("definityExtension", ext)
+	}
+	return a
+}
+
+func populated(t testing.TB, n int, indexed bool) *DIT {
+	t.Helper()
+	d := New(nil)
+	if indexed {
+		d.EnableIndexes("definityExtension", "cn")
+	}
+	if err := d.Add(dn.MustParse("o=Lucent"), org("Lucent")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		name := dn.MustParse(fmt.Sprintf("cn=Person %05d,o=Lucent", i))
+		if err := d.Add(name, personWith(fmt.Sprintf("Person %05d", i), fmt.Sprintf("2-%05d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+// searchEq runs the equality search both ways and compares.
+func searchEq(t *testing.T, d *DIT, attr, value string, want int) {
+	t.Helper()
+	got, err := d.Search(dn.MustParse("o=Lucent"), ldap.ScopeWholeSubtree, ldap.Eq(attr, value), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != want {
+		t.Fatalf("(%s=%s) matched %d entries, want %d", attr, value, len(got), want)
+	}
+}
+
+func TestIndexedSearchEqualsScan(t *testing.T) {
+	indexed := populated(t, 200, true)
+	scan := populated(t, 200, false)
+	for _, q := range []struct {
+		attr, value string
+		want        int
+	}{
+		{"definityExtension", "2-00042", 1},
+		{"definityExtension", "2-99999", 0},
+		{"cn", "person 00007", 1}, // case-insensitive
+	} {
+		searchEq(t, indexed, q.attr, q.value, q.want)
+		searchEq(t, scan, q.attr, q.value, q.want)
+	}
+}
+
+func TestIndexFollowsModify(t *testing.T) {
+	d := populated(t, 10, true)
+	name := dn.MustParse("cn=Person 00003,o=Lucent")
+	if err := d.Modify(name, []ldap.Change{{Op: ldap.ModReplace,
+		Attribute: ldap.Attribute{Type: "definityExtension", Values: []string{"9-1234"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	searchEq(t, d, "definityExtension", "9-1234", 1)
+	searchEq(t, d, "definityExtension", "2-00003", 0)
+
+	// Deleting the attribute removes the posting.
+	if err := d.Modify(name, []ldap.Change{{Op: ldap.ModDelete,
+		Attribute: ldap.Attribute{Type: "definityExtension"}}}); err != nil {
+		t.Fatal(err)
+	}
+	searchEq(t, d, "definityExtension", "9-1234", 0)
+}
+
+func TestIndexFollowsDelete(t *testing.T) {
+	d := populated(t, 10, true)
+	if err := d.Delete(dn.MustParse("cn=Person 00005,o=Lucent")); err != nil {
+		t.Fatal(err)
+	}
+	searchEq(t, d, "definityExtension", "2-00005", 0)
+}
+
+func TestIndexFollowsModifyDN(t *testing.T) {
+	d := populated(t, 10, true)
+	if err := d.ModifyDN(dn.MustParse("cn=Person 00001,o=Lucent"),
+		dn.RDN{{Attr: "cn", Value: "Renamed Person"}}, true); err != nil {
+		t.Fatal(err)
+	}
+	searchEq(t, d, "cn", "Renamed Person", 1)
+	searchEq(t, d, "cn", "Person 00001", 0)
+	// The extension posting now points at the renamed DN.
+	got, err := d.Search(dn.MustParse("o=Lucent"), ldap.ScopeWholeSubtree,
+		ldap.Eq("definityExtension", "2-00001"), 0)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("got %d, %v", len(got), err)
+	}
+	if got[0].DN.FirstValue("cn") != "Renamed Person" {
+		t.Errorf("posting DN = %s", got[0].DN)
+	}
+}
+
+func TestIndexUsedInsideAnd(t *testing.T) {
+	d := populated(t, 50, true)
+	f := ldap.And(
+		ldap.Present("objectClass"),
+		ldap.Eq("definityExtension", "2-00010"),
+		ldap.Eq("cn", "Person 00010"),
+	)
+	got, err := d.Search(dn.MustParse("o=Lucent"), ldap.ScopeWholeSubtree, f, 0)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("got %d, %v", len(got), err)
+	}
+	// An AND whose indexed term matches but whose other terms don't must
+	// return nothing (candidates are verified against the full filter).
+	f2 := ldap.And(ldap.Eq("definityExtension", "2-00010"), ldap.Eq("cn", "Somebody Else"))
+	got, err = d.Search(dn.MustParse("o=Lucent"), ldap.ScopeWholeSubtree, f2, 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %d, %v", len(got), err)
+	}
+}
+
+func TestIndexRespectsSearchBase(t *testing.T) {
+	d := populated(t, 5, true)
+	if err := d.Add(dn.MustParse("o=Other"), org("Other")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(dn.MustParse("cn=Elsewhere,o=Other"), personWith("Elsewhere", "2-00002")); err != nil {
+		t.Fatal(err)
+	}
+	// Same extension exists in both trees; base restricts the result.
+	got, err := d.Search(dn.MustParse("o=Other"), ldap.ScopeWholeSubtree,
+		ldap.Eq("definityExtension", "2-00002"), 0)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("got %d, %v", len(got), err)
+	}
+	if got[0].DN.FirstValue("cn") != "Elsewhere" {
+		t.Errorf("wrong subtree: %s", got[0].DN)
+	}
+}
+
+func TestEnableIndexesOnPopulatedDIT(t *testing.T) {
+	d := populated(t, 20, false)
+	d.EnableIndexes("definityExtension")
+	searchEq(t, d, "definityExtension", "2-00015", 1)
+	if got := d.IndexedAttrs(); len(got) != 1 {
+		t.Errorf("IndexedAttrs = %v", got)
+	}
+	// Enabling twice is a no-op.
+	d.EnableIndexes("definityExtension")
+	searchEq(t, d, "definityExtension", "2-00015", 1)
+}
+
+func BenchmarkIndexAblation(b *testing.B) {
+	const n = 10000
+	for _, indexed := range []bool{false, true} {
+		name := "scan"
+		if indexed {
+			name = "indexed"
+		}
+		b.Run(fmt.Sprintf("%s/entries=%d", name, n), func(b *testing.B) {
+			d := populated(b, n, indexed)
+			base := dn.MustParse("o=Lucent")
+			f := ldap.Eq("definityExtension", "2-05000")
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				got, err := d.Search(base, ldap.ScopeWholeSubtree, f, 0)
+				if err != nil || len(got) != 1 {
+					b.Fatalf("got %d, %v", len(got), err)
+				}
+			}
+		})
+	}
+}

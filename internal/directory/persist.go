@@ -1,0 +1,297 @@
+package directory
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"metacomm/internal/dn"
+	"metacomm/internal/ldap"
+)
+
+// Durability. The paper's directory world handles system and media failure
+// with replication and backups; this implementation adds the database-
+// native equivalent: a write-ahead journal of committed updates with
+// snapshot compaction. Every update appends one JSON record BEFORE the
+// in-memory commit; reopening the journal replays it, restoring the exact
+// directory state.
+//
+// The journal is deliberately simple — one file, newline-delimited JSON,
+// atomically-renamed snapshots — because the consistency story of MetaComm
+// does not depend on it: a directory restored from an older journal is just
+// a repository that missed updates, which the Update Manager's
+// synchronization facility reconciles.
+
+// UpdateRecord is one committed update, as written to the journal and
+// streamed to replicas. Seq is assigned at commit (not stored in the
+// journal, where position is the order).
+type UpdateRecord struct {
+	Seq uint64 `json:"seq,omitempty"`
+
+	Op string `json:"op"` // add | delete | modify | modifydn | entry
+
+	DN    string              `json:"dn"`
+	Attrs map[string][]string `json:"attrs,omitempty"` // add / entry
+
+	Changes []UpdateChange `json:"changes,omitempty"` // modify
+
+	NewRDN       string `json:"newRDN,omitempty"` // modifydn
+	DeleteOldRDN bool   `json:"deleteOldRDN,omitempty"`
+}
+
+// UpdateChange is one modification inside an UpdateRecord.
+type UpdateChange struct {
+	Op     string   `json:"op"` // add | delete | replace
+	Attr   string   `json:"attr"`
+	Values []string `json:"values,omitempty"`
+}
+
+// Journal persists committed directory updates.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	w    *bufio.Writer
+	// SyncEveryWrite fsyncs after each record (durability over throughput).
+	SyncEveryWrite bool
+}
+
+// OpenJournal opens (creating if needed) a journal file.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("directory: opening journal: %w", err)
+	}
+	return &Journal{path: path, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Close flushes and closes the journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err1 := j.w.Flush()
+	err2 := j.f.Close()
+	j.f = nil
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// append writes one record durably enough (buffered unless SyncEveryWrite).
+func (j *Journal) append(rec UpdateRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("directory: journal closed")
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if j.SyncEveryWrite {
+		return j.f.Sync()
+	}
+	return nil
+}
+
+// AttachJournal replays the journal's records into the DIT, then attaches
+// it so every future committed update is appended. It returns the number of
+// records replayed. The DIT must not have a journal attached already;
+// replay tolerates a journal written against the same schema.
+func (d *DIT) AttachJournal(j *Journal) (int, error) {
+	d.mu.Lock()
+	if d.journal != nil {
+		d.mu.Unlock()
+		return 0, fmt.Errorf("directory: journal already attached")
+	}
+	d.mu.Unlock()
+
+	n, err := d.replay(j.path)
+	if err != nil {
+		return n, err
+	}
+	d.mu.Lock()
+	d.journal = j
+	d.mu.Unlock()
+	return n, nil
+}
+
+// replay applies all records from path (missing file = empty journal).
+func (d *DIT) replay(path string) (int, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	count := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec UpdateRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return count, fmt.Errorf("directory: journal record %d: %w", count+1, err)
+		}
+		if err := d.applyRecord(rec); err != nil {
+			return count, fmt.Errorf("directory: replaying record %d (%s %q): %w",
+				count+1, rec.Op, rec.DN, err)
+		}
+		count++
+	}
+	return count, sc.Err()
+}
+
+func (d *DIT) applyRecord(rec UpdateRecord) error {
+	name, err := dn.Parse(rec.DN)
+	if err != nil {
+		return err
+	}
+	switch rec.Op {
+	case "add", "entry":
+		return d.Add(name, AttrsFrom(rec.Attrs))
+	case "delete":
+		return d.Delete(name)
+	case "modify":
+		changes := make([]ldap.Change, 0, len(rec.Changes))
+		for _, c := range rec.Changes {
+			var op ldap.ModOp
+			switch c.Op {
+			case "add":
+				op = ldap.ModAdd
+			case "delete":
+				op = ldap.ModDelete
+			case "replace":
+				op = ldap.ModReplace
+			default:
+				return fmt.Errorf("unknown change op %q", c.Op)
+			}
+			changes = append(changes, ldap.Change{Op: op,
+				Attribute: ldap.Attribute{Type: c.Attr, Values: c.Values}})
+		}
+		return d.Modify(name, changes)
+	case "modifydn":
+		newRDN, err := dn.Parse(rec.NewRDN)
+		if err != nil || newRDN.Depth() != 1 {
+			return fmt.Errorf("bad newRDN %q", rec.NewRDN)
+		}
+		return d.ModifyDN(name, newRDN.RDN(), rec.DeleteOldRDN)
+	}
+	return fmt.Errorf("unknown journal op %q", rec.Op)
+}
+
+// journalAppend writes a record if a journal is attached. Called with d.mu
+// held, BEFORE the in-memory mutation (write-ahead): a failed append aborts
+// the update.
+func (d *DIT) journalAppend(rec UpdateRecord) error {
+	if d.journal == nil {
+		return nil
+	}
+	if err := d.journal.append(rec); err != nil {
+		return errf(ldap.ResultUnavailable, "journal write failed: %v", err)
+	}
+	return nil
+}
+
+// Compact rewrites the journal as a snapshot: one add record per live
+// entry, parents first. The rewrite goes to a temporary file that is
+// atomically renamed over the journal, so a crash leaves either the old or
+// the new journal intact.
+func (d *DIT) Compact() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.journal == nil {
+		return fmt.Errorf("directory: no journal attached")
+	}
+	j := d.journal
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+
+	tmp := j.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	// Parents before children: sort by depth then name (the same order
+	// Search emits).
+	type pair struct {
+		key string
+		n   *node
+	}
+	nodes := make([]pair, 0, len(d.entries))
+	for k, n := range d.entries {
+		nodes = append(nodes, pair{k, n})
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		di, dj := nodes[i].n.dn.Depth(), nodes[j].n.dn.Depth()
+		if di != dj {
+			return di < dj
+		}
+		return nodes[i].key < nodes[j].key
+	})
+	for _, p := range nodes {
+		rec := UpdateRecord{Op: "entry", DN: p.n.dn.String(), Attrs: p.n.attrs.Map()}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	j.f = nf
+	j.w = bufio.NewWriter(nf)
+	// fsync the directory so the rename is durable.
+	if dirf, err := os.Open(filepath.Dir(j.path)); err == nil {
+		dirf.Sync()
+		dirf.Close()
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package directory
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"metacomm/internal/dn"
+	"metacomm/internal/ldap"
+)
+
+func journaledDIT(t *testing.T, path string) *DIT {
+	t.Helper()
+	d := New(nil)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	if _, err := d.AttachJournal(j); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// reopen replays the journal into a fresh DIT.
+func reopen(t *testing.T, path string) *DIT {
+	t.Helper()
+	d := New(nil)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	if _, err := d.AttachJournal(j); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// sameState compares two DITs entry by entry.
+func sameState(t *testing.T, a, b *DIT) {
+	t.Helper()
+	ea, eb := a.All(), b.All()
+	if len(ea) != len(eb) {
+		t.Fatalf("entry counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if !ea[i].DN.Equal(eb[i].DN) {
+			t.Fatalf("DN %d: %s vs %s", i, ea[i].DN, eb[i].DN)
+		}
+		if !ea[i].Attrs.Equal(eb[i].Attrs) {
+			t.Fatalf("attrs of %s differ:\n%v\nvs\n%v", ea[i].DN, ea[i].Attrs.Map(), eb[i].Attrs.Map())
+		}
+	}
+}
+
+func TestJournalReplayRestoresState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dir.journal")
+	d := journaledDIT(t, path)
+	mustAddP(t, d, "o=Lucent", map[string][]string{"objectClass": {"organization"}})
+	mustAddP(t, d, "cn=A,o=Lucent", map[string][]string{"objectClass": {"person"}, "cn": {"A"}})
+	mustAddP(t, d, "cn=B,o=Lucent", map[string][]string{"objectClass": {"person"}, "cn": {"B"}})
+	if err := d.Modify(dn.MustParse("cn=A,o=Lucent"), []ldap.Change{
+		{Op: ldap.ModReplace, Attribute: ldap.Attribute{Type: "roomNumber", Values: []string{"1"}}},
+		{Op: ldap.ModAdd, Attribute: ldap.Attribute{Type: "mail", Values: []string{"a@x"}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete(dn.MustParse("cn=B,o=Lucent")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ModifyDN(dn.MustParse("cn=A,o=Lucent"), dn.RDN{{Attr: "cn", Value: "A Prime"}}, true); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := reopen(t, path)
+	sameState(t, d, restored)
+	e, err := restored.Get(dn.MustParse("cn=A Prime,o=Lucent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Attrs.First("roomNumber") != "1" || e.Attrs.First("mail") != "a@x" {
+		t.Errorf("restored attrs = %v", e.Attrs.Map())
+	}
+}
+
+func mustAddP(t *testing.T, d *DIT, name string, attrs map[string][]string) {
+	t.Helper()
+	if err := d.Add(dn.MustParse(name), AttrsFrom(attrs)); err != nil {
+		t.Fatalf("add %s: %v", name, err)
+	}
+}
+
+func TestJournalFailedUpdatesNotRecorded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dir.journal")
+	d := journaledDIT(t, path)
+	mustAddP(t, d, "o=Lucent", map[string][]string{"objectClass": {"organization"}})
+	// Failing operations must leave no trace.
+	d.Add(dn.MustParse("cn=x,o=Ghost"), AttrsFrom(map[string][]string{"cn": {"x"}}))
+	d.Delete(dn.MustParse("cn=missing,o=Lucent"))
+	d.Modify(dn.MustParse("cn=missing,o=Lucent"), []ldap.Change{
+		{Op: ldap.ModReplace, Attribute: ldap.Attribute{Type: "x", Values: []string{"y"}}}})
+
+	restored := reopen(t, path)
+	sameState(t, d, restored)
+	if restored.Len() != 1 {
+		t.Errorf("restored %d entries, want 1", restored.Len())
+	}
+}
+
+func TestCompactPreservesStateAndShrinks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dir.journal")
+	d := journaledDIT(t, path)
+	mustAddP(t, d, "o=Lucent", map[string][]string{"objectClass": {"organization"}})
+	name := dn.MustParse("cn=Busy,o=Lucent")
+	mustAddP(t, d, "cn=Busy,o=Lucent", map[string][]string{"objectClass": {"person"}, "cn": {"Busy"}})
+	for i := 0; i < 100; i++ {
+		if err := d.Modify(name, []ldap.Change{{Op: ldap.ModReplace,
+			Attribute: ldap.Attribute{Type: "roomNumber", Values: []string{fmt.Sprintf("R-%d", i)}}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := os.Stat(path)
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Errorf("compaction did not shrink: %d -> %d", before.Size(), after.Size())
+	}
+	// State survives compaction AND further updates after it.
+	if err := d.Modify(name, []ldap.Change{{Op: ldap.ModReplace,
+		Attribute: ldap.Attribute{Type: "roomNumber", Values: []string{"FINAL"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	restored := reopen(t, path)
+	sameState(t, d, restored)
+	e, _ := restored.Get(name)
+	if e.Attrs.First("roomNumber") != "FINAL" {
+		t.Errorf("post-compaction update lost: %q", e.Attrs.First("roomNumber"))
+	}
+}
+
+func TestJournalDoubleAttachRejected(t *testing.T) {
+	dir := t.TempDir()
+	d := journaledDIT(t, filepath.Join(dir, "a.journal"))
+	j2, err := OpenJournal(filepath.Join(dir, "b.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if _, err := d.AttachJournal(j2); err == nil {
+		t.Error("second journal attached")
+	}
+}
+
+func TestJournalCorruptRecordSurfaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dir.journal")
+	if err := os.WriteFile(path, []byte("{\"op\":\"add\",\"dn\":\"o=X\",\"attrs\":{\"o\":[\"X\"]}}\nnot-json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := New(nil)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if _, err := d.AttachJournal(j); err == nil {
+		t.Error("corrupt journal replayed cleanly")
+	}
+}
+
+// TestJournalRandomOpsProperty drives a random operation sequence and
+// verifies replay equivalence — the crash-recovery property.
+func TestJournalRandomOpsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	path := filepath.Join(t.TempDir(), "dir.journal")
+	d := journaledDIT(t, path)
+	mustAddP(t, d, "o=Lucent", map[string][]string{"objectClass": {"organization"}})
+
+	live := map[int]bool{}
+	nameOf := func(i int) dn.DN { return dn.MustParse(fmt.Sprintf("cn=P%03d,o=Lucent", i)) }
+	for step := 0; step < 500; step++ {
+		i := rng.Intn(40)
+		switch rng.Intn(4) {
+		case 0: // add
+			err := d.Add(nameOf(i), AttrsFrom(map[string][]string{
+				"objectClass": {"person"}, "cn": {fmt.Sprintf("P%03d", i)}}))
+			if err == nil {
+				live[i] = true
+			}
+		case 1: // delete
+			if d.Delete(nameOf(i)) == nil {
+				delete(live, i)
+			}
+		case 2: // modify
+			d.Modify(nameOf(i), []ldap.Change{{Op: ldap.ModReplace,
+				Attribute: ldap.Attribute{Type: "roomNumber",
+					Values: []string{fmt.Sprintf("R-%d", step)}}}})
+		case 3: // occasional compaction mid-stream
+			if step%97 == 0 {
+				if err := d.Compact(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	restored := reopen(t, path)
+	sameState(t, d, restored)
+	if restored.Len() != len(live)+1 {
+		t.Errorf("restored %d entries, want %d", restored.Len(), len(live)+1)
+	}
+}
+
+// BenchmarkJournalAblation measures what the write-ahead journal costs the
+// update path (buffered and fsync-per-write variants vs in-memory).
+func BenchmarkJournalAblation(b *testing.B) {
+	run := func(b *testing.B, journaled, syncEvery bool) {
+		d := New(nil)
+		if journaled {
+			j, err := OpenJournal(filepath.Join(b.TempDir(), "bench.journal"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			j.SyncEveryWrite = syncEvery
+			defer j.Close()
+			if _, err := d.AttachJournal(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := d.Add(dn.MustParse("o=Lucent"), AttrsFrom(map[string][]string{
+			"objectClass": {"organization"}})); err != nil {
+			b.Fatal(err)
+		}
+		name := dn.MustParse("cn=Bench,o=Lucent")
+		if err := d.Add(name, AttrsFrom(map[string][]string{
+			"objectClass": {"person"}, "cn": {"Bench"}})); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := d.Modify(name, []ldap.Change{{Op: ldap.ModReplace,
+				Attribute: ldap.Attribute{Type: "roomNumber",
+					Values: []string{fmt.Sprintf("R-%d", i)}}}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("InMemory", func(b *testing.B) { run(b, false, false) })
+	b.Run("Journaled", func(b *testing.B) { run(b, true, false) })
+	b.Run("JournaledFsync", func(b *testing.B) { run(b, true, true) })
+}

@@ -1,0 +1,206 @@
+package directory
+
+import (
+	"fmt"
+	"strings"
+
+	"metacomm/internal/ldap"
+)
+
+// ClassKind distinguishes structural, auxiliary and abstract object classes.
+type ClassKind int
+
+// Object class kinds.
+const (
+	Structural ClassKind = iota
+	Auxiliary
+	Abstract
+)
+
+func (k ClassKind) String() string {
+	switch k {
+	case Structural:
+		return "structural"
+	case Auxiliary:
+		return "auxiliary"
+	case Abstract:
+		return "abstract"
+	}
+	return fmt.Sprintf("classKind(%d)", int(k))
+}
+
+// AttributeType describes one attribute in the schema.
+type AttributeType struct {
+	Name        string
+	Description string
+	SingleValue bool
+	// Operational attributes (e.g. lastUpdater) are maintained by the
+	// system and permitted on any entry.
+	Operational bool
+}
+
+// ObjectClass describes one object class.
+type ObjectClass struct {
+	Name        string
+	Description string
+	Kind        ClassKind
+	Sup         string // superior class name, "" for top-level
+	Must        []string
+	May         []string
+}
+
+// Schema is a set of attribute types and object classes with the validation
+// rules the paper depends on: structural classes may have mandatory (MUST)
+// attributes; auxiliary classes may not (paper §5.2 — "one practical
+// limitation of auxiliary classes is that they cannot have mandatory
+// attributes").
+type Schema struct {
+	attrs   map[string]*AttributeType
+	classes map[string]*ObjectClass
+	// Strict rejects attributes not allowed by the entry's classes. The
+	// default is false, reflecting LDAP's "very weak typing" (§5.3); the
+	// MetaComm integrated schema turns it on.
+	Strict bool
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{attrs: map[string]*AttributeType{}, classes: map[string]*ObjectClass{}}
+}
+
+// AddAttribute registers an attribute type.
+func (s *Schema) AddAttribute(a AttributeType) error {
+	k := lower(a.Name)
+	if _, dup := s.attrs[k]; dup {
+		return fmt.Errorf("schema: duplicate attribute type %q", a.Name)
+	}
+	s.attrs[k] = &a
+	return nil
+}
+
+// AddClass registers an object class. Auxiliary classes with MUST attributes
+// are rejected at definition time.
+func (s *Schema) AddClass(c ObjectClass) error {
+	k := lower(c.Name)
+	if _, dup := s.classes[k]; dup {
+		return fmt.Errorf("schema: duplicate object class %q", c.Name)
+	}
+	if c.Kind == Auxiliary && len(c.Must) > 0 {
+		return fmt.Errorf("schema: auxiliary class %q cannot have mandatory attributes", c.Name)
+	}
+	for _, a := range append(append([]string{}, c.Must...), c.May...) {
+		if _, ok := s.attrs[lower(a)]; !ok {
+			return fmt.Errorf("schema: class %q references undefined attribute %q", c.Name, a)
+		}
+	}
+	if c.Sup != "" {
+		if _, ok := s.classes[lower(c.Sup)]; !ok {
+			return fmt.Errorf("schema: class %q has undefined superior %q", c.Name, c.Sup)
+		}
+	}
+	s.classes[k] = &c
+	return nil
+}
+
+// Attribute looks up an attribute type by name.
+func (s *Schema) Attribute(name string) (*AttributeType, bool) {
+	a, ok := s.attrs[lower(name)]
+	return a, ok
+}
+
+// DisplayName returns the schema's canonical spelling for an attribute
+// type, or name unchanged when the schema does not define it. The DIT
+// normalizes stored attribute names through this, so clients see
+// "definityExtension" regardless of how an update spelled it.
+func (s *Schema) DisplayName(name string) string {
+	if a, ok := s.attrs[lower(name)]; ok {
+		return a.Name
+	}
+	return name
+}
+
+// Class looks up an object class by name.
+func (s *Schema) Class(name string) (*ObjectClass, bool) {
+	c, ok := s.classes[lower(name)]
+	return c, ok
+}
+
+// classChain returns c and all its superiors, root-last.
+func (s *Schema) classChain(name string) []*ObjectClass {
+	var out []*ObjectClass
+	seen := map[string]bool{}
+	for name != "" && !seen[lower(name)] {
+		seen[lower(name)] = true
+		c, ok := s.classes[lower(name)]
+		if !ok {
+			break
+		}
+		out = append(out, c)
+		name = c.Sup
+	}
+	return out
+}
+
+// CheckEntry validates an entry's attributes against the schema:
+//
+//   - every objectClass value must be defined;
+//   - at most one structural class chain (plus any auxiliaries);
+//   - all MUST attributes of every named class (and superiors) present;
+//   - single-valued attributes hold one value;
+//   - in Strict mode, every attribute must be allowed by some class's
+//     MUST/MAY (or be operational).
+//
+// Note what CheckEntry deliberately does NOT do: an auxiliary class (e.g.
+// definityUser) merely signals the person MAY use the device — the paper's
+// anomaly, where objectClass lists a PBX class but no extension field
+// exists, is representable and legal.
+func (s *Schema) CheckEntry(a *Attrs) error {
+	classes := a.Get("objectClass")
+	if len(classes) == 0 {
+		return &Error{Code: ldap.ResultObjectClassViolation, Msg: "entry has no objectClass"}
+	}
+	structural := 0
+	allowed := map[string]bool{"objectclass": true}
+	for _, cn := range classes {
+		c, ok := s.Class(cn)
+		if !ok {
+			return &Error{Code: ldap.ResultObjectClassViolation, Msg: fmt.Sprintf("unknown object class %q", cn)}
+		}
+		if c.Kind == Structural {
+			structural++
+		}
+		for _, cc := range s.classChain(cn) {
+			for _, m := range cc.Must {
+				if !a.Has(m) {
+					return &Error{Code: ldap.ResultObjectClassViolation,
+						Msg: fmt.Sprintf("missing mandatory attribute %q of class %q", m, cc.Name)}
+				}
+				allowed[lower(m)] = true
+			}
+			for _, m := range cc.May {
+				allowed[lower(m)] = true
+			}
+		}
+	}
+	if structural == 0 {
+		return &Error{Code: ldap.ResultObjectClassViolation, Msg: "entry has no structural object class"}
+	}
+	for _, name := range a.Names() {
+		at, defined := s.Attribute(name)
+		if defined && at.SingleValue && len(a.Get(name)) > 1 {
+			return &Error{Code: ldap.ResultConstraintViolation,
+				Msg: fmt.Sprintf("attribute %q is single-valued", name)}
+		}
+		if !s.Strict {
+			continue
+		}
+		if defined && at.Operational {
+			continue
+		}
+		if !allowed[lower(name)] {
+			return &Error{Code: ldap.ResultObjectClassViolation,
+				Msg: fmt.Sprintf("attribute %q not allowed by object classes %s", name, strings.Join(classes, ","))}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package directory
+
+import (
+	"testing"
+
+	"metacomm/internal/dn"
+	"metacomm/internal/ldap"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema()
+	for _, a := range []AttributeType{
+		{Name: "cn"},
+		{Name: "sn"},
+		{Name: "o"},
+		{Name: "telephoneNumber"},
+		{Name: "definityExtension", SingleValue: true},
+		{Name: "lastUpdater", Operational: true, SingleValue: true},
+	} {
+		if err := s.AddAttribute(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AddClass(ObjectClass{Name: "top", Kind: Abstract}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClass(ObjectClass{Name: "person", Kind: Structural, Sup: "top",
+		Must: []string{"cn", "sn"}, May: []string{"telephoneNumber"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClass(ObjectClass{Name: "definityUser", Kind: Auxiliary,
+		May: []string{"definityExtension"}}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAuxiliaryClassesCannotHaveMandatoryAttributes(t *testing.T) {
+	s := testSchema(t)
+	err := s.AddClass(ObjectClass{Name: "badAux", Kind: Auxiliary, Must: []string{"cn"}})
+	if err == nil {
+		t.Fatal("auxiliary class with MUST accepted — contradicts paper §5.2")
+	}
+}
+
+func TestSchemaRejectsUndefinedReferences(t *testing.T) {
+	s := testSchema(t)
+	if err := s.AddClass(ObjectClass{Name: "x", Kind: Structural, Must: []string{"ghost"}}); err == nil {
+		t.Error("class with undefined attribute accepted")
+	}
+	if err := s.AddClass(ObjectClass{Name: "y", Kind: Structural, Sup: "ghost"}); err == nil {
+		t.Error("class with undefined superior accepted")
+	}
+	if err := s.AddAttribute(AttributeType{Name: "CN"}); err == nil {
+		t.Error("duplicate attribute (case-insensitive) accepted")
+	}
+	if err := s.AddClass(ObjectClass{Name: "PERSON", Kind: Structural}); err == nil {
+		t.Error("duplicate class (case-insensitive) accepted")
+	}
+}
+
+func TestCheckEntryMandatory(t *testing.T) {
+	s := testSchema(t)
+	missing := AttrsFrom(map[string][]string{
+		"objectClass": {"person"},
+		"cn":          {"John Doe"},
+	})
+	err := s.CheckEntry(missing)
+	if CodeOf(err) != ldap.ResultObjectClassViolation {
+		t.Errorf("missing sn: err = %v", err)
+	}
+	ok := AttrsFrom(map[string][]string{
+		"objectClass": {"person"},
+		"cn":          {"John Doe"},
+		"sn":          {"Doe"},
+	})
+	if err := s.CheckEntry(ok); err != nil {
+		t.Errorf("valid entry rejected: %v", err)
+	}
+}
+
+func TestCheckEntryAuxiliarySignalsMayUse(t *testing.T) {
+	// The paper's anomaly: objectClass says definityUser, but no extension
+	// field. This must be LEGAL — presence of the auxiliary class only
+	// indicates the person MAY use a device.
+	s := testSchema(t)
+	e := AttrsFrom(map[string][]string{
+		"objectClass": {"person", "definityUser"},
+		"cn":          {"John Doe"},
+		"sn":          {"Doe"},
+	})
+	if err := s.CheckEntry(e); err != nil {
+		t.Errorf("aux class without its fields rejected: %v", err)
+	}
+}
+
+func TestCheckEntrySingleValue(t *testing.T) {
+	s := testSchema(t)
+	e := AttrsFrom(map[string][]string{
+		"objectClass":       {"person", "definityUser"},
+		"cn":                {"John Doe"},
+		"sn":                {"Doe"},
+		"definityExtension": {"5-9000", "5-9001"},
+	})
+	if CodeOf(s.CheckEntry(e)) != ldap.ResultConstraintViolation {
+		t.Error("multi-valued single-value attribute accepted")
+	}
+}
+
+func TestCheckEntryStrictMode(t *testing.T) {
+	s := testSchema(t)
+	e := AttrsFrom(map[string][]string{
+		"objectClass": {"person"},
+		"cn":          {"John Doe"},
+		"sn":          {"Doe"},
+		"shoeSize":    {"42"},
+	})
+	if err := s.CheckEntry(e); err != nil {
+		t.Errorf("lenient mode rejected unknown attr: %v", err)
+	}
+	s.Strict = true
+	if CodeOf(s.CheckEntry(e)) != ldap.ResultObjectClassViolation {
+		t.Error("strict mode accepted disallowed attribute")
+	}
+	// Operational attributes pass even in strict mode.
+	op := AttrsFrom(map[string][]string{
+		"objectClass": {"person"},
+		"cn":          {"John Doe"},
+		"sn":          {"Doe"},
+		"lastUpdater": {"pbx"},
+	})
+	if err := s.CheckEntry(op); err != nil {
+		t.Errorf("operational attribute rejected in strict mode: %v", err)
+	}
+}
+
+func TestCheckEntryRequiresStructuralClass(t *testing.T) {
+	s := testSchema(t)
+	e := AttrsFrom(map[string][]string{
+		"objectClass": {"definityUser"},
+	})
+	if CodeOf(s.CheckEntry(e)) != ldap.ResultObjectClassViolation {
+		t.Error("entry with only auxiliary class accepted")
+	}
+	none := AttrsFrom(map[string][]string{"cn": {"x"}})
+	if CodeOf(s.CheckEntry(none)) != ldap.ResultObjectClassViolation {
+		t.Error("entry without objectClass accepted")
+	}
+	unknown := AttrsFrom(map[string][]string{"objectClass": {"martian"}})
+	if CodeOf(s.CheckEntry(unknown)) != ldap.ResultObjectClassViolation {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestDITWithSchemaEnforcesOnAllUpdatePaths(t *testing.T) {
+	s := testSchema(t)
+	d := New(s)
+	if err := s.AddClass(ObjectClass{Name: "organization", Kind: Structural, Must: []string{"o"}}); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, d, "o=Lucent", AttrsFrom(map[string][]string{"objectClass": {"organization"}}))
+
+	// Add without mandatory sn fails.
+	err := d.Add(mustDN("cn=John Doe,o=Lucent"), AttrsFrom(map[string][]string{
+		"objectClass": {"person"},
+	}))
+	if CodeOf(err) != ldap.ResultObjectClassViolation {
+		t.Errorf("add err = %v", err)
+	}
+
+	mustAdd(t, d, "cn=John Doe,o=Lucent", AttrsFrom(map[string][]string{
+		"objectClass": {"person"}, "sn": {"Doe"},
+	}))
+
+	// Modify removing a mandatory attribute fails and rolls back.
+	err = d.Modify(mustDN("cn=John Doe,o=Lucent"), []ldap.Change{
+		{Op: ldap.ModDelete, Attribute: ldap.Attribute{Type: "sn"}},
+	})
+	if CodeOf(err) != ldap.ResultObjectClassViolation {
+		t.Errorf("modify err = %v", err)
+	}
+	e, _ := d.Get(mustDN("cn=John Doe,o=Lucent"))
+	if !e.Attrs.Has("sn") {
+		t.Error("failed modify mutated entry")
+	}
+}
+
+func TestAttrsBasics(t *testing.T) {
+	a := NewAttrs()
+	a.Put("TelephoneNumber", "+1 908 582 9000")
+	if a.First("telephonenumber") != "+1 908 582 9000" {
+		t.Error("case-insensitive get failed")
+	}
+	if !a.Add("telephoneNumber", "+1 908 582 9001") {
+		t.Error("add of new value failed")
+	}
+	if a.Add("TELEPHONENUMBER", "+1 908 582 9001") {
+		t.Error("duplicate value added")
+	}
+	if got := a.Names(); len(got) != 1 || got[0] != "TelephoneNumber" {
+		t.Errorf("names = %v (display spelling should be first-seen)", got)
+	}
+	b := a.Clone()
+	b.Put("TelephoneNumber", "other")
+	if a.First("telephoneNumber") == "other" {
+		t.Error("clone aliases original")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("Equal(clone) = false")
+	}
+	if a.Equal(b) {
+		t.Error("Equal across different values")
+	}
+}
+
+func mustDN(s string) dn.DN { return dn.MustParse(s) }
+
+func mustAdd(t *testing.T, d *DIT, name string, attrs *Attrs) {
+	t.Helper()
+	if err := d.Add(mustDN(name), attrs); err != nil {
+		t.Fatalf("add %s: %v", name, err)
+	}
+}

@@ -1,0 +1,285 @@
+// Package dn parses, normalizes and compares LDAP distinguished names.
+//
+// A distinguished name (DN) identifies an entry as the path from the entry
+// to the root of the directory tree, e.g. "cn=John Doe, o=Marketing,
+// o=Lucent" (leaf first, per RFC 2253 — the reverse of URL/file order). Each
+// path component is a relative distinguished name (RDN): one or more
+// attribute=value pairs joined by '+'.
+//
+// Comparison in LDAP is case-insensitive on attribute types and (for the
+// directory strings used here) values, so the package provides a canonical
+// normalized form used as the map key throughout the directory backend.
+package dn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AVA is a single attribute/value assertion within an RDN.
+type AVA struct {
+	Attr  string
+	Value string
+}
+
+// RDN is a relative distinguished name: one AVA, or several joined by '+'.
+type RDN []AVA
+
+// DN is a distinguished name, leaf RDN first.
+type DN []RDN
+
+// ErrEmpty reports an empty DN where a non-empty one is required.
+var ErrEmpty = errors.New("dn: empty DN")
+
+// Parse parses an RFC 2253-style string representation of a DN. The empty
+// string parses to the zero-length DN (the root).
+func Parse(s string) (DN, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return DN{}, nil
+	}
+	var d DN
+	for _, rdnStr := range splitUnescaped(s, ',') {
+		rdn, err := parseRDN(rdnStr)
+		if err != nil {
+			return nil, err
+		}
+		d = append(d, rdn)
+	}
+	return d, nil
+}
+
+// MustParse is Parse for known-good literals; it panics on error.
+func MustParse(s string) DN {
+	d, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func parseRDN(s string) (RDN, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, errors.New("dn: empty RDN component")
+	}
+	var rdn RDN
+	for _, avaStr := range splitUnescaped(s, '+') {
+		ava, err := parseAVA(avaStr)
+		if err != nil {
+			return nil, err
+		}
+		rdn = append(rdn, ava)
+	}
+	return rdn, nil
+}
+
+func parseAVA(s string) (AVA, error) {
+	s = strings.TrimSpace(s)
+	i := indexUnescaped(s, '=')
+	if i < 0 {
+		return AVA{}, fmt.Errorf("dn: %q: missing '='", s)
+	}
+	attr := strings.TrimSpace(s[:i])
+	if attr == "" {
+		return AVA{}, fmt.Errorf("dn: %q: empty attribute type", s)
+	}
+	if !validAttrType(attr) {
+		return AVA{}, fmt.Errorf("dn: %q: invalid attribute type %q", s, attr)
+	}
+	val, err := unescape(strings.TrimSpace(s[i+1:]))
+	if err != nil {
+		return AVA{}, fmt.Errorf("dn: %q: %v", s, err)
+	}
+	return AVA{Attr: attr, Value: val}, nil
+}
+
+func validAttrType(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9', r == '-', r == '.':
+			if i == 0 && r == '-' {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitUnescaped splits on sep, honoring backslash escapes.
+func splitUnescaped(s string, sep byte) []string {
+	var out []string
+	start := 0
+	escaped := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case escaped:
+			escaped = false
+		case s[i] == '\\':
+			escaped = true
+		case s[i] == sep:
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+func indexUnescaped(s string, sep byte) int {
+	escaped := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case escaped:
+			escaped = false
+		case s[i] == '\\':
+			escaped = true
+		case s[i] == sep:
+			return i
+		}
+	}
+	return -1
+}
+
+func unescape(s string) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", errors.New("dn: trailing backslash")
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}
+
+// escapeValue escapes characters that are special in DN strings.
+func escapeValue(v string) string {
+	if !strings.ContainsAny(v, ",+=\\#;<>\"") && !strings.HasPrefix(v, " ") && !strings.HasSuffix(v, " ") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case ',', '+', '=', '\\', '#', ';', '<', '>', '"':
+			b.WriteByte('\\')
+		}
+		b.WriteByte(v[i])
+	}
+	return b.String()
+}
+
+// String renders the AVA with escaping.
+func (a AVA) String() string { return a.Attr + "=" + escapeValue(a.Value) }
+
+// String renders the RDN with '+' joining multiple AVAs.
+func (r RDN) String() string {
+	parts := make([]string, len(r))
+	for i, a := range r {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// String renders the DN in RFC 2253 form (leaf first, comma separated).
+func (d DN) String() string {
+	parts := make([]string, len(d))
+	for i, r := range d {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// normalizeRDN lowercases attrs and values and sorts multi-AVA RDNs so that
+// equal RDNs normalize identically regardless of AVA order.
+func normalizeRDN(r RDN) string {
+	parts := make([]string, len(r))
+	for i, a := range r {
+		parts[i] = strings.ToLower(a.Attr) + "=" + strings.ToLower(escapeValue(normSpace(a.Value)))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "+")
+}
+
+func normSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// Normalize returns the canonical comparison key for d.
+func (d DN) Normalize() string {
+	parts := make([]string, len(d))
+	for i, r := range d {
+		parts[i] = normalizeRDN(r)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Equal reports whether two DNs name the same entry.
+func (d DN) Equal(o DN) bool { return d.Normalize() == o.Normalize() }
+
+// IsRoot reports whether d is the zero-length root DN.
+func (d DN) IsRoot() bool { return len(d) == 0 }
+
+// RDN returns the leaf RDN. It panics on the root DN.
+func (d DN) RDN() RDN { return d[0] }
+
+// Parent returns the DN of the parent entry, or the root DN for a
+// single-RDN name.
+func (d DN) Parent() DN {
+	if len(d) == 0 {
+		return DN{}
+	}
+	return d[1:]
+}
+
+// Depth returns the number of RDN components.
+func (d DN) Depth() int { return len(d) }
+
+// Child returns the DN of a child of d with the given leaf RDN.
+func (d DN) Child(r RDN) DN {
+	out := make(DN, 0, len(d)+1)
+	out = append(out, r)
+	return append(out, d...)
+}
+
+// IsDescendantOf reports whether d lies strictly below ancestor.
+func (d DN) IsDescendantOf(ancestor DN) bool {
+	if len(d) <= len(ancestor) {
+		return false
+	}
+	return DN(d[len(d)-len(ancestor):]).Normalize() == ancestor.Normalize()
+}
+
+// WithRDN returns a copy of d with the leaf RDN replaced (the effect of a
+// ModifyRDN operation). It panics on the root DN.
+func (d DN) WithRDN(r RDN) DN {
+	out := make(DN, len(d))
+	copy(out, d)
+	out[0] = r
+	return out
+}
+
+// FirstValue returns the value of the first AVA in the leaf RDN whose
+// attribute type matches attr (case-insensitively), or "".
+func (d DN) FirstValue(attr string) string {
+	if len(d) == 0 {
+		return ""
+	}
+	for _, a := range d[0] {
+		if strings.EqualFold(a.Attr, attr) {
+			return a.Value
+		}
+	}
+	return ""
+}

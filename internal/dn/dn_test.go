@@ -1,0 +1,177 @@
+package dn
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePaperExample(t *testing.T) {
+	// The DN from the paper's Figure 2.
+	d, err := Parse("cn=John Doe, o=Marketing, o=Lucent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", d.Depth())
+	}
+	if got := d.RDN().String(); got != "cn=John Doe" {
+		t.Errorf("leaf RDN = %q", got)
+	}
+	if got := d.Parent().String(); got != "o=Marketing,o=Lucent" {
+		t.Errorf("parent = %q", got)
+	}
+	if d.FirstValue("CN") != "John Doe" {
+		t.Errorf("FirstValue(CN) = %q", d.FirstValue("CN"))
+	}
+}
+
+func TestEqualIsCaseAndSpaceInsensitive(t *testing.T) {
+	a := MustParse("CN=John  Doe,O=Marketing , o=LUCENT")
+	b := MustParse("cn=john doe,o=marketing,o=lucent")
+	if !a.Equal(b) {
+		t.Errorf("%q != %q", a.Normalize(), b.Normalize())
+	}
+}
+
+func TestMultiValuedRDN(t *testing.T) {
+	a := MustParse("cn=Pat Smith+uid=ps01,o=Lucent")
+	b := MustParse("uid=ps01+cn=Pat Smith,o=Lucent")
+	if !a.Equal(b) {
+		t.Error("AVA order should not affect equality")
+	}
+	if len(a.RDN()) != 2 {
+		t.Fatalf("leaf AVAs = %d, want 2", len(a.RDN()))
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	d, err := Parse(`cn=Doe\, John,o=Lucent`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", d.Depth())
+	}
+	if got := d.RDN()[0].Value; got != "Doe, John" {
+		t.Errorf("value = %q", got)
+	}
+	// Round-trip through String must re-escape.
+	rt, err := Parse(d.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", d.String(), err)
+	}
+	if !rt.Equal(d) {
+		t.Errorf("round trip changed DN: %q -> %q", d.Normalize(), rt.Normalize())
+	}
+}
+
+func TestStringRoundTripProperty(t *testing.T) {
+	// Values drawn from printable strings incl. special characters must
+	// survive String() -> Parse().
+	f := func(name, org string) bool {
+		name = printable(name)
+		org = printable(org)
+		if strings.TrimSpace(name) == "" || strings.TrimSpace(org) == "" {
+			return true
+		}
+		d := DN{RDN{{Attr: "cn", Value: name}}, RDN{{Attr: "o", Value: org}}}
+		rt, err := Parse(d.String())
+		if err != nil {
+			return false
+		}
+		return rt.Equal(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func printable(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 0x20 && r < 0x7F {
+			b.WriteRune(r)
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"cn",              // no '='
+		"=value,o=Lucent", // empty attr
+		"cn=x,,o=Lucent",  // empty RDN
+		"c n=x",           // space in attr type
+		`cn=trailing\`,    // trailing backslash
+		"-x=1",            // leading hyphen
+		"cn=a+",           // empty AVA after '+'
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded", s)
+		}
+	}
+}
+
+func TestRootAndHierarchy(t *testing.T) {
+	root, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.IsRoot() {
+		t.Error("empty string should parse to root")
+	}
+	base := MustParse("o=Lucent")
+	child := base.Child(RDN{{Attr: "o", Value: "R&D"}})
+	if child.String() != "o=R&D,o=Lucent" {
+		t.Errorf("child = %q", child.String())
+	}
+	grand := child.Child(RDN{{Attr: "cn", Value: "Jill Lu"}})
+	if !grand.IsDescendantOf(base) {
+		t.Error("grandchild not descendant of base")
+	}
+	if !grand.IsDescendantOf(child) {
+		t.Error("grandchild not descendant of child")
+	}
+	if grand.IsDescendantOf(grand) {
+		t.Error("DN is not a strict descendant of itself")
+	}
+	if base.IsDescendantOf(grand) {
+		t.Error("ancestor reported as descendant")
+	}
+	if !grand.Parent().Equal(child) {
+		t.Error("Parent() broken")
+	}
+}
+
+func TestWithRDNModels_ModifyRDN(t *testing.T) {
+	d := MustParse("cn=John Doe,o=Marketing,o=Lucent")
+	renamed := d.WithRDN(RDN{{Attr: "cn", Value: "John Q Doe"}})
+	if renamed.String() != "cn=John Q Doe,o=Marketing,o=Lucent" {
+		t.Errorf("renamed = %q", renamed.String())
+	}
+	// Original must be unchanged (WithRDN copies).
+	if d.String() != "cn=John Doe,o=Marketing,o=Lucent" {
+		t.Errorf("original mutated: %q", d.String())
+	}
+	if !renamed.Parent().Equal(d.Parent()) {
+		t.Error("rename moved the entry")
+	}
+}
+
+func TestDescendantDiffersFromPrefixStringMatch(t *testing.T) {
+	// "o=LucentX" must not count as under "o=Lucent".
+	a := MustParse("cn=x,o=LucentX")
+	if a.IsDescendantOf(MustParse("o=Lucent")) {
+		t.Error("prefix string confusion in IsDescendantOf")
+	}
+}
+
+func TestNormalizeCollapsesInternalSpace(t *testing.T) {
+	a := MustParse("cn=John    Doe,o=Lucent")
+	b := MustParse("cn=John Doe,o=Lucent")
+	if !a.Equal(b) {
+		t.Error("internal whitespace should normalize")
+	}
+}

@@ -1,0 +1,147 @@
+// Package filter implements MetaComm's repository filters (paper §4.1). A
+// filter couples a protocol converter — the unified device API — with a
+// mapper built on lexpress mappings. Filters translate update descriptors
+// into repository updates and repository notifications into descriptors.
+//
+// The separation matters: protocol-specific software is reused across
+// schema variants by swapping only the lexpress mapping, which is input
+// data, not code.
+package filter
+
+import (
+	"errors"
+	"fmt"
+
+	"metacomm/internal/device"
+	"metacomm/internal/lexpress"
+)
+
+// DeviceFilter is the filter for one telecom device (PBX, messaging
+// platform, ...).
+type DeviceFilter struct {
+	conv device.Converter
+	lib  *lexpress.Library
+
+	// toDevice maps ldap -> device; fromDevice maps device -> ldap.
+	toDevice   *lexpress.Mapping
+	fromDevice *lexpress.Mapping
+}
+
+// NewDeviceFilter builds a filter for conv using the mappings registered in
+// lib for the (ldap, device) schema pair.
+func NewDeviceFilter(conv device.Converter, lib *lexpress.Library) (*DeviceFilter, error) {
+	name := conv.Name()
+	toDev, ok := lib.ForPair("ldap", name)
+	if !ok {
+		return nil, fmt.Errorf("filter: no ldap->%s mapping in library", name)
+	}
+	fromDev, ok := lib.ForPair(name, "ldap")
+	if !ok {
+		return nil, fmt.Errorf("filter: no %s->ldap mapping in library", name)
+	}
+	return &DeviceFilter{conv: conv, lib: lib, toDevice: toDev, fromDevice: fromDev}, nil
+}
+
+// Name returns the repository name.
+func (f *DeviceFilter) Name() string { return f.conv.Name() }
+
+// Converter exposes the underlying protocol converter (synchronization
+// needs Dump/Get).
+func (f *DeviceFilter) Converter() device.Converter { return f.conv }
+
+// ToDevice returns the ldap->device mapping.
+func (f *DeviceFilter) ToDevice() *lexpress.Mapping { return f.toDevice }
+
+// FromDevice returns the device->ldap mapping.
+func (f *DeviceFilter) FromDevice() *lexpress.Mapping { return f.fromDevice }
+
+// Translate maps an LDAP-schema descriptor into this device's update, or
+// nil when the device is not concerned (partition routing).
+func (f *DeviceFilter) Translate(d lexpress.Descriptor) (*lexpress.TargetUpdate, error) {
+	return f.toDevice.Translate(d)
+}
+
+// DescriptorFromNotification converts a committed device change into the
+// canonical descriptor (Source = the device).
+func (f *DeviceFilter) DescriptorFromNotification(n device.Notification) lexpress.Descriptor {
+	return lexpress.Descriptor{
+		Source: f.Name(),
+		Origin: f.Name(),
+		Op:     n.Op,
+		Key:    n.Key,
+		Old:    n.Old,
+		New:    n.New,
+	}
+}
+
+// Apply performs a translated update against the device, implementing the
+// paper's conditional-update semantics for reapplied updates (§5.4):
+//
+//   - conditional add  -> applied as modify; not-found falls back to add;
+//   - conditional mod  -> modify; not-found falls back to add;
+//   - conditional del  -> delete; not-found is a no-op;
+//   - normal modify that fails does NOT attempt an add;
+//   - a key change (OldKey != Key) becomes delete(old)+add(new) — the data
+//     migration lexpress's partitioning constraints call for.
+//
+// It returns the record as stored by the device, which may include
+// device-generated fields the directory must learn about (§5.5).
+func (f *DeviceFilter) Apply(u *lexpress.TargetUpdate) (lexpress.Record, error) {
+	if u == nil {
+		return nil, nil
+	}
+	switch u.Op {
+	case lexpress.OpAdd:
+		if u.Conditional {
+			// Reapply: the record should already exist; converge it.
+			stored, err := f.conv.Modify(u.Key, u.New)
+			if err == nil {
+				return stored, nil
+			}
+			if !errors.Is(err, device.ErrNotFound) {
+				return nil, err
+			}
+		}
+		stored, err := f.conv.Add(u.New)
+		if err != nil && u.Conditional && errors.Is(err, device.ErrExists) {
+			return f.conv.Modify(u.Key, u.New)
+		}
+		return stored, err
+
+	case lexpress.OpModify:
+		if u.OldKey != "" && u.OldKey != u.Key {
+			// Key migration: remove the old record, add the new one.
+			if err := f.conv.Delete(u.OldKey); err != nil && !errors.Is(err, device.ErrNotFound) {
+				return nil, err
+			}
+			stored, err := f.conv.Add(u.New)
+			if err != nil && errors.Is(err, device.ErrExists) {
+				return f.conv.Modify(u.Key, u.New)
+			}
+			return stored, err
+		}
+		stored, err := f.conv.Modify(u.Key, u.New)
+		if err == nil {
+			return stored, nil
+		}
+		if u.Conditional && errors.Is(err, device.ErrNotFound) {
+			return f.conv.Add(u.New)
+		}
+		return nil, err
+
+	case lexpress.OpDelete:
+		key := u.OldKey
+		if key == "" {
+			key = u.Key
+		}
+		err := f.conv.Delete(key)
+		if err != nil && u.Conditional && errors.Is(err, device.ErrNotFound) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return nil, fmt.Errorf("filter: unknown op %v", u.Op)
+}
+
+// Close releases the protocol converter.
+func (f *DeviceFilter) Close() error { return f.conv.Close() }

@@ -1,0 +1,233 @@
+package filter
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"metacomm/internal/device"
+	"metacomm/internal/lexpress"
+)
+
+// fakeConverter records calls and simulates a device store keyed by
+// "extension".
+type fakeConverter struct {
+	name    string
+	records map[string]lexpress.Record
+	calls   []string
+	failMod error
+	failAdd error
+}
+
+func newFakeConverter() *fakeConverter {
+	return &fakeConverter{name: "pbx", records: map[string]lexpress.Record{}}
+}
+
+func (f *fakeConverter) Name() string { return f.name }
+func (f *fakeConverter) Get(key string) (lexpress.Record, error) {
+	r, ok := f.records[key]
+	if !ok {
+		return nil, device.ErrNotFound
+	}
+	return r.Clone(), nil
+}
+func (f *fakeConverter) Add(rec lexpress.Record) (lexpress.Record, error) {
+	f.calls = append(f.calls, "add:"+rec.First("extension"))
+	if f.failAdd != nil {
+		return nil, f.failAdd
+	}
+	key := rec.First("extension")
+	if _, dup := f.records[key]; dup {
+		return nil, device.ErrExists
+	}
+	f.records[key] = rec.Clone()
+	return rec.Clone(), nil
+}
+func (f *fakeConverter) Modify(key string, rec lexpress.Record) (lexpress.Record, error) {
+	f.calls = append(f.calls, "modify:"+key)
+	if f.failMod != nil {
+		return nil, f.failMod
+	}
+	if _, ok := f.records[key]; !ok {
+		return nil, device.ErrNotFound
+	}
+	f.records[rec.First("extension")] = rec.Clone()
+	if rec.First("extension") != key {
+		delete(f.records, key)
+	}
+	return rec.Clone(), nil
+}
+func (f *fakeConverter) Delete(key string) error {
+	f.calls = append(f.calls, "delete:"+key)
+	if _, ok := f.records[key]; !ok {
+		return device.ErrNotFound
+	}
+	delete(f.records, key)
+	return nil
+}
+func (f *fakeConverter) Dump() ([]lexpress.Record, error) {
+	var out []lexpress.Record
+	for _, r := range f.records {
+		out = append(out, r.Clone())
+	}
+	return out, nil
+}
+func (f *fakeConverter) Notifications() <-chan device.Notification { return nil }
+func (f *fakeConverter) Close() error                              { return nil }
+
+func newTestFilter(t *testing.T) (*DeviceFilter, *fakeConverter) {
+	t.Helper()
+	conv := newFakeConverter()
+	df, err := NewDeviceFilter(conv, lexpress.MustStandardLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return df, conv
+}
+
+func station(ext string) lexpress.Record {
+	r := lexpress.NewRecord()
+	r.Set("extension", ext)
+	r.Set("name", "Test User")
+	return r
+}
+
+func TestNewDeviceFilterRequiresBothMappings(t *testing.T) {
+	conv := newFakeConverter()
+	conv.name = "unknown-device"
+	if _, err := NewDeviceFilter(conv, lexpress.MustStandardLibrary()); err == nil {
+		t.Fatal("filter built without mappings")
+	}
+}
+
+func TestApplyPlainAddModifyDelete(t *testing.T) {
+	df, conv := newTestFilter(t)
+	if _, err := df.Apply(&lexpress.TargetUpdate{Op: lexpress.OpAdd, Key: "2-1", New: station("2-1")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := conv.records["2-1"]; !ok {
+		t.Fatal("add did not store")
+	}
+	mod := station("2-1")
+	mod.Set("name", "Renamed")
+	if _, err := df.Apply(&lexpress.TargetUpdate{Op: lexpress.OpModify, Key: "2-1", OldKey: "2-1", New: mod}); err != nil {
+		t.Fatal(err)
+	}
+	if conv.records["2-1"].First("name") != "Renamed" {
+		t.Error("modify did not converge")
+	}
+	if _, err := df.Apply(&lexpress.TargetUpdate{Op: lexpress.OpDelete, Key: "2-1", OldKey: "2-1", Old: station("2-1")}); err != nil {
+		t.Fatal(err)
+	}
+	if len(conv.records) != 0 {
+		t.Error("delete did not remove")
+	}
+}
+
+func TestConditionalAddIsAppliedAsModify(t *testing.T) {
+	// Paper §5.4: "add operations are reapplied as conditional modify
+	// operations."
+	df, conv := newTestFilter(t)
+	conv.records["2-1"] = station("2-1")
+	u := &lexpress.TargetUpdate{Op: lexpress.OpAdd, Conditional: true, Key: "2-1", New: station("2-1")}
+	if _, err := df.Apply(u); err != nil {
+		t.Fatal(err)
+	}
+	if conv.calls[0] != "modify:2-1" {
+		t.Errorf("calls = %v (conditional add must try modify first)", conv.calls)
+	}
+}
+
+func TestConditionalModifyFallsBackToAdd(t *testing.T) {
+	// "If a conditional modify fails, the update filters then attempt to
+	// add the record."
+	df, conv := newTestFilter(t)
+	u := &lexpress.TargetUpdate{Op: lexpress.OpModify, Conditional: true, Key: "2-9", OldKey: "2-9", New: station("2-9")}
+	if _, err := df.Apply(u); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"modify:2-9", "add:2-9"}
+	for i, w := range want {
+		if conv.calls[i] != w {
+			t.Fatalf("calls = %v, want %v", conv.calls, want)
+		}
+	}
+}
+
+func TestNormalModifyDoesNotFallBack(t *testing.T) {
+	// "If a normal modify fails, no add is attempted."
+	df, conv := newTestFilter(t)
+	u := &lexpress.TargetUpdate{Op: lexpress.OpModify, Key: "2-9", OldKey: "2-9", New: station("2-9")}
+	_, err := df.Apply(u)
+	if !errors.Is(err, device.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	for _, c := range conv.calls {
+		if c == "add:2-9" {
+			t.Error("normal modify fell back to add")
+		}
+	}
+}
+
+func TestConditionalDeleteOfAbsentIsNoOp(t *testing.T) {
+	df, _ := newTestFilter(t)
+	u := &lexpress.TargetUpdate{Op: lexpress.OpDelete, Conditional: true, Key: "2-9", OldKey: "2-9"}
+	if _, err := df.Apply(u); err != nil {
+		t.Fatalf("conditional delete errored: %v", err)
+	}
+	// Normal delete of absent record is an error.
+	u.Conditional = false
+	if _, err := df.Apply(u); !errors.Is(err, device.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestKeyMigrationBecomesDeletePlusAdd(t *testing.T) {
+	// lexpress partitioning semantics: a key change migrates the record.
+	df, conv := newTestFilter(t)
+	conv.records["2-1"] = station("2-1")
+	u := &lexpress.TargetUpdate{Op: lexpress.OpModify, Key: "3-5", OldKey: "2-1", New: station("3-5")}
+	if _, err := df.Apply(u); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"delete:2-1", "add:3-5"}
+	for i, w := range want {
+		if conv.calls[i] != w {
+			t.Fatalf("calls = %v, want %v", conv.calls, want)
+		}
+	}
+	if _, ok := conv.records["3-5"]; !ok {
+		t.Error("migrated record missing")
+	}
+}
+
+func TestApplyNilUpdateIsNoOp(t *testing.T) {
+	df, conv := newTestFilter(t)
+	if _, err := df.Apply(nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(conv.calls) != 0 {
+		t.Error("nil update touched the device")
+	}
+}
+
+func TestDescriptorFromNotification(t *testing.T) {
+	df, _ := newTestFilter(t)
+	n := device.Notification{
+		Device: "pbx", Session: "craft", Op: lexpress.OpModify, Key: "2-1",
+		Old: station("2-1"), New: station("2-1"),
+	}
+	d := df.DescriptorFromNotification(n)
+	if d.Source != "pbx" || d.Origin != "pbx" || d.Op != lexpress.OpModify || d.Key != "2-1" {
+		t.Errorf("descriptor = %+v", d)
+	}
+}
+
+func TestApplyErrorsPropagate(t *testing.T) {
+	df, conv := newTestFilter(t)
+	conv.failAdd = fmt.Errorf("device full")
+	_, err := df.Apply(&lexpress.TargetUpdate{Op: lexpress.OpAdd, Key: "2-1", New: station("2-1")})
+	if err == nil || err.Error() != "device full" {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,114 @@
+package ldap
+
+import "fmt"
+
+// ResultCode is an LDAP v3 result code (RFC 2251 §4.1.10).
+type ResultCode int
+
+// Result codes used by the server and clients in this system.
+const (
+	ResultSuccess                ResultCode = 0
+	ResultOperationsError        ResultCode = 1
+	ResultProtocolError          ResultCode = 2
+	ResultTimeLimitExceeded      ResultCode = 3
+	ResultSizeLimitExceeded      ResultCode = 4
+	ResultCompareFalse           ResultCode = 5
+	ResultCompareTrue            ResultCode = 6
+	ResultAuthMethodNotSupported ResultCode = 7
+	ResultUndefinedAttributeType ResultCode = 17
+	ResultConstraintViolation    ResultCode = 19
+	ResultAttributeOrValueExists ResultCode = 20
+	ResultInvalidAttributeSyntax ResultCode = 21
+	ResultNoSuchAttribute        ResultCode = 16
+	ResultNoSuchObject           ResultCode = 32
+	ResultInvalidDNSyntax        ResultCode = 34
+	ResultInvalidCredentials     ResultCode = 49
+	ResultInsufficientAccess     ResultCode = 50
+	ResultBusy                   ResultCode = 51
+	ResultUnavailable            ResultCode = 52
+	ResultUnwillingToPerform     ResultCode = 53
+	ResultNamingViolation        ResultCode = 64
+	ResultObjectClassViolation   ResultCode = 65
+	ResultNotAllowedOnNonLeaf    ResultCode = 66
+	ResultNotAllowedOnRDN        ResultCode = 67
+	ResultEntryAlreadyExists     ResultCode = 68
+	ResultOther                  ResultCode = 80
+)
+
+var resultNames = map[ResultCode]string{
+	ResultSuccess:                "success",
+	ResultOperationsError:        "operationsError",
+	ResultProtocolError:          "protocolError",
+	ResultTimeLimitExceeded:      "timeLimitExceeded",
+	ResultSizeLimitExceeded:      "sizeLimitExceeded",
+	ResultCompareFalse:           "compareFalse",
+	ResultCompareTrue:            "compareTrue",
+	ResultAuthMethodNotSupported: "authMethodNotSupported",
+	ResultUndefinedAttributeType: "undefinedAttributeType",
+	ResultConstraintViolation:    "constraintViolation",
+	ResultAttributeOrValueExists: "attributeOrValueExists",
+	ResultInvalidAttributeSyntax: "invalidAttributeSyntax",
+	ResultNoSuchAttribute:        "noSuchAttribute",
+	ResultNoSuchObject:           "noSuchObject",
+	ResultInvalidDNSyntax:        "invalidDNSyntax",
+	ResultInvalidCredentials:     "invalidCredentials",
+	ResultInsufficientAccess:     "insufficientAccessRights",
+	ResultBusy:                   "busy",
+	ResultUnavailable:            "unavailable",
+	ResultUnwillingToPerform:     "unwillingToPerform",
+	ResultNamingViolation:        "namingViolation",
+	ResultObjectClassViolation:   "objectClassViolation",
+	ResultNotAllowedOnNonLeaf:    "notAllowedOnNonLeaf",
+	ResultNotAllowedOnRDN:        "notAllowedOnRDN",
+	ResultEntryAlreadyExists:     "entryAlreadyExists",
+	ResultOther:                  "other",
+}
+
+func (c ResultCode) String() string {
+	if s, ok := resultNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("resultCode(%d)", int(c))
+}
+
+// Result is the LDAPResult component shared by all response messages.
+type Result struct {
+	Code      ResultCode
+	MatchedDN string
+	Message   string
+}
+
+// Err returns nil for success and compareTrue, and a *ResultError otherwise.
+func (r Result) Err() error {
+	if r.Code == ResultSuccess || r.Code == ResultCompareTrue {
+		return nil
+	}
+	return &ResultError{Result: r}
+}
+
+// ResultError wraps a non-success LDAPResult as a Go error.
+type ResultError struct {
+	Result Result
+}
+
+func (e *ResultError) Error() string {
+	if e.Result.Message != "" {
+		return fmt.Sprintf("ldap: %s: %s", e.Result.Code, e.Result.Message)
+	}
+	return "ldap: " + e.Result.Code.String()
+}
+
+// Code extracts the result code from err when it is a *ResultError;
+// otherwise it returns ResultOther (and false).
+func Code(err error) (ResultCode, bool) {
+	if re, ok := err.(*ResultError); ok {
+		return re.Result.Code, true
+	}
+	return ResultOther, false
+}
+
+// IsCode reports whether err is an LDAP result error with the given code.
+func IsCode(err error, code ResultCode) bool {
+	c, ok := Code(err)
+	return ok && c == code
+}

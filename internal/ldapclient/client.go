@@ -1,0 +1,252 @@
+// Package ldapclient is a synchronous LDAP v3 client used by the MetaComm
+// components (the LDAP filter, the WBA, command-line tools) and by tests. It
+// plays the role the paper assigns to "any tool that can perform LDAP
+// updates".
+package ldapclient
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"metacomm/internal/ldap"
+)
+
+// Entry is one search result.
+type Entry struct {
+	DN         string
+	Attributes []ldap.Attribute
+}
+
+// Attr returns the values of the named attribute (case-insensitive), or nil.
+func (e *Entry) Attr(name string) []string {
+	for _, a := range e.Attributes {
+		if equalFold(a.Type, name) {
+			return a.Values
+		}
+	}
+	return nil
+}
+
+// HasAttr reports whether the entry has at least one value of the named
+// attribute.
+func (e *Entry) HasAttr(name string) bool { return len(e.Attr(name)) > 0 }
+
+// First returns the first value of the named attribute, or "".
+func (e *Entry) First(name string) string {
+	if vs := e.Attr(name); len(vs) > 0 {
+		return vs[0]
+	}
+	return ""
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Conn is a client connection. Methods are safe for concurrent use; requests
+// are serialized on the wire.
+type Conn struct {
+	mu     sync.Mutex
+	nc     net.Conn
+	nextID int32
+	closed bool
+}
+
+// Dial connects to an LDAP server.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{nc: nc, nextID: 1}, nil
+}
+
+// Close sends an unbind and closes the connection.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	_ = (&ldap.Message{ID: c.nextID, Op: &ldap.UnbindRequest{}}).Write(c.nc)
+	return c.nc.Close()
+}
+
+// roundTrip sends a request and reads responses until the final one for this
+// message ID. Intermediate search entries are passed to onEntry.
+func (c *Conn) roundTrip(op ldap.Op, onEntry func(*ldap.SearchResultEntry)) (ldap.Op, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("ldapclient: connection closed")
+	}
+	id := c.nextID
+	c.nextID++
+	if err := (&ldap.Message{ID: id, Op: op}).Write(c.nc); err != nil {
+		return nil, err
+	}
+	for {
+		msg, err := ldap.ReadMessage(c.nc)
+		if err != nil {
+			return nil, err
+		}
+		if msg.ID != id {
+			return nil, fmt.Errorf("ldapclient: response id %d for request %d", msg.ID, id)
+		}
+		if e, ok := msg.Op.(*ldap.SearchResultEntry); ok {
+			if onEntry != nil {
+				onEntry(e)
+			}
+			continue
+		}
+		return msg.Op, nil
+	}
+}
+
+// Bind performs a simple bind.
+func (c *Conn) Bind(name, password string) error {
+	op, err := c.roundTrip(&ldap.BindRequest{Version: 3, Name: name, Password: password}, nil)
+	if err != nil {
+		return err
+	}
+	resp, ok := op.(*ldap.BindResponse)
+	if !ok {
+		return fmt.Errorf("ldapclient: unexpected response %T to bind", op)
+	}
+	return resp.Result.Err()
+}
+
+// Search runs a search and collects all result entries. On a non-success
+// final result (e.g. sizeLimitExceeded) the entries received so far are
+// returned together with the error, matching LDAP's partial-result
+// semantics.
+func (c *Conn) Search(req *ldap.SearchRequest) ([]*Entry, error) {
+	var out []*Entry
+	op, err := c.roundTrip(req, func(e *ldap.SearchResultEntry) {
+		out = append(out, &Entry{DN: e.DN, Attributes: e.Attributes})
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := op.(*ldap.SearchResultDone)
+	if !ok {
+		return nil, fmt.Errorf("ldapclient: unexpected response %T to search", op)
+	}
+	return out, resp.Result.Err()
+}
+
+// SearchOne returns exactly one entry matching the request, or an error.
+func (c *Conn) SearchOne(req *ldap.SearchRequest) (*Entry, error) {
+	entries, err := c.Search(req)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) != 1 {
+		return nil, fmt.Errorf("ldapclient: got %d entries, want 1", len(entries))
+	}
+	return entries[0], nil
+}
+
+// Add creates an entry.
+func (c *Conn) Add(dn string, attrs []ldap.Attribute) error {
+	op, err := c.roundTrip(&ldap.AddRequest{DN: dn, Attributes: attrs}, nil)
+	if err != nil {
+		return err
+	}
+	resp, ok := op.(*ldap.AddResponse)
+	if !ok {
+		return fmt.Errorf("ldapclient: unexpected response %T to add", op)
+	}
+	return resp.Result.Err()
+}
+
+// Delete removes a leaf entry.
+func (c *Conn) Delete(dn string) error {
+	op, err := c.roundTrip(&ldap.DeleteRequest{DN: dn}, nil)
+	if err != nil {
+		return err
+	}
+	resp, ok := op.(*ldap.DeleteResponse)
+	if !ok {
+		return fmt.Errorf("ldapclient: unexpected response %T to delete", op)
+	}
+	return resp.Result.Err()
+}
+
+// Modify applies changes to an entry.
+func (c *Conn) Modify(dn string, changes []ldap.Change) error {
+	op, err := c.roundTrip(&ldap.ModifyRequest{DN: dn, Changes: changes}, nil)
+	if err != nil {
+		return err
+	}
+	resp, ok := op.(*ldap.ModifyResponse)
+	if !ok {
+		return fmt.Errorf("ldapclient: unexpected response %T to modify", op)
+	}
+	return resp.Result.Err()
+}
+
+// ModifyDN renames an entry.
+func (c *Conn) ModifyDN(dn, newRDN string, deleteOldRDN bool) error {
+	op, err := c.roundTrip(&ldap.ModifyDNRequest{DN: dn, NewRDN: newRDN, DeleteOldRDN: deleteOldRDN}, nil)
+	if err != nil {
+		return err
+	}
+	resp, ok := op.(*ldap.ModifyDNResponse)
+	if !ok {
+		return fmt.Errorf("ldapclient: unexpected response %T to modifyDN", op)
+	}
+	return resp.Result.Err()
+}
+
+// Compare tests an attribute value assertion; it returns true on
+// compareTrue.
+func (c *Conn) Compare(dn, attr, value string) (bool, error) {
+	op, err := c.roundTrip(&ldap.CompareRequest{DN: dn, Attr: attr, Value: value}, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, ok := op.(*ldap.CompareResponse)
+	if !ok {
+		return false, fmt.Errorf("ldapclient: unexpected response %T to compare", op)
+	}
+	switch resp.Result.Code {
+	case ldap.ResultCompareTrue:
+		return true, nil
+	case ldap.ResultCompareFalse:
+		return false, nil
+	}
+	return false, resp.Result.Err()
+}
+
+// Extended performs an extended operation.
+func (c *Conn) Extended(name string, value []byte) (*ldap.ExtendedResponse, error) {
+	op, err := c.roundTrip(&ldap.ExtendedRequest{Name: name, Value: value}, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := op.(*ldap.ExtendedResponse)
+	if !ok {
+		return nil, fmt.Errorf("ldapclient: unexpected response %T to extended", op)
+	}
+	return resp, resp.Result.Err()
+}

@@ -1,0 +1,96 @@
+package ldapclient_test
+
+import (
+	"testing"
+
+	"metacomm/internal/directory"
+	"metacomm/internal/ldap"
+	"metacomm/internal/ldapclient"
+	"metacomm/internal/ldapserver"
+	"metacomm/internal/mcschema"
+)
+
+func startServer(t *testing.T) *ldapclient.Conn {
+	t.Helper()
+	d := directory.New(mcschema.New())
+	srv := ldapserver.NewServer(ldapserver.NewDITHandler(d))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c, err := ldapclient.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestEntryHelpers(t *testing.T) {
+	e := &ldapclient.Entry{
+		DN: "cn=x,o=Lucent",
+		Attributes: []ldap.Attribute{
+			{Type: "cn", Values: []string{"x"}},
+			{Type: "telephoneNumber", Values: []string{"+1", "+2"}},
+		},
+	}
+	if e.First("CN") != "x" {
+		t.Error("case-insensitive First failed")
+	}
+	if got := e.Attr("TELEPHONENUMBER"); len(got) != 2 {
+		t.Errorf("Attr = %v", got)
+	}
+	if !e.HasAttr("cn") || e.HasAttr("mail") {
+		t.Error("HasAttr broken")
+	}
+	if e.First("missing") != "" {
+		t.Error("missing attr should be empty")
+	}
+}
+
+func TestSearchOneCardinality(t *testing.T) {
+	c := startServer(t)
+	if err := c.Add("o=Lucent", []ldap.Attribute{
+		{Type: "objectClass", Values: []string{"organization"}}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cn=A,o=Lucent", "cn=B,o=Lucent"} {
+		if err := c.Add(name, []ldap.Attribute{
+			{Type: "objectClass", Values: []string{"mcPerson"}},
+			{Type: "sn", Values: []string{"X"}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.SearchOne(&ldap.SearchRequest{
+		BaseDN: "o=Lucent", Scope: ldap.ScopeWholeSubtree,
+		Filter: ldap.Eq("objectClass", "mcPerson")}); err == nil {
+		t.Error("SearchOne accepted two entries")
+	}
+	if _, err := c.SearchOne(&ldap.SearchRequest{
+		BaseDN: "o=Lucent", Scope: ldap.ScopeWholeSubtree,
+		Filter: ldap.Eq("cn", "A")}); err != nil {
+		t.Errorf("SearchOne for unique entry: %v", err)
+	}
+}
+
+func TestUseAfterClose(t *testing.T) {
+	c := startServer(t)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Error("second Close errored:", err)
+	}
+	if _, err := c.Search(&ldap.SearchRequest{BaseDN: "", Scope: ldap.ScopeBaseObject}); err == nil {
+		t.Error("search after close succeeded")
+	}
+}
+
+func TestResultErrorsCarryCodes(t *testing.T) {
+	c := startServer(t)
+	err := c.Delete("cn=nobody,o=Nowhere")
+	if !ldap.IsCode(err, ldap.ResultNoSuchObject) {
+		t.Errorf("err = %v", err)
+	}
+}

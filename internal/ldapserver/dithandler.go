@@ -1,0 +1,211 @@
+package ldapserver
+
+import (
+	"strings"
+
+	"metacomm/internal/directory"
+	"metacomm/internal/dn"
+	"metacomm/internal/ldap"
+)
+
+// DITHandler serves LDAP operations from an in-memory directory.DIT with the
+// simple bind model the paper's prototype used (its "very simple security
+// mechanism", §7): an optional root DN/password for updates, anonymous
+// reads.
+type DITHandler struct {
+	DIT *directory.DIT
+	// RootDN/RootPassword authorize updates. When RootDN is empty every
+	// (even anonymous) connection may update.
+	RootDN       string
+	RootPassword string
+	// ReadOnly rejects every update (replica servers).
+	ReadOnly bool
+}
+
+// NewDITHandler wraps a DIT.
+func NewDITHandler(d *directory.DIT) *DITHandler { return &DITHandler{DIT: d} }
+
+func resultOf(err error) ldap.Result {
+	if err == nil {
+		return ldap.Result{Code: ldap.ResultSuccess}
+	}
+	code := directory.CodeOf(err)
+	msg := err.Error()
+	if de, ok := err.(*directory.Error); ok {
+		msg = de.Msg
+	}
+	return ldap.Result{Code: code, Message: msg}
+}
+
+func parseDN(s string) (dn.DN, ldap.Result) {
+	d, err := dn.Parse(s)
+	if err != nil {
+		return nil, ldap.Result{Code: ldap.ResultInvalidDNSyntax, Message: err.Error()}
+	}
+	return d, ldap.Result{Code: ldap.ResultSuccess}
+}
+
+// Bind implements simple authentication.
+func (h *DITHandler) Bind(c *Conn, req *ldap.BindRequest) ldap.Result {
+	if req.Name == "" && req.Password == "" {
+		return ldap.Result{Code: ldap.ResultSuccess} // anonymous
+	}
+	if h.RootDN != "" && strings.EqualFold(req.Name, h.RootDN) && req.Password == h.RootPassword {
+		return ldap.Result{Code: ldap.ResultSuccess}
+	}
+	if h.RootDN == "" {
+		// No configured accounts: accept any simple bind (prototype mode).
+		return ldap.Result{Code: ldap.ResultSuccess}
+	}
+	return ldap.Result{Code: ldap.ResultInvalidCredentials}
+}
+
+func (h *DITHandler) authorized(c *Conn) bool {
+	if h.ReadOnly {
+		return false
+	}
+	if h.RootDN == "" {
+		return true
+	}
+	return strings.EqualFold(c.BoundDN, h.RootDN)
+}
+
+func deny() ldap.Result {
+	return ldap.Result{Code: ldap.ResultInsufficientAccess, Message: "updates not permitted here"}
+}
+
+// Search streams matching entries, applying the request's attribute
+// selection and typesOnly flag.
+func (h *DITHandler) Search(c *Conn, req *ldap.SearchRequest, send func(*ldap.SearchResultEntry) error) ldap.Result {
+	base, res := parseDN(req.BaseDN)
+	if res.Code != ldap.ResultSuccess {
+		return res
+	}
+	entries, err := h.DIT.Search(base, req.Scope, req.Filter, req.SizeLimit)
+	final := resultOf(err)
+	if final.Code != ldap.ResultSuccess && final.Code != ldap.ResultSizeLimitExceeded {
+		return final
+	}
+	for _, e := range entries {
+		out := &ldap.SearchResultEntry{DN: e.DN.String()}
+		for _, name := range e.Attrs.Names() {
+			if !selectAttr(req.Attributes, name) {
+				continue
+			}
+			attr := ldap.Attribute{Type: name}
+			if !req.TypesOnly {
+				attr.Values = append(attr.Values, e.Attrs.Get(name)...)
+			}
+			out.Attributes = append(out.Attributes, attr)
+		}
+		if err := send(out); err != nil {
+			return ldap.Result{Code: ldap.ResultOther, Message: err.Error()}
+		}
+	}
+	return final
+}
+
+// selectAttr implements the LDAP attribute-selection list: empty or "*"
+// selects everything; "1.1" selects nothing.
+func selectAttr(requested []string, name string) bool {
+	if len(requested) == 0 {
+		return true
+	}
+	for _, r := range requested {
+		switch r {
+		case "*":
+			return true
+		case "1.1":
+			continue
+		default:
+			if strings.EqualFold(r, name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Add creates an entry.
+func (h *DITHandler) Add(c *Conn, req *ldap.AddRequest) ldap.Result {
+	if !h.authorized(c) {
+		return deny()
+	}
+	name, res := parseDN(req.DN)
+	if res.Code != ldap.ResultSuccess {
+		return res
+	}
+	attrs := directory.NewAttrs()
+	for _, a := range req.Attributes {
+		for _, v := range a.Values {
+			attrs.Add(a.Type, v)
+		}
+	}
+	return resultOf(h.DIT.Add(name, attrs))
+}
+
+// Delete removes a leaf entry.
+func (h *DITHandler) Delete(c *Conn, req *ldap.DeleteRequest) ldap.Result {
+	if !h.authorized(c) {
+		return deny()
+	}
+	name, res := parseDN(req.DN)
+	if res.Code != ldap.ResultSuccess {
+		return res
+	}
+	return resultOf(h.DIT.Delete(name))
+}
+
+// Modify applies changes to one entry.
+func (h *DITHandler) Modify(c *Conn, req *ldap.ModifyRequest) ldap.Result {
+	if !h.authorized(c) {
+		return deny()
+	}
+	name, res := parseDN(req.DN)
+	if res.Code != ldap.ResultSuccess {
+		return res
+	}
+	return resultOf(h.DIT.Modify(name, req.Changes))
+}
+
+// ModifyDN renames an entry.
+func (h *DITHandler) ModifyDN(c *Conn, req *ldap.ModifyDNRequest) ldap.Result {
+	if !h.authorized(c) {
+		return deny()
+	}
+	name, res := parseDN(req.DN)
+	if res.Code != ldap.ResultSuccess {
+		return res
+	}
+	if req.NewSuperior != "" {
+		return ldap.Result{Code: ldap.ResultUnwillingToPerform, Message: "newSuperior not supported"}
+	}
+	newDN, err := dn.Parse(req.NewRDN)
+	if err != nil || newDN.Depth() != 1 {
+		return ldap.Result{Code: ldap.ResultInvalidDNSyntax, Message: "bad newRDN"}
+	}
+	return resultOf(h.DIT.ModifyDN(name, newDN.RDN(), req.DeleteOldRDN))
+}
+
+// Compare tests an attribute value assertion.
+func (h *DITHandler) Compare(c *Conn, req *ldap.CompareRequest) ldap.Result {
+	name, res := parseDN(req.DN)
+	if res.Code != ldap.ResultSuccess {
+		return res
+	}
+	match, err := h.DIT.Compare(name, req.Attr, req.Value)
+	if err != nil {
+		return resultOf(err)
+	}
+	if match {
+		return ldap.Result{Code: ldap.ResultCompareTrue}
+	}
+	return ldap.Result{Code: ldap.ResultCompareFalse}
+}
+
+// Extended rejects unknown extensions; the plain directory server has none
+// (quiesce lives in LTAP).
+func (h *DITHandler) Extended(c *Conn, req *ldap.ExtendedRequest) *ldap.ExtendedResponse {
+	return &ldap.ExtendedResponse{Result: ldap.Result{
+		Code: ldap.ResultProtocolError, Message: "unsupported extended operation " + req.Name}}
+}

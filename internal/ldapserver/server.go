@@ -1,0 +1,218 @@
+// Package ldapserver provides the TCP front end that speaks the LDAP v3
+// protocol for any Handler. Both the MetaComm directory server (a DIT
+// handler) and the LTAP trigger gateway (a proxying handler that "pretends
+// to be an LDAP server", paper §4.3) are Handlers behind this server.
+package ldapserver
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"metacomm/internal/ldap"
+)
+
+// Conn carries per-connection state visible to handlers.
+type Conn struct {
+	// BoundDN is the DN established by the last successful bind ("" when
+	// anonymous).
+	BoundDN string
+	// RemoteAddr is the peer address, for logging.
+	RemoteAddr string
+	// Data lets gateway handlers stash per-connection state (e.g. LTAP
+	// persistent-connection mode).
+	Data map[string]any
+}
+
+// Handler responds to LDAP operations. Implementations must be safe for
+// concurrent use: the server runs one goroutine per connection.
+type Handler interface {
+	Bind(c *Conn, req *ldap.BindRequest) ldap.Result
+	Search(c *Conn, req *ldap.SearchRequest, send func(*ldap.SearchResultEntry) error) ldap.Result
+	Add(c *Conn, req *ldap.AddRequest) ldap.Result
+	Delete(c *Conn, req *ldap.DeleteRequest) ldap.Result
+	Modify(c *Conn, req *ldap.ModifyRequest) ldap.Result
+	ModifyDN(c *Conn, req *ldap.ModifyDNRequest) ldap.Result
+	Compare(c *Conn, req *ldap.CompareRequest) ldap.Result
+	Extended(c *Conn, req *ldap.ExtendedRequest) *ldap.ExtendedResponse
+}
+
+// Server accepts LDAP connections and dispatches operations to a Handler.
+type Server struct {
+	Handler Handler
+	// ErrorLog receives connection-level errors; nil discards them.
+	ErrorLog *log.Logger
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server for the handler.
+func NewServer(h Handler) *Server {
+	return &Server{Handler: h, conns: map[net.Conn]bool{}}
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves in the background.
+// It returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return nil, errors.New("ldapserver: server closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(l)
+	}()
+	return l.Addr(), nil
+}
+
+func (s *Server) acceptLoop(l net.Listener) {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(c)
+		}()
+	}
+}
+
+// Close stops the listener and closes all live connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.ErrorLog != nil {
+		s.ErrorLog.Printf(format, args...)
+	}
+}
+
+func (s *Server) serveConn(nc net.Conn) {
+	defer func() {
+		nc.Close()
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+	}()
+	conn := &Conn{RemoteAddr: nc.RemoteAddr().String(), Data: map[string]any{}}
+	for {
+		msg, err := ldap.ReadMessage(nc)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("ldapserver: %s: read: %v", conn.RemoteAddr, err)
+			}
+			return
+		}
+		if _, ok := msg.Op.(*ldap.UnbindRequest); ok {
+			return
+		}
+		resp := s.dispatch(conn, nc, msg)
+		if resp == nil {
+			continue // abandon has no response
+		}
+		if err := resp.Write(nc); err != nil {
+			s.logf("ldapserver: %s: write: %v", conn.RemoteAddr, err)
+			return
+		}
+	}
+}
+
+// dispatch runs one operation and returns the final response message (search
+// entries are streamed directly to the connection).
+func (s *Server) dispatch(conn *Conn, nc net.Conn, msg *ldap.Message) (out *ldap.Message) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("ldapserver: %s: handler panic: %v", conn.RemoteAddr, r)
+			out = &ldap.Message{ID: msg.ID, Op: opError(msg.Op, ldap.Result{
+				Code: ldap.ResultOperationsError, Message: fmt.Sprint(r)})}
+		}
+	}()
+	switch req := msg.Op.(type) {
+	case *ldap.BindRequest:
+		res := s.Handler.Bind(conn, req)
+		if res.Code == ldap.ResultSuccess {
+			conn.BoundDN = req.Name
+		}
+		return &ldap.Message{ID: msg.ID, Op: &ldap.BindResponse{Result: res}}
+	case *ldap.SearchRequest:
+		send := func(e *ldap.SearchResultEntry) error {
+			return (&ldap.Message{ID: msg.ID, Op: e}).Write(nc)
+		}
+		res := s.Handler.Search(conn, req, send)
+		return &ldap.Message{ID: msg.ID, Op: &ldap.SearchResultDone{Result: res}}
+	case *ldap.AddRequest:
+		return &ldap.Message{ID: msg.ID, Op: &ldap.AddResponse{Result: s.Handler.Add(conn, req)}}
+	case *ldap.DeleteRequest:
+		return &ldap.Message{ID: msg.ID, Op: &ldap.DeleteResponse{Result: s.Handler.Delete(conn, req)}}
+	case *ldap.ModifyRequest:
+		return &ldap.Message{ID: msg.ID, Op: &ldap.ModifyResponse{Result: s.Handler.Modify(conn, req)}}
+	case *ldap.ModifyDNRequest:
+		return &ldap.Message{ID: msg.ID, Op: &ldap.ModifyDNResponse{Result: s.Handler.ModifyDN(conn, req)}}
+	case *ldap.CompareRequest:
+		return &ldap.Message{ID: msg.ID, Op: &ldap.CompareResponse{Result: s.Handler.Compare(conn, req)}}
+	case *ldap.ExtendedRequest:
+		return &ldap.Message{ID: msg.ID, Op: s.Handler.Extended(conn, req)}
+	case *ldap.AbandonRequest:
+		return nil // operations are synchronous here; nothing to abandon
+	}
+	return &ldap.Message{ID: msg.ID, Op: &ldap.ExtendedResponse{
+		Result: ldap.Result{Code: ldap.ResultProtocolError, Message: "unsupported operation"}}}
+}
+
+// opError builds the response op matching a request op for error reporting.
+func opError(req ldap.Op, res ldap.Result) ldap.Op {
+	switch req.(type) {
+	case *ldap.BindRequest:
+		return &ldap.BindResponse{Result: res}
+	case *ldap.SearchRequest:
+		return &ldap.SearchResultDone{Result: res}
+	case *ldap.AddRequest:
+		return &ldap.AddResponse{Result: res}
+	case *ldap.DeleteRequest:
+		return &ldap.DeleteResponse{Result: res}
+	case *ldap.ModifyRequest:
+		return &ldap.ModifyResponse{Result: res}
+	case *ldap.ModifyDNRequest:
+		return &ldap.ModifyDNResponse{Result: res}
+	case *ldap.CompareRequest:
+		return &ldap.CompareResponse{Result: res}
+	default:
+		return &ldap.ExtendedResponse{Result: res}
+	}
+}

@@ -1,0 +1,231 @@
+// Package ldif reads and writes the LDAP Data Interchange Format (RFC
+// 2849 content records): the standard way to move directory data between
+// servers, and the format MetaComm's tools use for bulk import/export and
+// backups.
+//
+// Supported: comments, line folding (continuation lines starting with a
+// space), base64-encoded values ("attr:: ..."), multiple entries separated
+// by blank lines, and an optional leading "version: 1". Change records
+// ("changetype:") are out of scope — MetaComm applies changes through the
+// LDAP protocol, not offline.
+package ldif
+
+import (
+	"bufio"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"metacomm/internal/ldap"
+	"metacomm/internal/ldapclient"
+)
+
+// Entry is one LDIF content record.
+type Entry struct {
+	DN    string
+	Attrs []ldap.Attribute
+}
+
+// Parse reads all entries from LDIF text.
+func Parse(r io.Reader) ([]*Entry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	// Unfold: gather logical lines (continuations start with one space).
+	var logical []string
+	lineno := 0
+	flushed := func(s string) {
+		if s != "" {
+			logical = append(logical, s)
+		}
+	}
+	var cur strings.Builder
+	curOpen := false
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "#"):
+			continue
+		case strings.HasPrefix(line, " ") && curOpen:
+			cur.WriteString(line[1:])
+		case line == "":
+			if curOpen {
+				flushed(cur.String())
+				cur.Reset()
+				curOpen = false
+			}
+			logical = append(logical, "") // record separator
+		default:
+			if curOpen {
+				flushed(cur.String())
+				cur.Reset()
+			}
+			cur.WriteString(line)
+			curOpen = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if curOpen {
+		flushed(cur.String())
+	}
+
+	var entries []*Entry
+	var e *Entry
+	finish := func() {
+		if e != nil && e.DN != "" {
+			entries = append(entries, e)
+		}
+		e = nil
+	}
+	for _, line := range logical {
+		if line == "" {
+			finish()
+			continue
+		}
+		if strings.HasPrefix(strings.ToLower(line), "version:") {
+			continue
+		}
+		attr, value, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if strings.EqualFold(attr, "dn") {
+			finish()
+			e = &Entry{DN: value}
+			continue
+		}
+		if e == nil {
+			return nil, fmt.Errorf("ldif: attribute %q before any dn:", attr)
+		}
+		if strings.EqualFold(attr, "changetype") {
+			return nil, fmt.Errorf("ldif: change records not supported (entry %q)", e.DN)
+		}
+		addValue(e, attr, value)
+	}
+	finish()
+	return entries, nil
+}
+
+func parseLine(line string) (attr, value string, err error) {
+	i := strings.IndexByte(line, ':')
+	if i <= 0 {
+		return "", "", fmt.Errorf("ldif: malformed line %q", line)
+	}
+	attr = line[:i]
+	rest := line[i+1:]
+	if strings.HasPrefix(rest, ":") {
+		// base64 value
+		raw := strings.TrimLeft(rest[1:], " ")
+		b, err := base64.StdEncoding.DecodeString(raw)
+		if err != nil {
+			return "", "", fmt.Errorf("ldif: bad base64 for %s: %v", attr, err)
+		}
+		return attr, string(b), nil
+	}
+	if strings.HasPrefix(rest, "<") {
+		return "", "", fmt.Errorf("ldif: URL values not supported (%s)", attr)
+	}
+	return attr, strings.TrimLeft(rest, " "), nil
+}
+
+func addValue(e *Entry, attr, value string) {
+	for i := range e.Attrs {
+		if strings.EqualFold(e.Attrs[i].Type, attr) {
+			e.Attrs[i].Values = append(e.Attrs[i].Values, value)
+			return
+		}
+	}
+	e.Attrs = append(e.Attrs, ldap.Attribute{Type: attr, Values: []string{value}})
+}
+
+// needsBase64 reports whether an LDIF value must be base64-encoded.
+func needsBase64(v string) bool {
+	if v == "" {
+		return false
+	}
+	switch v[0] {
+	case ' ', ':', '<':
+		return true
+	}
+	if strings.HasSuffix(v, " ") {
+		return true
+	}
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if c == '\n' || c == '\r' || c == 0 || c >= 0x80 {
+			return true
+		}
+	}
+	return false
+}
+
+// writeValue emits one attr line, folding at 76 characters.
+func writeValue(w *bufio.Writer, attr, value string) error {
+	var line string
+	if needsBase64(value) {
+		line = attr + ":: " + base64.StdEncoding.EncodeToString([]byte(value))
+	} else {
+		line = attr + ": " + value
+	}
+	const width = 76
+	for len(line) > width {
+		if _, err := w.WriteString(line[:width] + "\n"); err != nil {
+			return err
+		}
+		line = " " + line[width:]
+	}
+	_, err := w.WriteString(line + "\n")
+	return err
+}
+
+// Marshal writes entries as LDIF.
+func Marshal(w io.Writer, entries []*Entry) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("version: 1\n"); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+		if err := writeValue(bw, "dn", e.DN); err != nil {
+			return err
+		}
+		for _, a := range orderedAttrs(e.Attrs) {
+			for _, v := range a.Values {
+				if err := writeValue(bw, a.Type, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// orderedAttrs puts objectClass first (LDIF convention), the rest sorted.
+func orderedAttrs(attrs []ldap.Attribute) []ldap.Attribute {
+	out := append([]ldap.Attribute(nil), attrs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		oi := strings.EqualFold(out[i].Type, "objectClass")
+		oj := strings.EqualFold(out[j].Type, "objectClass")
+		if oi != oj {
+			return oi
+		}
+		return strings.ToLower(out[i].Type) < strings.ToLower(out[j].Type)
+	})
+	return out
+}
+
+// FromSearchEntries converts client search results into LDIF entries.
+func FromSearchEntries(entries []*ldapclient.Entry) []*Entry {
+	out := make([]*Entry, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, &Entry{DN: e.DN, Attrs: e.Attributes})
+	}
+	return out
+}

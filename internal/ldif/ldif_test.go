@@ -1,0 +1,190 @@
+package ldif
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"metacomm/internal/ldap"
+)
+
+const sample = `version: 1
+# the paper's Figure 2 tree, as LDIF
+
+dn: o=Lucent
+objectClass: organization
+o: Lucent
+
+dn: cn=John Doe,o=Marketing,o=Lucent
+objectClass: mcPerson
+objectClass: definityUser
+cn: John Doe
+sn: Doe
+telephoneNumber: +1 908 582 9000
+definityExtension: 2-9000
+`
+
+func TestParseSample(t *testing.T) {
+	entries, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	e := entries[1]
+	if e.DN != "cn=John Doe,o=Marketing,o=Lucent" {
+		t.Errorf("dn = %q", e.DN)
+	}
+	var classes []string
+	for _, a := range e.Attrs {
+		if strings.EqualFold(a.Type, "objectClass") {
+			classes = a.Values
+		}
+	}
+	if len(classes) != 2 || classes[1] != "definityUser" {
+		t.Errorf("classes = %v", classes)
+	}
+}
+
+func TestParseFoldingAndBase64(t *testing.T) {
+	in := "dn: cn=x\ncn: x\ndescription: part one\n  and part two\nsn:: RMOpY2hpcmF0w6k=\n"
+	entries, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entries[0]
+	if got := attrValue(e, "description"); got != "part one and part two" {
+		t.Errorf("description = %q", got)
+	}
+	if got := attrValue(e, "sn"); got != "Déchiraté" {
+		t.Errorf("sn = %q", got)
+	}
+}
+
+func attrValue(e *Entry, name string) string {
+	for _, a := range e.Attrs {
+		if strings.EqualFold(a.Type, name) && len(a.Values) > 0 {
+			return a.Values[0]
+		}
+	}
+	return ""
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"attr before dn": "cn: x\n",
+		"malformed":      "dn: cn=x\nnocolonhere\n",
+		"bad base64":     "dn: cn=x\nsn:: !!!\n",
+		"url value":      "dn: cn=x\njpegPhoto:< file:///x\n",
+		"changetype":     "dn: cn=x\nchangetype: modify\n",
+	}
+	for name, in := range bad {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	entries := []*Entry{
+		{DN: "o=Lucent", Attrs: []ldap.Attribute{
+			{Type: "objectClass", Values: []string{"organization"}},
+			{Type: "o", Values: []string{"Lucent"}},
+		}},
+		{DN: "cn=Weird,o=Lucent", Attrs: []ldap.Attribute{
+			{Type: "objectClass", Values: []string{"mcPerson"}},
+			{Type: "cn", Values: []string{"Weird"}},
+			{Type: "sn", Values: []string{" leading space"}},
+			{Type: "description", Values: []string{"multi\nline", "café ☕"}},
+			{Type: "note", Values: []string{strings.Repeat("long ", 60)}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := Marshal(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if len(back) != 2 {
+		t.Fatalf("entries = %d", len(back))
+	}
+	e := back[1]
+	if attrValue(e, "sn") != " leading space" {
+		t.Errorf("sn = %q", attrValue(e, "sn"))
+	}
+	var desc []string
+	for _, a := range e.Attrs {
+		if strings.EqualFold(a.Type, "description") {
+			desc = a.Values
+		}
+	}
+	if len(desc) != 2 || desc[0] != "multi\nline" || desc[1] != "café ☕" {
+		t.Errorf("description = %q", desc)
+	}
+	if got := attrValue(e, "note"); got != strings.Repeat("long ", 60) {
+		t.Errorf("folded value corrupted: %q", got)
+	}
+}
+
+func TestMarshalPutsObjectClassFirst(t *testing.T) {
+	entries := []*Entry{{DN: "cn=x", Attrs: []ldap.Attribute{
+		{Type: "sn", Values: []string{"x"}},
+		{Type: "objectClass", Values: []string{"person"}},
+	}}}
+	var buf bytes.Buffer
+	if err := Marshal(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// version, blank record separator, dn, then objectClass first.
+	if lines[3] != "objectClass: person" {
+		t.Errorf("lines = %q", lines)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(vals []string) bool {
+		clean := make([]string, 0, len(vals))
+		for _, v := range vals {
+			if v != "" && !strings.ContainsAny(v, "\x00") {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		entries := []*Entry{{DN: "cn=prop", Attrs: []ldap.Attribute{
+			{Type: "description", Values: clean},
+		}}}
+		var buf bytes.Buffer
+		if err := Marshal(&buf, entries); err != nil {
+			return false
+		}
+		back, err := Parse(&buf)
+		if err != nil || len(back) != 1 {
+			return false
+		}
+		var got []string
+		for _, a := range back[0].Attrs {
+			if strings.EqualFold(a.Type, "description") {
+				got = a.Values
+			}
+		}
+		if len(got) != len(clean) {
+			return false
+		}
+		for i := range got {
+			if got[i] != clean[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

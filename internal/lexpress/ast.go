@@ -1,0 +1,124 @@
+package lexpress
+
+// AST node types produced by the parser and consumed by the compiler.
+
+// expr is a lexpress expression. All expressions evaluate to a value list
+// (scalar results are single-element lists; an empty list means "absent").
+type expr interface{ isExpr() }
+
+type strLit struct{ Val string }
+type numLit struct{ Val int }
+
+// attrRef references a source attribute; it evaluates to all of its values
+// (lexpress's multi-valued attribute processing).
+type attrRef struct{ Name string }
+
+// concatExpr joins the first values of its parts into one scalar. If any
+// part is absent the result is absent — a mapping cannot half-build a value.
+type concatExpr struct{ Parts []expr }
+
+// altExpr is the alternate attribute mapping operator 'a ? b ? c': the first
+// non-absent option wins.
+type altExpr struct{ Options []expr }
+
+// callExpr invokes a builtin (substr, lower, upper, trim, replace, group,
+// lookup, values, join, split, count, first).
+type callExpr struct {
+	Fn   string
+	Args []expr
+}
+
+func (strLit) isExpr()     {}
+func (numLit) isExpr()     {}
+func (attrRef) isExpr()    {}
+func (concatExpr) isExpr() {}
+func (altExpr) isExpr()    {}
+func (callExpr) isExpr()   {}
+
+// cond is a lexpress condition.
+type cond interface{ isCond() }
+
+type cmpCond struct {
+	NE   bool
+	L, R expr
+}
+
+// likeCond tests expr against a glob ('like') or full pattern ('matches').
+type likeCond struct {
+	E       expr
+	Pat     string
+	IsMatch bool // matches vs like
+}
+
+type presentCond struct{ Attr string }
+
+type andCond struct{ L, R cond }
+type orCond struct{ L, R cond }
+type notCond struct{ C cond }
+
+func (cmpCond) isCond()     {}
+func (likeCond) isCond()    {}
+func (presentCond) isCond() {}
+func (andCond) isCond()     {}
+func (orCond) isCond()      {}
+func (notCond) isCond()     {}
+
+// stmt is a mapping-body statement.
+type stmt interface{ isStmt() }
+
+// mapStmt assigns one expression to a target attribute. Assignments are
+// ordered and first-mapping-wins: a later map to an already-assigned target
+// attribute is skipped, which is how ordered special cases and alternates
+// compose.
+type mapStmt struct {
+	Dst   string
+	E     expr
+	Guard cond // nil when unguarded
+}
+
+// setStmt assigns an explicit value list (multi-valued).
+type setStmt struct {
+	Dst   string
+	Es    []expr
+	Guard cond
+}
+
+func (mapStmt) isStmt() {}
+func (setStmt) isStmt() {}
+
+// deriveStmt is a transitive-closure rule over the TARGET schema: when its
+// inputs are present and its output is not explicitly set, it fires during
+// closure processing.
+type deriveStmt struct {
+	Dst string
+	E   expr
+	// Guard restricts when the rule may fire (nil = always); evaluated
+	// against the record under closure.
+	Guard cond
+}
+
+// tableDef is a table translation with an optional default.
+type tableDef struct {
+	Name       string
+	Entries    map[string]string
+	Default    string
+	HasDefault bool
+}
+
+// mappingAST is a parsed mapping unit.
+type mappingAST struct {
+	Name   string
+	Source string
+	Target string
+	// KeySrc/KeyDst define the record-key correspondence.
+	KeySrc, KeyDst string
+	Tables         map[string]*tableDef
+	Stmts          []stmt
+	Derives        []deriveStmt
+	Partition      cond // nil = target manages everything
+	Originator     string
+	// Owns lists source-schema attributes this mapping's TARGET exclusively
+	// owns: when the target's record disappears, these are the attributes
+	// to clear from the source-side entry.
+	Owns []string
+}

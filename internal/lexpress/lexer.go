@@ -1,0 +1,188 @@
+package lexpress
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates lexical token kinds of the lexpress language.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString // "..." with backslash escapes
+	tokNumber // integer literal
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokSemi
+	tokComma
+	tokEq    // =
+	tokEqEq  // ==
+	tokNotEq // !=
+	tokArrow // ->
+	tokPlus  // +
+	tokQuery // ?
+)
+
+var tokNames = map[tokKind]string{
+	tokEOF: "end of input", tokIdent: "identifier", tokString: "string",
+	tokNumber: "number", tokLBrace: "'{'", tokRBrace: "'}'",
+	tokLParen: "'('", tokRParen: "')'", tokSemi: "';'", tokComma: "','",
+	tokEq: "'='", tokEqEq: "'=='", tokNotEq: "'!='", tokArrow: "'->'",
+	tokPlus: "'+'", tokQuery: "'?'",
+}
+
+func (k tokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// lexer tokenizes lexpress source. '#' and '//' start line comments.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("lexpress: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			l.skipLine()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			l.skipLine()
+		default:
+			return l.lexToken()
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+func (l *lexer) skipLine() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+}
+
+func (l *lexer) lexToken() (token, error) {
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}, nil
+	case c >= '0' && c <= '9':
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: l.line}, nil
+	case c == '"':
+		return l.lexString()
+	}
+	l.pos++
+	switch c {
+	case '{':
+		return token{kind: tokLBrace, line: l.line}, nil
+	case '}':
+		return token{kind: tokRBrace, line: l.line}, nil
+	case '(':
+		return token{kind: tokLParen, line: l.line}, nil
+	case ')':
+		return token{kind: tokRParen, line: l.line}, nil
+	case ';':
+		return token{kind: tokSemi, line: l.line}, nil
+	case ',':
+		return token{kind: tokComma, line: l.line}, nil
+	case '+':
+		return token{kind: tokPlus, line: l.line}, nil
+	case '?':
+		return token{kind: tokQuery, line: l.line}, nil
+	case '=':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokEqEq, line: l.line}, nil
+		}
+		return token{kind: tokEq, line: l.line}, nil
+	case '!':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokNotEq, line: l.line}, nil
+		}
+		return token{}, l.errf("unexpected '!'")
+	case '-':
+		if l.pos < len(l.src) && l.src[l.pos] == '>' {
+			l.pos++
+			return token{kind: tokArrow, line: l.line}, nil
+		}
+		return token{}, l.errf("unexpected '-'")
+	}
+	return token{}, l.errf("unexpected character %q", string(c))
+}
+
+func (l *lexer) lexString() (token, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return token{kind: tokString, text: b.String(), line: l.line}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return token{}, l.errf("unterminated string escape")
+			}
+			l.pos++
+			switch e := l.src[l.pos]; e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"', '\\':
+				b.WriteByte(e)
+			default:
+				return token{}, l.errf("unknown string escape \\%c", e)
+			}
+			l.pos++
+		case '\n':
+			return token{}, l.errf("unterminated string")
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, l.errf("unterminated string")
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.'
+}

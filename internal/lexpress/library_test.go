@@ -1,0 +1,203 @@
+package lexpress
+
+import "testing"
+
+func TestStandardLibraryCompiles(t *testing.T) {
+	lib, err := StandardLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"PBXToLDAP", "LDAPToPBX", "MPToLDAP", "LDAPToMP", "LDAPClosure"} {
+		if _, ok := lib.Get(name); !ok {
+			t.Errorf("missing %s", name)
+		}
+	}
+}
+
+func TestStandardPBXRoundTrip(t *testing.T) {
+	lib := MustStandardLibrary()
+	toLDAP, _ := lib.Get("PBXToLDAP")
+	toPBX, _ := lib.Get("LDAPToPBX")
+
+	station := Record{
+		"extension": {"2-9000"},
+		"name":      {"John Doe"},
+		"cos":       {"1"},
+		"room":      {"2C-401"},
+	}
+	img, err := toLDAP.Image(station)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.First("telephoneNumber") != "+1 908 582 9000" {
+		t.Errorf("tel = %q", img.First("telephoneNumber"))
+	}
+	if img.First("sn") != "Doe" {
+		t.Errorf("sn = %q", img.First("sn"))
+	}
+	if img.First("lastUpdater") != "pbx" {
+		t.Errorf("lastUpdater = %q", img.First("lastUpdater"))
+	}
+	back, err := toPBX.Image(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, attr := range []string{"Extension", "Name", "COS", "Room"} {
+		if back.First(attr) != station.First(attr) {
+			t.Errorf("%s = %q, want %q", attr, back.First(attr), station.First(attr))
+		}
+	}
+}
+
+func TestStandardSingleWordNameSN(t *testing.T) {
+	lib := MustStandardLibrary()
+	toLDAP, _ := lib.Get("PBXToLDAP")
+	img, err := toLDAP.Image(Record{"extension": {"2-1"}, "name": {"Cher"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.First("sn") != "Cher" {
+		t.Errorf("sn fallback = %q", img.First("sn"))
+	}
+}
+
+func TestStandardMPRoundTrip(t *testing.T) {
+	lib := MustStandardLibrary()
+	toLDAP, _ := lib.Get("MPToLDAP")
+	toMP, _ := lib.Get("LDAPToMP")
+
+	mbx := Record{
+		"mailbox":   {"9000"},
+		"mailboxid": {"MBX000042"},
+		"name":      {"John Doe"},
+		"cos":       {"1"},
+	}
+	img, err := toLDAP.Image(mbx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.First("mailboxId") != "MBX000042" {
+		t.Errorf("mailboxId = %q", img.First("mailboxId"))
+	}
+	back, err := toMP.Image(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.First("Mailbox") != "9000" || back.First("Name") != "John Doe" {
+		t.Errorf("back = %v", back)
+	}
+}
+
+func TestStandardMPPartitionByMailboxPresence(t *testing.T) {
+	lib := MustStandardLibrary()
+	toMP, _ := lib.Get("LDAPToMP")
+	// A phone number alone does not put a person on the messaging platform.
+	phoneOnly := Record{
+		"cn":              {"Pat Smith"},
+		"telephonenumber": {"+1 908 582 7777"},
+	}
+	u, err := toMP.Translate(Descriptor{Source: "ldap", Op: OpAdd, New: phoneOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != nil {
+		t.Fatalf("phone-only person routed to MP: %+v", u)
+	}
+	// With a mailbox number they are managed, and missing fields derive.
+	subscriber := phoneOnly.Clone()
+	subscriber.Set("mailboxNumber", "7777")
+	u, err = toMP.Translate(Descriptor{Source: "ldap", Op: OpAdd, New: subscriber})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u == nil || u.Key != "7777" {
+		t.Fatalf("u = %+v", u)
+	}
+	if u.New.First("Name") != "Pat Smith" {
+		t.Errorf("Name = %q", u.New.First("Name"))
+	}
+}
+
+func TestStandardOwnedAttributes(t *testing.T) {
+	lib := MustStandardLibrary()
+	fromPBX, _ := lib.Get("PBXToLDAP")
+	owned := fromPBX.Owned()
+	want := map[string]bool{"definityExtension": true, "definityName": true,
+		"definityCOS": true, "definityCOR": true, "definityPort": true}
+	if len(owned) != len(want) {
+		t.Fatalf("owned = %v", owned)
+	}
+	for _, a := range owned {
+		if !want[a] {
+			t.Errorf("unexpected owned attr %q", a)
+		}
+	}
+	// Owned attrs ride on translated updates.
+	u, err := fromPBX.Translate(Descriptor{Source: "pbx", Op: OpDelete,
+		Old: Record{"extension": {"2-9000"}, "name": {"X"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u == nil || len(u.Owned) != len(want) {
+		t.Fatalf("u = %+v", u)
+	}
+}
+
+func TestClosureGuardsKeepNonUsersClean(t *testing.T) {
+	lib := MustStandardLibrary()
+	cl, _ := lib.Get("LDAPClosure")
+	// A person with a phone but no devices: the closure must NOT conjure
+	// definityExtension or mailboxNumber.
+	old := Record{"cn": {"Visitor"}, "telephonenumber": {"+1 908 582 1111"}}
+	rec := old.Clone()
+	rec.Set("telephoneNumber", "+1 908 582 2222")
+	if _, err := cl.ApplyClosure(old, rec, []string{"telephoneNumber"}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Has("definityExtension") || rec.Has("mailboxNumber") {
+		t.Errorf("closure invented device attributes: %v", rec)
+	}
+}
+
+func TestClosurePropagatesForDeviceUsers(t *testing.T) {
+	lib := MustStandardLibrary()
+	cl, _ := lib.Get("LDAPClosure")
+	old := Record{
+		"cn":                {"John Doe"},
+		"telephonenumber":   {"+1 908 582 9000"},
+		"definityextension": {"2-9000"},
+		"mailboxnumber":     {"9000"},
+	}
+	rec := old.Clone()
+	rec.Set("telephoneNumber", "+1 908 583 1234")
+	if _, err := cl.ApplyClosure(old, rec, []string{"telephoneNumber"}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.First("definityExtension") != "3-1234" {
+		t.Errorf("ext = %q", rec.First("definityExtension"))
+	}
+	if rec.First("mailboxNumber") != "1234" {
+		t.Errorf("mbx = %q", rec.First("mailboxNumber"))
+	}
+}
+
+func TestClosureNamePropagation(t *testing.T) {
+	lib := MustStandardLibrary()
+	cl, _ := lib.Get("LDAPClosure")
+	old := Record{
+		"cn":                {"John Doe"},
+		"definityextension": {"2-9000"},
+		"definityname":      {"John Doe"},
+	}
+	rec := old.Clone()
+	rec.Set("cn", "John Q Doe")
+	if _, err := cl.ApplyClosure(old, rec, []string{"cn"}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.First("definityName") != "John Q Doe" {
+		t.Errorf("definityName = %q", rec.First("definityName"))
+	}
+	if rec.Has("messagingName") {
+		t.Error("messagingName conjured for non-mailbox user")
+	}
+}

@@ -1,0 +1,620 @@
+package lexpress
+
+import (
+	"strings"
+	"testing"
+)
+
+// pbxToLDAP is a test mapping modeled on the paper's Definity example:
+// Extension relates telephoneNumber and definityExtension.
+const pbxToLDAP = `
+# Definity PBX station records into the integrated LDAP schema.
+mapping PBXToLDAP source "pbx" target "ldap" {
+    key Extension -> definityExtension;
+
+    table cosNames {
+        "1" -> "standard";
+        "2" -> "executive";
+        default -> "standard";
+    }
+
+    map definityExtension = Extension;
+    map definityName = Name;
+    map cn = Name;
+    map telephoneNumber = "+1 908 58" + group(Extension, "([0-9])-([0-9]+)", 1)
+                          + " " + group(Extension, "([0-9])-([0-9]+)", 2);
+    map definityCOS = lookup(cosNames, COS);
+    map roomNumber = Room ? Location;          # alternate attribute mapping
+    map lastUpdater = "pbx";
+    set objectClass = "mcPerson", "definityUser";
+
+    derive sn = group(cn, "[A-Za-z]+ ([A-Za-z]+)", 1);
+}
+`
+
+const ldapToPBX = `
+mapping LDAPToPBX source "ldap" target "pbx" {
+    key definityExtension -> Extension;
+
+    map Extension = definityExtension
+                  ? group(telephoneNumber, "\\+1 908 58([0-9]) ([0-9]+)", 1) + "-"
+                    + group(telephoneNumber, "\\+1 908 58([0-9]) ([0-9]+)", 2);
+    map Name = definityName ? cn;
+    map Room = roomNumber;
+
+    partition when telephoneNumber like "+1 908 582 *" or definityExtension like "2-*";
+    originator lastUpdater;
+}
+`
+
+func compileOne(t testing.TB, src, name string) *Mapping {
+	t.Helper()
+	lib, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := lib.Get(name)
+	if !ok {
+		t.Fatalf("mapping %q missing", name)
+	}
+	return m
+}
+
+func pbxRecord() Record {
+	return Record{
+		"extension": {"2-9000"},
+		"name":      {"John Doe"},
+		"cos":       {"2"},
+		"room":      {"2C-401"},
+	}
+}
+
+func TestImageBasicMapping(t *testing.T) {
+	m := compileOne(t, pbxToLDAP, "PBXToLDAP")
+	img, err := m.Image(pbxRecord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := img.First("telephoneNumber"); got != "+1 908 582 9000" {
+		t.Errorf("telephoneNumber = %q", got)
+	}
+	if got := img.First("definityCOS"); got != "executive" {
+		t.Errorf("definityCOS = %q", got)
+	}
+	if got := img.Get("objectClass"); len(got) != 2 || got[0] != "mcPerson" || got[1] != "definityUser" {
+		t.Errorf("objectClass = %v", got)
+	}
+	if got := img.First("roomNumber"); got != "2C-401" {
+		t.Errorf("roomNumber = %q", got)
+	}
+	if got := img.First("lastUpdater"); got != "pbx" {
+		t.Errorf("lastUpdater = %q", got)
+	}
+	// Derive rule fills sn from cn.
+	if got := img.First("sn"); got != "Doe" {
+		t.Errorf("sn = %q", got)
+	}
+}
+
+func TestTableDefault(t *testing.T) {
+	m := compileOne(t, pbxToLDAP, "PBXToLDAP")
+	rec := pbxRecord()
+	rec.Set("COS", "99")
+	img, err := m.Image(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := img.First("definityCOS"); got != "standard" {
+		t.Errorf("default lookup = %q", got)
+	}
+}
+
+func TestAlternateAttributeMapping(t *testing.T) {
+	m := compileOne(t, pbxToLDAP, "PBXToLDAP")
+	rec := pbxRecord()
+	rec.Set("Room") // remove
+	rec.Set("Location", "Annex 3")
+	img, err := m.Image(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := img.First("roomNumber"); got != "Annex 3" {
+		t.Errorf("alternate mapping = %q", got)
+	}
+}
+
+func TestDirtyDataYieldsAbsentNotError(t *testing.T) {
+	m := compileOne(t, pbxToLDAP, "PBXToLDAP")
+	rec := pbxRecord()
+	rec.Set("Extension", "garbage")
+	img, err := m.Image(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Has("telephoneNumber") {
+		t.Errorf("dirty extension produced telephoneNumber %q", img.First("telephoneNumber"))
+	}
+	// Key attribute still mapped directly.
+	if img.First("definityExtension") != "garbage" {
+		t.Error("direct map should still run")
+	}
+}
+
+func TestFirstMappingWinsOrderedSpecialCases(t *testing.T) {
+	src := `
+mapping M source "a" target "b" {
+    key id -> id;
+    when kind == "operator" map cos = "0";
+    map cos = "9";
+    map id = id;
+}
+`
+	m := compileOne(t, src, "M")
+	img, err := m.Image(Record{"id": {"1"}, "kind": {"operator"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.First("cos") != "0" {
+		t.Errorf("special case lost: cos = %q", img.First("cos"))
+	}
+	img, err = m.Image(Record{"id": {"1"}, "kind": {"normal"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.First("cos") != "9" {
+		t.Errorf("general case: cos = %q", img.First("cos"))
+	}
+}
+
+func TestTranslateRoutesByPartition(t *testing.T) {
+	m := compileOne(t, ldapToPBX, "LDAPToPBX")
+	managedOld := Record{
+		"definityextension": {"2-9000"},
+		"telephonenumber":   {"+1 908 582 9000"},
+		"cn":                {"John Doe"},
+	}
+	managedNew := managedOld.Clone()
+	managedNew.Set("roomNumber", "2C-500")
+
+	// modify within the partition
+	u, err := m.Translate(Descriptor{Source: "ldap", Op: OpModify, Key: "x", Old: managedOld, New: managedNew})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u == nil || u.Op != OpModify {
+		t.Fatalf("u = %+v", u)
+	}
+	if u.Key != "2-9000" {
+		t.Errorf("key = %q", u.Key)
+	}
+	if u.New.First("Room") != "2C-500" {
+		t.Errorf("Room = %q", u.New.First("Room"))
+	}
+
+	// migrate out: number moves off this PBX -> delete (paper example)
+	movedOut := managedOld.Clone()
+	movedOut.Set("telephoneNumber", "+1 908 583 1111")
+	movedOut.Set("definityExtension")
+	u, err = m.Translate(Descriptor{Source: "ldap", Op: OpModify, Old: managedOld, New: movedOut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u == nil || u.Op != OpDelete {
+		t.Fatalf("migrate-out: %+v", u)
+	}
+	if u.OldKey != "2-9000" {
+		t.Errorf("old key = %q", u.OldKey)
+	}
+
+	// migrate in: previously unmanaged number moves onto this PBX -> add
+	outside := Record{"telephonenumber": {"+1 908 583 1111"}, "cn": {"Pat"}}
+	inside := Record{"telephonenumber": {"+1 908 582 7777"}, "cn": {"Pat"}}
+	u, err = m.Translate(Descriptor{Source: "ldap", Op: OpModify, Old: outside, New: inside})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u == nil || u.Op != OpAdd {
+		t.Fatalf("migrate-in: %+v", u)
+	}
+	if u.Key != "2-7777" {
+		t.Errorf("derived key = %q (extension should derive from number)", u.Key)
+	}
+
+	// unrelated record -> skip
+	u, err = m.Translate(Descriptor{Source: "ldap", Op: OpModify,
+		Old: Record{"telephonenumber": {"+1 908 583 1"}, "cn": {"Q"}},
+		New: Record{"telephonenumber": {"+1 908 583 2"}, "cn": {"Q"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != nil {
+		t.Fatalf("unmanaged record produced %+v", u)
+	}
+}
+
+func TestTranslateAddAndDelete(t *testing.T) {
+	m := compileOne(t, ldapToPBX, "LDAPToPBX")
+	rec := Record{"definityextension": {"2-9000"}, "cn": {"John"}, "telephonenumber": {"+1 908 582 9000"}}
+	u, err := m.Translate(Descriptor{Source: "ldap", Op: OpAdd, New: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u == nil || u.Op != OpAdd {
+		t.Fatalf("add: %+v", u)
+	}
+	u, err = m.Translate(Descriptor{Source: "ldap", Op: OpDelete, Old: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u == nil || u.Op != OpDelete {
+		t.Fatalf("delete: %+v", u)
+	}
+}
+
+func TestConditionalReapplyDetection(t *testing.T) {
+	m := compileOne(t, ldapToPBX, "LDAPToPBX")
+	rec := Record{
+		"definityextension": {"2-9000"},
+		"telephonenumber":   {"+1 908 582 9000"},
+		"cn":                {"John"},
+		"lastupdater":       {"pbx"}, // the update came from the PBX
+	}
+	u, err := m.Translate(Descriptor{Source: "ldap", Op: OpModify, Old: rec, New: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u == nil || !u.Conditional {
+		t.Fatalf("reapplied update not conditional: %+v", u)
+	}
+	// Update that originated at LDAP is NOT conditional toward the PBX.
+	rec2 := rec.Clone()
+	rec2.Set("lastUpdater", "ldap")
+	u, err = m.Translate(Descriptor{Source: "ldap", Op: OpModify, Old: rec2, New: rec2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u == nil || u.Conditional {
+		t.Fatalf("fresh update marked conditional: %+v", u)
+	}
+}
+
+func TestTranslateWithoutKeyFails(t *testing.T) {
+	m := compileOne(t, ldapToPBX, "LDAPToPBX")
+	// An add inside the partition whose image cannot derive a key value.
+	_, err := m.Translate(Descriptor{Source: "ldap", Op: OpAdd,
+		New: Record{"cn": {"nobody"}, "telephonenumber": {"+1 908 582 x"}}})
+	if err == nil {
+		t.Fatal("expected key error")
+	}
+	if !strings.Contains(err.Error(), "key") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// The paper's closure example: telephoneNumber and definityExtension are
+// related through the PBX Extension; changing either changes the other when
+// the update propagates.
+const ldapClosure = `
+mapping LDAPClosure source "ldap" target "ldap" {
+    key cn -> cn;
+    derive telephoneNumber = "+1 908 58" + group(definityExtension, "([0-9])-([0-9]+)", 1)
+                             + " " + group(definityExtension, "([0-9])-([0-9]+)", 2);
+    derive definityExtension = group(telephoneNumber, "\\+1 908 58([0-9]) ([0-9]+)", 1) + "-"
+                               + group(telephoneNumber, "\\+1 908 58([0-9]) ([0-9]+)", 2);
+    derive mailboxNumber = group(telephoneNumber, "\\+1 908 58[0-9] ([0-9]+)", 1);
+}
+`
+
+func TestClosurePropagatesTelephoneToExtension(t *testing.T) {
+	m := compileOne(t, ldapClosure, "LDAPClosure")
+	old := Record{
+		"cn":                {"John Doe"},
+		"telephonenumber":   {"+1 908 582 9000"},
+		"definityextension": {"2-9000"},
+		"mailboxnumber":     {"9000"},
+	}
+	rec := old.Clone()
+	rec.Set("telephoneNumber", "+1 908 583 1234") // client changed the number only
+	changed, err := m.ApplyClosure(old, rec, []string{"telephoneNumber"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.First("definityExtension") != "3-1234" {
+		t.Errorf("definityExtension = %q", rec.First("definityExtension"))
+	}
+	// Multi-hop: the mailbox id changes because the telephone number did
+	// (the PBX -> LDAP -> MP transitive chain of the paper).
+	if rec.First("mailboxNumber") != "1234" {
+		t.Errorf("mailboxNumber = %q", rec.First("mailboxNumber"))
+	}
+	if len(changed) != 2 {
+		t.Errorf("changed = %v", changed)
+	}
+}
+
+func TestClosureReverseDirection(t *testing.T) {
+	m := compileOne(t, ldapClosure, "LDAPClosure")
+	old := Record{
+		"cn":                {"John Doe"},
+		"telephonenumber":   {"+1 908 582 9000"},
+		"definityextension": {"2-9000"},
+	}
+	rec := old.Clone()
+	rec.Set("definityExtension", "2-7777")
+	if _, err := m.ApplyClosure(old, rec, []string{"definityExtension"}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.First("telephoneNumber") != "+1 908 582 7777" {
+		t.Errorf("telephoneNumber = %q", rec.First("telephoneNumber"))
+	}
+}
+
+func TestClosureConflictResolution(t *testing.T) {
+	// Paper §4.2: telephoneNumber and definityExtension explicitly set
+	// inconsistently. Neither may overwrite the other; the first satisfied
+	// mapping propagates onward.
+	m := compileOne(t, ldapClosure, "LDAPClosure")
+	old := Record{
+		"cn":                {"John Doe"},
+		"telephonenumber":   {"+1 908 582 9000"},
+		"definityextension": {"2-9000"},
+	}
+	rec := old.Clone()
+	rec.Set("telephoneNumber", "+1 908 583 1111")
+	rec.Set("definityExtension", "2-2222") // inconsistent with the number
+	if _, err := m.ApplyClosure(old, rec, []string{"telephoneNumber", "definityExtension"}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.First("telephoneNumber") != "+1 908 583 1111" {
+		t.Error("explicit telephoneNumber overwritten")
+	}
+	if rec.First("definityExtension") != "2-2222" {
+		t.Error("explicit definityExtension overwritten")
+	}
+	// Downstream attribute follows the first mapping in closure order.
+	if rec.First("mailboxNumber") != "1111" {
+		t.Errorf("mailboxNumber = %q", rec.First("mailboxNumber"))
+	}
+}
+
+func TestClosureNoChangeNoFire(t *testing.T) {
+	m := compileOne(t, ldapClosure, "LDAPClosure")
+	old := Record{"cn": {"x"}, "telephonenumber": {"+1 908 582 9000"}, "definityextension": {"2-9000"}}
+	rec := old.Clone()
+	rec.Set("cn", "y")
+	changed, err := m.ApplyClosure(old, rec, []string{"cn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 0 {
+		t.Errorf("unrelated change fired closure: %v", changed)
+	}
+}
+
+func TestClosureCyclesDetectedAtCompileTime(t *testing.T) {
+	m := compileOne(t, ldapClosure, "LDAPClosure")
+	cycles := m.ClosureCycles()
+	if len(cycles) != 1 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+	c := cycles[0]
+	if len(c) != 2 || c[0] != "definityextension" || c[1] != "telephonenumber" {
+		t.Errorf("cycle = %v", c)
+	}
+	// An acyclic mapping reports none.
+	acyclic := compileOne(t, pbxToLDAP, "PBXToLDAP")
+	if got := acyclic.ClosureCycles(); len(got) != 0 {
+		t.Errorf("acyclic mapping reported cycles %v", got)
+	}
+}
+
+func TestLibraryDynamicAddAndDuplicate(t *testing.T) {
+	lib, err := Compile(pbxToLDAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Add(ldapToPBX); err != nil {
+		t.Fatal(err)
+	}
+	if got := lib.Names(); len(got) != 2 {
+		t.Fatalf("names = %v", got)
+	}
+	if err := lib.Add(pbxToLDAP); err == nil {
+		t.Error("duplicate mapping accepted")
+	}
+	m, ok := lib.ForPair("ldap", "pbx")
+	if !ok || m.Name != "LDAPToPBX" {
+		t.Errorf("ForPair = %v %v", m, ok)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := map[string]string{
+		"no key":        `mapping M source "a" target "b" { map x = y; }`,
+		"unknown fn":    `mapping M source "a" target "b" { key a -> b; map x = frob(y); }`,
+		"bad arity":     `mapping M source "a" target "b" { key a -> b; map x = lower(y, z); }`,
+		"undef table":   `mapping M source "a" target "b" { key a -> b; map x = lookup(nope, y); }`,
+		"bad pattern":   `mapping M source "a" target "b" { key a -> b; map x = group(y, "(", 1); }`,
+		"group range":   `mapping M source "a" target "b" { key a -> b; map x = group(y, "(a)", 2); }`,
+		"group nonlit":  `mapping M source "a" target "b" { key a -> b; map x = group(y, z, 1); }`,
+		"dup key":       `mapping M source "a" target "b" { key a -> b; key c -> d; }`,
+		"dup partition": `mapping M source "a" target "b" { key a -> b; partition when a == "1"; partition when a == "2"; }`,
+		"unterminated":  `mapping M source "a" target "b" { key a -> b;`,
+		"garbage":       `hello world`,
+		"bad escape":    `mapping M source "a" target "b" { key a -> b; map x = "\q"; }`,
+	}
+	for name, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%s: compile succeeded", name)
+		}
+	}
+}
+
+func TestConditionOperators(t *testing.T) {
+	src := `
+mapping M source "a" target "b" {
+    key id -> id;
+    map id = id;
+    when x == "1" and y != "2" map a = "and";
+    when x == "9" or present(z) map b = "or";
+    when not x == "1" map c = "not";
+    when (x == "1" or x == "2") and y == "2" map d = "grouped";
+    when x matches "[0-9]+" map e = "matched";
+}
+`
+	m := compileOne(t, src, "M")
+	img, err := m.Image(Record{"id": {"i"}, "x": {"1"}, "y": {"3"}, "z": {"zz"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.First("a") != "and" {
+		t.Error("and failed")
+	}
+	if img.First("b") != "or" {
+		t.Error("or via present failed")
+	}
+	if img.Has("c") {
+		t.Error("not should have failed")
+	}
+	if img.Has("d") {
+		t.Error("grouped should need y==2")
+	}
+	if img.First("e") != "matched" {
+		t.Error("matches failed")
+	}
+}
+
+func TestMultiValuedProcessing(t *testing.T) {
+	src := `
+mapping M source "a" target "b" {
+    key id -> id;
+    map id = id;
+    map all = values(tags);
+    map joined = join(values(tags), ",");
+    map parts = split(csv, ";");
+    map n = count(values(tags));
+    map one = first(values(tags));
+}
+`
+	m := compileOne(t, src, "M")
+	img, err := m.Image(Record{"id": {"1"}, "tags": {"a", "b", "c"}, "csv": {"x;y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := img.Get("all"); len(got) != 3 {
+		t.Errorf("all = %v", got)
+	}
+	if img.First("joined") != "a,b,c" {
+		t.Errorf("joined = %q", img.First("joined"))
+	}
+	if got := img.Get("parts"); len(got) != 2 || got[1] != "y" {
+		t.Errorf("parts = %v", got)
+	}
+	if img.First("n") != "3" {
+		t.Errorf("n = %q", img.First("n"))
+	}
+	if img.First("one") != "a" {
+		t.Errorf("one = %q", img.First("one"))
+	}
+}
+
+func TestStringBuiltins(t *testing.T) {
+	src := `
+mapping M source "a" target "b" {
+    key id -> id;
+    map id = id;
+    map low = lower(name);
+    map up = upper(name);
+    map t = trim(padded);
+    map rep = replace(name, "o", "0");
+    map sub = substr(name, 1, 3);
+    map clamped = substr(name, 90, 5);
+}
+`
+	m := compileOne(t, src, "M")
+	img, err := m.Image(Record{"id": {"1"}, "name": {"John"}, "padded": {"  hi  "}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]string{
+		"low": "john", "up": "JOHN", "t": "hi", "rep": "J0hn", "sub": "ohn", "clamped": "",
+	}
+	for attr, want := range checks {
+		if attr == "clamped" {
+			if img.Has("clamped") {
+				t.Errorf("clamped should be absent, got %q", img.First("clamped"))
+			}
+			continue
+		}
+		if got := img.First(attr); got != want {
+			t.Errorf("%s = %q, want %q", attr, got, want)
+		}
+	}
+}
+
+func TestDisassembleIsReadable(t *testing.T) {
+	m := compileOne(t, pbxToLDAP, "PBXToLDAP")
+	d := m.Disassemble()
+	for _, want := range []string{"load", "store", "pushconst", "lookup", "group", "halt"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestParseUnitNames(t *testing.T) {
+	names, err := ParseUnit(pbxToLDAP + ldapToPBX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "PBXToLDAP" || names[1] != "LDAPToPBX" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func BenchmarkE6LexpressCompile(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(pbxToLDAP + ldapToPBX); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6LexpressTranslate(b *testing.B) {
+	m := compileOne(b, ldapToPBX, "LDAPToPBX")
+	old := Record{
+		"definityextension": {"2-9000"},
+		"telephonenumber":   {"+1 908 582 9000"},
+		"cn":                {"John Doe"},
+	}
+	nw := old.Clone()
+	nw.Set("roomNumber", "2C-500")
+	d := Descriptor{Source: "ldap", Op: OpModify, Old: old, New: nw}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Translate(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7ClosureApply(b *testing.B) {
+	m := compileOne(b, ldapClosure, "LDAPClosure")
+	old := Record{
+		"cn":                {"John Doe"},
+		"telephonenumber":   {"+1 908 582 9000"},
+		"definityextension": {"2-9000"},
+		"mailboxnumber":     {"9000"},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := old.Clone()
+		rec.Set("telephoneNumber", "+1 908 583 1234")
+		if _, err := m.ApplyClosure(old, rec, []string{"telephoneNumber"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

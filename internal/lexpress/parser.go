@@ -1,0 +1,649 @@
+package lexpress
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// parser builds mappingASTs from tokens.
+type parser struct {
+	lx   *lexer
+	tok  token
+	err  error
+	peek *token
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *parser) advance() error {
+	if p.peek != nil {
+		p.tok, p.peek = *p.peek, nil
+		return nil
+	}
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) peekTok() (token, error) {
+	if p.peek == nil {
+		t, err := p.lx.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.peek = &t
+	}
+	return *p.peek, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("lexpress: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, p.errf("expected %s, got %s %q", k, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) keyword(word string) error {
+	if p.tok.kind != tokIdent || p.tok.text != word {
+		return p.errf("expected %q, got %q", word, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) atKeyword(word string) bool {
+	return p.tok.kind == tokIdent && p.tok.text == word
+}
+
+// parseUnit parses zero or more mappings until EOF.
+func (p *parser) parseUnit() ([]*mappingAST, error) {
+	var out []*mappingAST
+	for p.tok.kind != tokEOF {
+		m, err := p.parseMapping()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// parseMapping parses:
+//
+//	mapping Name source "src" target "dst" { stmts }
+func (p *parser) parseMapping() (*mappingAST, error) {
+	if err := p.keyword("mapping"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("source"); err != nil {
+		return nil, err
+	}
+	src, err := p.expect(tokString)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("target"); err != nil {
+		return nil, err
+	}
+	dst, err := p.expect(tokString)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	m := &mappingAST{Name: name.text, Source: src.text, Target: dst.text, Tables: map[string]*tableDef{}}
+	for p.tok.kind != tokRBrace {
+		if p.tok.kind == tokEOF {
+			return nil, p.errf("unterminated mapping %q", m.Name)
+		}
+		if err := p.parseStmt(m); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.advance(); err != nil { // consume '}'
+		return nil, err
+	}
+	if m.KeySrc == "" {
+		return nil, fmt.Errorf("lexpress: mapping %q has no key statement", m.Name)
+	}
+	return m, nil
+}
+
+func (p *parser) parseStmt(m *mappingAST) error {
+	if p.tok.kind != tokIdent {
+		return p.errf("expected statement keyword, got %s", p.tok.kind)
+	}
+	switch p.tok.text {
+	case "key":
+		return p.parseKey(m)
+	case "table":
+		return p.parseTable(m)
+	case "map", "set":
+		s, err := p.parseMapOrSet(nil)
+		if err != nil {
+			return err
+		}
+		m.Stmts = append(m.Stmts, s)
+		return nil
+	case "when":
+		return p.parseWhen(m)
+	case "derive":
+		return p.parseDerive(m)
+	case "partition":
+		return p.parsePartition(m)
+	case "originator":
+		return p.parseOriginator(m)
+	case "owns":
+		return p.parseOwns(m)
+	}
+	return p.errf("unknown statement %q", p.tok.text)
+}
+
+func (p *parser) parseKey(m *mappingAST) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	src, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return err
+	}
+	dst, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return err
+	}
+	if m.KeySrc != "" {
+		return p.errf("duplicate key statement")
+	}
+	m.KeySrc, m.KeyDst = src.text, dst.text
+	return nil
+}
+
+func (p *parser) parseTable(m *mappingAST) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	t := &tableDef{Name: name.text, Entries: map[string]string{}}
+	for p.tok.kind != tokRBrace {
+		if p.atKeyword("default") {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if _, err := p.expect(tokArrow); err != nil {
+				return err
+			}
+			v, err := p.expect(tokString)
+			if err != nil {
+				return err
+			}
+			if t.HasDefault {
+				return p.errf("duplicate default in table %q", t.Name)
+			}
+			t.Default, t.HasDefault = v.text, true
+		} else {
+			k, err := p.expect(tokString)
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokArrow); err != nil {
+				return err
+			}
+			v, err := p.expect(tokString)
+			if err != nil {
+				return err
+			}
+			if _, dup := t.Entries[k.text]; dup {
+				return p.errf("duplicate table key %q", k.text)
+			}
+			t.Entries[k.text] = v.text
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return err
+		}
+	}
+	if err := p.advance(); err != nil { // '}'
+		return err
+	}
+	if _, dup := m.Tables[t.Name]; dup {
+		return p.errf("duplicate table %q", t.Name)
+	}
+	m.Tables[t.Name] = t
+	return nil
+}
+
+func (p *parser) parseMapOrSet(guard cond) (stmt, error) {
+	isSet := p.tok.text == "set"
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	dst, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEq); err != nil {
+		return nil, err
+	}
+	if isSet {
+		var es []expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			es = append(es, e)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return setStmt{Dst: dst.text, Es: es, Guard: guard}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return mapStmt{Dst: dst.text, E: e, Guard: guard}, nil
+}
+
+// parseWhen parses `when cond map|set ...;` or `when cond { map|set ... }`.
+func (p *parser) parseWhen(m *mappingAST) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	c, err := p.parseCond()
+	if err != nil {
+		return err
+	}
+	if p.tok.kind == tokLBrace {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		for p.tok.kind != tokRBrace {
+			if !p.atKeyword("map") && !p.atKeyword("set") {
+				return p.errf("only map/set allowed inside when block")
+			}
+			s, err := p.parseMapOrSet(c)
+			if err != nil {
+				return err
+			}
+			m.Stmts = append(m.Stmts, s)
+		}
+		return p.advance()
+	}
+	if !p.atKeyword("map") && !p.atKeyword("set") {
+		return p.errf("expected map/set after when condition")
+	}
+	s, err := p.parseMapOrSet(c)
+	if err != nil {
+		return err
+	}
+	m.Stmts = append(m.Stmts, s)
+	return nil
+}
+
+func (p *parser) parseDerive(m *mappingAST) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	dst, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokEq); err != nil {
+		return err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return err
+	}
+	var guard cond
+	if p.atKeyword("when") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if guard, err = p.parseCond(); err != nil {
+			return err
+		}
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return err
+	}
+	m.Derives = append(m.Derives, deriveStmt{Dst: dst.text, E: e, Guard: guard})
+	return nil
+}
+
+// parseOwns parses `owns attr, attr, ...;`
+func (p *parser) parseOwns(m *mappingAST) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	for {
+		attr, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		m.Owns = append(m.Owns, attr.text)
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	_, err := p.expect(tokSemi)
+	return err
+}
+
+func (p *parser) parsePartition(m *mappingAST) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if err := p.keyword("when"); err != nil {
+		return err
+	}
+	c, err := p.parseCond()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return err
+	}
+	if m.Partition != nil {
+		return p.errf("duplicate partition constraint")
+	}
+	m.Partition = c
+	return nil
+}
+
+func (p *parser) parseOriginator(m *mappingAST) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	attr, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return err
+	}
+	if m.Originator != "" {
+		return p.errf("duplicate originator")
+	}
+	m.Originator = attr.text
+	return nil
+}
+
+// --- expressions ---
+
+func (p *parser) parseExpr() (expr, error) {
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokQuery {
+		return first, nil
+	}
+	alt := altExpr{Options: []expr{first}}
+	for p.tok.kind == tokQuery {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		next, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		alt.Options = append(alt.Options, next)
+	}
+	return alt, nil
+}
+
+func (p *parser) parseConcat() (expr, error) {
+	first, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokPlus {
+		return first, nil
+	}
+	c := concatExpr{Parts: []expr{first}}
+	for p.tok.kind == tokPlus {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		next, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		c.Parts = append(c.Parts, next)
+	}
+	return c, nil
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	switch p.tok.kind {
+	case tokString:
+		v := p.tok.text
+		return strLit{Val: v}, p.advance()
+	case tokNumber:
+		n, err := strconv.Atoi(p.tok.text)
+		if err != nil {
+			return nil, p.errf("bad number %q", p.tok.text)
+		}
+		return numLit{Val: n}, p.advance()
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		name := p.tok.text
+		nxt, err := p.peekTok()
+		if err != nil {
+			return nil, err
+		}
+		if nxt.kind != tokLParen {
+			return attrRef{Name: name}, p.advance()
+		}
+		// function call
+		if err := p.advance(); err != nil { // name
+			return nil, err
+		}
+		if err := p.advance(); err != nil { // '('
+			return nil, err
+		}
+		call := callExpr{Fn: name}
+		if p.tok.kind != tokRParen {
+			for {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.tok.kind != tokComma {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+	return nil, p.errf("expected expression, got %s", p.tok.kind)
+}
+
+// --- conditions ---
+
+func (p *parser) parseCond() (cond, error) {
+	l, err := p.parseAndCond()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("or") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAndCond()
+		if err != nil {
+			return nil, err
+		}
+		l = orCond{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAndCond() (cond, error) {
+	l, err := p.parseNotCond()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("and") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseNotCond()
+		if err != nil {
+			return nil, err
+		}
+		l = andCond{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNotCond() (cond, error) {
+	if p.atKeyword("not") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		c, err := p.parseNotCond()
+		if err != nil {
+			return nil, err
+		}
+		return notCond{C: c}, nil
+	}
+	if p.tok.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		c, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (cond, error) {
+	if p.atKeyword("present") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		attr, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return presentCond{Attr: attr.text}, nil
+	}
+	l, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.tok.kind == tokEqEq, p.tok.kind == tokNotEq:
+		ne := p.tok.kind == tokNotEq
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		return cmpCond{NE: ne, L: l, R: r}, nil
+	case p.atKeyword("like"), p.atKeyword("matches"):
+		isMatch := p.tok.text == "matches"
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		pat, err := p.expect(tokString)
+		if err != nil {
+			return nil, err
+		}
+		return likeCond{E: l, Pat: pat.text, IsMatch: isMatch}, nil
+	}
+	return nil, p.errf("expected ==, !=, like or matches in condition")
+}
+
+// ParseUnit parses lexpress source into its mappings (exported for the lexc
+// tool's syntax-check mode; most callers use Compile).
+func ParseUnit(src string) (names []string, err error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := p.parseUnit()
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range ms {
+		names = append(names, m.Name)
+	}
+	return names, nil
+}

@@ -1,0 +1,155 @@
+package lexpress
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOwnsParsing(t *testing.T) {
+	src := `
+mapping M source "a" target "b" {
+    key id -> id;
+    map id = id;
+    owns alpha, beta, gamma;
+}
+`
+	m := compileOne(t, src, "M")
+	owned := m.Owned()
+	if len(owned) != 3 || owned[0] != "alpha" || owned[2] != "gamma" {
+		t.Errorf("owned = %v", owned)
+	}
+	// Owned() returns a copy.
+	owned[0] = "mutated"
+	if m.Owned()[0] != "alpha" {
+		t.Error("Owned() aliases internal state")
+	}
+}
+
+func TestOwnsParseErrors(t *testing.T) {
+	bad := []string{
+		`mapping M source "a" target "b" { key id -> id; owns; }`,
+		`mapping M source "a" target "b" { key id -> id; owns a,; }`,
+		`mapping M source "a" target "b" { key id -> id; owns a b; }`,
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("compile succeeded: %s", src)
+		}
+	}
+}
+
+func TestDeriveGuardParsing(t *testing.T) {
+	src := `
+mapping M source "a" target "a" {
+    key id -> id;
+    derive out = lower(in) when present(flag) and in != "skip";
+}
+`
+	m := compileOne(t, src, "M")
+	// Guard false: flag missing.
+	rec := Record{"id": {"1"}, "in": {"HELLO"}}
+	old := rec.Clone()
+	rec.Set("in", "WORLD")
+	if _, err := m.ApplyClosure(old, rec, []string{"in"}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Has("out") {
+		t.Error("guarded rule fired without its guard")
+	}
+	// Guard true.
+	rec.Set("flag", "y")
+	rec.Set("in", "AGAIN")
+	if _, err := m.ApplyClosure(old, rec, []string{"in"}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.First("out") != "again" {
+		t.Errorf("out = %q", rec.First("out"))
+	}
+}
+
+func TestDeriveGuardErrors(t *testing.T) {
+	// 'like' takes a glob (metacharacters are escaped), so use 'matches'
+	// with an invalid raw pattern.
+	src := `mapping M source "a" target "a" { key id -> id; derive out = in when in matches "("; }`
+	if _, err := Compile(src); err == nil {
+		t.Error("bad guard pattern accepted")
+	}
+	src2 := `mapping M source "a" target "a" { key id -> id; derive out = in when; }`
+	if _, err := Compile(src2); err == nil {
+		t.Error("empty guard accepted")
+	}
+}
+
+func TestWhenBlockForm(t *testing.T) {
+	src := `
+mapping M source "a" target "b" {
+    key id -> id;
+    map id = id;
+    when kind == "x" {
+        map a = "1";
+        set b = "2", "3";
+    }
+}
+`
+	m := compileOne(t, src, "M")
+	img, err := m.Image(Record{"id": {"1"}, "kind": {"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.First("a") != "1" || len(img.Get("b")) != 2 {
+		t.Errorf("img = %v", img)
+	}
+	img, _ = m.Image(Record{"id": {"1"}, "kind": {"y"}})
+	if img.Has("a") || img.Has("b") {
+		t.Error("guard ignored in block form")
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+# leading comment
+mapping M source "a" target "b" {   // trailing comment
+    key id -> id;  # about the key
+    map id = id;
+}
+`
+	if _, err := Compile(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringEscapesInLiterals(t *testing.T) {
+	src := `
+mapping M source "a" target "b" {
+    key id -> id;
+    map id = id;
+    map msg = "line1\nline2\t\"quoted\"\\";
+}
+`
+	m := compileOne(t, src, "M")
+	img, err := m.Image(Record{"id": {"1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "line1\nline2\t\"quoted\"\\"
+	if img.First("msg") != want {
+		t.Errorf("msg = %q, want %q", img.First("msg"), want)
+	}
+}
+
+func TestMappedAttrs(t *testing.T) {
+	lib := MustStandardLibrary()
+	m, _ := lib.Get("PBXToLDAP")
+	got := m.MappedAttrs()
+	joined := strings.Join(got, ",")
+	for _, want := range []string{"cn", "definityExtension", "telephoneNumber", "objectClass", "lastUpdater"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("MappedAttrs missing %s: %v", want, got)
+		}
+	}
+	for _, notWant := range []string{"sn"} { // derive output, not mapped
+		if strings.Contains(joined, notWant+",") || strings.HasSuffix(joined, notWant) {
+			t.Errorf("MappedAttrs includes derive output %s: %v", notWant, got)
+		}
+	}
+}

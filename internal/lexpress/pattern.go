@@ -1,0 +1,336 @@
+// Package lexpress implements the schema translation and integration
+// language of MetaComm (paper §4.2 and the cited technical report
+// "Mapping updates for heterogeneous data repositories").
+//
+// lexpress consists of:
+//
+//   - a declarative language for specifying the relationship between two
+//     schemas (string operations, table translations, alternate attribute
+//     mappings, multi-valued attribute processing, pattern matching);
+//   - a compiler that generates machine-independent byte code;
+//   - an interpreter (a small stack VM) for executing the byte codes.
+//
+// On top of the per-pair mappings the package provides the transitive
+// closure of attribute dependencies with the paper's first-mapping-wins
+// conflict resolution, partitioning constraints that route updates as
+// add/modify/delete/skip per target, and conditional (reapplied) update
+// detection via the Originator mapping characteristic.
+//
+// This file implements the pattern matcher used by `match`/`like`: a small
+// backtracking engine supporting literals, '.', character classes
+// ([a-z0-9], negation), the postfix operators '*', '+', '?', capturing
+// groups and alternation. Patterns let mappings stay resilient against
+// dirty data and be refined incrementally with special cases.
+package lexpress
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Pattern is a compiled lexpress pattern.
+type Pattern struct {
+	src  string
+	root []pnode
+	// groups is the number of capturing groups.
+	groups int
+}
+
+type pkind int
+
+const (
+	pLiteral pkind = iota // single byte
+	pAny                  // .
+	pClass                // [...]
+	pGroup                // ( alt | alt )
+)
+
+type pnode struct {
+	kind pkind
+	ch   byte
+	// class
+	negate bool
+	ranges [][2]byte
+	// group
+	alts  [][]pnode
+	index int // capture index (1-based)
+	// repetition: 0 = exactly once, '*', '+', '?'
+	rep byte
+}
+
+// CompilePattern parses a pattern string.
+func CompilePattern(src string) (*Pattern, error) {
+	p := &patternParser{src: src}
+	nodes, err := p.parseAlt(false)
+	if err != nil {
+		return nil, fmt.Errorf("lexpress: pattern %q: %v", src, err)
+	}
+	if p.pos != len(src) {
+		return nil, fmt.Errorf("lexpress: pattern %q: unexpected %q", src, src[p.pos:])
+	}
+	return &Pattern{src: src, root: nodes, groups: p.groups}, nil
+}
+
+// MustCompilePattern panics on error; for literals in the mapping library.
+func MustCompilePattern(src string) *Pattern {
+	p, err := CompilePattern(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String returns the pattern source.
+func (p *Pattern) String() string { return p.src }
+
+// Groups returns the number of capturing groups.
+func (p *Pattern) Groups() int { return p.groups }
+
+type patternParser struct {
+	src    string
+	pos    int
+	groups int
+}
+
+func (p *patternParser) parseAlt(inGroup bool) ([]pnode, error) {
+	// A sequence; alternation handled at group level. The top level is an
+	// implicit group without capture.
+	var seq []pnode
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch c {
+		case ')', '|':
+			if !inGroup {
+				return nil, fmt.Errorf("unexpected %q", string(c))
+			}
+			return seq, nil
+		case '(':
+			p.pos++
+			p.groups++
+			g := pnode{kind: pGroup, index: p.groups}
+			for {
+				alt, err := p.parseAlt(true)
+				if err != nil {
+					return nil, err
+				}
+				g.alts = append(g.alts, alt)
+				if p.pos >= len(p.src) {
+					return nil, errors.New("unterminated group")
+				}
+				if p.src[p.pos] == '|' {
+					p.pos++
+					continue
+				}
+				break
+			}
+			p.pos++ // consume ')'
+			seq = append(seq, p.withRep(g))
+		case '[':
+			n, err := p.parseClass()
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, p.withRep(n))
+		case '.':
+			p.pos++
+			seq = append(seq, p.withRep(pnode{kind: pAny}))
+		case '*', '+', '?':
+			return nil, fmt.Errorf("dangling %q", string(c))
+		case '\\':
+			if p.pos+1 >= len(p.src) {
+				return nil, errors.New("trailing backslash")
+			}
+			p.pos += 2
+			seq = append(seq, p.withRep(pnode{kind: pLiteral, ch: p.src[p.pos-1]}))
+		default:
+			p.pos++
+			seq = append(seq, p.withRep(pnode{kind: pLiteral, ch: c}))
+		}
+	}
+	if inGroup {
+		return nil, errors.New("unterminated group")
+	}
+	return seq, nil
+}
+
+func (p *patternParser) withRep(n pnode) pnode {
+	if p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '*', '+', '?':
+			n.rep = p.src[p.pos]
+			p.pos++
+		}
+	}
+	return n
+}
+
+func (p *patternParser) parseClass() (pnode, error) {
+	p.pos++ // consume '['
+	n := pnode{kind: pClass}
+	if p.pos < len(p.src) && p.src[p.pos] == '^' {
+		n.negate = true
+		p.pos++
+	}
+	for {
+		if p.pos >= len(p.src) {
+			return n, errors.New("unterminated class")
+		}
+		c := p.src[p.pos]
+		if c == ']' && len(n.ranges) > 0 {
+			p.pos++
+			return n, nil
+		}
+		if c == '\\' {
+			if p.pos+1 >= len(p.src) {
+				return n, errors.New("trailing backslash in class")
+			}
+			p.pos++
+			c = p.src[p.pos]
+		}
+		p.pos++
+		lo, hi := c, c
+		if p.pos+1 < len(p.src) && p.src[p.pos] == '-' && p.src[p.pos+1] != ']' {
+			hi = p.src[p.pos+1]
+			p.pos += 2
+			if hi < lo {
+				return n, fmt.Errorf("inverted range %c-%c", lo, hi)
+			}
+		}
+		n.ranges = append(n.ranges, [2]byte{lo, hi})
+	}
+}
+
+func (n *pnode) matchClass(c byte) bool {
+	in := false
+	for _, r := range n.ranges {
+		if c >= r[0] && c <= r[1] {
+			in = true
+			break
+		}
+	}
+	return in != n.negate
+}
+
+// Match tests whether the whole input matches and returns the captured
+// groups. groups[0] is the full match; groups[i] the i-th group ("" when
+// unmatched).
+func (p *Pattern) Match(s string) (groups []string, ok bool) {
+	caps := make([][2]int, p.groups+1)
+	for i := range caps {
+		caps[i] = [2]int{-1, -1}
+	}
+	if !matchSeq(p.root, s, 0, caps, func(pos int) bool { return pos == len(s) }) {
+		return nil, false
+	}
+	out := make([]string, p.groups+1)
+	out[0] = s
+	for i := 1; i <= p.groups; i++ {
+		if caps[i][0] >= 0 {
+			out[i] = s[caps[i][0]:caps[i][1]]
+		}
+	}
+	return out, true
+}
+
+// Like reports whether the whole input matches (no captures needed).
+func (p *Pattern) Like(s string) bool {
+	_, ok := p.Match(s)
+	return ok
+}
+
+// matchSeq matches nodes against s starting at pos; k is the continuation.
+func matchSeq(nodes []pnode, s string, pos int, caps [][2]int, k func(int) bool) bool {
+	if len(nodes) == 0 {
+		return k(pos)
+	}
+	n := &nodes[0]
+	rest := nodes[1:]
+	cont := func(p int) bool { return matchSeq(rest, s, p, caps, k) }
+	switch n.rep {
+	case 0:
+		return matchOne(n, s, pos, caps, cont)
+	case '?':
+		// Greedy: try one occurrence, then zero.
+		if matchOne(n, s, pos, caps, cont) {
+			return true
+		}
+		return cont(pos)
+	case '*', '+':
+		min := 0
+		if n.rep == '+' {
+			min = 1
+		}
+		var rec func(count, p int) bool
+		rec = func(count, p int) bool {
+			// Greedy: attempt to consume more first.
+			if matchOne(n, s, p, caps, func(np int) bool {
+				if np == p {
+					return false // zero-width: stop expanding
+				}
+				return rec(count+1, np)
+			}) {
+				return true
+			}
+			if count >= min {
+				return cont(p)
+			}
+			return false
+		}
+		return rec(0, pos)
+	}
+	return false
+}
+
+func matchOne(n *pnode, s string, pos int, caps [][2]int, k func(int) bool) bool {
+	switch n.kind {
+	case pLiteral:
+		if pos < len(s) && s[pos] == n.ch {
+			return k(pos + 1)
+		}
+	case pAny:
+		if pos < len(s) {
+			return k(pos + 1)
+		}
+	case pClass:
+		if pos < len(s) && n.matchClass(s[pos]) {
+			return k(pos + 1)
+		}
+	case pGroup:
+		saved := caps[n.index]
+		for _, alt := range n.alts {
+			if matchSeq(alt, s, pos, caps, func(np int) bool {
+				prev := caps[n.index]
+				caps[n.index] = [2]int{pos, np}
+				if k(np) {
+					return true
+				}
+				caps[n.index] = prev
+				return false
+			}) {
+				return true
+			}
+		}
+		caps[n.index] = saved
+	}
+	return false
+}
+
+// Glob compiles a shell-style glob ('*' any run, '?' one char) into a
+// Pattern; globs are the surface syntax of `like` partition constraints,
+// e.g. "+1 908-582-9*" (paper §4.2).
+func Glob(glob string) (*Pattern, error) {
+	var out []byte
+	for i := 0; i < len(glob); i++ {
+		switch c := glob[i]; c {
+		case '*':
+			out = append(out, '.', '*')
+		case '?':
+			out = append(out, '.')
+		case '.', '[', ']', '(', ')', '+', '\\', '|':
+			out = append(out, '\\', c)
+		default:
+			out = append(out, c)
+		}
+	}
+	return CompilePattern(string(out))
+}

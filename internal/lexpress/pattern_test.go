@@ -1,0 +1,161 @@
+package lexpress
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPatternLiterals(t *testing.T) {
+	p := MustCompilePattern("abc")
+	if !p.Like("abc") || p.Like("ab") || p.Like("abcd") {
+		t.Error("literal match broken")
+	}
+}
+
+func TestPatternClassesAndReps(t *testing.T) {
+	p := MustCompilePattern("[0-9]+-[0-9][0-9][0-9][0-9]")
+	if !p.Like("5-9000") {
+		t.Error("extension pattern should match 5-9000")
+	}
+	if p.Like("x-9000") || p.Like("5-900") {
+		t.Error("extension pattern over-matches")
+	}
+}
+
+func TestPatternCaptures(t *testing.T) {
+	// The paper's Extension -> telephoneNumber relationship.
+	p := MustCompilePattern("([0-9])-([0-9]+)")
+	groups, ok := p.Match("5-9000")
+	if !ok {
+		t.Fatal("no match")
+	}
+	if groups[1] != "5" || groups[2] != "9000" {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+func TestPatternAlternation(t *testing.T) {
+	p := MustCompilePattern("(cat|dog|mouse)s?")
+	for _, s := range []string{"cat", "dogs", "mouse"} {
+		if !p.Like(s) {
+			t.Errorf("%q should match", s)
+		}
+	}
+	if p.Like("cats and dogs") {
+		t.Error("partial input matched")
+	}
+}
+
+func TestPatternAnyAndOptional(t *testing.T) {
+	p := MustCompilePattern("a.c?")
+	if !p.Like("ab") || !p.Like("abc") || p.Like("a") {
+		t.Error(". / ? handling broken")
+	}
+}
+
+func TestPatternNegatedClass(t *testing.T) {
+	p := MustCompilePattern("[^0-9]+")
+	if !p.Like("abc") || p.Like("a1c") {
+		t.Error("negated class broken")
+	}
+}
+
+func TestPatternEscapes(t *testing.T) {
+	p := MustCompilePattern(`\+1 \(908\) [0-9]+`)
+	if !p.Like("+1 (908) 5829000") {
+		t.Error("escaped metacharacters broken")
+	}
+}
+
+func TestPatternBacktracking(t *testing.T) {
+	p := MustCompilePattern("(a+)(a+)")
+	groups, ok := p.Match("aaa")
+	if !ok {
+		t.Fatal("no match")
+	}
+	// Greedy first group backs off to leave one 'a' for the second.
+	if groups[1] != "aa" || groups[2] != "a" {
+		t.Errorf("groups = %v", groups)
+	}
+}
+
+func TestPatternErrors(t *testing.T) {
+	bad := []string{"(", ")", "a)", "(a", "[", "[]", "*a", "+", "a\\", "[z-a]", "(a|"}
+	for _, s := range bad {
+		if _, err := CompilePattern(s); err == nil {
+			t.Errorf("CompilePattern(%q) succeeded", s)
+		}
+	}
+}
+
+func TestGlob(t *testing.T) {
+	// The paper's PBX partition constraint.
+	g, err := Glob("+1 908-582-9*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Like("+1 908-582-9000") {
+		t.Error("glob should match managed number")
+	}
+	if g.Like("+1 908-583-9000") {
+		t.Error("glob matched unmanaged number")
+	}
+	q, err := Glob("ext-????")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Like("ext-9000") || q.Like("ext-900") {
+		t.Error("? glob broken")
+	}
+	dot, err := Glob("a.b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dot.Like("axb") || !dot.Like("a.b") {
+		t.Error("glob must escape '.'")
+	}
+}
+
+func TestGlobPropertyMatchesOwnLiteral(t *testing.T) {
+	f := func(s string) bool {
+		s = printableSubset(s)
+		g, err := Glob(s)
+		if err != nil {
+			return false
+		}
+		return g.Like(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func printableSubset(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= 0x20 && r < 0x7F && r != '*' && r != '?' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func TestPatternNoCatastrophicRuntime(t *testing.T) {
+	// (a*)*-style blowups are avoided by the zero-width guard; a modest
+	// nested pattern must terminate quickly on a non-matching input.
+	p := MustCompilePattern("(a+)+b")
+	if p.Like(strings.Repeat("a", 18)) {
+		t.Error("should not match without trailing b")
+	}
+}
+
+func BenchmarkPatternExtension(b *testing.B) {
+	p := MustCompilePattern("([0-9])-([0-9]+)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.Match("5-9000"); !ok {
+			b.Fatal("no match")
+		}
+	}
+}

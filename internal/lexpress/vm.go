@@ -1,0 +1,341 @@
+package lexpress
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// value is the VM's universal value: a list of strings. Scalars are
+// single-element lists; the empty list means "absent". This uniform model is
+// what makes lexpress's multi-valued attribute processing compose with its
+// string operations.
+type value []string
+
+func scalar(s string) value { return value{s} }
+
+// truthy reports whether v counts as true: present with a non-empty first
+// element. The VM encodes booleans as "1" / absent.
+func (v value) truthy() bool { return len(v) > 0 && v[0] != "" }
+
+func boolValue(b bool) value {
+	if b {
+		return scalar("1")
+	}
+	return nil
+}
+
+func (v value) first() (string, bool) {
+	if len(v) == 0 {
+		return "", false
+	}
+	return v[0], true
+}
+
+// vm executes compiled lexpress programs. A vm is cheap to construct; one is
+// used per translation.
+type vm struct {
+	stack []value
+}
+
+func (m *vm) push(v value) { m.stack = append(m.stack, v) }
+
+func (m *vm) pop() value {
+	v := m.stack[len(m.stack)-1]
+	m.stack = m.stack[:len(m.stack)-1]
+	return v
+}
+
+// maxSteps bounds program execution defensively (compiled programs are
+// loop-free except for the jumps the compiler itself emits, so this is only
+// a guard against compiler bugs).
+const maxSteps = 1 << 20
+
+// run executes prog with src as the attribute source. Stores are written to
+// out; assigned tracks first-mapping-wins state across programs (the caller
+// shares one map across the statement program and closure programs).
+func (m *vm) run(prog *program, src Record, out Record, assigned map[string]bool) error {
+	pc := 0
+	steps := 0
+	for {
+		if steps++; steps > maxSteps {
+			return fmt.Errorf("lexpress: program exceeded %d steps", maxSteps)
+		}
+		if pc < 0 || pc >= len(prog.code) {
+			return fmt.Errorf("lexpress: pc %d out of range", pc)
+		}
+		in := prog.code[pc]
+		pc++
+		switch in.Op {
+		case opHalt:
+			return nil
+		case opPushConst:
+			m.push(scalar(prog.consts[in.A]))
+		case opLoad:
+			m.push(value(src.Get(prog.attrs[in.A])))
+		case opConcat:
+			n := in.A
+			parts := make([]value, n)
+			for i := n - 1; i >= 0; i-- {
+				parts[i] = m.pop()
+			}
+			var b strings.Builder
+			ok := true
+			for _, p := range parts {
+				s, present := p.first()
+				if !present {
+					ok = false
+					break
+				}
+				b.WriteString(s)
+			}
+			if ok {
+				m.push(scalar(b.String()))
+			} else {
+				m.push(nil)
+			}
+		case opAlt:
+			n := in.A
+			opts := make([]value, n)
+			for i := n - 1; i >= 0; i-- {
+				opts[i] = m.pop()
+			}
+			var chosen value
+			for _, o := range opts {
+				if len(o) > 0 {
+					chosen = o
+					break
+				}
+			}
+			m.push(chosen)
+		case opCall:
+			if err := m.call(builtin(in.A), in.B); err != nil {
+				return err
+			}
+		case opLookup:
+			t := prog.tables[in.A]
+			v := m.pop()
+			s, present := v.first()
+			if !present {
+				m.push(nil)
+				break
+			}
+			if mapped, ok := t.Entries[s]; ok {
+				m.push(scalar(mapped))
+			} else if t.HasDefault {
+				m.push(scalar(t.Default))
+			} else {
+				m.push(nil) // untranslatable: absent, resiliently
+			}
+		case opGroup:
+			p := prog.patterns[in.A]
+			v := m.pop()
+			s, present := v.first()
+			if !present {
+				m.push(nil)
+				break
+			}
+			groups, ok := p.Match(s)
+			if !ok {
+				m.push(nil) // dirty data: mapping yields absent, not error
+				break
+			}
+			m.push(scalar(groups[in.B]))
+		case opStore:
+			v := m.pop()
+			m.store(prog.attrs[in.A], v, out, assigned)
+		case opStoreN:
+			n := in.B
+			var all []string
+			parts := make([]value, n)
+			for i := n - 1; i >= 0; i-- {
+				parts[i] = m.pop()
+			}
+			for _, p := range parts {
+				all = append(all, p...)
+			}
+			m.store(prog.attrs[in.A], value(all), out, assigned)
+		case opJmp:
+			pc = in.A
+		case opJmpFalse:
+			if !m.pop().truthy() {
+				pc = in.A
+			}
+		case opEq, opNe:
+			r := m.pop()
+			l := m.pop()
+			ls, _ := l.first()
+			rs, _ := r.first()
+			eq := strings.EqualFold(ls, rs) && (len(l) > 0) == (len(r) > 0)
+			if in.Op == opNe {
+				eq = !eq
+			}
+			m.push(boolValue(eq))
+		case opLike:
+			v := m.pop()
+			s, present := v.first()
+			m.push(boolValue(present && prog.patterns[in.A].Like(s)))
+		case opPresent:
+			m.push(boolValue(src.Has(prog.attrs[in.A])))
+		case opNot:
+			m.push(boolValue(!m.pop().truthy()))
+		default:
+			return fmt.Errorf("lexpress: unknown opcode %d", in.Op)
+		}
+	}
+}
+
+// store implements first-mapping-wins assignment: a target attribute is set
+// by the first statement that produces a value for it; later statements in
+// the same translation are skipped. Absent values do not claim the slot, so
+// ordered special cases and fallbacks compose naturally.
+func (m *vm) store(attr string, v value, out Record, assigned map[string]bool) {
+	k := canon(attr)
+	if assigned[k] {
+		return
+	}
+	// Empty strings cannot be attribute values (LDAP forbids them), so a
+	// mapping that evaluates to "" leaves the attribute unclaimed — the
+	// next alternate or special case may still set it.
+	kept := v[:0:0]
+	for _, s := range v {
+		if s != "" {
+			kept = append(kept, s)
+		}
+	}
+	if len(kept) == 0 {
+		return
+	}
+	assigned[k] = true
+	out.Set(attr, kept...)
+}
+
+func (m *vm) call(fn builtin, nargs int) error {
+	args := make([]value, nargs)
+	for i := nargs - 1; i >= 0; i-- {
+		args[i] = m.pop()
+	}
+	switch fn {
+	case fnSubstr:
+		s, ok := args[0].first()
+		if !ok {
+			m.push(nil)
+			return nil
+		}
+		start, err1 := atoiValue(args[1])
+		length, err2 := atoiValue(args[2])
+		if err1 != nil || err2 != nil {
+			m.push(nil)
+			return nil
+		}
+		m.push(scalar(substr(s, start, length)))
+	case fnLower:
+		m.push(mapScalar(args[0], strings.ToLower))
+	case fnUpper:
+		m.push(mapScalar(args[0], strings.ToUpper))
+	case fnTrim:
+		m.push(mapScalar(args[0], strings.TrimSpace))
+	case fnReplace:
+		s, ok := args[0].first()
+		if !ok {
+			m.push(nil)
+			return nil
+		}
+		old, _ := args[1].first()
+		with, _ := args[2].first()
+		if old == "" {
+			m.push(scalar(s))
+			return nil
+		}
+		m.push(scalar(strings.ReplaceAll(s, old, with)))
+	case fnJoin:
+		sep, _ := args[1].first()
+		if len(args[0]) == 0 {
+			m.push(nil)
+			return nil
+		}
+		m.push(scalar(strings.Join(args[0], sep)))
+	case fnSplit:
+		s, ok := args[0].first()
+		if !ok {
+			m.push(nil)
+			return nil
+		}
+		sep, _ := args[1].first()
+		if sep == "" {
+			m.push(scalar(s))
+			return nil
+		}
+		m.push(value(strings.Split(s, sep)))
+	case fnCount:
+		m.push(scalar(strconv.Itoa(len(args[0]))))
+	case fnFirst:
+		s, ok := args[0].first()
+		if !ok {
+			m.push(nil)
+			return nil
+		}
+		m.push(scalar(s))
+	case fnValues:
+		m.push(args[0])
+	default:
+		return fmt.Errorf("lexpress: unknown builtin %d", fn)
+	}
+	return nil
+}
+
+func mapScalar(v value, f func(string) string) value {
+	if len(v) == 0 {
+		return nil
+	}
+	out := make(value, len(v))
+	for i, s := range v {
+		out[i] = f(s)
+	}
+	return out
+}
+
+func atoiValue(v value) (int, error) {
+	s, ok := v.first()
+	if !ok {
+		return 0, fmt.Errorf("absent numeric argument")
+	}
+	return strconv.Atoi(s)
+}
+
+// substr is a clamping substring: out-of-range indices yield what is there
+// rather than failing (dirty-data resilience).
+func substr(s string, start, length int) string {
+	if start < 0 {
+		start = 0
+	}
+	if start >= len(s) || length <= 0 {
+		return ""
+	}
+	end := start + length
+	if end > len(s) {
+		end = len(s)
+	}
+	return s[start:end]
+}
+
+// runExpr executes an expression program and returns its value.
+func runExpr(prog *program, src Record) (value, error) {
+	m := &vm{}
+	if err := m.run(prog, src, nil, nil); err != nil {
+		return nil, err
+	}
+	if len(m.stack) == 0 {
+		return nil, nil
+	}
+	return m.stack[len(m.stack)-1], nil
+}
+
+// runCond executes a condition program.
+func runCond(prog *program, src Record) (bool, error) {
+	v, err := runExpr(prog, src)
+	if err != nil {
+		return false, err
+	}
+	return v.truthy(), nil
+}

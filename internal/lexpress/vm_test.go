@@ -1,0 +1,151 @@
+package lexpress
+
+import (
+	"fmt"
+	"testing"
+)
+
+// evalExpr compiles a single-expression mapping and evaluates it.
+func evalExpr(t *testing.T, exprSrc string, src Record) []string {
+	t.Helper()
+	m := compileOne(t, fmt.Sprintf(`
+mapping E source "a" target "b" {
+    key id -> id;
+    map out = %s;
+}`, exprSrc), "E")
+	img, err := m.Image(src)
+	if err != nil {
+		t.Fatalf("eval %q: %v", exprSrc, err)
+	}
+	return img.Get("out")
+}
+
+func TestVMExpressionEdgeCases(t *testing.T) {
+	base := Record{"id": {"1"}, "name": {"John"}, "empty": {""}, "multi": {"a", "b"}}
+	cases := []struct {
+		expr string
+		want []string
+	}{
+		// substr clamping on all edges.
+		{`substr(name, 0, 99)`, []string{"John"}},
+		{`substr(name, 2, 0)`, nil},
+		{`substr(name, 0, 2)`, []string{"Jo"}},
+		// lower/upper/trim on multi-valued input map element-wise.
+		{`lower(multi)`, []string{"a", "b"}},
+		// replace with empty old is identity.
+		{`replace(name, "", "X")`, []string{"John"}},
+		{`replace(name, "o", "0")`, []string{"J0hn"}},
+		// join/split round trips.
+		{`join(values(multi), "|")`, []string{"a|b"}},
+		{`split("x;y;z", ";")`, []string{"x", "y", "z"}},
+		{`split(name, "")`, []string{"John"}},
+		// count/first.
+		{`count(values(multi))`, []string{"2"}},
+		{`first(values(multi))`, []string{"a"}},
+		// concat with an absent part is absent (no half-built values).
+		{`"pre-" + missing`, nil},
+		{`"pre-" + name`, []string{"pre-John"}},
+		// alternates pick the first present option.
+		{`missing ? name ? "fallback"`, []string{"John"}},
+		{`missing ? alsoMissing ? "fallback"`, []string{"fallback"}},
+		// group on non-matching input is absent, not an error.
+		{`group(name, "([0-9]+)", 1)`, nil},
+		{`group(name, "(Jo)(hn)", 2)`, []string{"hn"}},
+		// group index 0 is the whole match.
+		{`group(name, "J.*", 0)`, []string{"John"}},
+	}
+	for _, c := range cases {
+		got := evalExpr(t, c.expr, base)
+		if len(got) != len(c.want) {
+			t.Errorf("%s = %v, want %v", c.expr, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s = %v, want %v", c.expr, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestVMNumericArgumentErrorsAreAbsent(t *testing.T) {
+	// substr with a non-numeric index argument yields absent (dirty data),
+	// not a runtime error.
+	got := evalExpr(t, `substr(name, bad, 2)`, Record{"id": {"1"}, "name": {"John"}, "bad": {"NaN"}})
+	if got != nil {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestVMEmptyStringsNeverStored(t *testing.T) {
+	m := compileOne(t, `
+mapping E source "a" target "b" {
+    key id -> id;
+    map out = trim(pad);
+    map out = "fallback";
+}`, "E")
+	// trim yields "" -> first mapping does not claim the slot, the ordered
+	// fallback does.
+	img, err := m.Image(Record{"id": {"1"}, "pad": {"   "}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.First("out") != "fallback" {
+		t.Errorf("out = %q", img.First("out"))
+	}
+}
+
+func TestVMSetBuildsMultiValues(t *testing.T) {
+	m := compileOne(t, `
+mapping E source "a" target "b" {
+    key id -> id;
+    set out = "one", values(multi), upper(name);
+}`, "E")
+	img, err := m.Image(Record{"id": {"1"}, "multi": {"a", "b"}, "name": {"x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := img.Get("out")
+	want := []string{"one", "a", "b", "X"}
+	if len(got) != len(want) {
+		t.Fatalf("out = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVMConditionEqualityIsCaseInsensitive(t *testing.T) {
+	m := compileOne(t, `
+mapping E source "a" target "b" {
+    key id -> id;
+    when name == "JOHN" map out = "matched";
+}`, "E")
+	img, err := m.Image(Record{"id": {"1"}, "name": {"john"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.First("out") != "matched" {
+		t.Error("case-insensitive == failed")
+	}
+}
+
+func TestVMAbsentComparesUnequalToEmpty(t *testing.T) {
+	m := compileOne(t, `
+mapping E source "a" target "b" {
+    key id -> id;
+    when missing == "" map out = "absent-eq-empty";
+}`, "E")
+	img, err := m.Image(Record{"id": {"1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An absent attribute is not equal to the empty string: present/absent
+	// is part of equality.
+	if img.Has("out") {
+		t.Error("absent attribute compared equal to empty string")
+	}
+}

@@ -1,0 +1,197 @@
+package ltap
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"metacomm/internal/ldap"
+)
+
+// This file implements gateway mode's wire between LTAP and the trigger
+// action server: newline-delimited JSON over a persistent TCP connection.
+// The original LTAP allowed a single update per action connection; MetaComm
+// required persistent connections so a synchronization request could flow
+// as an ordered sequence of updates (paper §5.1) — events on one connection
+// are processed strictly in order.
+
+// ActionServer exposes an Action implementation (in MetaComm, the Update
+// Manager) to remote LTAP gateways.
+type ActionServer struct {
+	Action Action
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewActionServer wraps an action.
+func NewActionServer(a Action) *ActionServer {
+	return &ActionServer{Action: a, conns: map[net.Conn]bool{}}
+}
+
+// Start listens on addr and serves in the background.
+func (s *ActionServer) Start(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				c.Close()
+				return
+			}
+			s.conns[c] = true
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serve(c)
+			}()
+		}
+	}()
+	return l.Addr(), nil
+}
+
+// Close stops the server.
+func (s *ActionServer) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *ActionServer) serve(nc net.Conn) {
+	defer func() {
+		nc.Close()
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(nc))
+	enc := json.NewEncoder(nc)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			return
+		}
+		res := s.Action.OnUpdate(ev)
+		out := Result{ID: ev.ID, Code: int(res.Code), Message: res.Message}
+		if err := enc.Encode(out); err != nil {
+			return
+		}
+	}
+}
+
+// RemoteAction implements Action over a persistent connection to an
+// ActionServer. Events are serialized: one outstanding request at a time,
+// preserving the ordering the UM's global queue depends on.
+type RemoteAction struct {
+	addr string
+
+	mu     sync.Mutex
+	nc     net.Conn
+	dec    *json.Decoder
+	enc    *json.Encoder
+	closed bool
+}
+
+var _ Action = (*RemoteAction)(nil)
+
+// DialAction connects to an action server.
+func DialAction(addr string) (*RemoteAction, error) {
+	r := &RemoteAction{addr: addr}
+	if err := r.connectLocked(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *RemoteAction) connectLocked() error {
+	nc, err := net.DialTimeout("tcp", r.addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	r.nc = nc
+	r.dec = json.NewDecoder(bufio.NewReader(nc))
+	r.enc = json.NewEncoder(nc)
+	return nil
+}
+
+// Close drops the connection.
+func (r *RemoteAction) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	if r.nc != nil {
+		return r.nc.Close()
+	}
+	return nil
+}
+
+// OnUpdate implements Action: it ships the event and waits for the matching
+// result. A broken connection is retried once (the persistent connection
+// survives UM restarts; lost in-flight updates surface as errors for the
+// client to retry or for resynchronization to repair).
+func (r *RemoteAction) OnUpdate(ev Event) ldap.Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ldap.Result{Code: ldap.ResultUnavailable, Message: "ltap: action connection closed"}
+	}
+	for attempt := 0; ; attempt++ {
+		res, err := r.exchangeLocked(ev)
+		if err == nil {
+			return res
+		}
+		if attempt >= 1 {
+			return ldap.Result{Code: ldap.ResultUnavailable,
+				Message: fmt.Sprintf("ltap: action server unreachable: %v", err)}
+		}
+		r.nc.Close()
+		if err := r.connectLocked(); err != nil {
+			return ldap.Result{Code: ldap.ResultUnavailable,
+				Message: fmt.Sprintf("ltap: action server unreachable: %v", err)}
+		}
+	}
+}
+
+func (r *RemoteAction) exchangeLocked(ev Event) (ldap.Result, error) {
+	if err := r.enc.Encode(ev); err != nil {
+		return ldap.Result{}, err
+	}
+	for {
+		var res Result
+		if err := r.dec.Decode(&res); err != nil {
+			return ldap.Result{}, err
+		}
+		if res.ID != ev.ID {
+			// A stale reply from before a reconnect; skip it.
+			continue
+		}
+		return res.LDAPResult(), nil
+	}
+}

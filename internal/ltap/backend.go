@@ -1,0 +1,57 @@
+package ltap
+
+import (
+	"metacomm/internal/directory"
+	"metacomm/internal/dn"
+	"metacomm/internal/ldap"
+	"metacomm/internal/ldapclient"
+)
+
+// LocalBackend adapts an in-process directory.DIT to the gateway's Backend
+// interface — the "library mode" of §5.5, where LTAP is bound into the
+// application and no network hop separates it from the store.
+type LocalBackend struct {
+	DIT *directory.DIT
+}
+
+var _ Backend = (*LocalBackend)(nil)
+
+// Bind accepts any credentials (prototype security model).
+func (b *LocalBackend) Bind(name, password string) error { return nil }
+
+// Search evaluates the query directly on the DIT.
+func (b *LocalBackend) Search(req *ldap.SearchRequest) ([]*ldapclient.Entry, error) {
+	base, err := dn.Parse(req.BaseDN)
+	if err != nil {
+		return nil, &ldap.ResultError{Result: ldap.Result{Code: ldap.ResultInvalidDNSyntax, Message: err.Error()}}
+	}
+	entries, err := b.DIT.Search(base, req.Scope, req.Filter, req.SizeLimit)
+	if err != nil {
+		return nil, &ldap.ResultError{Result: ldap.Result{
+			Code: directory.CodeOf(err), Message: err.Error()}}
+	}
+	out := make([]*ldapclient.Entry, 0, len(entries))
+	for _, e := range entries {
+		ce := &ldapclient.Entry{DN: e.DN.String()}
+		for _, name := range e.Attrs.Names() {
+			ce.Attributes = append(ce.Attributes, ldap.Attribute{
+				Type: name, Values: e.Attrs.Get(name)})
+		}
+		out = append(out, ce)
+	}
+	return out, nil
+}
+
+// Compare evaluates the assertion directly on the DIT.
+func (b *LocalBackend) Compare(name, attr, value string) (bool, error) {
+	d, err := dn.Parse(name)
+	if err != nil {
+		return false, &ldap.ResultError{Result: ldap.Result{Code: ldap.ResultInvalidDNSyntax, Message: err.Error()}}
+	}
+	match, err := b.DIT.Compare(d, attr, value)
+	if err != nil {
+		return false, &ldap.ResultError{Result: ldap.Result{
+			Code: directory.CodeOf(err), Message: err.Error()}}
+	}
+	return match, nil
+}

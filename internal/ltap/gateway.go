@@ -1,0 +1,218 @@
+package ltap
+
+import (
+	"sync/atomic"
+
+	"metacomm/internal/dn"
+	"metacomm/internal/ldap"
+	"metacomm/internal/ldapclient"
+	"metacomm/internal/ldapserver"
+	"metacomm/internal/lexpress"
+)
+
+// Extended-operation OIDs for the quiesce facility (private-enterprise arc
+// chosen for the prototype).
+const (
+	OIDQuiesceBegin = "1.3.6.1.4.1.1751.2.1"
+	OIDQuiesceEnd   = "1.3.6.1.4.1.1751.2.2"
+)
+
+// Backend abstracts the real LDAP server behind the gateway. It matches the
+// subset of ldapclient.Conn the gateway needs, so the gateway can run over a
+// network connection (gateway mode) or directly on a server handler wrapped
+// in-process (library mode).
+type Backend interface {
+	Bind(name, password string) error
+	Search(req *ldap.SearchRequest) ([]*ldapclient.Entry, error)
+	Compare(dn, attr, value string) (bool, error)
+}
+
+// Gateway is the LTAP proxy: an ldapserver.Handler that forwards reads to
+// the backing LDAP server and traps updates, locking the target entries and
+// invoking the trigger action (the Update Manager) which services them.
+//
+// Read traffic never touches the action server — LDAP workloads are heavily
+// read-oriented, and keeping reads off the UM machine is the scalability
+// argument of §5.5.
+type Gateway struct {
+	backend  Backend
+	action   Action
+	locks    *lockTable
+	nextID   atomic.Uint64
+	triggers triggerSet
+
+	// AdminDN may quiesce/unquiesce via extended operations ("" disables
+	// the check, prototype mode).
+	AdminDN string
+}
+
+var _ ldapserver.Handler = (*Gateway)(nil)
+
+// NewGateway builds a gateway over a backend with the given action server.
+func NewGateway(backend Backend, action Action) *Gateway {
+	return &Gateway{backend: backend, action: action, locks: newLockTable()}
+}
+
+// Quiesce enters quiesce mode: blocks until in-flight updates drain, then
+// disallows updates until Unquiesce. It reports whether the transition
+// happened (false when already quiesced).
+func (g *Gateway) Quiesce() bool { return g.locks.beginQuiesce() }
+
+// Unquiesce leaves quiesce mode.
+func (g *Gateway) Unquiesce() { g.locks.endQuiesce() }
+
+// Quiesced reports quiesce state.
+func (g *Gateway) Quiesced() bool { return g.locks.quiesced() }
+
+// LockEntry acquires the per-entry LTAP lock directly (used by the UM for
+// update sequences that originate at devices). Release with the returned
+// function.
+func (g *Gateway) LockEntry(names ...dn.DN) func() {
+	keys := g.locks.lockEntries(names...)
+	return func() { g.locks.unlockEntries(keys) }
+}
+
+// Bind forwards authentication to the backing server.
+func (g *Gateway) Bind(c *ldapserver.Conn, req *ldap.BindRequest) ldap.Result {
+	if err := g.backend.Bind(req.Name, req.Password); err != nil {
+		return resultFromErr(err)
+	}
+	return ldap.Result{Code: ldap.ResultSuccess}
+}
+
+// Search proxies reads straight through.
+func (g *Gateway) Search(c *ldapserver.Conn, req *ldap.SearchRequest, send func(*ldap.SearchResultEntry) error) ldap.Result {
+	entries, err := g.backend.Search(req)
+	if err != nil && len(entries) == 0 {
+		return resultFromErr(err)
+	}
+	for _, e := range entries {
+		if sendErr := send(&ldap.SearchResultEntry{DN: e.DN, Attributes: e.Attributes}); sendErr != nil {
+			return ldap.Result{Code: ldap.ResultOther, Message: sendErr.Error()}
+		}
+	}
+	if err != nil {
+		return resultFromErr(err)
+	}
+	return ldap.Result{Code: ldap.ResultSuccess}
+}
+
+// Compare proxies straight through.
+func (g *Gateway) Compare(c *ldapserver.Conn, req *ldap.CompareRequest) ldap.Result {
+	match, err := g.backend.Compare(req.DN, req.Attr, req.Value)
+	if err != nil {
+		return resultFromErr(err)
+	}
+	if match {
+		return ldap.Result{Code: ldap.ResultCompareTrue}
+	}
+	return ldap.Result{Code: ldap.ResultCompareFalse}
+}
+
+func resultFromErr(err error) ldap.Result {
+	if re, ok := err.(*ldap.ResultError); ok {
+		return re.Result
+	}
+	return ldap.Result{Code: ldap.ResultOther, Message: err.Error()}
+}
+
+// fetchOld reads the entry's current attributes from the backing server.
+func (g *Gateway) fetchOld(name string) lexpress.Record {
+	entries, err := g.backend.Search(&ldap.SearchRequest{
+		BaseDN: name,
+		Scope:  ldap.ScopeBaseObject,
+	})
+	if err != nil || len(entries) != 1 {
+		return nil
+	}
+	rec := lexpress.NewRecord()
+	for _, a := range entries[0].Attributes {
+		rec.Set(a.Type, a.Values...)
+	}
+	return rec
+}
+
+// trap locks the involved entries, resolves the before-image, and hands the
+// event to the action server.
+func (g *Gateway) trap(c *ldapserver.Conn, ev Event, names ...dn.DN) ldap.Result {
+	keys := g.locks.lockEntries(names...)
+	ev.ID = g.nextID.Add(1)
+	ev.BoundDN = c.BoundDN
+	ev.Old = g.fetchOld(ev.DN)
+	res := g.action.OnUpdate(ev)
+	g.locks.unlockEntries(keys)
+	// Post-update triggers fire outside the locks, asynchronously.
+	g.fireTriggers(ev, res, names[0])
+	return res
+}
+
+// Add traps an add request.
+func (g *Gateway) Add(c *ldapserver.Conn, req *ldap.AddRequest) ldap.Result {
+	name, err := dn.Parse(req.DN)
+	if err != nil {
+		return ldap.Result{Code: ldap.ResultInvalidDNSyntax, Message: err.Error()}
+	}
+	attrs := lexpress.NewRecord()
+	for _, a := range req.Attributes {
+		attrs.Set(a.Type, a.Values...)
+	}
+	return g.trap(c, Event{Kind: EventAdd, DN: req.DN, Attrs: attrs}, name)
+}
+
+// Delete traps a delete request.
+func (g *Gateway) Delete(c *ldapserver.Conn, req *ldap.DeleteRequest) ldap.Result {
+	name, err := dn.Parse(req.DN)
+	if err != nil {
+		return ldap.Result{Code: ldap.ResultInvalidDNSyntax, Message: err.Error()}
+	}
+	return g.trap(c, Event{Kind: EventDelete, DN: req.DN}, name)
+}
+
+// Modify traps a modify request.
+func (g *Gateway) Modify(c *ldapserver.Conn, req *ldap.ModifyRequest) ldap.Result {
+	name, err := dn.Parse(req.DN)
+	if err != nil {
+		return ldap.Result{Code: ldap.ResultInvalidDNSyntax, Message: err.Error()}
+	}
+	return g.trap(c, Event{Kind: EventModify, DN: req.DN, Changes: ChangesFromLDAP(req.Changes)}, name)
+}
+
+// ModifyDN traps a modifyDN request, locking both the old and the new name
+// so concurrent operations against either block until the rename settles.
+func (g *Gateway) ModifyDN(c *ldapserver.Conn, req *ldap.ModifyDNRequest) ldap.Result {
+	name, err := dn.Parse(req.DN)
+	if err != nil {
+		return ldap.Result{Code: ldap.ResultInvalidDNSyntax, Message: err.Error()}
+	}
+	newRDN, err := dn.Parse(req.NewRDN)
+	if err != nil || newRDN.Depth() != 1 {
+		return ldap.Result{Code: ldap.ResultInvalidDNSyntax, Message: "bad newRDN"}
+	}
+	newName := name.WithRDN(newRDN.RDN())
+	return g.trap(c, Event{
+		Kind: EventModifyDN, DN: req.DN,
+		NewRDN: req.NewRDN, DeleteOldRDN: req.DeleteOldRDN,
+	}, name, newName)
+}
+
+// Extended services the quiesce facility.
+func (g *Gateway) Extended(c *ldapserver.Conn, req *ldap.ExtendedRequest) *ldap.ExtendedResponse {
+	switch req.Name {
+	case OIDQuiesceBegin, OIDQuiesceEnd:
+		if g.AdminDN != "" && c.BoundDN != g.AdminDN {
+			return &ldap.ExtendedResponse{Result: ldap.Result{
+				Code: ldap.ResultInsufficientAccess, Message: "quiesce requires admin bind"}}
+		}
+		if req.Name == OIDQuiesceBegin {
+			if !g.Quiesce() {
+				return &ldap.ExtendedResponse{Name: req.Name, Result: ldap.Result{
+					Code: ldap.ResultUnwillingToPerform, Message: "already quiesced"}}
+			}
+		} else {
+			g.Unquiesce()
+		}
+		return &ldap.ExtendedResponse{Name: req.Name, Result: ldap.Result{Code: ldap.ResultSuccess}}
+	}
+	return &ldap.ExtendedResponse{Result: ldap.Result{
+		Code: ldap.ResultProtocolError, Message: "unsupported extended operation " + req.Name}}
+}

@@ -1,0 +1,133 @@
+// Package ltap implements the Lightweight Trigger Access Process of the
+// paper (§4.3, and the companion paper [19]): a gateway that pretends to be
+// an LDAP server, intercepts LDAP commands, performs trigger processing in
+// addition to (or instead of) servicing the original command, and provides
+// the locking facilities the underlying repositories lack.
+//
+// MetaComm-specific extensions reproduced here (paper §5.1):
+//
+//   - persistent connections from LTAP to the trigger action server, so a
+//     synchronization request can flow as a sequence of updates rather than
+//     one update per connection;
+//   - a quiesce facility that disallows all updates while a synchronization
+//     request is being processed, giving synchronization isolation.
+//
+// LTAP can run as a network gateway (its own LDAP listener, action server
+// reached over TCP) or be bound into an application as a library; §5.5
+// discusses the trade-off and benchmark E9 measures it.
+package ltap
+
+import (
+	"sync"
+
+	"metacomm/internal/dn"
+)
+
+// lockTable provides per-entry exclusive locks keyed by normalized DN, plus
+// a global quiesce mode that blocks all update locking. Lock acquisition
+// blocks (updates to an entry being trigger-processed wait their turn, as
+// do all updates during quiesce).
+type lockTable struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	held    map[string]bool
+	quiesce bool
+	// updates counts update locks currently held; quiesce waits for them
+	// to drain.
+	updates int
+}
+
+func newLockTable() *lockTable {
+	t := &lockTable{held: map[string]bool{}}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// lockEntry blocks until the entry lock (and non-quiesced state) is
+// acquired. Multiple DNs must be locked in normalized order by the caller
+// to avoid deadlock; lockEntries does that.
+func (t *lockTable) lockEntries(names ...dn.DN) []string {
+	keys := normalizeSorted(names)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		if !t.quiesce && t.allFree(keys) {
+			break
+		}
+		t.cond.Wait()
+	}
+	for _, k := range keys {
+		t.held[k] = true
+	}
+	t.updates++
+	return keys
+}
+
+func (t *lockTable) allFree(keys []string) bool {
+	for _, k := range keys {
+		if t.held[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// unlockEntries releases locks returned by lockEntries.
+func (t *lockTable) unlockEntries(keys []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, k := range keys {
+		delete(t.held, k)
+	}
+	t.updates--
+	t.cond.Broadcast()
+}
+
+// beginQuiesce blocks new update locks and waits for in-flight updates to
+// drain. It returns false if the table is already quiesced.
+func (t *lockTable) beginQuiesce() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.quiesce {
+		return false
+	}
+	t.quiesce = true
+	for t.updates > 0 {
+		t.cond.Wait()
+	}
+	return true
+}
+
+// endQuiesce re-enables updates.
+func (t *lockTable) endQuiesce() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.quiesce = false
+	t.cond.Broadcast()
+}
+
+// quiesced reports the quiesce state.
+func (t *lockTable) quiesced() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.quiesce
+}
+
+func normalizeSorted(names []dn.DN) []string {
+	keys := make([]string, 0, len(names))
+	seen := map[string]bool{}
+	for _, n := range names {
+		k := n.Normalize()
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	// Insertion sort; the slice holds one or two entries in practice.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

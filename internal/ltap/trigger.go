@@ -1,0 +1,116 @@
+package ltap
+
+import (
+	"sync"
+
+	"metacomm/internal/dn"
+	"metacomm/internal/ldap"
+)
+
+// This file adds LTAP's general trigger facility: beyond the single action
+// server that *services* updates (MetaComm's Update Manager), applications
+// can register classic post-update triggers — notifications fired after an
+// update under a subtree succeeds. The LTAP paper positions the gateway as
+// "a portable solution to add active functionality to LDAP servers"; the
+// UM is one consumer, audit logs and cache invalidation are others.
+
+// TriggerFunc receives the event and the action's result after a
+// successful update. It runs on its own goroutine; LTAP does not wait.
+type TriggerFunc func(ev Event, res ldap.Result)
+
+// trigger is one registration.
+type trigger struct {
+	id    int
+	base  string // normalized subtree root ("" = everything)
+	baseD dn.DN
+	kinds map[EventKind]bool // nil = all kinds
+	fn    TriggerFunc
+	// onFailure also fires the trigger for non-success results.
+	onFailure bool
+}
+
+type triggerSet struct {
+	mu     sync.Mutex
+	nextID int
+	regs   []*trigger
+	wg     sync.WaitGroup
+}
+
+// RegisterTrigger installs a post-update trigger for updates under base
+// (empty DN = the whole tree) of the given kinds (none = all). It returns
+// an id for UnregisterTrigger.
+func (g *Gateway) RegisterTrigger(base dn.DN, kinds []EventKind, fn TriggerFunc) int {
+	return g.registerTrigger(base, kinds, fn, false)
+}
+
+// RegisterFailureTrigger additionally fires on failed updates (for audit
+// trails that must record rejected operations too).
+func (g *Gateway) RegisterFailureTrigger(base dn.DN, kinds []EventKind, fn TriggerFunc) int {
+	return g.registerTrigger(base, kinds, fn, true)
+}
+
+func (g *Gateway) registerTrigger(base dn.DN, kinds []EventKind, fn TriggerFunc, onFailure bool) int {
+	g.triggers.mu.Lock()
+	defer g.triggers.mu.Unlock()
+	g.triggers.nextID++
+	t := &trigger{
+		id:        g.triggers.nextID,
+		base:      base.Normalize(),
+		baseD:     base,
+		fn:        fn,
+		onFailure: onFailure,
+	}
+	if len(kinds) > 0 {
+		t.kinds = map[EventKind]bool{}
+		for _, k := range kinds {
+			t.kinds[k] = true
+		}
+	}
+	g.triggers.regs = append(g.triggers.regs, t)
+	return t.id
+}
+
+// UnregisterTrigger removes a registration; it reports whether it existed.
+func (g *Gateway) UnregisterTrigger(id int) bool {
+	g.triggers.mu.Lock()
+	defer g.triggers.mu.Unlock()
+	for i, t := range g.triggers.regs {
+		if t.id == id {
+			g.triggers.regs = append(g.triggers.regs[:i], g.triggers.regs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// WaitTriggers blocks until all in-flight trigger invocations return
+// (deterministic teardown and tests).
+func (g *Gateway) WaitTriggers() { g.triggers.wg.Wait() }
+
+// fireTriggers dispatches the event to matching registrations. Called after
+// the action returns, outside the entry locks.
+func (g *Gateway) fireTriggers(ev Event, res ldap.Result, target dn.DN) {
+	success := res.Code == ldap.ResultSuccess
+	g.triggers.mu.Lock()
+	var matched []*trigger
+	for _, t := range g.triggers.regs {
+		if !success && !t.onFailure {
+			continue
+		}
+		if t.kinds != nil && !t.kinds[ev.Kind] {
+			continue
+		}
+		if t.base != "" && target.Normalize() != t.base && !target.IsDescendantOf(t.baseD) {
+			continue
+		}
+		matched = append(matched, t)
+	}
+	g.triggers.mu.Unlock()
+	for _, t := range matched {
+		g.triggers.wg.Add(1)
+		go func(t *trigger) {
+			defer g.triggers.wg.Done()
+			t.fn(ev, res)
+		}(t)
+	}
+}

@@ -1,0 +1,183 @@
+// Package mcschema defines the integrated MetaComm directory schema
+// (paper §5.2): a structural person class extended with one *auxiliary*
+// object class per integrated device, each with uniquely named attributes.
+//
+// The paper's first design — a child entry per person/device pair — was
+// abandoned because LDAP cannot atomically update a parent and a child; the
+// auxiliary-class design keeps everything that must be read/written as a
+// unit inside a single entry. Auxiliary classes cannot carry mandatory
+// attributes, so the presence of (say) definityUser in objectClass only
+// means the person MAY use a PBX; whether they actually do is determined by
+// whether definityExtension is set.
+package mcschema
+
+import (
+	"strings"
+
+	"metacomm/internal/directory"
+)
+
+// Attribute names shared across the system. Device-specific attributes get
+// unique per-device names (paper §5.2 footnote: unique names are required to
+// identify which fields belong to which auxiliary class).
+const (
+	// AttrLastUpdater is the operational attribute recording the source of
+	// the most recent update to an entry (paper §5.4). lexpress mappings
+	// from a device set it; mappings toward a device consult it through the
+	// Originator characteristic to detect reapplied updates.
+	AttrLastUpdater = "lastUpdater"
+
+	// Common person attributes.
+	AttrCN        = "cn"
+	AttrSN        = "sn"
+	AttrTelephone = "telephoneNumber"
+	AttrMail      = "mail"
+	AttrRoom      = "roomNumber"
+	AttrUID       = "uid"
+
+	// Definity PBX auxiliary attributes.
+	AttrDefinityExtension = "definityExtension"
+	AttrDefinityName      = "definityName"
+	AttrDefinityCOS       = "definityCOS"
+	AttrDefinityCOR       = "definityCOR"
+	AttrDefinityPort      = "definityPort"
+	AttrDefinitySwitch    = "definitySwitch"
+
+	// Messaging platform auxiliary attributes.
+	AttrMailboxID     = "mailboxId"
+	AttrMailboxNumber = "mailboxNumber"
+	AttrMessagingCOS  = "messagingCOS"
+	AttrMessagingName = "messagingName"
+	AttrMessagingHost = "messagingHost"
+
+	// Error-log attributes (paper §4.4: failed updates are logged into the
+	// directory and browsed by the administrator).
+	AttrErrorID      = "mcErrorId"
+	AttrErrorSource  = "mcErrorSource"
+	AttrErrorTarget  = "mcErrorTarget"
+	AttrErrorOp      = "mcErrorOp"
+	AttrErrorKey     = "mcErrorKey"
+	AttrErrorMessage = "mcErrorMessage"
+	AttrErrorSeq     = "mcErrorSeq"
+)
+
+// Object class names.
+const (
+	ClassTop           = "top"
+	ClassOrganization  = "organization"
+	ClassOrgUnit       = "organizationalUnit"
+	ClassPerson        = "mcPerson"
+	ClassDefinityUser  = "definityUser"
+	ClassMessagingUser = "messagingUser"
+	ClassUpdateError   = "mcUpdateError"
+)
+
+// New builds the integrated schema with strict attribute checking enabled.
+func New() *directory.Schema {
+	s := directory.NewSchema()
+	attrs := []directory.AttributeType{
+		{Name: "objectClass"},
+		{Name: "o"},
+		{Name: "ou"},
+		{Name: AttrCN},
+		{Name: AttrSN},
+		{Name: AttrTelephone},
+		{Name: AttrMail},
+		{Name: AttrRoom, SingleValue: true},
+		{Name: AttrUID, SingleValue: true},
+		{Name: AttrLastUpdater, SingleValue: true, Operational: true},
+
+		{Name: AttrDefinityExtension, SingleValue: true},
+		{Name: AttrDefinityName, SingleValue: true},
+		{Name: AttrDefinityCOS, SingleValue: true},
+		{Name: AttrDefinityCOR, SingleValue: true},
+		{Name: AttrDefinityPort, SingleValue: true},
+		{Name: AttrDefinitySwitch, SingleValue: true},
+
+		{Name: AttrMailboxID, SingleValue: true},
+		{Name: AttrMailboxNumber, SingleValue: true},
+		{Name: AttrMessagingCOS, SingleValue: true},
+		{Name: AttrMessagingName, SingleValue: true},
+		{Name: AttrMessagingHost, SingleValue: true},
+
+		{Name: AttrErrorID, SingleValue: true},
+		{Name: AttrErrorSource, SingleValue: true},
+		{Name: AttrErrorTarget, SingleValue: true},
+		{Name: AttrErrorOp, SingleValue: true},
+		{Name: AttrErrorKey, SingleValue: true},
+		{Name: AttrErrorMessage, SingleValue: true},
+		{Name: AttrErrorSeq, SingleValue: true},
+	}
+	for _, a := range attrs {
+		if err := s.AddAttribute(a); err != nil {
+			panic(err) // schema literals are program constants
+		}
+	}
+	classes := []directory.ObjectClass{
+		{Name: ClassTop, Kind: directory.Abstract},
+		{Name: ClassOrganization, Kind: directory.Structural, Sup: ClassTop, Must: []string{"o"}},
+		{Name: ClassOrgUnit, Kind: directory.Structural, Sup: ClassTop, Must: []string{"ou"}},
+		{
+			Name: ClassPerson, Kind: directory.Structural, Sup: ClassTop,
+			Description: "extension of the standard X.500 person class (paper §4)",
+			Must:        []string{AttrCN, AttrSN},
+			May:         []string{AttrTelephone, AttrMail, AttrRoom, AttrUID},
+		},
+		{
+			Name: ClassDefinityUser, Kind: directory.Auxiliary,
+			Description: "per-device auxiliary class for the Definity PBX",
+			May: []string{AttrDefinityExtension, AttrDefinityName, AttrDefinityCOS,
+				AttrDefinityCOR, AttrDefinityPort, AttrDefinitySwitch},
+		},
+		{
+			Name: ClassMessagingUser, Kind: directory.Auxiliary,
+			Description: "per-device auxiliary class for the voice messaging platform",
+			May: []string{AttrMailboxID, AttrMailboxNumber, AttrMessagingCOS,
+				AttrMessagingName, AttrMessagingHost},
+		},
+		{
+			Name: ClassUpdateError, Kind: directory.Structural, Sup: ClassTop,
+			Description: "failed-update log entry browsed by the administrator",
+			Must:        []string{AttrErrorID},
+			May: []string{AttrErrorSource, AttrErrorTarget, AttrErrorOp, AttrErrorKey,
+				AttrErrorMessage, AttrErrorSeq},
+		},
+	}
+	for _, c := range classes {
+		if err := s.AddClass(c); err != nil {
+			panic(err)
+		}
+	}
+	s.Strict = true
+	return s
+}
+
+// auxAttrClass maps each device-specific attribute (lower-cased) to the
+// auxiliary class that allows it.
+var auxAttrClass = map[string]string{}
+
+func init() {
+	for _, a := range []string{AttrDefinityExtension, AttrDefinityName, AttrDefinityCOS,
+		AttrDefinityCOR, AttrDefinityPort, AttrDefinitySwitch} {
+		auxAttrClass[strings.ToLower(a)] = ClassDefinityUser
+	}
+	for _, a := range []string{AttrMailboxID, AttrMailboxNumber, AttrMessagingCOS,
+		AttrMessagingName, AttrMessagingHost} {
+		auxAttrClass[strings.ToLower(a)] = ClassMessagingUser
+	}
+}
+
+// AuxClassFor returns the auxiliary object class required for a
+// device-specific attribute, or "" when the attribute needs none. The
+// Update Manager uses it to extend an entry's classes when the transitive
+// closure or a device write-back introduces device data.
+func AuxClassFor(attr string) string {
+	return auxAttrClass[strings.ToLower(attr)]
+}
+
+// UsesDevice reports whether an entry actually uses a device: per §5.2 the
+// auxiliary class alone is not enough, the device's key attribute must be
+// set.
+func UsesDevice(a *directory.Attrs, class, keyAttr string) bool {
+	return a.HasValue("objectClass", class) && a.Has(keyAttr)
+}

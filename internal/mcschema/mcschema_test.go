@@ -1,0 +1,95 @@
+package mcschema
+
+import (
+	"testing"
+
+	"metacomm/internal/directory"
+	"metacomm/internal/ldap"
+)
+
+func TestNewBuildsWithoutPanic(t *testing.T) {
+	s := New()
+	if !s.Strict {
+		t.Error("integrated schema should be strict")
+	}
+	for _, c := range []string{ClassPerson, ClassDefinityUser, ClassMessagingUser, ClassUpdateError} {
+		if _, ok := s.Class(c); !ok {
+			t.Errorf("class %q missing", c)
+		}
+	}
+}
+
+func validPerson() *directory.Attrs {
+	return directory.AttrsFrom(map[string][]string{
+		"objectClass":         {ClassPerson, ClassDefinityUser, ClassMessagingUser},
+		AttrCN:                {"John Doe"},
+		AttrSN:                {"Doe"},
+		AttrTelephone:         {"+1 908 582 9000"},
+		AttrDefinityExtension: {"5-9000"},
+	})
+}
+
+func TestIntegratedPersonValidates(t *testing.T) {
+	if err := New().CheckEntry(validPerson()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrictRejectsForeignAttributes(t *testing.T) {
+	e := validPerson()
+	e.Put("favoriteColor", "blue")
+	if directory.CodeOf(New().CheckEntry(e)) != ldap.ResultObjectClassViolation {
+		t.Error("foreign attribute accepted in strict schema")
+	}
+}
+
+func TestLastUpdaterIsOperational(t *testing.T) {
+	e := validPerson()
+	e.Put(AttrLastUpdater, "pbx")
+	if err := New().CheckEntry(e); err != nil {
+		t.Errorf("lastUpdater rejected: %v", err)
+	}
+}
+
+func TestDeviceAttributesNeedAuxClass(t *testing.T) {
+	e := directory.AttrsFrom(map[string][]string{
+		"objectClass":         {ClassPerson},
+		AttrCN:                {"Jane"},
+		AttrSN:                {"Roe"},
+		AttrDefinityExtension: {"5-1234"},
+	})
+	if directory.CodeOf(New().CheckEntry(e)) != ldap.ResultObjectClassViolation {
+		t.Error("device attribute accepted without its auxiliary class")
+	}
+}
+
+func TestUsesDevice(t *testing.T) {
+	e := validPerson()
+	if !UsesDevice(e, ClassDefinityUser, AttrDefinityExtension) {
+		t.Error("person with extension should use PBX")
+	}
+	// The paper's anomaly: class present, key attribute absent -> MAY use,
+	// does not actually use.
+	e.Delete(AttrDefinityExtension)
+	if UsesDevice(e, ClassDefinityUser, AttrDefinityExtension) {
+		t.Error("person without extension should not count as PBX user")
+	}
+	if UsesDevice(e, ClassMessagingUser, AttrMailboxNumber) {
+		t.Error("no mailbox number — not a messaging user")
+	}
+}
+
+func TestErrorLogEntryValidates(t *testing.T) {
+	e := directory.AttrsFrom(map[string][]string{
+		"objectClass":    {ClassUpdateError},
+		AttrErrorID:      {"err-42"},
+		AttrErrorOp:      {"modify"},
+		AttrErrorKey:     {"5-9000"},
+		AttrErrorSource:  {"ldap"},
+		AttrErrorTarget:  {"pbx"},
+		AttrErrorMessage: {"extension in use"},
+	})
+	if err := New().CheckEntry(e); err != nil {
+		t.Fatal(err)
+	}
+}

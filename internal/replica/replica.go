@@ -1,0 +1,433 @@
+// Package replica implements single-master replication for the MetaComm
+// directory. The paper situates LDAP's availability story in replication
+// ("LDAP servers make extensive use of replication to make directory
+// information highly available", §2); this package supplies it:
+//
+//   - a Publisher on the primary streams a consistent snapshot followed by
+//     the live changelog to each consumer, over newline-delimited JSON;
+//   - a Replica maintains a local DIT from that stream and serves reads
+//     (wrap it in an ldapserver.DITHandler); it reconnects and fully
+//     resynchronizes after disconnection or when it falls too far behind —
+//     which is exactly LDAP's relaxed write-write consistency: replicas
+//     converge, they are never transactionally current.
+//
+// Replay on the replica is convergent rather than strict: an add that finds
+// the entry present becomes a replace, a delete of a missing entry is a
+// no-op. A replica that applies a suffix of the stream twice therefore ends
+// in the same state.
+package replica
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"metacomm/internal/directory"
+	"metacomm/internal/dn"
+	"metacomm/internal/ldap"
+)
+
+// wire message types.
+const (
+	msgSnapshotBegin = "snapshot-begin"
+	msgSnapshotEntry = "entry"
+	msgSnapshotEnd   = "snapshot-end"
+	msgChange        = "change"
+)
+
+// frame is one wire message.
+type frame struct {
+	Type string `json:"type"`
+	// Seq: for snapshot-end, the commit sequence the snapshot reflects;
+	// for change, the record's commit sequence.
+	Seq    uint64                  `json:"seq,omitempty"`
+	Record *directory.UpdateRecord `json:"record,omitempty"`
+	// Count: snapshot-end carries the number of entries sent.
+	Count int `json:"count,omitempty"`
+}
+
+// Publisher serves the replication stream from a primary DIT.
+type Publisher struct {
+	DIT *directory.DIT
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewPublisher wraps a primary DIT.
+func NewPublisher(d *directory.DIT) *Publisher {
+	return &Publisher{DIT: d, conns: map[net.Conn]bool{}}
+}
+
+// Start listens for consumers on addr.
+func (p *Publisher) Start(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.listener = l
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			p.mu.Lock()
+			if p.closed {
+				p.mu.Unlock()
+				c.Close()
+				return
+			}
+			p.conns[c] = true
+			p.mu.Unlock()
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				p.serve(c)
+			}()
+		}
+	}()
+	return l.Addr(), nil
+}
+
+// Close stops the publisher and drops all consumers.
+func (p *Publisher) Close() {
+	p.mu.Lock()
+	p.closed = true
+	if p.listener != nil {
+		p.listener.Close()
+	}
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// serve ships snapshot + live changes to one consumer until it drops.
+func (p *Publisher) serve(nc net.Conn) {
+	defer func() {
+		nc.Close()
+		p.mu.Lock()
+		delete(p.conns, nc)
+		p.mu.Unlock()
+	}()
+	w := bufio.NewWriter(nc)
+	enc := json.NewEncoder(w)
+	send := func(f frame) bool {
+		if err := enc.Encode(f); err != nil {
+			return false
+		}
+		return w.Flush() == nil
+	}
+
+	snapshot, changes, cancel := p.DIT.SnapshotAndSubscribe(4096)
+	defer cancel()
+
+	if !send(frame{Type: msgSnapshotBegin}) {
+		return
+	}
+	for _, e := range snapshot {
+		rec := &directory.UpdateRecord{Op: "entry", DN: e.DN.String(), Attrs: e.Attrs.Map()}
+		if !send(frame{Type: msgSnapshotEntry, Record: rec}) {
+			return
+		}
+	}
+	if !send(frame{Type: msgSnapshotEnd, Seq: p.DIT.Seq(), Count: len(snapshot)}) {
+		return
+	}
+
+	// Unblock on consumer disconnect: a reader that fails closes nc.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 64)
+		for {
+			if _, err := nc.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case rec, ok := <-changes:
+			if !ok {
+				return // overflow: consumer must reconnect and resync
+			}
+			if !send(frame{Type: msgChange, Seq: rec.Seq, Record: &rec}) {
+				return
+			}
+		case <-done:
+			return
+		}
+	}
+}
+
+// Replica maintains a read-only copy of the primary.
+type Replica struct {
+	// DIT is the replica's local tree; serve reads from it.
+	DIT *directory.DIT
+
+	addr string
+
+	applied   atomic.Uint64 // primary seq reflected locally
+	resyncs   atomic.Uint64
+	connected atomic.Bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a replica of the publisher at addr. schema should match the
+// primary's (nil for none). Call Start to begin replicating.
+func New(addr string, schema *directory.Schema) *Replica {
+	return &Replica{
+		DIT:  directory.New(schema),
+		addr: addr,
+		stop: make(chan struct{}),
+	}
+}
+
+// AppliedSeq returns the primary commit sequence the replica reflects.
+func (r *Replica) AppliedSeq() uint64 { return r.applied.Load() }
+
+// Resyncs counts full resynchronizations (initial sync included).
+func (r *Replica) Resyncs() uint64 { return r.resyncs.Load() }
+
+// Connected reports whether the replication stream is live.
+func (r *Replica) Connected() bool { return r.connected.Load() }
+
+// Start begins replicating in the background, reconnecting with a small
+// backoff until Stop.
+func (r *Replica) Start() {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		for {
+			select {
+			case <-r.stop:
+				return
+			default:
+			}
+			if err := r.syncOnce(); err != nil {
+				select {
+				case <-r.stop:
+					return
+				case <-time.After(100 * time.Millisecond):
+				}
+			}
+		}
+	}()
+}
+
+// Stop halts replication.
+func (r *Replica) Stop() {
+	close(r.stop)
+	r.wg.Wait()
+}
+
+// syncOnce connects, loads the snapshot, applies live changes until the
+// stream breaks.
+func (r *Replica) syncOnce() error {
+	nc, err := net.DialTimeout("tcp", r.addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	// Drop the connection promptly when stopping; connDone reaps the
+	// watcher when this sync attempt ends for any other reason.
+	connDone := make(chan struct{})
+	defer close(connDone)
+	go func() {
+		select {
+		case <-r.stop:
+			nc.Close()
+		case <-connDone:
+		}
+	}()
+	dec := json.NewDecoder(bufio.NewReader(nc))
+
+	// Each frame decodes into a FRESH struct: json.Decoder merges into
+	// existing pointers/maps, which would silently fuse records.
+	var f frame
+	if err := dec.Decode(&f); err != nil || f.Type != msgSnapshotBegin {
+		return fmt.Errorf("replica: bad stream start: %v %q", err, f.Type)
+	}
+	var snapshot []*directory.UpdateRecord
+	for {
+		f = frame{}
+		if err := dec.Decode(&f); err != nil {
+			return err
+		}
+		if f.Type == msgSnapshotEnd {
+			break
+		}
+		if f.Type != msgSnapshotEntry || f.Record == nil {
+			return fmt.Errorf("replica: unexpected frame %q in snapshot", f.Type)
+		}
+		snapshot = append(snapshot, f.Record)
+	}
+	if err := r.loadSnapshot(snapshot); err != nil {
+		return err
+	}
+	r.applied.Store(f.Seq)
+	r.resyncs.Add(1)
+	r.connected.Store(true)
+	defer r.connected.Store(false)
+
+	for {
+		f = frame{}
+		if err := dec.Decode(&f); err != nil {
+			return err
+		}
+		if f.Type != msgChange || f.Record == nil {
+			return fmt.Errorf("replica: unexpected frame %q in stream", f.Type)
+		}
+		if err := r.applyChange(*f.Record); err != nil {
+			return err
+		}
+		r.applied.Store(f.Seq)
+	}
+}
+
+// loadSnapshot converges the local tree to exactly the snapshot contents.
+func (r *Replica) loadSnapshot(entries []*directory.UpdateRecord) error {
+	want := map[string]bool{}
+	for _, rec := range entries {
+		name, err := dn.Parse(rec.DN)
+		if err != nil {
+			return err
+		}
+		want[name.Normalize()] = true
+		if err := r.upsert(name, rec.Attrs); err != nil {
+			return err
+		}
+	}
+	// Remove local entries the primary no longer has, leaves first.
+	local := r.DIT.All()
+	for i := len(local) - 1; i >= 0; i-- {
+		if !want[local[i].DN.Normalize()] {
+			if err := r.DIT.Delete(local[i].DN); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// upsert adds or converges one entry.
+func (r *Replica) upsert(name dn.DN, attrs map[string][]string) error {
+	err := r.DIT.Add(name, directory.AttrsFrom(attrs))
+	if err == nil || directory.CodeOf(err) != ldap.ResultEntryAlreadyExists {
+		return err
+	}
+	// Converge the existing entry: replace every attribute of the new
+	// image, drop the rest (RDN attributes excepted).
+	cur, err := r.DIT.Get(name)
+	if err != nil {
+		return err
+	}
+	var changes []ldap.Change
+	seen := map[string]bool{}
+	for a, vs := range attrs {
+		seen[lowerASCII(a)] = true
+		changes = append(changes, ldap.Change{Op: ldap.ModReplace,
+			Attribute: ldap.Attribute{Type: a, Values: vs}})
+	}
+	for _, a := range cur.Attrs.Names() {
+		if seen[lowerASCII(a)] || name.FirstValue(a) != "" {
+			continue
+		}
+		changes = append(changes, ldap.Change{Op: ldap.ModDelete,
+			Attribute: ldap.Attribute{Type: a}})
+	}
+	if len(changes) == 0 {
+		return nil
+	}
+	return r.DIT.Modify(name, changes)
+}
+
+// applyChange replays one record convergently.
+func (r *Replica) applyChange(rec directory.UpdateRecord) error {
+	name, err := dn.Parse(rec.DN)
+	if err != nil {
+		return err
+	}
+	switch rec.Op {
+	case "add", "entry":
+		return r.upsert(name, rec.Attrs)
+	case "delete":
+		err := r.DIT.Delete(name)
+		if directory.CodeOf(err) == ldap.ResultNoSuchObject {
+			return nil
+		}
+		return err
+	case "modify":
+		changes := make([]ldap.Change, 0, len(rec.Changes))
+		for _, c := range rec.Changes {
+			lc, err := toLDAPChange(c)
+			if err != nil {
+				return err
+			}
+			changes = append(changes, lc)
+		}
+		err := r.DIT.Modify(name, changes)
+		switch directory.CodeOf(err) {
+		case ldap.ResultSuccess:
+			return nil
+		case ldap.ResultNoSuchObject, ldap.ResultNoSuchAttribute, ldap.ResultAttributeOrValueExists:
+			// Convergent replay tolerates re-applied suffixes.
+			return nil
+		}
+		return err
+	case "modifydn":
+		newRDN, err := dn.Parse(rec.NewRDN)
+		if err != nil || newRDN.Depth() != 1 {
+			return fmt.Errorf("replica: bad newRDN %q", rec.NewRDN)
+		}
+		err = r.DIT.ModifyDN(name, newRDN.RDN(), rec.DeleteOldRDN)
+		switch directory.CodeOf(err) {
+		case ldap.ResultSuccess, ldap.ResultNoSuchObject, ldap.ResultEntryAlreadyExists:
+			return nil
+		}
+		return err
+	}
+	return errors.New("replica: unknown record op " + rec.Op)
+}
+
+func toLDAPChange(c directory.UpdateChange) (ldap.Change, error) {
+	var op ldap.ModOp
+	switch c.Op {
+	case "add":
+		op = ldap.ModAdd
+	case "delete":
+		op = ldap.ModDelete
+	case "replace":
+		op = ldap.ModReplace
+	default:
+		return ldap.Change{}, fmt.Errorf("replica: unknown change op %q", c.Op)
+	}
+	return ldap.Change{Op: op, Attribute: ldap.Attribute{Type: c.Attr, Values: c.Values}}, nil
+}
+
+func lowerASCII(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}

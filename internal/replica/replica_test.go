@@ -1,0 +1,230 @@
+package replica_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"metacomm/internal/directory"
+	"metacomm/internal/dn"
+	"metacomm/internal/ldap"
+	"metacomm/internal/mcschema"
+	"metacomm/internal/replica"
+)
+
+func primaryDIT(t *testing.T) *directory.DIT {
+	t.Helper()
+	d := directory.New(mcschema.New())
+	attrs := directory.NewAttrs()
+	attrs.Put("objectClass", "organization")
+	if err := d.Add(dn.MustParse("o=Lucent"), attrs); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func addPerson(t *testing.T, d *directory.DIT, name string) {
+	t.Helper()
+	err := d.Add(dn.MustParse(fmt.Sprintf("cn=%s,o=Lucent", name)),
+		directory.AttrsFrom(map[string][]string{
+			"objectClass": {"mcPerson"},
+			"cn":          {name},
+			"sn":          {name},
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func startReplication(t *testing.T, d *directory.DIT) *replica.Replica {
+	t.Helper()
+	pub := replica.NewPublisher(d)
+	addr, err := pub.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pub.Close)
+	r := replica.New(addr.String(), mcschema.New())
+	r.Start()
+	t.Cleanup(r.Stop)
+	return r
+}
+
+// waitSeq waits until the replica reflects at least the primary's seq.
+func waitSeq(t *testing.T, r *replica.Replica, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.AppliedSeq() >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("replica stuck at seq %d, want >= %d", r.AppliedSeq(), want)
+}
+
+func sameTrees(t *testing.T, a, b *directory.DIT) {
+	t.Helper()
+	ea, eb := a.All(), b.All()
+	if len(ea) != len(eb) {
+		t.Fatalf("entry counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if !ea[i].DN.Equal(eb[i].DN) || !ea[i].Attrs.Equal(eb[i].Attrs) {
+			t.Fatalf("entry %d differs: %s %v vs %s %v", i,
+				ea[i].DN, ea[i].Attrs.Map(), eb[i].DN, eb[i].Attrs.Map())
+		}
+	}
+}
+
+func TestReplicaReceivesSnapshotAndLiveChanges(t *testing.T) {
+	d := primaryDIT(t)
+	addPerson(t, d, "Before Snapshot")
+	r := startReplication(t, d)
+	waitSeq(t, r, d.Seq())
+	sameTrees(t, d, r.DIT)
+
+	// Live changes flow.
+	addPerson(t, d, "After Snapshot")
+	if err := d.Modify(dn.MustParse("cn=After Snapshot,o=Lucent"), []ldap.Change{
+		{Op: ldap.ModReplace, Attribute: ldap.Attribute{Type: "roomNumber", Values: []string{"R1"}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ModifyDN(dn.MustParse("cn=Before Snapshot,o=Lucent"),
+		dn.RDN{{Attr: "cn", Value: "Renamed"}}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete(dn.MustParse("cn=Renamed,o=Lucent")); err != nil {
+		t.Fatal(err)
+	}
+	waitSeq(t, r, d.Seq())
+	sameTrees(t, d, r.DIT)
+}
+
+func TestReplicaResyncAfterPublisherRestart(t *testing.T) {
+	d := primaryDIT(t)
+	pub := replica.NewPublisher(d)
+	addr, err := pub.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := replica.New(addr.String(), mcschema.New())
+	r.Start()
+	t.Cleanup(r.Stop)
+	waitSeq(t, r, d.Seq())
+
+	// Publisher dies; primary keeps changing; publisher returns on the
+	// same port.
+	pub.Close()
+	addPerson(t, d, "During Outage")
+	pub2 := replica.NewPublisher(d)
+	if _, err := pub2.Start(addr.String()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pub2.Close)
+
+	waitSeq(t, r, d.Seq())
+	sameTrees(t, d, r.DIT)
+	if r.Resyncs() < 2 {
+		t.Errorf("resyncs = %d, want >= 2", r.Resyncs())
+	}
+}
+
+func TestReplicaServesReadsViaLDAPHandler(t *testing.T) {
+	d := primaryDIT(t)
+	addPerson(t, d, "Read Me")
+	r := startReplication(t, d)
+	waitSeq(t, r, d.Seq())
+
+	// The replica's DIT is a plain directory: searchable directly.
+	entries, err := r.DIT.Search(dn.MustParse("o=Lucent"), ldap.ScopeWholeSubtree,
+		ldap.Eq("cn", "Read Me"), 0)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("replica search = %d, %v", len(entries), err)
+	}
+}
+
+func TestReplicaConvergesUnderLoad(t *testing.T) {
+	d := primaryDIT(t)
+	r := startReplication(t, d)
+	for i := 0; i < 50; i++ {
+		addPerson(t, d, fmt.Sprintf("Load %02d", i))
+	}
+	name := dn.MustParse("cn=Load 00,o=Lucent")
+	for i := 0; i < 100; i++ {
+		if err := d.Modify(name, []ldap.Change{{Op: ldap.ModReplace,
+			Attribute: ldap.Attribute{Type: "roomNumber", Values: []string{fmt.Sprintf("R%d", i)}}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 25; i++ {
+		if err := d.Delete(dn.MustParse(fmt.Sprintf("cn=Load %02d,o=Lucent", 25+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitSeq(t, r, d.Seq())
+	sameTrees(t, d, r.DIT)
+}
+
+func TestSnapshotAndSubscribeOverflowClosesChannel(t *testing.T) {
+	d := primaryDIT(t)
+	_, changes, cancel := d.SnapshotAndSubscribe(1)
+	defer cancel()
+	// Two commits with a 1-slot buffer and no consumer: overflow.
+	addPerson(t, d, "A")
+	addPerson(t, d, "B")
+	// Drain: the channel must be closed after the overflow.
+	closed := false
+	for i := 0; i < 3; i++ {
+		if _, ok := <-changes; !ok {
+			closed = true
+			break
+		}
+	}
+	if !closed {
+		t.Fatal("overflowed subscription not closed")
+	}
+	// Further commits must not panic (subscriber was removed).
+	addPerson(t, d, "C")
+}
+
+// BenchmarkReplicationLag measures primary-commit to replica-visible time.
+func BenchmarkReplicationLag(b *testing.B) {
+	d := directory.New(mcschema.New())
+	attrs := directory.NewAttrs()
+	attrs.Put("objectClass", "organization")
+	if err := d.Add(dn.MustParse("o=Lucent"), attrs); err != nil {
+		b.Fatal(err)
+	}
+	pub := replica.NewPublisher(d)
+	addr, err := pub.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pub.Close()
+	r := replica.New(addr.String(), mcschema.New())
+	r.Start()
+	defer r.Stop()
+	if err := d.Add(dn.MustParse("cn=Lag,o=Lucent"), directory.AttrsFrom(map[string][]string{
+		"objectClass": {"mcPerson"}, "cn": {"Lag"}, "sn": {"Lag"}})); err != nil {
+		b.Fatal(err)
+	}
+	name := dn.MustParse("cn=Lag,o=Lucent")
+	for r.AppliedSeq() < d.Seq() {
+		time.Sleep(time.Millisecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Modify(name, []ldap.Change{{Op: ldap.ModReplace,
+			Attribute: ldap.Attribute{Type: "roomNumber", Values: []string{fmt.Sprintf("R%d", i)}}}}); err != nil {
+			b.Fatal(err)
+		}
+		target := d.Seq()
+		for r.AppliedSeq() < target {
+			// Sleep-poll: on small machines a busy spin would starve the
+			// replication goroutines and measure the scheduler instead.
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package um
+
+import (
+	"fmt"
+
+	"metacomm/internal/dn"
+	"metacomm/internal/ldap"
+	"metacomm/internal/ldapclient"
+	"metacomm/internal/mcschema"
+)
+
+// ErrorContainerRDN names the errors subtree under the suffix (paper §4.4:
+// failed updates are logged into the directory; the administrator browses
+// them and manually repairs the inconsistencies).
+const ErrorContainerRDN = "ou=errors"
+
+// errorBase returns the errors container DN.
+func (u *UM) errorBase() dn.DN {
+	return u.cfg.Suffix.Child(dn.RDN{{Attr: "ou", Value: "errors"}})
+}
+
+// ensureErrorContainer creates ou=errors under the suffix if needed. The
+// suffix itself must already exist.
+func (u *UM) ensureErrorContainer() error {
+	base := u.errorBase()
+	err := u.cfg.Backing.Add(base.String(), []ldap.Attribute{
+		{Type: "objectClass", Values: []string{mcschema.ClassOrgUnit}},
+		{Type: "ou", Values: []string{"errors"}},
+	})
+	if err == nil || ldap.IsCode(err, ldap.ResultEntryAlreadyExists) {
+		return nil
+	}
+	return fmt.Errorf("um: creating error container: %w", err)
+}
+
+// logError records a failed update in the directory and on the operational
+// log, then keeps going — the paper's administrator repairs such
+// inconsistencies later (or resynchronization does).
+func (u *UM) logError(source, target, op, key string, cause error) {
+	u.errorsLogged.Add(1)
+	id := fmt.Sprintf("err-%d", u.errSeq.Add(1))
+	u.logf("um: update error %s: %s->%s %s key=%q: %v", id, source, target, op, key, cause)
+	name := u.errorBase().Child(dn.RDN{{Attr: mcschema.AttrErrorID, Value: id}})
+	err := u.cfg.Backing.Add(name.String(), []ldap.Attribute{
+		{Type: "objectClass", Values: []string{mcschema.ClassUpdateError}},
+		{Type: mcschema.AttrErrorID, Values: []string{id}},
+		{Type: mcschema.AttrErrorSource, Values: []string{source}},
+		{Type: mcschema.AttrErrorTarget, Values: []string{target}},
+		{Type: mcschema.AttrErrorOp, Values: []string{op}},
+		{Type: mcschema.AttrErrorKey, Values: []string{key}},
+		{Type: mcschema.AttrErrorMessage, Values: []string{cause.Error()}},
+	})
+	if err != nil {
+		u.logf("um: could not log error entry %s: %v", id, err)
+	}
+}
+
+// Errors returns the logged error entries (the administrator's browse view).
+func (u *UM) Errors() ([]*ldapclient.Entry, error) {
+	return u.cfg.Backing.Search(&ldap.SearchRequest{
+		BaseDN: u.errorBase().String(),
+		Scope:  ldap.ScopeSingleLevel,
+		Filter: ldap.Eq("objectClass", mcschema.ClassUpdateError),
+	})
+}
+
+// ClearErrors deletes all logged error entries (after the administrator has
+// dealt with them).
+func (u *UM) ClearErrors() (int, error) {
+	entries, err := u.Errors()
+	if err != nil {
+		return 0, err
+	}
+	for i, e := range entries {
+		if err := u.cfg.Backing.Delete(e.DN); err != nil {
+			return i, err
+		}
+	}
+	return len(entries), nil
+}

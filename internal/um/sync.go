@@ -1,0 +1,287 @@
+package um
+
+import (
+	"fmt"
+	"strings"
+
+	"metacomm/internal/filter"
+	"metacomm/internal/ldap"
+	"metacomm/internal/ldapclient"
+	"metacomm/internal/lexpress"
+	"metacomm/internal/mcschema"
+)
+
+// SyncStats summarize one synchronization pass.
+type SyncStats struct {
+	DeviceRecords  int // records dumped from the device
+	DirectoryAdds  int // people created in the directory
+	DirectoryMods  int // directory entries converged to device state
+	DeviceAdds     int // records created at the device
+	DeviceMods     int // device records converged to directory state
+	AlreadyInSync  int // record pairs that matched
+	Errors         int // reconciliation failures (also logged)
+	QuiesceApplied bool
+}
+
+// SyncPolicy picks which side wins when a record exists on both sides with
+// different values. Without per-attribute timestamps the two cannot be
+// distinguished automatically — the paper's prototype has the same
+// limitation — so the administrator states which side was cut off.
+type SyncPolicy int
+
+const (
+	// DeviceWins recovers lost direct device updates: the directory is
+	// converged to the device's state. Use after the DIRECTORY (or the
+	// notification path) was unavailable. This is the default.
+	DeviceWins SyncPolicy = iota
+	// DirectoryWins recovers lost fanout: the device is converged to the
+	// directory's state. Use after the DEVICE was unreachable.
+	DirectoryWins
+)
+
+// Synchronize reconciles one device with the directory (paper §4.4): it is
+// used to populate the directory initially and to recover after the device
+// and the directory have been disconnected and updates have been lost.
+//
+// The pass runs in isolation: when the gateway's quiesce facility is
+// configured, all LDAP updates are disallowed for its duration (§5.1).
+//
+// Reconciliation policy: the device is authoritative for the attributes it
+// owns (lost DDUs are recovered into the directory); the directory is
+// authoritative for device membership (people in the directory whose data
+// places them on the device are created there). Deletions that happened
+// while the two were disconnected cannot be told apart from missed adds
+// without tombstones — the paper's prototype has the same limitation — so a
+// record present on either side survives.
+func (u *UM) Synchronize(deviceName string) (SyncStats, error) {
+	return u.SynchronizeWithPolicy(deviceName, DeviceWins)
+}
+
+// SynchronizeWithPolicy reconciles one device with the directory under an
+// explicit conflict policy. Records missing on either side are created
+// there regardless of policy; only value conflicts follow it.
+func (u *UM) SynchronizeWithPolicy(deviceName string, policy SyncPolicy) (SyncStats, error) {
+	var stats SyncStats
+	var f *filterRef
+	for _, df := range u.filters {
+		if df.Name() == deviceName {
+			f = &filterRef{df: df}
+			break
+		}
+	}
+	if f == nil {
+		return stats, fmt.Errorf("um: no filter for device %q", deviceName)
+	}
+
+	if u.cfg.Quiesce != nil {
+		if !u.cfg.Quiesce() {
+			return stats, fmt.Errorf("um: gateway already quiesced")
+		}
+		stats.QuiesceApplied = true
+		defer u.cfg.Unquiesce()
+	}
+
+	deviceRecs, err := f.df.Converter().Dump()
+	if err != nil {
+		return stats, fmt.Errorf("um: dumping %s: %w", deviceName, err)
+	}
+	stats.DeviceRecords = len(deviceRecs)
+
+	_, ldapKey := f.df.FromDevice().KeyAttrs()
+	mapped := f.df.FromDevice().MappedAttrs()
+
+	// One directory scan builds the key index both passes use; locating
+	// each device record with its own subtree search would make
+	// synchronization quadratic in the population.
+	allEntries, err := u.cfg.Backing.Search(&ldap.SearchRequest{
+		BaseDN: u.cfg.Suffix.String(),
+		Scope:  ldap.ScopeWholeSubtree,
+		Filter: ldap.Eq("objectClass", mcschema.ClassPerson),
+	})
+	if err != nil {
+		return stats, fmt.Errorf("um: dumping directory: %w", err)
+	}
+	entryByKey := map[string]*ldapclient.Entry{}
+	for _, e := range allEntries {
+		if k := e.First(ldapKey); k != "" {
+			entryByKey[k] = e
+		}
+	}
+
+	// Pass 1: device -> directory. Every device record must exist in the
+	// directory with converged attributes. Comparison and convergence
+	// cover only the attributes the device speaks for (the mapping body's
+	// targets), never derive-rule helpers like sn, and never the origin
+	// stamp — synchronization is reconciliation, not an update.
+	for _, rec := range deviceRecs {
+		img, err := f.df.FromDevice().Image(rec)
+		if err != nil {
+			stats.Errors++
+			u.logError(deviceName, "ldap", "sync", rec.First(f.keySrc()), err)
+			continue
+		}
+		key := img.First(ldapKey)
+		if key == "" {
+			stats.Errors++
+			u.logError(deviceName, "ldap", "sync", rec.String(), fmt.Errorf("record has no %s", ldapKey))
+			continue
+		}
+		existing := entryByKey[key]
+		if existing == nil {
+			err := u.ldapDirect.AddEntry(img, key)
+			if err != nil {
+				stats.Errors++
+				u.logError(deviceName, "ldap", "sync-add", key, err)
+				continue
+			}
+			stats.DirectoryAdds++
+			continue
+		}
+		cmp := restrictRecord(img, mapped)
+		cur := entryMappedRecord(existing, mapped)
+		if mappedInSync(cmp, cur) {
+			stats.AlreadyInSync++
+			continue
+		}
+		if policy == DeviceWins {
+			if err := u.ldapDirect.ConvergeEntry(existing, cur, cmp); err != nil {
+				stats.Errors++
+				u.logError(deviceName, "ldap", "sync-mod", key, err)
+				continue
+			}
+			stats.DirectoryMods++
+			continue
+		}
+		// DirectoryWins: push the directory's state down to the device.
+		tu, err := f.df.Translate(lexpress.Descriptor{
+			Source: "ldap", Op: lexpress.OpModify, Key: existing.DN,
+			Old: entryRecord(existing), New: entryRecord(existing),
+		})
+		if err != nil || tu == nil {
+			stats.Errors++
+			u.logError("ldap", deviceName, "sync-mod", key, err)
+			continue
+		}
+		if _, err := f.df.Apply(tu); err != nil {
+			stats.Errors++
+			u.logError("ldap", deviceName, "sync-mod", tu.Key, err)
+			continue
+		}
+		stats.DeviceMods++
+	}
+
+	// Pass 2: directory -> device. People the directory places on this
+	// device but the device does not know get created there.
+	byKey := map[string]bool{}
+	for _, rec := range deviceRecs {
+		byKey[rec.First(f.keySrc())] = true
+	}
+	for _, e := range allEntries {
+		rec := entryRecord(e)
+		tu, err := f.df.Translate(lexpress.Descriptor{
+			Source: "ldap", Op: lexpress.OpAdd, Key: e.DN, New: rec,
+		})
+		if err != nil || tu == nil {
+			continue // not under this device's management
+		}
+		if byKey[tu.Key] {
+			continue
+		}
+		if _, err := f.df.Apply(tu); err != nil {
+			stats.Errors++
+			u.logError("ldap", deviceName, "sync-add", tu.Key, err)
+			continue
+		}
+		stats.DeviceAdds++
+	}
+	u.logf("um: synchronized %s: %+v", deviceName, stats)
+	return stats, nil
+}
+
+// SynchronizeAll reconciles every registered device.
+func (u *UM) SynchronizeAll() (map[string]SyncStats, error) {
+	out := map[string]SyncStats{}
+	for _, f := range u.filters {
+		s, err := u.Synchronize(f.Name())
+		out[f.Name()] = s
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// filterRef wraps a device filter with sync-pass helpers.
+type filterRef struct{ df *filter.DeviceFilter }
+
+// keySrc returns the device-side key attribute.
+func (f *filterRef) keySrc() string {
+	src, _ := f.df.FromDevice().KeyAttrs()
+	return src
+}
+
+// restrictRecord keeps only the listed attributes (minus the origin stamp).
+func restrictRecord(rec lexpress.Record, attrs []string) lexpress.Record {
+	out := lexpress.NewRecord()
+	for _, a := range attrs {
+		if strings.EqualFold(a, mcschema.AttrLastUpdater) {
+			continue
+		}
+		if vs := rec.Get(a); len(vs) > 0 {
+			out.Set(a, vs...)
+		}
+	}
+	return out
+}
+
+// entryMappedRecord extracts the mapped attributes currently on a directory
+// entry (minus the origin stamp).
+func entryMappedRecord(e *ldapclient.Entry, mapped []string) lexpress.Record {
+	out := lexpress.NewRecord()
+	for _, a := range mapped {
+		if strings.EqualFold(a, mcschema.AttrLastUpdater) {
+			continue
+		}
+		if vs := e.Attr(a); len(vs) > 0 {
+			out.Set(a, vs...)
+		}
+	}
+	return out
+}
+
+// mappedInSync compares the device's image against the entry's state over
+// the mapped attributes: object classes need only be present (they
+// accumulate across devices); everything else must match exactly — in both
+// directions, so an attribute cleared at the device counts as drift.
+func mappedInSync(img, cur lexpress.Record) bool {
+	keys := map[string]bool{}
+	for _, a := range img.Attrs() {
+		keys[a] = true
+	}
+	for _, a := range cur.Attrs() {
+		keys[a] = true
+	}
+	for a := range keys {
+		if strings.EqualFold(a, "objectclass") {
+			for _, v := range img.Get(a) {
+				if !containsFold(cur.Get(a), v) {
+					return false
+				}
+			}
+			continue
+		}
+		if !sameValueSet(img.Get(a), cur.Get(a)) {
+			return false
+		}
+	}
+	return true
+}
+
+// entryRecord converts a search result entry to a lexpress record.
+func entryRecord(e *ldapclient.Entry) lexpress.Record {
+	rec := lexpress.NewRecord()
+	for _, a := range e.Attributes {
+		rec.Set(a.Type, a.Values...)
+	}
+	return rec
+}

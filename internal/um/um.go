@@ -1,0 +1,747 @@
+// Package um implements MetaComm's Update Manager (paper §4.4): the central
+// component that keeps the LDAP directory and the telecom devices
+// consistent.
+//
+// All updates — whether they originate at an LDAP client (through LTAP) or
+// directly at a device (a DDU, forwarded by the device filter through the
+// LDAP filter to LTAP) — funnel through LTAP into the UM's global update
+// queue. The coordinator (the UM's main thread) drains the queue and, for
+// each update: applies it to the backing LDAP server, then tells each
+// device filter to translate and apply it. Updates are reapplied to the
+// device that originated them (marked conditional by lexpress's Originator
+// mechanism), which is how MetaComm extends the directory world's relaxed
+// write-write consistency to the meta-directory: every repository converges
+// to the queue's serialization order.
+//
+// Failures at a device abort that device's update, log an error entry into
+// the directory under the errors container, and notify the administrator;
+// the UM also provides the synchronization facility used for initial
+// population and for recovery after disconnection, executed in isolation
+// under LTAP quiesce.
+package um
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"metacomm/internal/directory"
+	"metacomm/internal/dn"
+	"metacomm/internal/filter"
+	"metacomm/internal/ldap"
+	"metacomm/internal/lexpress"
+	"metacomm/internal/ltap"
+	"metacomm/internal/mcschema"
+)
+
+// Config wires an Update Manager.
+type Config struct {
+	// Suffix is the directory suffix ("o=Lucent").
+	Suffix dn.DN
+	// PeopleBase is where device-discovered people are created (defaults
+	// to Suffix).
+	PeopleBase dn.DN
+	// Backing talks directly to the backing LDAP server (bypassing LTAP —
+	// the UM's own writes must not re-trigger).
+	Backing filter.LDAPClient
+	// LTAP talks to the LTAP gateway; the DDU path applies device-
+	// originated updates through it so they are locked and serialized.
+	LTAP filter.LDAPClient
+	// Quiesce/Unquiesce control the gateway's quiesce facility during
+	// synchronization. Optional; synchronization proceeds unisolated
+	// without them.
+	Quiesce   func() bool
+	Unquiesce func()
+	// Library is the compiled lexpress mapping library.
+	Library *lexpress.Library
+	// ClosureMapping names the intra-directory closure unit (default
+	// "LDAPClosure", "" disables closure).
+	ClosureMapping string
+	// Log receives operational messages (nil = discard).
+	Log *log.Logger
+}
+
+// Stats are the UM's monotonic operation counters.
+type Stats struct {
+	UpdatesProcessed uint64
+	DeviceApplies    uint64
+	Reapplies        uint64
+	ClosureChanges   uint64
+	ErrorsLogged     uint64
+	DDUsForwarded    uint64
+}
+
+// UM is the Update Manager.
+type UM struct {
+	cfg     Config
+	closure *lexpress.Mapping // may be nil
+
+	filters []*filter.DeviceFilter
+	// ldapLTAP applies device-originated updates through LTAP; ldapDirect
+	// applies coordinator/sync updates to the backing server.
+	ldapLTAP   *filter.LDAPFilter
+	ldapDirect *filter.LDAPFilter
+
+	queue chan *job
+	wg    sync.WaitGroup
+	stop  chan struct{}
+
+	errSeq  atomic.Uint64
+	started atomic.Bool
+	stopped atomic.Bool
+
+	updatesProcessed atomic.Uint64
+	deviceApplies    atomic.Uint64
+	reapplies        atomic.Uint64
+	closureChanges   atomic.Uint64
+	errorsLogged     atomic.Uint64
+	ddusForwarded    atomic.Uint64
+}
+
+type job struct {
+	ev    ltap.Event
+	reply chan ldap.Result
+}
+
+// New builds an Update Manager. Call AddDevice for each device filter, then
+// Start.
+func New(cfg Config) (*UM, error) {
+	if cfg.Library == nil {
+		return nil, fmt.Errorf("um: config needs a mapping library")
+	}
+	if cfg.Backing == nil {
+		return nil, fmt.Errorf("um: config needs a backing LDAP client")
+	}
+	if len(cfg.PeopleBase) == 0 {
+		cfg.PeopleBase = cfg.Suffix
+	}
+	u := &UM{
+		cfg:   cfg,
+		queue: make(chan *job, 256),
+		stop:  make(chan struct{}),
+	}
+	name := cfg.ClosureMapping
+	if name == "" {
+		name = "LDAPClosure"
+	}
+	if m, ok := cfg.Library.Get(name); ok {
+		u.closure = m
+	} else if cfg.ClosureMapping != "" {
+		return nil, fmt.Errorf("um: closure mapping %q not in library", cfg.ClosureMapping)
+	}
+	u.ldapDirect = &filter.LDAPFilter{
+		Client: cfg.Backing, Suffix: cfg.Suffix, PeopleBase: cfg.PeopleBase, RDNAttr: mcschema.AttrCN,
+	}
+	if cfg.LTAP != nil {
+		u.ldapLTAP = &filter.LDAPFilter{
+			Client: cfg.LTAP, Suffix: cfg.Suffix, PeopleBase: cfg.PeopleBase, RDNAttr: mcschema.AttrCN,
+		}
+	}
+	return u, nil
+}
+
+// AddDevice registers a device filter. Must be called before Start.
+func (u *UM) AddDevice(f *filter.DeviceFilter) { u.filters = append(u.filters, f) }
+
+// SetLTAP installs the client used to push device-originated updates
+// through the LTAP gateway. The gateway needs the UM as its action and the
+// UM needs a connection to the gateway, so this is set after the gateway is
+// listening and before Start.
+func (u *UM) SetLTAP(c filter.LDAPClient) {
+	u.cfg.LTAP = c
+	u.ldapLTAP = &filter.LDAPFilter{
+		Client: c, Suffix: u.cfg.Suffix, PeopleBase: u.cfg.PeopleBase, RDNAttr: mcschema.AttrCN,
+	}
+}
+
+// LDAPViaLTAP exposes the LTAP-path LDAP filter (tests exercise the §5.1
+// rename crash window through it).
+func (u *UM) LDAPViaLTAP() *filter.LDAPFilter { return u.ldapLTAP }
+
+// Filters returns the registered device filters.
+func (u *UM) Filters() []*filter.DeviceFilter { return u.filters }
+
+// Stats snapshots the counters.
+func (u *UM) Stats() Stats {
+	return Stats{
+		UpdatesProcessed: u.updatesProcessed.Load(),
+		DeviceApplies:    u.deviceApplies.Load(),
+		Reapplies:        u.reapplies.Load(),
+		ClosureChanges:   u.closureChanges.Load(),
+		ErrorsLogged:     u.errorsLogged.Load(),
+		DDUsForwarded:    u.ddusForwarded.Load(),
+	}
+}
+
+func (u *UM) logf(format string, args ...any) {
+	if u.cfg.Log != nil {
+		u.cfg.Log.Printf(format, args...)
+	}
+}
+
+// Start launches the coordinator and the device notification listeners, and
+// ensures the errors container exists.
+func (u *UM) Start() error {
+	if !u.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("um: already started")
+	}
+	if err := u.ensureErrorContainer(); err != nil {
+		return err
+	}
+	u.wg.Add(1)
+	go func() {
+		defer u.wg.Done()
+		u.coordinator()
+	}()
+	for _, f := range u.filters {
+		if u.ldapLTAP == nil {
+			break // no DDU path without an LTAP connection
+		}
+		u.wg.Add(1)
+		go func(f *filter.DeviceFilter) {
+			defer u.wg.Done()
+			u.deviceListener(f)
+		}(f)
+	}
+	return nil
+}
+
+// SetQuiesce wires the gateway quiesce facility used to isolate
+// synchronization passes.
+func (u *UM) SetQuiesce(quiesce func() bool, unquiesce func()) {
+	u.cfg.Quiesce, u.cfg.Unquiesce = quiesce, unquiesce
+}
+
+// Stop shuts the UM down. It is idempotent and safe to call on a UM that
+// never started. Device converters are not closed (their owner closes
+// them).
+func (u *UM) Stop() {
+	if !u.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	close(u.stop)
+	u.wg.Wait()
+}
+
+// OnUpdate implements ltap.Action: every trapped LDAP update enters the
+// global queue here and is answered when the coordinator finishes its full
+// update sequence.
+func (u *UM) OnUpdate(ev ltap.Event) ldap.Result {
+	j := &job{ev: ev, reply: make(chan ldap.Result, 1)}
+	select {
+	case u.queue <- j:
+	case <-u.stop:
+		return ldap.Result{Code: ldap.ResultUnavailable, Message: "um: stopped"}
+	}
+	select {
+	case res := <-j.reply:
+		return res
+	case <-u.stop:
+		return ldap.Result{Code: ldap.ResultUnavailable, Message: "um: stopped"}
+	}
+}
+
+// coordinator is the UM main thread: it serializes every update in the
+// system.
+func (u *UM) coordinator() {
+	for {
+		select {
+		case j := <-u.queue:
+			j.reply <- u.process(j.ev)
+		case <-u.stop:
+			return
+		}
+	}
+}
+
+// deviceListener forwards DDU notifications through the LDAP filter to
+// LTAP (paper §4.4's update sequence for direct device updates).
+func (u *UM) deviceListener(f *filter.DeviceFilter) {
+	notifs := f.Converter().Notifications()
+	for {
+		select {
+		case n, ok := <-notifs:
+			if !ok {
+				return
+			}
+			u.ddusForwarded.Add(1)
+			desc := f.DescriptorFromNotification(n)
+			tu, err := f.FromDevice().Translate(desc)
+			if err != nil {
+				u.logError(f.Name(), "ldap", desc.Op.String(), desc.Key, err)
+				continue
+			}
+			if tu == nil {
+				continue
+			}
+			_, keyDst := f.FromDevice().KeyAttrs()
+			err = u.ldapLTAP.Apply(tu, keyDst)
+			if err != nil && tu.Op == lexpress.OpAdd && ldap.IsCode(err, ldap.ResultEntryAlreadyExists) {
+				// The record reached the directory through another path
+				// first (e.g. a synchronization pass racing this DDU);
+				// converge rather than complain.
+				tu.Op = lexpress.OpModify
+				tu.Old = tu.New
+				err = u.ldapLTAP.Apply(tu, keyDst)
+			}
+			if err != nil {
+				u.logError(f.Name(), "ldap", tu.Op.String(), tu.Key, err)
+			}
+		case <-u.stop:
+			return
+		}
+	}
+}
+
+// process runs one serialized update: apply to the backing directory, fan
+// out to the devices, then write back any device-generated information.
+func (u *UM) process(ev ltap.Event) ldap.Result {
+	u.updatesProcessed.Add(1)
+	name, err := dn.Parse(ev.DN)
+	if err != nil {
+		return ldap.Result{Code: ldap.ResultInvalidDNSyntax, Message: err.Error()}
+	}
+
+	images, res := u.computeImages(ev, name)
+	if res.Code != ldap.ResultSuccess {
+		return res
+	}
+
+	// Closure: propagate dependent attributes (telephoneNumber <->
+	// definityExtension <-> mailboxNumber ...). Explicitly set attributes
+	// are never overwritten.
+	var closureChanged []string
+	var classAdds []ldap.Change
+	if u.closure != nil && images.new != nil {
+		changed, err := u.closure.ApplyClosure(images.old, images.new, images.explicit)
+		if err != nil {
+			if err == lexpress.ErrNoFixpoint {
+				return ldap.Result{Code: ldap.ResultConstraintViolation,
+					Message: "closure did not reach a fixpoint for this update"}
+			}
+			return ldap.Result{Code: ldap.ResultOther, Message: err.Error()}
+		}
+		closureChanged = changed
+		u.closureChanges.Add(uint64(len(changed)))
+		classAdds = u.ensureAuxClasses(images.new, closureChanged)
+	}
+	if ev.Kind == ltap.EventAdd && images.new != nil {
+		// A fresh entry may also need classes for attributes the client
+		// supplied without declaring the class (weakly-typed tools do).
+		u.ensureAuxClasses(images.new, images.new.Attrs())
+	}
+
+	// Apply to the backing directory first; failure aborts the sequence
+	// and surfaces to the client.
+	newDN, err := u.applyToDirectory(ev, name, images, closureChanged, classAdds)
+	if err != nil {
+		return resultOf(err)
+	}
+
+	// Fan out to every device (including a conditional reapply to the
+	// originator).
+	desc := lexpress.Descriptor{
+		Source: "ldap",
+		Op:     opOfEvent(ev.Kind),
+		Key:    newDN.String(),
+		Old:    images.old,
+		New:    images.new,
+		Explicit: append(append([]string(nil), images.explicit...),
+			closureChanged...),
+	}
+	generated := lexpress.NewRecord()
+	for _, f := range u.filters {
+		tu, err := f.Translate(desc)
+		if err != nil {
+			u.logError("ldap", f.Name(), desc.Op.String(), desc.Key, err)
+			continue
+		}
+		if tu == nil {
+			continue
+		}
+		u.deviceApplies.Add(1)
+		if tu.Conditional {
+			u.reapplies.Add(1)
+		}
+		stored, err := f.Apply(tu)
+		if err != nil {
+			u.logError("ldap", f.Name(), tu.Op.String(), tu.Key, err)
+			continue
+		}
+		// Device-generated information (paper §5.5): fields the device
+		// invented flow back to the directory only, after all devices.
+		u.collectGenerated(f, tu, stored, images.new, generated)
+	}
+	if len(generated) > 0 {
+		if err := u.applyGenerated(newDN, generated); err != nil {
+			u.logError("um", "ldap", "modify", newDN.String(), err)
+		}
+	}
+	return ldap.Result{Code: ldap.ResultSuccess}
+}
+
+// images carries the before/after records of the entry under update.
+type images struct {
+	old      lexpress.Record
+	new      lexpress.Record
+	explicit []string
+}
+
+// computeImages derives the old/new records and the explicitly set
+// attributes from the trapped event.
+func (u *UM) computeImages(ev ltap.Event, name dn.DN) (images, ldap.Result) {
+	ok := ldap.Result{Code: ldap.ResultSuccess}
+	switch ev.Kind {
+	case ltap.EventAdd:
+		rec := ev.Attrs.Clone()
+		for _, ava := range name.RDN() {
+			if !hasValue(rec, ava.Attr, ava.Value) {
+				rec[strings.ToLower(ava.Attr)] = append(rec.Get(ava.Attr), ava.Value)
+			}
+		}
+		u.stampOrigin(rec, rec.Attrs())
+		return images{new: rec, explicit: rec.Attrs()}, ok
+
+	case ltap.EventDelete:
+		if ev.Old == nil {
+			return images{}, ldap.Result{Code: ldap.ResultNoSuchObject,
+				Message: "no entry " + ev.DN}
+		}
+		return images{old: ev.Old}, ok
+
+	case ltap.EventModify:
+		if ev.Old == nil {
+			return images{}, ldap.Result{Code: ldap.ResultNoSuchObject,
+				Message: "no entry " + ev.DN}
+		}
+		rec := ev.Old.Clone()
+		var explicit []string
+		for _, c := range ev.Changes {
+			lc, err := c.ToLDAP()
+			if err != nil {
+				return images{}, ldap.Result{Code: ldap.ResultProtocolError, Message: err.Error()}
+			}
+			applyChange(rec, lc)
+			explicit = append(explicit, c.Attr)
+		}
+		u.stampOrigin(rec, explicit)
+		return images{old: ev.Old, new: rec, explicit: explicit}, ok
+
+	case ltap.EventModifyDN:
+		if ev.Old == nil {
+			return images{}, ldap.Result{Code: ldap.ResultNoSuchObject,
+				Message: "no entry " + ev.DN}
+		}
+		newRDN, err := dn.Parse(ev.NewRDN)
+		if err != nil || newRDN.Depth() != 1 {
+			return images{}, ldap.Result{Code: ldap.ResultInvalidDNSyntax, Message: "bad newRDN"}
+		}
+		rec := ev.Old.Clone()
+		var explicit []string
+		for _, ava := range newRDN.RDN() {
+			vals := rec.Get(ava.Attr)
+			if ev.DeleteOldRDN {
+				vals = removeValue(vals, name.FirstValue(ava.Attr))
+			}
+			if !containsFold(vals, ava.Value) {
+				vals = append(vals, ava.Value)
+			}
+			rec.Set(ava.Attr, vals...)
+			explicit = append(explicit, ava.Attr)
+		}
+		u.stampOrigin(rec, explicit)
+		return images{old: ev.Old, new: rec, explicit: explicit}, ok
+	}
+	return images{}, ldap.Result{Code: ldap.ResultProtocolError,
+		Message: fmt.Sprintf("unknown event kind %q", ev.Kind)}
+}
+
+// stampOrigin records where this update came from. Device-originated
+// updates arrive with lastUpdater explicitly set by the device->ldap
+// mapping; anything else is an LDAP-client update.
+func (u *UM) stampOrigin(rec lexpress.Record, explicit []string) {
+	for _, a := range explicit {
+		if strings.EqualFold(a, mcschema.AttrLastUpdater) {
+			return
+		}
+	}
+	rec.Set(mcschema.AttrLastUpdater, "ldap")
+}
+
+// ensureAuxClasses extends the record's objectClass list with the auxiliary
+// classes the named attributes require; it returns the ModAdd changes for
+// modify-path application.
+func (u *UM) ensureAuxClasses(rec lexpress.Record, attrs []string) []ldap.Change {
+	var out []ldap.Change
+	classes := rec.Get("objectClass")
+	for _, a := range attrs {
+		cls := mcschema.AuxClassFor(a)
+		if cls == "" || containsFold(classes, cls) {
+			continue
+		}
+		classes = append(classes, cls)
+		out = append(out, ldap.Change{Op: ldap.ModAdd,
+			Attribute: ldap.Attribute{Type: "objectClass", Values: []string{cls}}})
+	}
+	if len(out) > 0 {
+		rec.Set("objectClass", classes...)
+	}
+	return out
+}
+
+// applyToDirectory writes the serialized update to the backing server. For
+// a ModifyDN it issues the non-atomic ModifyRDN/Modify pair of §5.1. It
+// returns the entry's (possibly new) DN.
+func (u *UM) applyToDirectory(ev ltap.Event, name dn.DN, img images, closureChanged []string, classAdds []ldap.Change) (dn.DN, error) {
+	switch ev.Kind {
+	case ltap.EventAdd:
+		return name, u.cfg.Backing.Add(ev.DN, recordAttributes(img.new))
+
+	case ltap.EventDelete:
+		return name, u.cfg.Backing.Delete(ev.DN)
+
+	case ltap.EventModify:
+		changes := make([]ldap.Change, 0, len(ev.Changes)+len(closureChanged)+len(classAdds))
+		for _, c := range ev.Changes {
+			lc, err := c.ToLDAP()
+			if err != nil {
+				return name, err
+			}
+			changes = append(changes, lc)
+		}
+		changes = append(changes, classAdds...)
+		changes = append(changes, closureReplace(img.new, closureChanged)...)
+		changes = append(changes, originChange(img.new, ev.Changes)...)
+		return name, u.cfg.Backing.Modify(ev.DN, changes)
+
+	case ltap.EventModifyDN:
+		if err := u.cfg.Backing.ModifyDN(ev.DN, ev.NewRDN, ev.DeleteOldRDN); err != nil {
+			return name, err
+		}
+		newRDN, _ := dn.Parse(ev.NewRDN)
+		newDN := name.WithRDN(newRDN.RDN())
+		// Second half of the pair: closure fallout and the origin stamp.
+		changes := append(append([]ldap.Change(nil), classAdds...),
+			closureReplace(img.new, closureChanged)...)
+		changes = append(changes, ldap.Change{Op: ldap.ModReplace, Attribute: ldap.Attribute{
+			Type: mcschema.AttrLastUpdater, Values: img.new.Get(mcschema.AttrLastUpdater)}})
+		if len(changes) > 0 {
+			if err := u.cfg.Backing.Modify(newDN.String(), changes); err != nil {
+				return newDN, err
+			}
+		}
+		return newDN, nil
+	}
+	return name, fmt.Errorf("um: unknown event kind %q", ev.Kind)
+}
+
+func closureReplace(rec lexpress.Record, attrs []string) []ldap.Change {
+	var out []ldap.Change
+	for _, a := range attrs {
+		out = append(out, ldap.Change{Op: ldap.ModReplace,
+			Attribute: ldap.Attribute{Type: a, Values: rec.Get(a)}})
+	}
+	return out
+}
+
+// originChange emits the lastUpdater stamp unless the client's own changes
+// already set it.
+func originChange(rec lexpress.Record, changes []ltap.Change) []ldap.Change {
+	for _, c := range changes {
+		if strings.EqualFold(c.Attr, mcschema.AttrLastUpdater) {
+			return nil
+		}
+	}
+	return []ldap.Change{{Op: ldap.ModReplace, Attribute: ldap.Attribute{
+		Type: mcschema.AttrLastUpdater, Values: rec.Get(mcschema.AttrLastUpdater)}}}
+}
+
+// collectGenerated diffs what the device stored against what we sent; new
+// information maps back through the device->ldap mapping into generated.
+// The auxiliary classes the generated attributes require come along.
+func (u *UM) collectGenerated(f *filter.DeviceFilter, tu *lexpress.TargetUpdate,
+	stored lexpress.Record, ldapNew lexpress.Record, generated lexpress.Record) {
+	if stored == nil || tu.Op == lexpress.OpDelete {
+		return
+	}
+	diff := lexpress.NewRecord()
+	for _, a := range stored.Attrs() {
+		if !sameValues(stored.Get(a), tu.New.Get(a)) {
+			diff.Set(a, stored.Get(a)...)
+		}
+	}
+	if len(diff) == 0 {
+		return
+	}
+	img, err := f.FromDevice().Image(stored)
+	if err != nil {
+		return
+	}
+	any := false
+	for _, a := range img.Attrs() {
+		if ldapNew != nil && ldapNew.Has(a) {
+			continue // only NEW information flows back
+		}
+		if strings.EqualFold(a, "objectclass") || strings.EqualFold(a, mcschema.AttrLastUpdater) ||
+			strings.EqualFold(a, mcschema.AttrCN) || strings.EqualFold(a, mcschema.AttrSN) {
+			continue
+		}
+		generated.Set(a, img.Get(a)...)
+		any = true
+	}
+	if any {
+		// Carry the classes that make the new attributes legal.
+		classes := generated.Get("objectClass")
+		for _, c := range img.Get("objectClass") {
+			if !containsFold(classes, c) {
+				classes = append(classes, c)
+			}
+		}
+		generated.Set("objectClass", classes...)
+	}
+}
+
+// applyGenerated writes device-generated information back to the directory
+// entry after all devices are updated (§5.5), diffing against the live
+// entry so only real changes (and missing auxiliary classes) are written.
+func (u *UM) applyGenerated(name dn.DN, generated lexpress.Record) error {
+	entries, err := u.cfg.Backing.Search(&ldap.SearchRequest{
+		BaseDN: name.String(), Scope: ldap.ScopeBaseObject,
+	})
+	if err != nil {
+		return err
+	}
+	if len(entries) != 1 {
+		return fmt.Errorf("um: entry %s vanished before generated-info write-back", name)
+	}
+	cur := entries[0]
+	var changes []ldap.Change
+	for _, a := range generated.Attrs() {
+		if strings.EqualFold(a, "objectclass") {
+			for _, v := range generated.Get(a) {
+				if !containsFold(cur.Attr(a), v) {
+					changes = append(changes, ldap.Change{Op: ldap.ModAdd,
+						Attribute: ldap.Attribute{Type: "objectClass", Values: []string{v}}})
+				}
+			}
+			continue
+		}
+		if sameValueSet(cur.Attr(a), generated.Get(a)) {
+			continue
+		}
+		changes = append(changes, ldap.Change{Op: ldap.ModReplace,
+			Attribute: ldap.Attribute{Type: a, Values: generated.Get(a)}})
+	}
+	if len(changes) == 0 {
+		return nil
+	}
+	return u.cfg.Backing.Modify(cur.DN, changes)
+}
+
+func sameValueSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, v := range a {
+		if !containsFold(b, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- small helpers ---
+
+func opOfEvent(k ltap.EventKind) lexpress.OpKind {
+	switch k {
+	case ltap.EventAdd:
+		return lexpress.OpAdd
+	case ltap.EventDelete:
+		return lexpress.OpDelete
+	default:
+		return lexpress.OpModify
+	}
+}
+
+func resultOf(err error) ldap.Result {
+	if err == nil {
+		return ldap.Result{Code: ldap.ResultSuccess}
+	}
+	if re, ok := err.(*ldap.ResultError); ok {
+		return re.Result
+	}
+	return ldap.Result{Code: directory.CodeOf(err), Message: err.Error()}
+}
+
+func recordAttributes(rec lexpress.Record) []ldap.Attribute {
+	var out []ldap.Attribute
+	for _, a := range rec.Attrs() {
+		out = append(out, ldap.Attribute{Type: a, Values: rec.Get(a)})
+	}
+	return out
+}
+
+// applyChange mirrors LDAP modify semantics onto a lexpress record
+// (tolerantly: this rebuilds an image, the authoritative check happens at
+// the directory).
+func applyChange(rec lexpress.Record, c ldap.Change) {
+	switch c.Op {
+	case ldap.ModReplace:
+		rec.Set(c.Attribute.Type, c.Attribute.Values...)
+	case ldap.ModAdd:
+		vals := rec.Get(c.Attribute.Type)
+		for _, v := range c.Attribute.Values {
+			if !containsFold(vals, v) {
+				vals = append(vals, v)
+			}
+		}
+		rec.Set(c.Attribute.Type, vals...)
+	case ldap.ModDelete:
+		if len(c.Attribute.Values) == 0 {
+			rec.Set(c.Attribute.Type)
+			return
+		}
+		vals := rec.Get(c.Attribute.Type)
+		for _, v := range c.Attribute.Values {
+			vals = removeValue(vals, v)
+		}
+		rec.Set(c.Attribute.Type, vals...)
+	}
+}
+
+func containsFold(vals []string, v string) bool {
+	for _, x := range vals {
+		if strings.EqualFold(x, v) {
+			return true
+		}
+	}
+	return false
+}
+
+func removeValue(vals []string, v string) []string {
+	out := vals[:0:0]
+	for _, x := range vals {
+		if !strings.EqualFold(x, v) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func sameValues(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func hasValue(rec lexpress.Record, attr, value string) bool {
+	return containsFold(rec.Get(attr), value)
+}

@@ -1,0 +1,301 @@
+// Package wba implements MetaComm's Web-Based Administration (paper Fig. 1
+// and §4.5): a single point of administration for the telecom devices that
+// speaks nothing but LDAP to the LTAP gateway — demonstrating that "any
+// LDAP tool" can administer the integrated devices. Assigning a person an
+// extension here configures the PBX; giving them a mailbox configures the
+// messaging platform; the intuitive Web interface "compares favorably with
+// proprietary interfaces" (§4.5).
+package wba
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+
+	"metacomm/internal/ldap"
+	"metacomm/internal/ldapclient"
+	"metacomm/internal/mcschema"
+)
+
+// Server is the WBA HTTP handler. It holds one LDAP connection to LTAP;
+// handlers serialize on it (the client is internally synchronized).
+type Server struct {
+	// LDAP is the connection to the LTAP gateway.
+	LDAP *ldapclient.Conn
+	// Suffix is the directory suffix ("o=Lucent").
+	Suffix string
+
+	mux *http.ServeMux
+}
+
+// New builds a WBA server over an LDAP connection.
+func New(conn *ldapclient.Conn, suffix string) *Server {
+	s := &Server{LDAP: conn, Suffix: suffix, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/person", s.handlePerson)
+	s.mux.HandleFunc("/save", s.handleSave)
+	s.mux.HandleFunc("/delete", s.handleDelete)
+	s.mux.HandleFunc("/errors", s.handleErrors)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
+<html><head><title>MetaComm Administration</title></head><body>
+<h1>MetaComm — Web-Based Administration</h1>
+<p><a href="/">People</a> | <a href="/errors">Update errors</a></p>
+{{block "body" .}}{{end}}
+</body></html>`))
+
+var indexTmpl = template.Must(template.Must(pageTmpl.Clone()).Parse(`{{define "body"}}
+<h2>People</h2>
+<table border="1" cellpadding="4">
+<tr><th>Name</th><th>Telephone</th><th>Extension</th><th>Mailbox</th><th>Room</th><th></th></tr>
+{{range .People}}
+<tr>
+  <td><a href="/person?dn={{.DN}}">{{.CN}}</a></td>
+  <td>{{.Telephone}}</td><td>{{.Extension}}</td><td>{{.Mailbox}}</td><td>{{.Room}}</td>
+  <td><form method="POST" action="/delete"><input type="hidden" name="dn" value="{{.DN}}">
+      <input type="submit" value="delete"></form></td>
+</tr>
+{{end}}
+</table>
+<h2>Add person</h2>
+{{template "form" .Blank}}
+{{end}}
+{{define "form"}}
+<form method="POST" action="/save">
+<input type="hidden" name="dn" value="{{.DN}}">
+<table>
+<tr><td>Common name</td><td><input name="cn" value="{{.CN}}"></td></tr>
+<tr><td>Surname</td><td><input name="sn" value="{{.SN}}"></td></tr>
+<tr><td>Telephone</td><td><input name="telephoneNumber" value="{{.Telephone}}"></td></tr>
+<tr><td>Definity extension</td><td><input name="definityExtension" value="{{.Extension}}"></td></tr>
+<tr><td>Mailbox number</td><td><input name="mailboxNumber" value="{{.Mailbox}}"></td></tr>
+<tr><td>Room</td><td><input name="roomNumber" value="{{.Room}}"></td></tr>
+</table>
+<input type="submit" value="Save">
+</form>
+{{end}}`))
+
+var personTmpl = template.Must(template.Must(indexTmpl.Clone()).Parse(`{{define "body"}}
+<h2>{{.Person.CN}}</h2>
+{{template "form" .Person}}
+<h3>Raw entry</h3>
+<pre>{{.Raw}}</pre>
+{{end}}`))
+
+var errorsTmpl = template.Must(template.Must(pageTmpl.Clone()).Parse(`{{define "body"}}
+<h2>Update errors</h2>
+<table border="1" cellpadding="4">
+<tr><th>Id</th><th>Source</th><th>Target</th><th>Op</th><th>Key</th><th>Message</th></tr>
+{{range .Errors}}
+<tr><td>{{.ID}}</td><td>{{.Source}}</td><td>{{.Target}}</td><td>{{.Op}}</td><td>{{.Key}}</td><td>{{.Message}}</td></tr>
+{{end}}
+</table>
+{{end}}`))
+
+// personView is the template model for one person.
+type personView struct {
+	DN, CN, SN, Telephone, Extension, Mailbox, Room string
+}
+
+func viewOf(e *ldapclient.Entry) personView {
+	return personView{
+		DN:        e.DN,
+		CN:        e.First(mcschema.AttrCN),
+		SN:        e.First(mcschema.AttrSN),
+		Telephone: e.First(mcschema.AttrTelephone),
+		Extension: e.First(mcschema.AttrDefinityExtension),
+		Mailbox:   e.First(mcschema.AttrMailboxNumber),
+		Room:      e.First(mcschema.AttrRoom),
+	}
+}
+
+func (s *Server) people() ([]personView, error) {
+	entries, err := s.LDAP.Search(&ldap.SearchRequest{
+		BaseDN: s.Suffix,
+		Scope:  ldap.ScopeWholeSubtree,
+		Filter: ldap.Eq("objectClass", mcschema.ClassPerson),
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]personView, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, viewOf(e))
+	}
+	return out, nil
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	people, err := s.people()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	err = indexTmpl.Execute(w, map[string]any{"People": people, "Blank": personView{}})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handlePerson(w http.ResponseWriter, r *http.Request) {
+	dn := r.URL.Query().Get("dn")
+	if dn == "" {
+		http.Error(w, "missing dn", http.StatusBadRequest)
+		return
+	}
+	e, err := s.LDAP.SearchOne(&ldap.SearchRequest{BaseDN: dn, Scope: ldap.ScopeBaseObject})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	var raw strings.Builder
+	fmt.Fprintf(&raw, "dn: %s\n", e.DN)
+	for _, a := range e.Attributes {
+		for _, v := range a.Values {
+			fmt.Fprintf(&raw, "%s: %s\n", a.Type, v)
+		}
+	}
+	err = personTmpl.Execute(w, map[string]any{"Person": viewOf(e), "Raw": raw.String()})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// editableAttrs are the fields the form manages, with their form names.
+var editableAttrs = []string{
+	mcschema.AttrSN, mcschema.AttrTelephone, mcschema.AttrDefinityExtension,
+	mcschema.AttrMailboxNumber, mcschema.AttrRoom,
+}
+
+func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	dn := strings.TrimSpace(r.Form.Get("dn"))
+	cn := strings.TrimSpace(r.Form.Get("cn"))
+	if dn == "" {
+		// Create.
+		if cn == "" {
+			http.Error(w, "common name required", http.StatusBadRequest)
+			return
+		}
+		dn = fmt.Sprintf("cn=%s,%s", cn, s.Suffix)
+		attrs := []ldap.Attribute{
+			{Type: "objectClass", Values: objectClassesFor(r)},
+			{Type: mcschema.AttrCN, Values: []string{cn}},
+		}
+		for _, a := range editableAttrs {
+			if v := strings.TrimSpace(r.Form.Get(a)); v != "" {
+				attrs = append(attrs, ldap.Attribute{Type: a, Values: []string{v}})
+			}
+		}
+		if err := s.LDAP.Add(dn, attrs); err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		http.Redirect(w, r, "/", http.StatusSeeOther)
+		return
+	}
+	// Update: replace non-empty fields, delete cleared ones.
+	cur, err := s.LDAP.SearchOne(&ldap.SearchRequest{BaseDN: dn, Scope: ldap.ScopeBaseObject})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	var changes []ldap.Change
+	for _, a := range editableAttrs {
+		v := strings.TrimSpace(r.Form.Get(a))
+		switch {
+		case v == "" && cur.HasAttr(a):
+			changes = append(changes, ldap.Change{Op: ldap.ModDelete, Attribute: ldap.Attribute{Type: a}})
+		case v != "" && cur.First(a) != v:
+			changes = append(changes, ldap.Change{Op: ldap.ModReplace,
+				Attribute: ldap.Attribute{Type: a, Values: []string{v}}})
+		}
+	}
+	if len(changes) == 0 {
+		http.Redirect(w, r, "/", http.StatusSeeOther)
+		return
+	}
+	if err := s.LDAP.Modify(dn, changes); err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+// objectClassesFor derives the classes a new entry needs from the fields
+// supplied.
+func objectClassesFor(r *http.Request) []string {
+	classes := []string{mcschema.ClassPerson}
+	if strings.TrimSpace(r.Form.Get(mcschema.AttrDefinityExtension)) != "" {
+		classes = append(classes, mcschema.ClassDefinityUser)
+	}
+	if strings.TrimSpace(r.Form.Get(mcschema.AttrMailboxNumber)) != "" {
+		classes = append(classes, mcschema.ClassMessagingUser)
+	}
+	return classes
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	dn := r.FormValue("dn")
+	if dn == "" {
+		http.Error(w, "missing dn", http.StatusBadRequest)
+		return
+	}
+	if err := s.LDAP.Delete(dn); err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+// errorView is the template model for one logged update error.
+type errorView struct {
+	ID, Source, Target, Op, Key, Message string
+}
+
+func (s *Server) handleErrors(w http.ResponseWriter, r *http.Request) {
+	entries, err := s.LDAP.Search(&ldap.SearchRequest{
+		BaseDN: "ou=errors," + s.Suffix,
+		Scope:  ldap.ScopeSingleLevel,
+		Filter: ldap.Eq("objectClass", mcschema.ClassUpdateError),
+	})
+	if err != nil && !ldap.IsCode(err, ldap.ResultNoSuchObject) {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	views := make([]errorView, 0, len(entries))
+	for _, e := range entries {
+		views = append(views, errorView{
+			ID:      e.First(mcschema.AttrErrorID),
+			Source:  e.First(mcschema.AttrErrorSource),
+			Target:  e.First(mcschema.AttrErrorTarget),
+			Op:      e.First(mcschema.AttrErrorOp),
+			Key:     e.First(mcschema.AttrErrorKey),
+			Message: e.First(mcschema.AttrErrorMessage),
+		})
+	}
+	if err := errorsTmpl.Execute(w, map[string]any{"Errors": views}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,426 @@
+// Package metacomm assembles the complete MetaComm meta-directory (ICDE
+// 2000): an LDAP directory server materializing user data from telecom
+// devices, fronted by the LTAP trigger gateway, coordinated by the Update
+// Manager, with a Definity PBX simulator and a voice messaging platform
+// simulator as the integrated devices.
+//
+// Architecture (the paper's Figure 1):
+//
+//	LDAP clients / Web-Based Administration
+//	        │ (LDAP protocol)
+//	        ▼
+//	     LTAP gateway ──── trigger events ───► Update Manager
+//	        │ reads                              │  global queue, fanout
+//	        ▼                                    ▼
+//	  LDAP directory ◄── direct writes ── PBX filter / MP filter
+//	   (materialized view)                       │ proprietary protocols
+//	                                             ▼
+//	                                    Definity PBX   Messaging platform
+//	                                             ▲
+//	                                 direct device updates (DDUs)
+//
+// Updates may arrive through LDAP or directly at either device; MetaComm
+// converges all repositories to the Update Manager's serialization order
+// (relaxed write-write consistency).
+package metacomm
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"metacomm/internal/device"
+	"metacomm/internal/device/msgplat"
+	"metacomm/internal/device/pbx"
+	"metacomm/internal/directory"
+	"metacomm/internal/dn"
+	"metacomm/internal/filter"
+	"metacomm/internal/ldap"
+	"metacomm/internal/ldapclient"
+	"metacomm/internal/ldapserver"
+	"metacomm/internal/lexpress"
+	"metacomm/internal/ltap"
+	"metacomm/internal/mcschema"
+	"metacomm/internal/replica"
+	"metacomm/internal/um"
+)
+
+// Mode selects how LTAP reaches the Update Manager (paper §5.5).
+type Mode string
+
+// LTAP coupling modes.
+const (
+	// ModeGateway runs LTAP as a gateway process: trigger events travel to
+	// the UM over a persistent TCP connection. This is how MetaComm
+	// deployed (§5.5): LTAP and the UM can live on separate machines and
+	// be upgraded independently, and the UM machine does no read work.
+	ModeGateway Mode = "gateway"
+	// ModeLibrary binds LTAP into the UM process: events are in-process
+	// calls. Lower update latency, but couples the components.
+	ModeLibrary Mode = "library"
+)
+
+// Config configures a System. The zero value works: every listener binds a
+// loopback ephemeral port and both device simulators start embedded.
+type Config struct {
+	// Suffix is the directory suffix (default "o=Lucent").
+	Suffix string
+	// DirectoryAddr / LTAPAddr / ActionAddr are listen addresses
+	// (default 127.0.0.1:0).
+	DirectoryAddr string
+	LTAPAddr      string
+	ActionAddr    string
+	// PBXAddr / MPAddr are device listen addresses (default 127.0.0.1:0).
+	PBXAddr string
+	MPAddr  string
+	// Mode selects gateway (default) or library LTAP coupling.
+	Mode Mode
+	// ExtraMappings is additional lexpress source compiled into the
+	// standard telecom library (for new data sources).
+	ExtraMappings string
+	// InitialSync populates the directory from the devices on startup.
+	InitialSync bool
+	// ReplicationAddr, when set, serves the replication stream (see
+	// internal/replica) so read replicas can follow this directory.
+	ReplicationAddr string
+	// DataDir, when set, makes the directory durable: committed updates
+	// are write-ahead journaled to <DataDir>/directory.journal and
+	// replayed on the next Start. Empty keeps the directory in memory.
+	DataDir string
+	// AuditLog, when set, receives one line per update that passes through
+	// LTAP — including rejected ones — via the gateway's trigger facility.
+	AuditLog io.Writer
+	// Logger receives operational messages (nil = discard).
+	Logger *log.Logger
+}
+
+// System is a running MetaComm instance.
+type System struct {
+	// Suffix is the parsed directory suffix.
+	Suffix dn.DN
+	// DIT is the backing store of the directory server.
+	DIT *directory.DIT
+	// UM is the Update Manager.
+	UM *um.UM
+	// Gateway is the LTAP gateway.
+	Gateway *ltap.Gateway
+	// PBX and MP are the embedded device simulators.
+	PBX *pbx.PBX
+	MP  *msgplat.MP
+	// Library is the compiled lexpress mapping library.
+	Library *lexpress.Library
+
+	// Addresses of the running listeners.
+	DirectoryAddrActual   string
+	ReplicationAddrActual string
+	LTAPAddrActual        string
+	PBXAddrActual         string
+	MPAddrActual          string
+
+	journal    *directory.Journal
+	publisher  *replica.Publisher
+	dirServer  *ldapserver.Server
+	ltapServer *ldapserver.Server
+	actionSrv  *ltap.ActionServer
+	remote     *ltap.RemoteAction
+	converters []device.Converter
+	clients    []*ldapclient.Conn
+}
+
+func defaultStr(v, d string) string {
+	if v == "" {
+		return d
+	}
+	return v
+}
+
+// Start builds and starts a complete system.
+func Start(cfg Config) (*System, error) {
+	s := &System{}
+	ok := false
+	defer func() {
+		if !ok {
+			s.Close()
+		}
+	}()
+
+	suffix, err := dn.Parse(defaultStr(cfg.Suffix, "o=Lucent"))
+	if err != nil || suffix.IsRoot() {
+		return nil, fmt.Errorf("metacomm: bad suffix %q: %v", cfg.Suffix, err)
+	}
+	s.Suffix = suffix
+
+	// 1. Backing directory server with the integrated schema; the suffix
+	// entry exists from the start.
+	s.DIT = directory.New(mcschema.New())
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("metacomm: data dir: %w", err)
+		}
+		j, err := directory.OpenJournal(filepath.Join(cfg.DataDir, "directory.journal"))
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+		if _, err := s.DIT.AttachJournal(j); err != nil {
+			return nil, fmt.Errorf("metacomm: replaying journal: %w", err)
+		}
+	}
+	// The update path locates entries by device key on every translated
+	// update; index those lookups (benchmark: ~4 orders of magnitude at
+	// 10k entries, see BenchmarkIndexAblation).
+	s.DIT.EnableIndexes(mcschema.AttrDefinityExtension, mcschema.AttrMailboxNumber,
+		mcschema.AttrCN, mcschema.AttrTelephone, "objectClass")
+	suffixAttrs := directory.NewAttrs()
+	suffixAttrs.Put("objectClass", mcschema.ClassOrganization)
+	// The suffix entry may already exist when a journal was replayed.
+	if err := s.DIT.Add(suffix, suffixAttrs); err != nil &&
+		directory.CodeOf(err) != ldap.ResultEntryAlreadyExists {
+		return nil, err
+	}
+	s.dirServer = ldapserver.NewServer(ldapserver.NewDITHandler(s.DIT))
+	s.dirServer.ErrorLog = cfg.Logger
+	dirAddr, err := s.dirServer.Start(defaultStr(cfg.DirectoryAddr, "127.0.0.1:0"))
+	if err != nil {
+		return nil, fmt.Errorf("metacomm: directory listener: %w", err)
+	}
+	s.DirectoryAddrActual = dirAddr.String()
+	if cfg.ReplicationAddr != "" {
+		s.publisher = replica.NewPublisher(s.DIT)
+		pubAddr, err := s.publisher.Start(cfg.ReplicationAddr)
+		if err != nil {
+			return nil, fmt.Errorf("metacomm: replication listener: %w", err)
+		}
+		s.ReplicationAddrActual = pubAddr.String()
+	}
+
+	// 2. Device simulators.
+	s.PBX = pbx.New()
+	pbxAddr, err := s.PBX.Start(defaultStr(cfg.PBXAddr, "127.0.0.1:0"))
+	if err != nil {
+		return nil, fmt.Errorf("metacomm: pbx listener: %w", err)
+	}
+	s.PBXAddrActual = pbxAddr.String()
+	s.MP = msgplat.New()
+	mpAddr, err := s.MP.Start(defaultStr(cfg.MPAddr, "127.0.0.1:0"))
+	if err != nil {
+		return nil, fmt.Errorf("metacomm: msgplat listener: %w", err)
+	}
+	s.MPAddrActual = mpAddr.String()
+
+	// 3. Mapping library.
+	lib, err := lexpress.StandardLibrary()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ExtraMappings != "" {
+		if err := lib.Add(cfg.ExtraMappings); err != nil {
+			return nil, err
+		}
+	}
+	s.Library = lib
+
+	// 4. Protocol converters + device filters.
+	pbxConv, err := pbx.Dial(s.PBXAddrActual, "metacomm")
+	if err != nil {
+		return nil, fmt.Errorf("metacomm: pbx converter: %w", err)
+	}
+	s.converters = append(s.converters, pbxConv)
+	mpConv, err := msgplat.Dial(s.MPAddrActual, "metacomm")
+	if err != nil {
+		return nil, fmt.Errorf("metacomm: msgplat converter: %w", err)
+	}
+	s.converters = append(s.converters, mpConv)
+	pbxFilter, err := filter.NewDeviceFilter(pbxConv, lib)
+	if err != nil {
+		return nil, err
+	}
+	mpFilter, err := filter.NewDeviceFilter(mpConv, lib)
+	if err != nil {
+		return nil, err
+	}
+
+	// 5. Update Manager over a direct connection to the backing server.
+	backing, err := ldapclient.Dial(s.DirectoryAddrActual)
+	if err != nil {
+		return nil, err
+	}
+	s.clients = append(s.clients, backing)
+	manager, err := um.New(um.Config{
+		Suffix:  suffix,
+		Backing: backing,
+		Library: lib,
+		Log:     cfg.Logger,
+	})
+	if err != nil {
+		return nil, err
+	}
+	manager.AddDevice(pbxFilter)
+	manager.AddDevice(mpFilter)
+	s.UM = manager
+
+	// 6. LTAP gateway in front of the backing server. In gateway mode the
+	// trigger events cross a persistent TCP connection; in library mode
+	// they are direct calls.
+	gwBacking, err := ldapclient.Dial(s.DirectoryAddrActual)
+	if err != nil {
+		return nil, err
+	}
+	s.clients = append(s.clients, gwBacking)
+	var action ltap.Action = manager
+	if defaultStr(string(cfg.Mode), string(ModeGateway)) == string(ModeGateway) {
+		s.actionSrv = ltap.NewActionServer(manager)
+		actionAddr, err := s.actionSrv.Start(defaultStr(cfg.ActionAddr, "127.0.0.1:0"))
+		if err != nil {
+			return nil, fmt.Errorf("metacomm: action listener: %w", err)
+		}
+		remote, err := ltap.DialAction(actionAddr.String())
+		if err != nil {
+			return nil, err
+		}
+		s.remote = remote
+		action = remote
+	}
+	s.Gateway = ltap.NewGateway(gwBacking, action)
+	s.ltapServer = ldapserver.NewServer(s.Gateway)
+	s.ltapServer.ErrorLog = cfg.Logger
+	ltapAddr, err := s.ltapServer.Start(defaultStr(cfg.LTAPAddr, "127.0.0.1:0"))
+	if err != nil {
+		return nil, fmt.Errorf("metacomm: ltap listener: %w", err)
+	}
+	s.LTAPAddrActual = ltapAddr.String()
+
+	if cfg.AuditLog != nil {
+		var mu sync.Mutex
+		s.Gateway.RegisterFailureTrigger(suffix, nil, func(ev ltap.Event, res ldap.Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(cfg.AuditLog, "audit seq=%d op=%s dn=%q by=%q result=%s\n",
+				ev.ID, ev.Kind, ev.DN, ev.BoundDN, res.Code)
+		})
+	}
+
+	// 7. The UM pushes device-originated updates through LTAP, and drives
+	// quiesce for synchronization.
+	umLTAP, err := ldapclient.Dial(s.LTAPAddrActual)
+	if err != nil {
+		return nil, err
+	}
+	s.clients = append(s.clients, umLTAP)
+	manager.SetLTAP(umLTAP)
+	// In gateway mode the UM drives quiesce the way any remote process
+	// would — via LTAP's extended operations. The control channel is a
+	// DEDICATED connection: sharing the DDU-path connection would deadlock
+	// (a device update blocked by quiesce would hold the connection the
+	// unquiesce needs). In library mode it calls the gateway directly.
+	if s.actionSrv != nil {
+		quiesceConn, err := ldapclient.Dial(s.LTAPAddrActual)
+		if err != nil {
+			return nil, err
+		}
+		s.clients = append(s.clients, quiesceConn)
+		manager.SetQuiesce(
+			func() bool {
+				_, err := quiesceConn.Extended(ltap.OIDQuiesceBegin, nil)
+				return err == nil
+			},
+			func() { _, _ = quiesceConn.Extended(ltap.OIDQuiesceEnd, nil) },
+		)
+	} else {
+		manager.SetQuiesce(s.Gateway.Quiesce, s.Gateway.Unquiesce)
+	}
+
+	if err := manager.Start(); err != nil {
+		return nil, err
+	}
+	if cfg.InitialSync {
+		if _, err := manager.SynchronizeAll(); err != nil {
+			return nil, fmt.Errorf("metacomm: initial synchronization: %w", err)
+		}
+	}
+	ok = true
+	return s, nil
+}
+
+// Client opens an LDAP connection to the system's public (LTAP) endpoint —
+// the address any LDAP tool would use.
+func (s *System) Client() (*ldapclient.Conn, error) {
+	c, err := ldapclient.Dial(s.LTAPAddrActual)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// DirectoryClient opens an LDAP connection directly to the backing server,
+// bypassing LTAP (reads only; writing here would bypass consistency).
+func (s *System) DirectoryClient() (*ldapclient.Conn, error) {
+	return ldapclient.Dial(s.DirectoryAddrActual)
+}
+
+// PBXAdmin opens a direct administration session on the PBX simulator — the
+// legacy interface a switch administrator would use; changes made here are
+// direct device updates.
+func (s *System) PBXAdmin(session string) (*pbx.Converter, error) {
+	return pbx.Dial(s.PBXAddrActual, session)
+}
+
+// MPAdmin opens a direct administration session on the messaging platform.
+func (s *System) MPAdmin(session string) (*msgplat.Converter, error) {
+	return msgplat.Dial(s.MPAddrActual, session)
+}
+
+// Close shuts the whole system down.
+func (s *System) Close() {
+	if s.UM != nil {
+		s.UM.Stop()
+	}
+	for _, c := range s.converters {
+		c.Close()
+	}
+	if s.ltapServer != nil {
+		s.ltapServer.Close()
+	}
+	if s.remote != nil {
+		s.remote.Close()
+	}
+	if s.actionSrv != nil {
+		s.actionSrv.Close()
+	}
+	for _, c := range s.clients {
+		c.Close()
+	}
+	if s.publisher != nil {
+		s.publisher.Close()
+	}
+	if s.dirServer != nil {
+		s.dirServer.Close()
+	}
+	if s.journal != nil {
+		s.journal.Close()
+	}
+	if s.PBX != nil {
+		s.PBX.Close()
+	}
+	if s.MP != nil {
+		s.MP.Close()
+	}
+}
+
+// Seed adds a person entry through the public LDAP path (convenience for
+// examples and tests).
+func (s *System) Seed(dnStr string, attrs map[string][]string) error {
+	c, err := s.Client()
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	var la []ldap.Attribute
+	for k, v := range attrs {
+		la = append(la, ldap.Attribute{Type: k, Values: v})
+	}
+	return c.Add(dnStr, la)
+}

@@ -1,0 +1,141 @@
+package metacomm_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	metacomm "metacomm"
+	"metacomm/internal/ldap"
+)
+
+// TestConvergenceSoak hammers the same small population from three origins
+// at once — LDAP clients, a PBX craft terminal, and a voicemail console —
+// then stops and verifies the paper's core guarantee: every repository
+// converges to the same values (relaxed write-write consistency, §4).
+func TestConvergenceSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	s := startSystem(t, metacomm.Config{})
+	setup := client(t, s)
+
+	const people = 6
+	for i := 0; i < people; i++ {
+		err := setup.Add(fmt.Sprintf("cn=Soak %d,o=Lucent", i), []ldap.Attribute{
+			{Type: "objectClass", Values: []string{"mcPerson", "definityUser"}},
+			{Type: "cn", Values: []string{fmt.Sprintf("Soak %d", i)}},
+			{Type: "sn", Values: []string{fmt.Sprintf("S%d", i)}},
+			{Type: "definityExtension", Values: []string{fmt.Sprintf("2-70%02d", i)}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// LDAP writers.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn, err := s.Client()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				dn := fmt.Sprintf("cn=Soak %d,o=Lucent", rng.Intn(people))
+				conn.Modify(dn, []ldap.Change{{Op: ldap.ModReplace,
+					Attribute: ldap.Attribute{Type: "roomNumber",
+						Values: []string{fmt.Sprintf("L%d-%d", w, i)}}}})
+			}
+		}(w)
+	}
+	// A switch administrator making direct device updates.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		admin, err := s.PBXAdmin("soak-craft")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer admin.Close()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ext := fmt.Sprintf("2-70%02d", rng.Intn(people))
+			rec, err := admin.Get(ext)
+			if err != nil {
+				continue // mid-migration; retry another station
+			}
+			rec.Set("Room", fmt.Sprintf("D-%d", i))
+			admin.Modify(ext, rec)
+		}
+	}()
+
+	time.Sleep(1 * time.Second)
+	close(stop)
+	wg.Wait()
+
+	// Quiescence: wait until the UM stops processing (DDU echoes drain).
+	var last uint64
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cur := s.UM.Stats().UpdatesProcessed
+		if cur == last {
+			break
+		}
+		last = cur
+		if time.Now().After(deadline) {
+			t.Fatal("UM never quiesced")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// Convergence check: every person's directory state matches the PBX.
+	entries, err := setup.Search(&ldap.SearchRequest{
+		BaseDN: "o=Lucent", Scope: ldap.ScopeWholeSubtree,
+		Filter: ldap.Present("definityExtension"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != people {
+		t.Fatalf("directory has %d PBX users, want %d", len(entries), people)
+	}
+	for _, e := range entries {
+		ext := e.First("definityExtension")
+		station, err := s.PBX.Store.Get(ext)
+		if err != nil {
+			t.Errorf("station %s missing: %v", ext, err)
+			continue
+		}
+		if got, want := station.First("room"), e.First("roomNumber"); got != want {
+			t.Errorf("%s diverged: PBX room=%q directory room=%q", ext, got, want)
+		}
+		if got, want := station.First("name"), e.First("cn"); !strings.EqualFold(got, want) {
+			t.Errorf("%s name diverged: %q vs %q", ext, got, want)
+		}
+	}
+	stats := s.UM.Stats()
+	t.Logf("soak: %d updates processed, %d device applies, %d reapplies, %d errors logged",
+		stats.UpdatesProcessed, stats.DeviceApplies, stats.Reapplies, stats.ErrorsLogged)
+}
