@@ -1,0 +1,29 @@
+# Tier-1 checks. `make check` is what CI (and a pre-push) should run: the
+# full build+test pass plus vet and the race detector on the concurrent
+# core (the sharded UM engine and the LTAP gateway/action wire).
+
+GO ?= go
+
+.PHONY: all build test vet race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The engine's ordering/quiesce guarantees are concurrency properties; run
+# their tests under the race detector.
+race:
+	$(GO) test -race -count=1 ./internal/um/... ./internal/ltap/...
+
+check: test vet race
+
+# The experiment benchmarks behind EXPERIMENTS.md (long).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1s .

@@ -35,6 +35,10 @@ func main() {
 		mpAddr   = flag.String("mp", "127.0.0.1:0", "messaging platform listen address")
 		wbaAddr  = flag.String("wba", "127.0.0.1:8080", "web administration listen address (empty disables)")
 		mode     = flag.String("mode", "gateway", "LTAP coupling: gateway or library")
+		umShards = flag.Int("um-shards", 0, "Update Manager shard count (0 = default)")
+		umQueue  = flag.Int("um-queue-depth", 0, "Update Manager per-shard queue capacity (0 = default)")
+		devSess  = flag.Int("device-sessions", 0, "pooled administration sessions per device (0 = single session)")
+		devLat   = flag.Duration("device-latency", 0, "simulated per-update processing time in the device simulators")
 		dataDir  = flag.String("data", "", "data directory for the durable directory journal (empty = in-memory)")
 		replAddr = flag.String("replication", "", "replication stream listen address for read replicas (empty disables)")
 		audit    = flag.String("audit", "", "audit log file ('-' = stderr, empty disables)")
@@ -66,6 +70,10 @@ func main() {
 		PBXAddr:         *pbxAddr,
 		MPAddr:          *mpAddr,
 		Mode:            metacomm.Mode(*mode),
+		UMShards:        *umShards,
+		UMQueueDepth:    *umQueue,
+		DeviceSessions:  *devSess,
+		DeviceLatency:   *devLat,
 		InitialSync:     true,
 		DataDir:         *dataDir,
 		ReplicationAddr: *replAddr,
@@ -91,9 +99,11 @@ func main() {
 			log.Fatalf("metacommd: wba connection: %v", err)
 		}
 		defer conn.Close()
+		srv := wba.New(conn, *suffix)
+		srv.Stats = sys.UM.Stats
 		go func() {
 			fmt.Printf("web administration: http://%s/\n", *wbaAddr)
-			if err := http.ListenAndServe(*wbaAddr, wba.New(conn, *suffix)); err != nil {
+			if err := http.ListenAndServe(*wbaAddr, srv); err != nil {
 				log.Fatalf("metacommd: wba: %v", err)
 			}
 		}()
@@ -102,5 +112,7 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("shutting down")
+	st := sys.UM.Stats()
+	fmt.Printf("shutting down; um: shards=%d processed=%d pending=%d busy-rejections=%d device-applies=%d errors=%d\n",
+		st.Shards, st.UpdatesProcessed, st.Pending, st.QueueRejections, st.DeviceApplies, st.ErrorsLogged)
 }

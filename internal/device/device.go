@@ -18,6 +18,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"metacomm/internal/lexpress"
 )
@@ -80,6 +82,10 @@ type Store struct {
 	// generate, when set, is called on Add to produce device-generated
 	// fields (e.g. a unique mailbox id).
 	generate func(n uint64, rec lexpress.Record)
+	// latency is simulated per-update processing time in nanoseconds. Real
+	// switch administration takes milliseconds per command; the experiments
+	// use this to reproduce that regime.
+	latency atomic.Int64
 }
 
 // NewStore builds a device store. keyAttr names the key field.
@@ -89,6 +95,18 @@ func NewStore(name, keyAttr string) *Store {
 
 // SetGenerator installs a device-generated-field hook applied on Add.
 func (s *Store) SetGenerator(f func(n uint64, rec lexpress.Record)) { s.generate = f }
+
+// SetLatency simulates the device's per-update processing time: every
+// Add/Modify/Delete sleeps d before committing. The sleep happens outside
+// the store lock, so concurrent administration sessions process
+// concurrently — like separate craft sessions on a real switch.
+func (s *Store) SetLatency(d time.Duration) { s.latency.Store(int64(d)) }
+
+func (s *Store) simulateWork() {
+	if d := s.latency.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+}
 
 // Name returns the device name.
 func (s *Store) Name() string { return s.name }
@@ -182,6 +200,7 @@ func (s *Store) Get(key string) (lexpress.Record, error) {
 
 // Add commits a new record. session identifies the committer.
 func (s *Store) Add(session string, rec lexpress.Record) (lexpress.Record, error) {
+	s.simulateWork()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.down {
@@ -211,6 +230,7 @@ func (s *Store) Add(session string, rec lexpress.Record) (lexpress.Record, error
 // there is deliberately no upsert (the conditional-update logic in the
 // filters exists because devices behave this way).
 func (s *Store) Modify(session, key string, rec lexpress.Record) (lexpress.Record, error) {
+	s.simulateWork()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.down {
@@ -247,6 +267,7 @@ func (s *Store) Modify(session, key string, rec lexpress.Record) (lexpress.Recor
 
 // Delete removes the record under key.
 func (s *Store) Delete(session, key string) error {
+	s.simulateWork()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.down {

@@ -35,28 +35,13 @@ var _ device.Converter = (*Converter)(nil)
 
 // Dial connects a converter to a messaging platform.
 func Dial(addr, session string) (*Converter, error) {
-	cmd, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	c, err := dialCommand(addr, session)
 	if err != nil {
-		return nil, err
-	}
-	c := &Converter{
-		session: session,
-		cmd:     cmd,
-		r:       bufio.NewReader(cmd),
-		w:       bufio.NewWriter(cmd),
-		notifs:  make(chan device.Notification, 256),
-	}
-	if _, err := c.readReply(); err != nil { // 220 greeting
-		cmd.Close()
-		return nil, err
-	}
-	if _, err := c.command(fmt.Sprintf("HELO %s", device.QuoteField(session))); err != nil {
-		cmd.Close()
 		return nil, err
 	}
 	sub, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
-		cmd.Close()
+		c.Close()
 		return nil, err
 	}
 	c.sub = sub
@@ -79,6 +64,38 @@ func Dial(addr, session string) (*Converter, error) {
 		}
 	}
 	go c.subscribeLoop(sr)
+	return c, nil
+}
+
+// DialCommandOnly connects a converter without a subscription connection —
+// for pooled administration sessions (device.Pool), where only the pool's
+// primary watches for direct device updates. Its Notifications channel
+// never delivers.
+func DialCommandOnly(addr, session string) (*Converter, error) {
+	return dialCommand(addr, session)
+}
+
+// dialCommand establishes the command connection and introduces itself.
+func dialCommand(addr, session string) (*Converter, error) {
+	cmd, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &Converter{
+		session: session,
+		cmd:     cmd,
+		r:       bufio.NewReader(cmd),
+		w:       bufio.NewWriter(cmd),
+		notifs:  make(chan device.Notification, 256),
+	}
+	if _, err := c.readReply(); err != nil { // 220 greeting
+		cmd.Close()
+		return nil, err
+	}
+	if _, err := c.command(fmt.Sprintf("HELO %s", device.QuoteField(session))); err != nil {
+		cmd.Close()
+		return nil, err
+	}
 	return c, nil
 }
 

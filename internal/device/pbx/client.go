@@ -43,25 +43,13 @@ func Dial(addr, session string) (*Converter, error) {
 // DialNamed connects a converter to a PBX registered under a non-default
 // repository name (multi-switch deployments).
 func DialNamed(addr, session, deviceName string) (*Converter, error) {
-	cmd, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	c, err := dialCommand(addr, session, deviceName)
 	if err != nil {
-		return nil, err
-	}
-	c := &Converter{
-		session: session,
-		device:  deviceName,
-		cmd:     cmd,
-		r:       bufio.NewReader(cmd),
-		w:       bufio.NewWriter(cmd),
-		notifs:  make(chan device.Notification, 256),
-	}
-	if _, err := c.roundTrip(fmt.Sprintf("login %s", device.QuoteField(session))); err != nil {
-		cmd.Close()
 		return nil, err
 	}
 	mon, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
-		cmd.Close()
+		c.Close()
 		return nil, err
 	}
 	c.mon = mon
@@ -80,6 +68,35 @@ func DialNamed(addr, session, deviceName string) (*Converter, error) {
 		}
 	}
 	go c.monitorLoop(mr)
+	return c, nil
+}
+
+// DialCommandOnly connects a converter without a monitor connection. It is
+// for pooled administration sessions (device.Pool): extra sessions share
+// the update load, while only the pool's primary watches for direct device
+// updates. Its Notifications channel never delivers.
+func DialCommandOnly(addr, session, deviceName string) (*Converter, error) {
+	return dialCommand(addr, session, deviceName)
+}
+
+// dialCommand establishes the command connection and logs in.
+func dialCommand(addr, session, deviceName string) (*Converter, error) {
+	cmd, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &Converter{
+		session: session,
+		device:  deviceName,
+		cmd:     cmd,
+		r:       bufio.NewReader(cmd),
+		w:       bufio.NewWriter(cmd),
+		notifs:  make(chan device.Notification, 256),
+	}
+	if _, err := c.roundTrip(fmt.Sprintf("login %s", device.QuoteField(session))); err != nil {
+		cmd.Close()
+		return nil, err
+	}
 	return c, nil
 }
 

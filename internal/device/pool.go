@@ -1,0 +1,91 @@
+package device
+
+import "metacomm/internal/lexpress"
+
+// Pool fans a device's update traffic across several administration
+// sessions. A single converter serializes on its one command connection —
+// invisible against the in-memory simulators, but a real switch takes
+// milliseconds per administration command, and then one connection caps the
+// whole meta-directory at one device update at a time no matter how many UM
+// shards are draining. The pool keeps the device API unchanged: each call
+// borrows a free session for one round trip.
+//
+// All members log in under the same session name, so the devices' echo
+// suppression (a filter ignoring the notifications of its own updates)
+// keeps working. Only the first member runs a monitor connection; the
+// others are command-only, so each direct device update is still observed
+// exactly once.
+type Pool struct {
+	primary Converter
+	free    chan Converter
+	all     []Converter
+}
+
+var _ Converter = (*Pool)(nil)
+
+// NewPool combines converters into one. convs[0] is the primary: it names
+// the pool and supplies the notification stream. At least one converter is
+// required.
+func NewPool(convs ...Converter) *Pool {
+	p := &Pool{
+		primary: convs[0],
+		free:    make(chan Converter, len(convs)),
+		all:     convs,
+	}
+	for _, c := range convs {
+		p.free <- c
+	}
+	return p
+}
+
+// Name implements Converter.
+func (p *Pool) Name() string { return p.primary.Name() }
+
+// Notifications implements Converter: only the primary's monitor stream.
+func (p *Pool) Notifications() <-chan Notification { return p.primary.Notifications() }
+
+// Close shuts every member down.
+func (p *Pool) Close() error {
+	var first error
+	for _, c := range p.all {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Get implements Converter on a borrowed session.
+func (p *Pool) Get(key string) (lexpress.Record, error) {
+	c := <-p.free
+	defer func() { p.free <- c }()
+	return c.Get(key)
+}
+
+// Add implements Converter on a borrowed session.
+func (p *Pool) Add(rec lexpress.Record) (lexpress.Record, error) {
+	c := <-p.free
+	defer func() { p.free <- c }()
+	return c.Add(rec)
+}
+
+// Modify implements Converter on a borrowed session.
+func (p *Pool) Modify(key string, rec lexpress.Record) (lexpress.Record, error) {
+	c := <-p.free
+	defer func() { p.free <- c }()
+	return c.Modify(key, rec)
+}
+
+// Delete implements Converter on a borrowed session.
+func (p *Pool) Delete(key string) error {
+	c := <-p.free
+	defer func() { p.free <- c }()
+	return c.Delete(key)
+}
+
+// Dump implements Converter on a borrowed session.
+func (p *Pool) Dump() ([]lexpress.Record, error) {
+	c := <-p.free
+	defer func() { p.free <- c }()
+	return c.Dump()
+}

@@ -15,11 +15,19 @@ import (
 // action server: newline-delimited JSON over a persistent TCP connection.
 // The original LTAP allowed a single update per action connection; MetaComm
 // required persistent connections so a synchronization request could flow
-// as an ordered sequence of updates (paper §5.1) — events on one connection
-// are processed strictly in order.
+// as an ordered sequence of updates (paper §5.1).
+//
+// The connection is multiplexed: requests are pipelined and replies are
+// matched by event ID, so updates to distinct entries overlap end to end
+// and the UM's sharded engine sees them concurrently. Per-entry ordering
+// does not depend on the wire — LTAP holds the entry lock until the action
+// replies, so a second update to the same entry is never in flight at the
+// same time as the first.
 
 // ActionServer exposes an Action implementation (in MetaComm, the Update
-// Manager) to remote LTAP gateways.
+// Manager) to remote LTAP gateways. Each decoded event is serviced on its
+// own goroutine; replies are written back as the actions complete, in
+// whatever order they finish.
 type ActionServer struct {
 	Action Action
 
@@ -93,52 +101,99 @@ func (s *ActionServer) serve(nc net.Conn) {
 	}()
 	dec := json.NewDecoder(bufio.NewReader(nc))
 	enc := json.NewEncoder(nc)
+	var wmu sync.Mutex // one writer at a time on the shared encoder
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
 	for {
 		var ev Event
 		if err := dec.Decode(&ev); err != nil {
 			return
 		}
-		res := s.Action.OnUpdate(ev)
-		out := Result{ID: ev.ID, Code: int(res.Code), Message: res.Message}
-		if err := enc.Encode(out); err != nil {
-			return
-		}
+		handlers.Add(1)
+		go func(ev Event) {
+			defer handlers.Done()
+			res := s.Action.OnUpdate(ev)
+			out := Result{ID: ev.ID, Code: int(res.Code), Message: res.Message}
+			wmu.Lock()
+			err := enc.Encode(out)
+			wmu.Unlock()
+			if err != nil {
+				nc.Close() // the reader loop notices and winds down
+			}
+		}(ev)
 	}
 }
 
-// RemoteAction implements Action over a persistent connection to an
-// ActionServer. Events are serialized: one outstanding request at a time,
-// preserving the ordering the UM's global queue depends on.
+// RemoteAction implements Action over a persistent, multiplexed connection
+// to an ActionServer: many OnUpdate calls may be in flight at once, each
+// waiting on its own reply, matched by event ID.
 type RemoteAction struct {
 	addr string
 
-	mu     sync.Mutex
-	nc     net.Conn
-	dec    *json.Decoder
-	enc    *json.Encoder
-	closed bool
+	mu      sync.Mutex
+	nc      net.Conn
+	enc     *json.Encoder
+	closed  bool
+	gen     int // connection generation, guards stale readers
+	waiters map[uint64]chan Result
 }
 
 var _ Action = (*RemoteAction)(nil)
 
 // DialAction connects to an action server.
 func DialAction(addr string) (*RemoteAction, error) {
-	r := &RemoteAction{addr: addr}
+	r := &RemoteAction{addr: addr, waiters: map[uint64]chan Result{}}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if err := r.connectLocked(); err != nil {
 		return nil, err
 	}
 	return r, nil
 }
 
+// connectLocked (re)establishes the connection and starts its reader.
 func (r *RemoteAction) connectLocked() error {
 	nc, err := net.DialTimeout("tcp", r.addr, 5*time.Second)
 	if err != nil {
 		return err
 	}
 	r.nc = nc
-	r.dec = json.NewDecoder(bufio.NewReader(nc))
 	r.enc = json.NewEncoder(nc)
+	r.gen++
+	go r.reader(nc, r.gen)
 	return nil
+}
+
+// reader drains replies from one connection and routes them to their
+// waiters. When the connection dies it fails every outstanding waiter (the
+// caller retries once, reconnecting).
+func (r *RemoteAction) reader(nc net.Conn, gen int) {
+	dec := json.NewDecoder(bufio.NewReader(nc))
+	for {
+		var res Result
+		if err := dec.Decode(&res); err != nil {
+			r.mu.Lock()
+			if r.gen == gen { // still the current connection
+				if r.nc != nil {
+					r.nc.Close()
+					r.nc = nil
+				}
+				for id, ch := range r.waiters {
+					close(ch)
+					delete(r.waiters, id)
+				}
+			}
+			r.mu.Unlock()
+			return
+		}
+		r.mu.Lock()
+		ch := r.waiters[res.ID]
+		delete(r.waiters, res.ID)
+		r.mu.Unlock()
+		if ch != nil {
+			ch <- res // buffered; a reply no one claims is dropped
+		}
+	}
 }
 
 // Close drops the connection.
@@ -146,52 +201,58 @@ func (r *RemoteAction) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.closed = true
+	for id, ch := range r.waiters {
+		close(ch)
+		delete(r.waiters, id)
+	}
 	if r.nc != nil {
 		return r.nc.Close()
 	}
 	return nil
 }
 
-// OnUpdate implements Action: it ships the event and waits for the matching
-// result. A broken connection is retried once (the persistent connection
-// survives UM restarts; lost in-flight updates surface as errors for the
-// client to retry or for resynchronization to repair).
-func (r *RemoteAction) OnUpdate(ev Event) ldap.Result {
+// send registers a waiter for ev's reply and ships the event. It returns
+// the channel the reader will answer on (closed on connection failure).
+func (r *RemoteAction) send(ev Event) (chan Result, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
-		return ldap.Result{Code: ldap.ResultUnavailable, Message: "ltap: action connection closed"}
+		return nil, fmt.Errorf("ltap: action connection closed")
 	}
-	for attempt := 0; ; attempt++ {
-		res, err := r.exchangeLocked(ev)
-		if err == nil {
-			return res
-		}
-		if attempt >= 1 {
-			return ldap.Result{Code: ldap.ResultUnavailable,
-				Message: fmt.Sprintf("ltap: action server unreachable: %v", err)}
-		}
-		r.nc.Close()
+	if r.nc == nil {
 		if err := r.connectLocked(); err != nil {
-			return ldap.Result{Code: ldap.ResultUnavailable,
-				Message: fmt.Sprintf("ltap: action server unreachable: %v", err)}
+			return nil, err
 		}
 	}
+	ch := make(chan Result, 1)
+	r.waiters[ev.ID] = ch
+	if err := r.enc.Encode(ev); err != nil {
+		delete(r.waiters, ev.ID)
+		r.nc.Close()
+		r.nc = nil
+		return nil, err
+	}
+	return ch, nil
 }
 
-func (r *RemoteAction) exchangeLocked(ev Event) (ldap.Result, error) {
-	if err := r.enc.Encode(ev); err != nil {
-		return ldap.Result{}, err
-	}
-	for {
-		var res Result
-		if err := r.dec.Decode(&res); err != nil {
-			return ldap.Result{}, err
+// OnUpdate implements Action: it ships the event and waits for the matching
+// result, while other calls do the same in parallel on the one connection.
+// A broken connection is retried once (the persistent connection survives
+// UM restarts; lost in-flight updates surface as errors for the client to
+// retry or for resynchronization to repair).
+func (r *RemoteAction) OnUpdate(ev Event) ldap.Result {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		ch, err := r.send(ev)
+		if err != nil {
+			lastErr = err
+			continue // send reconnects on the next attempt
 		}
-		if res.ID != ev.ID {
-			// A stale reply from before a reconnect; skip it.
-			continue
+		if res, ok := <-ch; ok {
+			return res.LDAPResult()
 		}
-		return res.LDAPResult(), nil
+		lastErr = fmt.Errorf("connection lost awaiting reply")
 	}
+	return ldap.Result{Code: ldap.ResultUnavailable,
+		Message: fmt.Sprintf("ltap: action server unreachable: %v", lastErr)}
 }

@@ -1,0 +1,67 @@
+package ltap
+
+// Tests for the multiplexed action wire: many OnUpdate calls in flight on
+// one persistent connection, replies matched back by event ID. Run under
+// -race — the point of these tests is concurrent use of one RemoteAction.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"metacomm/internal/ldap"
+)
+
+// TestRemoteActionConcurrent pipelines slow updates through one connection
+// and checks that (a) they overlap at the server — the wire no longer
+// serializes the engine — and (b) every caller receives the reply for its
+// own event, not whichever finished first.
+func TestRemoteActionConcurrent(t *testing.T) {
+	var active, maxActive atomic.Int64
+	action := ActionFunc(func(ev Event) ldap.Result {
+		n := active.Add(1)
+		for {
+			m := maxActive.Load()
+			if n <= m || maxActive.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		active.Add(-1)
+		return ldap.Result{Code: ldap.ResultSuccess, Message: fmt.Sprintf("ev-%d", ev.ID)}
+	})
+	srv := NewActionServer(action)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	remote, err := DialAction(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { remote.Close() })
+
+	const calls = 8
+	var wg sync.WaitGroup
+	for i := 1; i <= calls; i++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			res := remote.OnUpdate(Event{ID: id, Kind: EventModify, DN: fmt.Sprintf("cn=c%d", id)})
+			if res.Code != ldap.ResultSuccess {
+				t.Errorf("event %d: %+v", id, res)
+				return
+			}
+			if want := fmt.Sprintf("ev-%d", id); res.Message != want {
+				t.Errorf("event %d got reply %q — replies crossed", id, res.Message)
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	if maxActive.Load() < 2 {
+		t.Errorf("max concurrent actions = %d, wire still serializes", maxActive.Load())
+	}
+}

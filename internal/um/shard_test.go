@@ -1,0 +1,275 @@
+package um_test
+
+// Tests for the sharded execution engine: per-entry serialization, cross-
+// entry overlap, busy rejection on a full shard queue, and the drain
+// barrier. They drive a bare UM (no devices) against an instrumented
+// backing client, so the properties are observed at the exact point the
+// engine writes — run them under -race.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"metacomm/internal/dn"
+	"metacomm/internal/ldap"
+	"metacomm/internal/ldapclient"
+	"metacomm/internal/lexpress"
+	"metacomm/internal/ltap"
+	"metacomm/internal/um"
+)
+
+// trackingClient is a backing LDAP client that records, per DN and
+// globally, how many Modify calls overlap in time.
+type trackingClient struct {
+	delay time.Duration
+
+	mu        sync.Mutex
+	inflight  map[string]int
+	perDNMax  int
+	active    int
+	maxActive int
+	modifies  int
+}
+
+func newTrackingClient(delay time.Duration) *trackingClient {
+	return &trackingClient{delay: delay, inflight: map[string]int{}}
+}
+
+func (c *trackingClient) Modify(dn string, _ []ldap.Change) error {
+	c.mu.Lock()
+	c.modifies++
+	c.inflight[dn]++
+	if c.inflight[dn] > c.perDNMax {
+		c.perDNMax = c.inflight[dn]
+	}
+	c.active++
+	if c.active > c.maxActive {
+		c.maxActive = c.active
+	}
+	c.mu.Unlock()
+	time.Sleep(c.delay)
+	c.mu.Lock()
+	c.inflight[dn]--
+	c.active--
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *trackingClient) Search(*ldap.SearchRequest) ([]*ldapclient.Entry, error) { return nil, nil }
+func (c *trackingClient) Add(string, []ldap.Attribute) error                      { return nil }
+func (c *trackingClient) ModifyDN(string, string, bool) error                     { return nil }
+func (c *trackingClient) Delete(string) error                                     { return nil }
+
+// startBareUM builds a UM with no device filters over the given backing.
+func startBareUM(t *testing.T, backing *trackingClient, shards, depth int) *um.UM {
+	t.Helper()
+	u, err := um.New(um.Config{
+		Suffix:     dn.MustParse("o=Lucent"),
+		Backing:    backing,
+		Library:    lexpress.MustStandardLibrary(),
+		Shards:     shards,
+		QueueDepth: depth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Stop)
+	return u
+}
+
+func modifyEvent(dnStr string, i int) ltap.Event {
+	old := lexpress.NewRecord()
+	old.Set("objectClass", "mcPerson")
+	old.Set("cn", "Shard Test")
+	old.Set("sn", "Test")
+	return ltap.Event{
+		Kind: ltap.EventModify,
+		DN:   dnStr,
+		Old:  old,
+		Changes: []ltap.Change{{Op: "replace", Attr: "roomNumber",
+			Values: []string{fmt.Sprintf("R-%d", i)}}},
+	}
+}
+
+// TestShardedOrderingAndOverlap checks the engine's two guarantees at once:
+// updates to one entry never overlap (total order per entry — every update
+// for a DN hashes to the same shard worker), while updates to independent
+// entries do overlap (the whole point of sharding).
+func TestShardedOrderingAndOverlap(t *testing.T) {
+	backing := newTrackingClient(2 * time.Millisecond)
+	u := startBareUM(t, backing, 4, 64)
+
+	// 16 distinct entries: the chance that all of them hash to a single
+	// one of 4 shards (which would hide overlap) is (1/4)^15.
+	const people, perEntry = 16, 8
+	var wg sync.WaitGroup
+	for p := 0; p < people; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			dnStr := fmt.Sprintf("cn=Shard Person %02d,o=Lucent", p)
+			for i := 0; i < perEntry; i++ {
+				if res := u.OnUpdate(modifyEvent(dnStr, i)); res.Code != ldap.ResultSuccess {
+					t.Errorf("update %s/%d: %+v", dnStr, i, res)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	backing.mu.Lock()
+	perDNMax, maxActive, modifies := backing.perDNMax, backing.maxActive, backing.modifies
+	backing.mu.Unlock()
+	if perDNMax != 1 {
+		t.Errorf("per-entry inflight max = %d, serialization broken", perDNMax)
+	}
+	if maxActive < 2 {
+		t.Errorf("global inflight max = %d, independent entries never overlapped", maxActive)
+	}
+	if modifies != people*perEntry {
+		t.Errorf("modifies = %d, want %d", modifies, people*perEntry)
+	}
+
+	st := u.Stats()
+	if st.UpdatesProcessed != people*perEntry {
+		t.Errorf("UpdatesProcessed = %d, want %d", st.UpdatesProcessed, people*perEntry)
+	}
+	if st.Pending != 0 {
+		t.Errorf("Pending = %d after all replies", st.Pending)
+	}
+	if st.Shards != 4 {
+		t.Errorf("Shards = %d", st.Shards)
+	}
+	if st.DirectoryApplyNs == 0 {
+		t.Error("DirectoryApplyNs not accumulated")
+	}
+}
+
+// blockingClient parks every Modify until released, signalling entry.
+type blockingClient struct {
+	trackingClient
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (c *blockingClient) Modify(dn string, cs []ldap.Change) error {
+	c.entered <- struct{}{}
+	<-c.release
+	return c.trackingClient.Modify(dn, cs)
+}
+
+// TestQueueFullRejectsBusy fills a 1-shard, depth-1 engine: the worker is
+// parked inside one update, a second waits in the queue, and a third must
+// bounce immediately with ResultBusy instead of blocking the caller.
+func TestQueueFullRejectsBusy(t *testing.T) {
+	backing := &blockingClient{
+		entered: make(chan struct{}, 8),
+		release: make(chan struct{}),
+	}
+	backing.inflight = map[string]int{}
+	u, err := um.New(um.Config{
+		Suffix:     dn.MustParse("o=Lucent"),
+		Backing:    backing,
+		Library:    lexpress.MustStandardLibrary(),
+		Shards:     1,
+		QueueDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(u.Stop)
+
+	results := make(chan ldap.Result, 2)
+	go func() { results <- u.OnUpdate(modifyEvent("cn=A,o=Lucent", 0)) }()
+	<-backing.entered // the shard worker is now parked inside update 1
+	go func() { results <- u.OnUpdate(modifyEvent("cn=B,o=Lucent", 0)) }()
+	// Wait for update 2 to occupy the queue slot.
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		if u.Stats().Pending == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pending = %d, update 2 never queued", u.Stats().Pending)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	res := u.OnUpdate(modifyEvent("cn=C,o=Lucent", 0))
+	if res.Code != ldap.ResultBusy {
+		t.Fatalf("third update result = %+v, want busy", res)
+	}
+	if got := u.Stats().QueueRejections; got != 1 {
+		t.Errorf("QueueRejections = %d, want 1", got)
+	}
+
+	close(backing.release)
+	for i := 0; i < 2; i++ {
+		if res := <-results; res.Code != ldap.ResultSuccess {
+			t.Errorf("parked update result = %+v", res)
+		}
+	}
+	if st := u.Stats(); st.Pending != 0 || st.UpdatesProcessed != 2 {
+		t.Errorf("final stats = %+v", st)
+	}
+}
+
+// TestQuiesceDrainsShards checks the drain barrier: Quiesce returns only
+// once every admitted update has finished, holds new updates out until
+// Resume, and nests correctly (a second Quiesce reports false).
+func TestQuiesceDrainsShards(t *testing.T) {
+	backing := newTrackingClient(5 * time.Millisecond)
+	u := startBareUM(t, backing, 4, 64)
+
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			u.OnUpdate(modifyEvent(fmt.Sprintf("cn=Drain %d,o=Lucent", p), 0))
+		}(p)
+	}
+	// Wait until some of them are admitted, then quiesce mid-flight.
+	for deadline := time.Now().Add(2 * time.Second); u.Stats().Pending < 2; {
+		if time.Now().After(deadline) {
+			t.Fatal("updates never became pending")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !u.Quiesce() {
+		t.Fatal("Quiesce reported already-quiesced on first use")
+	}
+	if st := u.Stats(); st.Pending != 0 {
+		t.Fatalf("Pending = %d after Quiesce returned", st.Pending)
+	}
+	if u.Quiesce() {
+		t.Error("second Quiesce did not report already-quiesced")
+	}
+
+	// A new update must wait at the admission barrier, not execute.
+	processedBefore := u.Stats().UpdatesProcessed
+	done := make(chan ldap.Result, 1)
+	go func() { done <- u.OnUpdate(modifyEvent("cn=Late,o=Lucent", 0)) }()
+	select {
+	case res := <-done:
+		t.Fatalf("update ran under quiesce: %+v", res)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if got := u.Stats().UpdatesProcessed; got != processedBefore {
+		t.Fatalf("UpdatesProcessed advanced under quiesce: %d -> %d", processedBefore, got)
+	}
+
+	u.Resume()
+	if res := <-done; res.Code != ldap.ResultSuccess {
+		t.Fatalf("post-resume update result = %+v", res)
+	}
+	wg.Wait()
+}

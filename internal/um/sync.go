@@ -80,6 +80,12 @@ func (u *UM) SynchronizeWithPolicy(deviceName string, policy SyncPolicy) (SyncSt
 		stats.QuiesceApplied = true
 		defer u.cfg.Unquiesce()
 	}
+	// The gateway quiesce stops new updates at LTAP; the engine drain
+	// barrier additionally flushes every shard queue, so the pass observes
+	// a quiet system even when no gateway quiesce is configured.
+	if u.Quiesce() {
+		defer u.Resume()
+	}
 
 	deviceRecs, err := f.df.Converter().Dump()
 	if err != nil {

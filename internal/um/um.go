@@ -4,14 +4,22 @@
 //
 // All updates — whether they originate at an LDAP client (through LTAP) or
 // directly at a device (a DDU, forwarded by the device filter through the
-// LDAP filter to LTAP) — funnel through LTAP into the UM's global update
-// queue. The coordinator (the UM's main thread) drains the queue and, for
-// each update: applies it to the backing LDAP server, then tells each
-// device filter to translate and apply it. Updates are reapplied to the
-// device that originated them (marked conditional by lexpress's Originator
+// LDAP filter to LTAP) — funnel through LTAP into the UM. The paper's
+// prototype drained one global queue on a single coordinator thread; this
+// implementation shards that queue by entry: the update's normalized DN is
+// hashed onto one of Config.Shards worker queues, so every update for one
+// entry lands on the same shard (total order per entry is preserved) while
+// updates to distinct entries proceed in parallel. The relaxation is sound
+// because the paper's consistency argument only ever needs per-entry
+// ordering — LTAP already locks at entry granularity, and operations on
+// independent entries commute. Each shard, for each update: applies it to
+// the backing LDAP server, then fans out to the device filters
+// concurrently (each device is an independent repository), joining before
+// the device-generated write-back. Updates are reapplied to the device
+// that originated them (marked conditional by lexpress's Originator
 // mechanism), which is how MetaComm extends the directory world's relaxed
-// write-write consistency to the meta-directory: every repository converges
-// to the queue's serialization order.
+// write-write consistency to the meta-directory: every repository
+// converges to its entry's serialization order.
 //
 // Failures at a device abort that device's update, log an error entry into
 // the directory under the errors container, and notify the administrator;
@@ -22,10 +30,12 @@ package um
 
 import (
 	"fmt"
+	"hash/fnv"
 	"log"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"metacomm/internal/directory"
 	"metacomm/internal/dn"
@@ -59,11 +69,26 @@ type Config struct {
 	// ClosureMapping names the intra-directory closure unit (default
 	// "LDAPClosure", "" disables closure).
 	ClosureMapping string
+	// Shards is the number of update execution shards. Updates are routed
+	// by normalized entry DN, so all updates for one entry serialize on one
+	// shard while distinct entries proceed in parallel. 0 means
+	// DefaultShards.
+	Shards int
+	// QueueDepth is each shard's queue capacity. A full shard queue
+	// rejects the update with ldap.ResultBusy rather than blocking the
+	// caller forever. 0 means DefaultQueueDepth.
+	QueueDepth int
 	// Log receives operational messages (nil = discard).
 	Log *log.Logger
 }
 
-// Stats are the UM's monotonic operation counters.
+// Engine sizing defaults.
+const (
+	DefaultShards     = 4
+	DefaultQueueDepth = 256
+)
+
+// Stats are the UM's monotonic operation counters plus engine gauges.
 type Stats struct {
 	UpdatesProcessed uint64
 	DeviceApplies    uint64
@@ -71,6 +96,26 @@ type Stats struct {
 	ClosureChanges   uint64
 	ErrorsLogged     uint64
 	DDUsForwarded    uint64
+	// QueueRejections counts updates bounced with ldap.ResultBusy because
+	// their shard queue was full.
+	QueueRejections uint64
+
+	// Cumulative per-stage wall time, in nanoseconds. Divide by
+	// UpdatesProcessed for means. EnqueueWaitNs is the time updates sat in
+	// a shard queue before a worker picked them up; DirectoryApplyNs is
+	// the backing-directory write; FanoutNs is the concurrent device
+	// fan-out (translate+apply, joined); WriteBackNs is the
+	// device-generated information write-back.
+	EnqueueWaitNs    uint64
+	DirectoryApplyNs uint64
+	FanoutNs         uint64
+	WriteBackNs      uint64
+
+	// Pending gauges updates admitted but not yet fully processed
+	// (queued or executing). A quiesced engine shows 0.
+	Pending int
+	// Shards echoes the engine's shard count.
+	Shards int
 }
 
 // UM is the Update Manager.
@@ -84,9 +129,18 @@ type UM struct {
 	ldapLTAP   *filter.LDAPFilter
 	ldapDirect *filter.LDAPFilter
 
-	queue chan *job
-	wg    sync.WaitGroup
-	stop  chan struct{}
+	// shards are the per-entry-hash update queues, each drained by its own
+	// worker goroutine.
+	shards []chan *job
+	wg     sync.WaitGroup
+	stop   chan struct{}
+
+	// engMu guards the drain barrier: pending counts admitted-but-
+	// unfinished updates, paused blocks new admissions (Quiesce/Resume).
+	engMu   sync.Mutex
+	engCond *sync.Cond
+	pending int
+	paused  bool
 
 	errSeq  atomic.Uint64
 	started atomic.Bool
@@ -98,11 +152,17 @@ type UM struct {
 	closureChanges   atomic.Uint64
 	errorsLogged     atomic.Uint64
 	ddusForwarded    atomic.Uint64
+	queueRejections  atomic.Uint64
+	enqueueWaitNs    atomic.Uint64
+	directoryApplyNs atomic.Uint64
+	fanoutNs         atomic.Uint64
+	writeBackNs      atomic.Uint64
 }
 
 type job struct {
-	ev    ltap.Event
-	reply chan ldap.Result
+	ev       ltap.Event
+	reply    chan ldap.Result
+	enqueued time.Time
 }
 
 // New builds an Update Manager. Call AddDevice for each device filter, then
@@ -117,11 +177,21 @@ func New(cfg Config) (*UM, error) {
 	if len(cfg.PeopleBase) == 0 {
 		cfg.PeopleBase = cfg.Suffix
 	}
-	u := &UM{
-		cfg:   cfg,
-		queue: make(chan *job, 256),
-		stop:  make(chan struct{}),
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
 	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	u := &UM{
+		cfg:    cfg,
+		shards: make([]chan *job, cfg.Shards),
+		stop:   make(chan struct{}),
+	}
+	for i := range u.shards {
+		u.shards[i] = make(chan *job, cfg.QueueDepth)
+	}
+	u.engCond = sync.NewCond(&u.engMu)
 	name := cfg.ClosureMapping
 	if name == "" {
 		name = "LDAPClosure"
@@ -165,6 +235,9 @@ func (u *UM) Filters() []*filter.DeviceFilter { return u.filters }
 
 // Stats snapshots the counters.
 func (u *UM) Stats() Stats {
+	u.engMu.Lock()
+	pending := u.pending
+	u.engMu.Unlock()
 	return Stats{
 		UpdatesProcessed: u.updatesProcessed.Load(),
 		DeviceApplies:    u.deviceApplies.Load(),
@@ -172,6 +245,13 @@ func (u *UM) Stats() Stats {
 		ClosureChanges:   u.closureChanges.Load(),
 		ErrorsLogged:     u.errorsLogged.Load(),
 		DDUsForwarded:    u.ddusForwarded.Load(),
+		QueueRejections:  u.queueRejections.Load(),
+		EnqueueWaitNs:    u.enqueueWaitNs.Load(),
+		DirectoryApplyNs: u.directoryApplyNs.Load(),
+		FanoutNs:         u.fanoutNs.Load(),
+		WriteBackNs:      u.writeBackNs.Load(),
+		Pending:          pending,
+		Shards:           len(u.shards),
 	}
 }
 
@@ -181,8 +261,8 @@ func (u *UM) logf(format string, args ...any) {
 	}
 }
 
-// Start launches the coordinator and the device notification listeners, and
-// ensures the errors container exists.
+// Start launches the shard workers and the device notification listeners,
+// and ensures the errors container exists.
 func (u *UM) Start() error {
 	if !u.started.CompareAndSwap(false, true) {
 		return fmt.Errorf("um: already started")
@@ -190,11 +270,13 @@ func (u *UM) Start() error {
 	if err := u.ensureErrorContainer(); err != nil {
 		return err
 	}
-	u.wg.Add(1)
-	go func() {
-		defer u.wg.Done()
-		u.coordinator()
-	}()
+	for _, q := range u.shards {
+		u.wg.Add(1)
+		go func(q chan *job) {
+			defer u.wg.Done()
+			u.shardWorker(q)
+		}(q)
+	}
 	for _, f := range u.filters {
 		if u.ldapLTAP == nil {
 			break // no DDU path without an LTAP connection
@@ -222,18 +304,55 @@ func (u *UM) Stop() {
 		return
 	}
 	close(u.stop)
+	// Wake anything blocked on the drain barrier (Quiesce or a paused
+	// OnUpdate) so it can observe the stop.
+	u.engMu.Lock()
+	u.engCond.Broadcast()
+	u.engMu.Unlock()
 	u.wg.Wait()
 }
 
-// OnUpdate implements ltap.Action: every trapped LDAP update enters the
-// global queue here and is answered when the coordinator finishes its full
-// update sequence.
+// shardFor routes an update to its shard: all updates for one entry hash to
+// the same worker, which is what preserves per-entry total order.
+func (u *UM) shardFor(name string) chan *job {
+	if len(u.shards) == 1 {
+		return u.shards[0]
+	}
+	key := name
+	if parsed, err := dn.Parse(name); err == nil {
+		key = parsed.Normalize()
+	} else {
+		key = strings.ToLower(name)
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return u.shards[h.Sum32()%uint32(len(u.shards))]
+}
+
+// OnUpdate implements ltap.Action: every trapped LDAP update is admitted
+// through the drain barrier, routed to its entry's shard, and answered when
+// that shard finishes the full update sequence. A full shard queue rejects
+// the update with ResultBusy instead of blocking the caller.
 func (u *UM) OnUpdate(ev ltap.Event) ldap.Result {
-	j := &job{ev: ev, reply: make(chan ldap.Result, 1)}
-	select {
-	case u.queue <- j:
-	case <-u.stop:
+	u.engMu.Lock()
+	for u.paused && !u.stopped.Load() {
+		u.engCond.Wait()
+	}
+	if u.stopped.Load() {
+		u.engMu.Unlock()
 		return ldap.Result{Code: ldap.ResultUnavailable, Message: "um: stopped"}
+	}
+	u.pending++
+	u.engMu.Unlock()
+
+	j := &job{ev: ev, reply: make(chan ldap.Result, 1), enqueued: time.Now()}
+	select {
+	case u.shardFor(ev.DN) <- j:
+	default:
+		u.jobDone()
+		u.queueRejections.Add(1)
+		return ldap.Result{Code: ldap.ResultBusy,
+			Message: "um: update queue full, retry later"}
 	}
 	select {
 	case res := <-j.reply:
@@ -243,17 +362,56 @@ func (u *UM) OnUpdate(ev ltap.Event) ldap.Result {
 	}
 }
 
-// coordinator is the UM main thread: it serializes every update in the
-// system.
-func (u *UM) coordinator() {
+// shardWorker drains one shard queue, serializing the update sequences of
+// the entries that hash onto it.
+func (u *UM) shardWorker(q chan *job) {
 	for {
 		select {
-		case j := <-u.queue:
+		case j := <-q:
+			u.enqueueWaitNs.Add(uint64(time.Since(j.enqueued)))
 			j.reply <- u.process(j.ev)
+			u.jobDone()
 		case <-u.stop:
 			return
 		}
 	}
+}
+
+// jobDone retires one admitted update and wakes the drain barrier when the
+// engine runs dry.
+func (u *UM) jobDone() {
+	u.engMu.Lock()
+	u.pending--
+	if u.pending == 0 {
+		u.engCond.Broadcast()
+	}
+	u.engMu.Unlock()
+}
+
+// Quiesce is the engine's drain barrier: it blocks new updates from being
+// admitted and waits until every queued and executing update has finished,
+// so the caller (the synchronization facility, §5.1) observes a quiet
+// system across all shards. It reports false when the engine is already
+// quiesced. Pair with Resume.
+func (u *UM) Quiesce() bool {
+	u.engMu.Lock()
+	defer u.engMu.Unlock()
+	if u.paused {
+		return false
+	}
+	u.paused = true
+	for u.pending > 0 && !u.stopped.Load() {
+		u.engCond.Wait()
+	}
+	return true
+}
+
+// Resume re-opens the engine after Quiesce.
+func (u *UM) Resume() {
+	u.engMu.Lock()
+	u.paused = false
+	u.engCond.Broadcast()
+	u.engMu.Unlock()
 }
 
 // deviceListener forwards DDU notifications through the LDAP filter to
@@ -295,8 +453,9 @@ func (u *UM) deviceListener(f *filter.DeviceFilter) {
 	}
 }
 
-// process runs one serialized update: apply to the backing directory, fan
-// out to the devices, then write back any device-generated information.
+// process runs one update sequence, serialized per entry by its shard:
+// apply to the backing directory, fan out to the devices concurrently, then
+// write back any device-generated information after all devices finish.
 func (u *UM) process(ev ltap.Event) ldap.Result {
 	u.updatesProcessed.Add(1)
 	name, err := dn.Parse(ev.DN)
@@ -335,7 +494,9 @@ func (u *UM) process(ev ltap.Event) ldap.Result {
 
 	// Apply to the backing directory first; failure aborts the sequence
 	// and surfaces to the client.
+	dirStart := time.Now()
 	newDN, err := u.applyToDirectory(ev, name, images, closureChanged, classAdds)
+	u.directoryApplyNs.Add(uint64(time.Since(dirStart)))
 	if err != nil {
 		return resultOf(err)
 	}
@@ -351,7 +512,33 @@ func (u *UM) process(ev ltap.Event) ldap.Result {
 		Explicit: append(append([]string(nil), images.explicit...),
 			closureChanged...),
 	}
-	generated := lexpress.NewRecord()
+	fanStart := time.Now()
+	generated := u.fanOut(desc, images.new)
+	u.fanoutNs.Add(uint64(time.Since(fanStart)))
+	if len(generated) > 0 {
+		wbStart := time.Now()
+		err := u.applyGenerated(newDN, generated)
+		u.writeBackNs.Add(uint64(time.Since(wbStart)))
+		if err != nil {
+			u.logError("um", "ldap", "modify", newDN.String(), err)
+		}
+	}
+	return ldap.Result{Code: ldap.ResultSuccess}
+}
+
+// fanOut translates the update for every device filter and applies the
+// concerned ones concurrently — each device is an independent repository,
+// so within one update only the write-back must be ordered after them
+// (paper §5.5). It returns the merged device-generated information,
+// collected in filter-registration order for determinism.
+func (u *UM) fanOut(desc lexpress.Descriptor, ldapNew lexpress.Record) lexpress.Record {
+	type target struct {
+		f      *filter.DeviceFilter
+		tu     *lexpress.TargetUpdate
+		stored lexpress.Record
+		err    error
+	}
+	targets := make([]*target, 0, len(u.filters))
 	for _, f := range u.filters {
 		tu, err := f.Translate(desc)
 		if err != nil {
@@ -365,21 +552,33 @@ func (u *UM) process(ev ltap.Event) ldap.Result {
 		if tu.Conditional {
 			u.reapplies.Add(1)
 		}
-		stored, err := f.Apply(tu)
-		if err != nil {
-			u.logError("ldap", f.Name(), tu.Op.String(), tu.Key, err)
+		targets = append(targets, &target{f: f, tu: tu})
+	}
+	if len(targets) > 1 {
+		var wg sync.WaitGroup
+		for _, t := range targets {
+			wg.Add(1)
+			go func(t *target) {
+				defer wg.Done()
+				t.stored, t.err = t.f.Apply(t.tu)
+			}(t)
+		}
+		wg.Wait()
+	} else if len(targets) == 1 {
+		t := targets[0]
+		t.stored, t.err = t.f.Apply(t.tu)
+	}
+	generated := lexpress.NewRecord()
+	for _, t := range targets {
+		if t.err != nil {
+			u.logError("ldap", t.f.Name(), t.tu.Op.String(), t.tu.Key, t.err)
 			continue
 		}
 		// Device-generated information (paper §5.5): fields the device
 		// invented flow back to the directory only, after all devices.
-		u.collectGenerated(f, tu, stored, images.new, generated)
+		u.collectGenerated(t.f, t.tu, t.stored, ldapNew, generated)
 	}
-	if len(generated) > 0 {
-		if err := u.applyGenerated(newDN, generated); err != nil {
-			u.logError("um", "ldap", "modify", newDN.String(), err)
-		}
-	}
-	return ldap.Result{Code: ldap.ResultSuccess}
+	return generated
 }
 
 // images carries the before/after records of the entry under update.

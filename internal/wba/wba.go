@@ -12,10 +12,12 @@ import (
 	"html/template"
 	"net/http"
 	"strings"
+	"time"
 
 	"metacomm/internal/ldap"
 	"metacomm/internal/ldapclient"
 	"metacomm/internal/mcschema"
+	"metacomm/internal/um"
 )
 
 // Server is the WBA HTTP handler. It holds one LDAP connection to LTAP;
@@ -25,6 +27,9 @@ type Server struct {
 	LDAP *ldapclient.Conn
 	// Suffix is the directory suffix ("o=Lucent").
 	Suffix string
+	// Stats, when set, feeds the Update Manager status page (the WBA may
+	// run on a machine without the UM; then the page says so).
+	Stats func() um.Stats
 
 	mux *http.ServeMux
 }
@@ -37,6 +42,7 @@ func New(conn *ldapclient.Conn, suffix string) *Server {
 	s.mux.HandleFunc("/save", s.handleSave)
 	s.mux.HandleFunc("/delete", s.handleDelete)
 	s.mux.HandleFunc("/errors", s.handleErrors)
+	s.mux.HandleFunc("/status", s.handleStatus)
 	return s
 }
 
@@ -46,7 +52,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
 <html><head><title>MetaComm Administration</title></head><body>
 <h1>MetaComm — Web-Based Administration</h1>
-<p><a href="/">People</a> | <a href="/errors">Update errors</a></p>
+<p><a href="/">People</a> | <a href="/errors">Update errors</a> | <a href="/status">Update Manager</a></p>
 {{block "body" .}}{{end}}
 </body></html>`))
 
@@ -267,6 +273,58 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+var statusTmpl = template.Must(template.Must(pageTmpl.Clone()).Parse(`{{define "body"}}
+<h2>Update Manager</h2>
+{{if .Wired}}
+<table border="1" cellpadding="4">
+<tr><th>Counter</th><th>Value</th></tr>
+<tr><td>Shards</td><td>{{.S.Shards}}</td></tr>
+<tr><td>Updates processed</td><td>{{.S.UpdatesProcessed}}</td></tr>
+<tr><td>Pending (queued + executing)</td><td>{{.S.Pending}}</td></tr>
+<tr><td>Queue rejections (busy)</td><td>{{.S.QueueRejections}}</td></tr>
+<tr><td>Device applies</td><td>{{.S.DeviceApplies}}</td></tr>
+<tr><td>Reapplies to originator</td><td>{{.S.Reapplies}}</td></tr>
+<tr><td>Closure changes</td><td>{{.S.ClosureChanges}}</td></tr>
+<tr><td>Errors logged</td><td>{{.S.ErrorsLogged}}</td></tr>
+<tr><td>DDUs forwarded</td><td>{{.S.DDUsForwarded}}</td></tr>
+</table>
+<h3>Mean stage latency per update</h3>
+<table border="1" cellpadding="4">
+<tr><th>Stage</th><th>Mean</th></tr>
+<tr><td>Enqueue wait</td><td>{{.EnqueueWait}}</td></tr>
+<tr><td>Directory apply</td><td>{{.DirectoryApply}}</td></tr>
+<tr><td>Device fan-out</td><td>{{.Fanout}}</td></tr>
+<tr><td>Generated write-back</td><td>{{.WriteBack}}</td></tr>
+</table>
+{{else}}
+<p>The Update Manager does not run in this process; no stats available.</p>
+{{end}}
+{{end}}`))
+
+// meanStage renders a per-update mean duration for a cumulative stage time.
+func meanStage(totalNs, updates uint64) string {
+	if updates == 0 {
+		return "n/a"
+	}
+	return time.Duration(totalNs / updates).String()
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	data := map[string]any{"Wired": false}
+	if s.Stats != nil {
+		st := s.Stats()
+		data["Wired"] = true
+		data["S"] = st
+		data["EnqueueWait"] = meanStage(st.EnqueueWaitNs, st.UpdatesProcessed)
+		data["DirectoryApply"] = meanStage(st.DirectoryApplyNs, st.UpdatesProcessed)
+		data["Fanout"] = meanStage(st.FanoutNs, st.UpdatesProcessed)
+		data["WriteBack"] = meanStage(st.WriteBackNs, st.UpdatesProcessed)
+	}
+	if err := statusTmpl.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 // errorView is the template model for one logged update error.

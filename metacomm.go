@@ -10,8 +10,8 @@
 //	        │ (LDAP protocol)
 //	        ▼
 //	     LTAP gateway ──── trigger events ───► Update Manager
-//	        │ reads                              │  global queue, fanout
-//	        ▼                                    ▼
+//	        │ reads                              │  sharded queues,
+//	        ▼                                    ▼  concurrent fanout
 //	  LDAP directory ◄── direct writes ── PBX filter / MP filter
 //	   (materialized view)                       │ proprietary protocols
 //	                                             ▼
@@ -20,8 +20,9 @@
 //	                                 direct device updates (DDUs)
 //
 // Updates may arrive through LDAP or directly at either device; MetaComm
-// converges all repositories to the Update Manager's serialization order
-// (relaxed write-write consistency).
+// converges all repositories to the Update Manager's per-entry
+// serialization order (relaxed write-write consistency — total order per
+// entry, no order across independent entries).
 package metacomm
 
 import (
@@ -31,6 +32,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"metacomm/internal/device"
 	"metacomm/internal/device/msgplat"
@@ -78,6 +80,23 @@ type Config struct {
 	MPAddr  string
 	// Mode selects gateway (default) or library LTAP coupling.
 	Mode Mode
+	// UMShards is the Update Manager's shard count: updates are routed to
+	// shards by entry, preserving per-entry order while distinct entries
+	// proceed in parallel (0 = um.DefaultShards).
+	UMShards int
+	// UMQueueDepth is each UM shard's queue capacity; a full queue rejects
+	// updates with LDAP result busy (0 = um.DefaultQueueDepth).
+	UMQueueDepth int
+	// DeviceSessions is the number of pooled administration sessions each
+	// device filter keeps open (0 or 1 = a single session). A single
+	// session processes one device command at a time; with sharded UM
+	// workers applying updates concurrently, extra sessions let the device
+	// side keep up (real switch commands take milliseconds each).
+	DeviceSessions int
+	// DeviceLatency simulates per-update processing time inside the
+	// embedded device simulators. Real switch administration is slow; the
+	// experiments use this to reproduce that regime (0 = no delay).
+	DeviceLatency time.Duration
 	// ExtraMappings is additional lexpress source compiled into the
 	// standard telecom library (for new data sources).
 	ExtraMappings string
@@ -210,6 +229,10 @@ func Start(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("metacomm: msgplat listener: %w", err)
 	}
 	s.MPAddrActual = mpAddr.String()
+	if cfg.DeviceLatency > 0 {
+		s.PBX.Store.SetLatency(cfg.DeviceLatency)
+		s.MP.Store.SetLatency(cfg.DeviceLatency)
+	}
 
 	// 3. Mapping library.
 	lib, err := lexpress.StandardLibrary()
@@ -223,16 +246,43 @@ func Start(cfg Config) (*System, error) {
 	}
 	s.Library = lib
 
-	// 4. Protocol converters + device filters.
-	pbxConv, err := pbx.Dial(s.PBXAddrActual, "metacomm")
+	// 4. Protocol converters + device filters. With more than one
+	// administration session configured, each filter gets a session pool:
+	// the primary session watches for DDUs, the extras share the update
+	// load so concurrent UM shards are not serialized at the device wire.
+	sessions := cfg.DeviceSessions
+	if sessions < 1 {
+		sessions = 1
+	}
+	pbxPrimary, err := pbx.Dial(s.PBXAddrActual, "metacomm")
 	if err != nil {
 		return nil, fmt.Errorf("metacomm: pbx converter: %w", err)
 	}
+	pbxMembers := []device.Converter{pbxPrimary}
+	for i := 1; i < sessions; i++ {
+		m, err := pbx.DialCommandOnly(s.PBXAddrActual, "metacomm", pbx.DeviceName)
+		if err != nil {
+			device.NewPool(pbxMembers...).Close()
+			return nil, fmt.Errorf("metacomm: pbx converter: %w", err)
+		}
+		pbxMembers = append(pbxMembers, m)
+	}
+	var pbxConv device.Converter = device.NewPool(pbxMembers...)
 	s.converters = append(s.converters, pbxConv)
-	mpConv, err := msgplat.Dial(s.MPAddrActual, "metacomm")
+	mpPrimary, err := msgplat.Dial(s.MPAddrActual, "metacomm")
 	if err != nil {
 		return nil, fmt.Errorf("metacomm: msgplat converter: %w", err)
 	}
+	mpMembers := []device.Converter{mpPrimary}
+	for i := 1; i < sessions; i++ {
+		m, err := msgplat.DialCommandOnly(s.MPAddrActual, "metacomm")
+		if err != nil {
+			device.NewPool(mpMembers...).Close()
+			return nil, fmt.Errorf("metacomm: msgplat converter: %w", err)
+		}
+		mpMembers = append(mpMembers, m)
+	}
+	var mpConv device.Converter = device.NewPool(mpMembers...)
 	s.converters = append(s.converters, mpConv)
 	pbxFilter, err := filter.NewDeviceFilter(pbxConv, lib)
 	if err != nil {
@@ -250,10 +300,12 @@ func Start(cfg Config) (*System, error) {
 	}
 	s.clients = append(s.clients, backing)
 	manager, err := um.New(um.Config{
-		Suffix:  suffix,
-		Backing: backing,
-		Library: lib,
-		Log:     cfg.Logger,
+		Suffix:     suffix,
+		Backing:    backing,
+		Library:    lib,
+		Shards:     cfg.UMShards,
+		QueueDepth: cfg.UMQueueDepth,
+		Log:        cfg.Logger,
 	})
 	if err != nil {
 		return nil, err

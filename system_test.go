@@ -763,3 +763,87 @@ func TestSystemWithReadReplica(t *testing.T) {
 		t.Error("primary state damaged by replica write attempt")
 	}
 }
+
+// TestQuiesceDrainsShardedEngine drives writers at a sharded UM and checks
+// the two quiesce layers: the engine's drain barrier alone (admission
+// paused, all shard queues flushed, nothing processed until Resume), and a
+// full synchronization pass under live write load (gateway quiesce + engine
+// drain together, §5.1).
+func TestQuiesceDrainsShardedEngine(t *testing.T) {
+	s := startSystem(t, metacomm.Config{UMShards: 4, DeviceSessions: 2})
+	setup := client(t, s)
+	const people = 8
+	for i := 0; i < people; i++ {
+		err := setup.Add(fmt.Sprintf("cn=Quiesce %d,o=Lucent", i), []ldap.Attribute{
+			{Type: "objectClass", Values: []string{"mcPerson", "definityUser"}},
+			{Type: "cn", Values: []string{fmt.Sprintf("Quiesce %d", i)}},
+			{Type: "sn", Values: []string{"Quiesce"}},
+			{Type: "definityExtension", Values: []string{fmt.Sprintf("3-%04d", i)}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < people; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			conn, err := s.Client()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			dn := fmt.Sprintf("cn=Quiesce %d,o=Lucent", w)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Busy rejections are acceptable under pressure; anything
+				// else would be a real failure but is converged below.
+				conn.Modify(dn, []ldap.Change{{Op: ldap.ModReplace,
+					Attribute: ldap.Attribute{Type: "roomNumber", Values: []string{fmt.Sprintf("W%d-%d", w, i)}}}})
+			}
+		}(w)
+	}
+	defer func() { close(stop); writers.Wait() }()
+
+	waitFor(t, "writers to get updates in flight", func() bool {
+		return s.UM.Stats().UpdatesProcessed > uint64(people)
+	})
+
+	// Layer 1: the engine drain barrier alone. After Quiesce returns, the
+	// shard queues are empty and stay empty — the still-running writers are
+	// held at the admission barrier.
+	if !s.UM.Quiesce() {
+		t.Fatal("engine Quiesce reported already-quiesced")
+	}
+	if p := s.UM.Stats().Pending; p != 0 {
+		t.Fatalf("Pending = %d after engine quiesce", p)
+	}
+	processed := s.UM.Stats().UpdatesProcessed
+	time.Sleep(50 * time.Millisecond)
+	if got := s.UM.Stats().UpdatesProcessed; got != processed {
+		t.Fatalf("engine processed %d updates while quiesced", got-processed)
+	}
+	s.UM.Resume()
+
+	// Layer 2: a full synchronization pass with the writers still going.
+	stats, err := s.UM.Synchronize("pbx")
+	if err != nil {
+		t.Fatalf("synchronize under load: %v", err)
+	}
+	if !stats.QuiesceApplied {
+		t.Error("gateway quiesce not applied in gateway mode")
+	}
+	if stats.Errors != 0 {
+		t.Errorf("sync stats = %+v", stats)
+	}
+	if p := s.UM.Stats().Pending; p != 0 {
+		t.Errorf("Pending = %d right after sync", p)
+	}
+}
