@@ -1,10 +1,11 @@
 # Tier-1 checks. `make check` is what CI (and a pre-push) should run: the
-# full build+test pass plus vet and the race detector on the concurrent
-# core (the sharded UM engine and the LTAP gateway/action wire).
+# full build+test pass plus vet, the race detector on the concurrent core
+# (the copy-on-write DIT, the sharded UM engine, and the LTAP
+# gateway/action wire), and a one-iteration benchmark smoke.
 
 GO ?= go
 
-.PHONY: all build test vet race check bench
+.PHONY: all build test vet race bench-smoke check bench
 
 all: check
 
@@ -17,13 +18,22 @@ test: build
 vet:
 	$(GO) vet ./...
 
-# The engine's ordering/quiesce guarantees are concurrency properties; run
-# their tests under the race detector.
+# The engine's ordering/quiesce guarantees and the DIT's copy-on-write
+# search snapshots are concurrency properties; run their tests under the
+# race detector.
 race:
-	$(GO) test -race -count=1 ./internal/um/... ./internal/ltap/...
+	$(GO) test -race -count=1 ./internal/directory/... ./internal/um/... ./internal/ltap/...
 
-check: test vet race
+# One iteration of every benchmark: catches harness rot without the cost of
+# a real measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x .
 
-# The experiment benchmarks behind EXPERIMENTS.md (long).
+check: test vet race bench-smoke
+
+# The experiment benchmarks behind EXPERIMENTS.md (long). -count is
+# parameterized so `make bench BENCH_COUNT=10 | tee new.txt` produces
+# benchstat-comparable samples (benchstat old.txt new.txt).
+BENCH_COUNT ?= 1
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime=1s .
+	$(GO) test -run '^$$' -bench . -benchtime=1s -count=$(BENCH_COUNT) .

@@ -545,6 +545,105 @@ func BenchmarkE12QuiesceCost(b *testing.B) {
 	}
 }
 
+// BenchmarkE16ReadHeavyMix drives the paper's actual workload shape (§5.5:
+// "LDAP workloads are heavily read-oriented") through the public LTAP
+// endpoint: a mixed read/write load at two ratios, with the read either an
+// indexed whole-subtree search (objectClass is indexed) or an unindexed one
+// (substring over sn, full scan), both returning the whole person
+// population. Writes are roomNumber modifies riding the full update path
+// with 2ms simulated device latency, the regime real switches impose.
+//
+// This is the experiment the PR-2 issue calls "E4" (the name E4 was already
+// taken by sync scaling above).
+func BenchmarkE16ReadHeavyMix(b *testing.B) {
+	const people = 200
+	mixes := []struct {
+		name     string
+		writePct int64
+	}{
+		{"mix=95r5w", 5},
+		{"mix=50r50w", 50},
+	}
+	readFilters := []struct {
+		name   string
+		filter string
+	}{
+		{"read=indexed", "(objectClass=mcPerson)"},
+		{"read=unindexed", "(sn=Person *)"},
+	}
+	caches := []struct {
+		name string
+		cap  int // Config.GatewayCache: 0 default-on, <0 off
+	}{
+		{"cache=on", 0},
+		{"cache=off", -1},
+	}
+	for _, mix := range mixes {
+		for _, rf := range readFilters {
+			for _, ca := range caches {
+				b.Run(mix.name+"/"+rf.name+"/"+ca.name, func(b *testing.B) {
+					runE16Mix(b, mix.writePct, rf.filter, ca.cap)
+				})
+			}
+		}
+	}
+}
+
+func runE16Mix(b *testing.B, writePct int64, readFilter string, cacheCap int) {
+	const people = 200
+	s := benchSystem(b, metacomm.Config{UMShards: 4,
+		DeviceSessions: 4, DeviceLatency: 2 * time.Millisecond,
+		GatewayCache: cacheCap})
+	setup := benchClient(b, s)
+	dns := provision(b, setup, people)
+	f, err := ldap.ParseFilter(readFilter)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &ldap.SearchRequest{
+		BaseDN: "o=Lucent", Scope: ldap.ScopeWholeSubtree, Filter: f,
+	}
+	var next, searches atomic.Int64
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		conn, err := s.Client()
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer conn.Close()
+		for pb.Next() {
+			i := next.Add(1)
+			if i%100 < writePct {
+				err := conn.Modify(dns[int(i)%people], []ldap.Change{{Op: ldap.ModReplace,
+					Attribute: ldap.Attribute{Type: "roomNumber", Values: []string{fmt.Sprintf("W-%d", i)}}}})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				continue
+			}
+			entries, err := conn.Search(req)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if len(entries) != people {
+				b.Errorf("search returned %d entries, want %d", len(entries), people)
+				return
+			}
+			searches.Add(1)
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(searches.Load())/b.Elapsed().Seconds(), "searches/s")
+	gs := s.Gateway.Stats()
+	if gs.Updates > 0 {
+		b.ReportMetric(float64(gs.BackendFetches)/float64(gs.Updates), "fetches/update")
+	}
+}
+
 // BenchmarkF2SampleTree reproduces the paper's Figure 2 sample tree: build
 // it and resolve/search it, through the full LDAP protocol stack.
 func BenchmarkF2SampleTree(b *testing.B) {

@@ -39,6 +39,8 @@ func main() {
 		umQueue  = flag.Int("um-queue-depth", 0, "Update Manager per-shard queue capacity (0 = default)")
 		devSess  = flag.Int("device-sessions", 0, "pooled administration sessions per device (0 = single session)")
 		devLat   = flag.Duration("device-latency", 0, "simulated per-update processing time in the device simulators")
+		beConns  = flag.Int("backend-conns", 0, "pooled connections to the backing directory per component (0 = default)")
+		gwCache  = flag.Int("gateway-cache", 0, "LTAP before-image cache capacity (0 = default, negative disables)")
 		dataDir  = flag.String("data", "", "data directory for the durable directory journal (empty = in-memory)")
 		replAddr = flag.String("replication", "", "replication stream listen address for read replicas (empty disables)")
 		audit    = flag.String("audit", "", "audit log file ('-' = stderr, empty disables)")
@@ -74,6 +76,8 @@ func main() {
 		UMQueueDepth:    *umQueue,
 		DeviceSessions:  *devSess,
 		DeviceLatency:   *devLat,
+		BackendConns:    *beConns,
+		GatewayCache:    *gwCache,
 		InitialSync:     true,
 		DataDir:         *dataDir,
 		ReplicationAddr: *replAddr,
@@ -101,6 +105,7 @@ func main() {
 		defer conn.Close()
 		srv := wba.New(conn, *suffix)
 		srv.Stats = sys.UM.Stats
+		srv.GatewayStats = sys.Gateway.Stats
 		go func() {
 			fmt.Printf("web administration: http://%s/\n", *wbaAddr)
 			if err := http.ListenAndServe(*wbaAddr, srv); err != nil {
@@ -115,4 +120,7 @@ func main() {
 	st := sys.UM.Stats()
 	fmt.Printf("shutting down; um: shards=%d processed=%d pending=%d busy-rejections=%d device-applies=%d errors=%d\n",
 		st.Shards, st.UpdatesProcessed, st.Pending, st.QueueRejections, st.DeviceApplies, st.ErrorsLogged)
+	gs := sys.Gateway.Stats()
+	fmt.Printf("gateway: searches=%d updates=%d backend-fetches=%d cache-hits=%d cache-misses=%d hit-rate=%.1f%%\n",
+		gs.Searches, gs.Updates, gs.BackendFetches, gs.Cache.Hits, gs.Cache.Misses, 100*gs.Cache.HitRate())
 }

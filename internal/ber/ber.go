@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Class is the ASN.1 tag class of an element.
@@ -214,9 +215,16 @@ func encodeInt(v int64) []byte {
 	return out
 }
 
-func encodeLength(n int) []byte {
+// Encoding is two-pass: a length pass computes every definite length, then
+// an append pass writes identifier, length and content into one buffer.
+// The old single-pass encoder built each constructed element's content by
+// concatenating freshly encoded children — O(depth) copies of every byte
+// and an allocation per element, which dominated the profile of streaming
+// search responses.
+
+func appendLength(buf []byte, n int) []byte {
 	if n < 0x80 {
-		return []byte{byte(n)}
+		return append(buf, byte(n))
 	}
 	var tmp [8]byte
 	i := len(tmp)
@@ -225,21 +233,32 @@ func encodeLength(n int) []byte {
 		tmp[i] = byte(n)
 		n >>= 8
 	}
-	out := make([]byte, 0, 1+len(tmp)-i)
-	out = append(out, 0x80|byte(len(tmp)-i))
-	return append(out, tmp[i:]...)
+	buf = append(buf, 0x80|byte(len(tmp)-i))
+	return append(buf, tmp[i:]...)
 }
 
-func encodeIdentifier(class Class, tag uint32, constructed bool) []byte {
+func lengthLen(n int) int {
+	if n < 0x80 {
+		return 1
+	}
+	l := 1
+	for n > 0 {
+		l++
+		n >>= 8
+	}
+	return l
+}
+
+func appendIdentifier(buf []byte, class Class, tag uint32, constructed bool) []byte {
 	b := byte(class)
 	if constructed {
 		b |= 0x20
 	}
 	if tag < 31 {
-		return []byte{b | byte(tag)}
+		return append(buf, b|byte(tag))
 	}
 	// High-tag-number form.
-	out := []byte{b | 0x1F}
+	buf = append(buf, b|0x1F)
 	var tmp [5]byte
 	i := len(tmp)
 	for {
@@ -253,35 +272,77 @@ func encodeIdentifier(class Class, tag uint32, constructed bool) []byte {
 	for j := i; j < len(tmp)-1; j++ {
 		tmp[j] |= 0x80
 	}
-	return append(out, tmp[i:]...)
+	return append(buf, tmp[i:]...)
+}
+
+func identifierLen(tag uint32) int {
+	if tag < 31 {
+		return 1
+	}
+	l := 1
+	for tag > 0 {
+		l++
+		tag >>= 7
+	}
+	return l
+}
+
+// contentLen returns the length of e's content octets.
+func (e *Element) contentLen() int {
+	if !e.Constructed {
+		return len(e.Value)
+	}
+	n := 0
+	for _, c := range e.Children {
+		n += c.EncodedLen()
+	}
+	return n
+}
+
+// EncodedLen returns the number of bytes Encode produces for e.
+func (e *Element) EncodedLen() int {
+	c := e.contentLen()
+	return identifierLen(e.Tag) + lengthLen(c) + c
+}
+
+// AppendTo appends the complete BER encoding of e to buf and returns the
+// extended buffer. This is the allocation-free core of Encode/WriteTo;
+// callers with a reusable buffer (per-connection writers) call it directly.
+func (e *Element) AppendTo(buf []byte) []byte {
+	buf = appendIdentifier(buf, e.Class, e.Tag, e.Constructed)
+	buf = appendLength(buf, e.contentLen())
+	if !e.Constructed {
+		return append(buf, e.Value...)
+	}
+	for _, c := range e.Children {
+		buf = c.AppendTo(buf)
+	}
+	return buf
 }
 
 // Encode returns the complete BER encoding of e.
 func (e *Element) Encode() []byte {
-	content := e.content()
-	id := encodeIdentifier(e.Class, e.Tag, e.Constructed)
-	length := encodeLength(len(content))
-	out := make([]byte, 0, len(id)+len(length)+len(content))
-	out = append(out, id...)
-	out = append(out, length...)
-	return append(out, content...)
+	return e.AppendTo(make([]byte, 0, e.EncodedLen()))
 }
 
-func (e *Element) content() []byte {
-	if !e.Constructed {
-		return e.Value
-	}
-	var out []byte
-	for _, c := range e.Children {
-		out = append(out, c.Encode()...)
-	}
-	return out
-}
+// encodeBufs pools WriteTo's scratch buffers. Buffers that grew beyond
+// maxPooledBuf are dropped so one huge element cannot pin memory.
+var encodeBufs = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
 
-// WriteTo encodes e to w.
+const maxPooledBuf = 1 << 20
+
+// WriteTo encodes e to w in one Write, using a pooled buffer.
 func (e *Element) WriteTo(w io.Writer) (int64, error) {
-	b := e.Encode()
-	n, err := w.Write(b)
+	bp := encodeBufs.Get().(*[]byte)
+	buf := e.AppendTo((*bp)[:0])
+	n, err := w.Write(buf)
+	if cap(buf) <= maxPooledBuf {
+		*bp = buf[:0]
+		encodeBufs.Put(bp)
+	}
 	return int64(n), err
 }
 

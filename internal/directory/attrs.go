@@ -13,6 +13,7 @@ package directory
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Attrs is a case-insensitive multi-valued attribute map. Attribute type
@@ -21,6 +22,38 @@ import (
 type Attrs struct {
 	names map[string]string   // lower-cased type -> display spelling
 	vals  map[string][]string // lower-cased type -> values
+	// view caches the deterministic iteration order used by Names and
+	// EachSorted. The DIT's copy-on-write discipline means an installed
+	// *Attrs is never mutated, so concurrent lazy initialization here is
+	// an idempotent race (safe under atomic.Pointer); mutators, which only
+	// ever run on private working copies, drop the cache.
+	view atomic.Pointer[sortedView]
+}
+
+// sortedView is the cached iteration order: lowered keys sorted
+// lexicographically (which is exactly case-insensitive order of the display
+// spellings) with the display spellings aligned.
+type sortedView struct {
+	keys  []string
+	names []string
+}
+
+// sorted returns the cached view, computing it on first use.
+func (a *Attrs) sorted() *sortedView {
+	if v := a.view.Load(); v != nil {
+		return v
+	}
+	v := &sortedView{keys: make([]string, 0, len(a.names))}
+	for k := range a.names {
+		v.keys = append(v.keys, k)
+	}
+	sort.Strings(v.keys)
+	v.names = make([]string, len(v.keys))
+	for i, k := range v.keys {
+		v.names[i] = a.names[k]
+	}
+	a.view.Store(v)
+	return v
 }
 
 // NewAttrs returns an empty attribute map.
@@ -69,6 +102,7 @@ func (a *Attrs) HasValue(attr, value string) bool {
 
 // Put replaces all values of attr.
 func (a *Attrs) Put(attr string, values ...string) {
+	a.view.Store(nil)
 	k := lower(attr)
 	if len(values) == 0 {
 		delete(a.vals, k)
@@ -87,6 +121,7 @@ func (a *Attrs) Add(attr, value string) bool {
 	if a.HasValue(attr, value) {
 		return false
 	}
+	a.view.Store(nil)
 	k := lower(attr)
 	if _, ok := a.names[k]; !ok {
 		a.names[k] = attr
@@ -102,6 +137,7 @@ func (a *Attrs) DeleteValue(attr, value string) bool {
 	vs := a.vals[k]
 	for i, v := range vs {
 		if strings.EqualFold(v, value) {
+			a.view.Store(nil)
 			vs = append(vs[:i], vs[i+1:]...)
 			if len(vs) == 0 {
 				delete(a.vals, k)
@@ -121,20 +157,29 @@ func (a *Attrs) Delete(attr string) bool {
 	if _, ok := a.vals[k]; !ok {
 		return false
 	}
+	a.view.Store(nil)
 	delete(a.vals, k)
 	delete(a.names, k)
 	return true
 }
 
 // Names returns the display spellings of all present attributes, sorted
-// case-insensitively for deterministic iteration.
+// case-insensitively for deterministic iteration. The slice is the caller's
+// to keep.
 func (a *Attrs) Names() []string {
-	out := make([]string, 0, len(a.names))
-	for _, display := range a.names {
-		out = append(out, display)
+	return append([]string(nil), a.sorted().names...)
+}
+
+// EachSorted calls f for every attribute in the same deterministic order as
+// Names, passing the display spelling and the shared (do not mutate) value
+// slice. It exists for the search result conversion path, which would
+// otherwise allocate a sorted name slice and re-hash every display name per
+// entry per search.
+func (a *Attrs) EachSorted(f func(attr string, values []string)) {
+	v := a.sorted()
+	for i, k := range v.keys {
+		f(v.names[i], a.vals[k])
 	}
-	sort.Slice(out, func(i, j int) bool { return lower(out[i]) < lower(out[j]) })
-	return out
 }
 
 // Len returns the number of distinct attribute types.

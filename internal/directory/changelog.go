@@ -69,22 +69,41 @@ func (d *DIT) emitLocked(rec UpdateRecord) {
 	d.subs = keep
 }
 
-// allLocked snapshots every entry, parents first. Caller holds d.mu.
+// allLocked snapshots every entry, parents first. Caller holds d.mu. The
+// snapshot shares the tree's immutable attribute values (see Entry).
 func (d *DIT) allLocked() []Entry {
 	out := make([]Entry, 0, len(d.entries))
-	for _, n := range d.entries {
-		out = append(out, Entry{DN: n.dn, Attrs: n.attrs.Clone()})
+	keys := make([]string, 0, len(d.entries))
+	for k, n := range d.entries {
+		out = append(out, Entry{DN: n.dn, Attrs: n.attrs})
+		keys = append(keys, k)
 	}
-	sortEntries(out)
+	sortEntries(out, keys)
 	return out
 }
 
-func sortEntries(out []Entry) {
-	// Parents before children; stable order for deterministic snapshots.
-	sort.Slice(out, func(i, j int) bool {
-		if di, dj := out[i].DN.Depth(), out[j].DN.Depth(); di != dj {
-			return di < dj
-		}
-		return out[i].DN.Normalize() < out[j].DN.Normalize()
-	})
+// sortEntries orders entries parents-before-children (depth, then
+// normalized DN) — a stable order for deterministic snapshots. keys[i]
+// must be out[i].DN.Normalize(); callers pass the tree's cached keys so
+// the comparator never normalizes, which would otherwise dominate the
+// search read path (O(n log n) allocating string work per result set).
+func sortEntries(out []Entry, keys []string) {
+	sort.Sort(&entrySorter{out, keys})
+}
+
+type entrySorter struct {
+	e []Entry
+	k []string
+}
+
+func (s *entrySorter) Len() int { return len(s.e) }
+func (s *entrySorter) Swap(i, j int) {
+	s.e[i], s.e[j] = s.e[j], s.e[i]
+	s.k[i], s.k[j] = s.k[j], s.k[i]
+}
+func (s *entrySorter) Less(i, j int) bool {
+	if di, dj := s.e[i].DN.Depth(), s.e[j].DN.Depth(); di != dj {
+		return di < dj
+	}
+	return s.k[i] < s.k[j]
 }

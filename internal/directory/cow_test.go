@@ -1,0 +1,149 @@
+package directory
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"metacomm/internal/dn"
+	"metacomm/internal/ldap"
+)
+
+// These tests pin the copy-on-write read path's concurrency contract: a
+// Search racing an update sees a consistent before-or-after image of every
+// entry, never a torn one. Run them under -race (scripts/check.sh does).
+
+func TestSearchDuringModifyRace(t *testing.T) {
+	d := New(nil)
+	d.EnableIndexes("cn")
+	if err := d.Add(dn.MustParse("o=Lucent"), org("Lucent")); err != nil {
+		t.Fatal(err)
+	}
+	name := dn.MustParse("cn=Racer,o=Lucent")
+	attrs := AttrsFrom(map[string][]string{
+		"objectClass":     {"person"},
+		"cn":              {"Racer"},
+		"roomNumber":      {"0"},
+		"telephoneNumber": {"0"},
+	})
+	if err := d.Add(name, attrs); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		// Each update replaces both attributes to the same token; a torn
+		// read would show them disagreeing.
+		for i := 1; i <= 2000; i++ {
+			v := fmt.Sprint(i)
+			err := d.Modify(name, []ldap.Change{
+				{Op: ldap.ModReplace, Attribute: ldap.Attribute{Type: "roomNumber", Values: []string{v}}},
+				{Op: ldap.ModReplace, Attribute: ldap.Attribute{Type: "telephoneNumber", Values: []string{v}}},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	base := dn.MustParse("o=Lucent")
+	filters := []*ldap.Filter{
+		ldap.Eq("cn", "Racer"),    // indexed equality path
+		ldap.Present("cn"),        // indexed presence path
+		ldap.Eq("roomNumber", ""), // placeholder, replaced below
+	}
+	filters[2], _ = ldap.ParseFilter("(telephoneNumber=*)") // unindexed scan path
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(f *ldap.Filter) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, err := d.Search(base, ldap.ScopeWholeSubtree, f, 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, e := range got {
+					room, tel := e.Attrs.First("roomNumber"), e.Attrs.First("telephoneNumber")
+					if room != tel {
+						t.Errorf("torn read: roomNumber=%q telephoneNumber=%q", room, tel)
+						return
+					}
+				}
+			}
+		}(filters[r])
+	}
+	wg.Wait()
+}
+
+func TestSearchDuringModifyDNRace(t *testing.T) {
+	d := New(nil)
+	d.EnableIndexes("cn")
+	if err := d.Add(dn.MustParse("o=Lucent"), org("Lucent")); err != nil {
+		t.Fatal(err)
+	}
+	cur := dn.MustParse("cn=Flip,o=Lucent")
+	if err := d.Add(cur, AttrsFrom(map[string][]string{
+		"objectClass": {"person"}, "cn": {"Flip"},
+	})); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		names := []string{"Flop", "Flip"}
+		for i := 0; i < 1000; i++ {
+			next := names[i%2]
+			if err := d.ModifyDN(cur, dn.RDN{{Attr: "cn", Value: next}}, true); err != nil {
+				t.Error(err)
+				return
+			}
+			cur = dn.MustParse(fmt.Sprintf("cn=%s,o=Lucent", next))
+		}
+	}()
+
+	base := dn.MustParse("o=Lucent")
+	f, _ := ldap.ParseFilter("(objectClass=person)")
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got, err := d.Search(base, ldap.ScopeWholeSubtree, f, 0)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// A consistent image has the entry's RDN value present in
+				// its cn attribute (deleteOldRDN keeps them in lockstep).
+				for _, e := range got {
+					rdn := e.DN.FirstValue("cn")
+					if !e.Attrs.HasValue("cn", rdn) {
+						t.Errorf("torn rename: DN rdn %q not in cn %v", rdn, e.Attrs.Get("cn"))
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

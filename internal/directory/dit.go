@@ -2,7 +2,6 @@ package directory
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 
@@ -38,8 +37,12 @@ func CodeOf(err error) ldap.ResultCode {
 	return ldap.ResultOther
 }
 
-// Entry is a snapshot of a directory entry: its DN and attributes. Entries
-// returned by the DIT are copies; mutating them does not affect the tree.
+// Entry is a snapshot of a directory entry: its DN and attributes. The
+// attribute values are copy-on-write: updates install a fresh *Attrs, so
+// entries returned by the DIT share the tree's immutable attribute values
+// instead of paying a deep copy per entry. Callers MUST NOT mutate a
+// returned entry's Attrs — use Clone() first for a private mutable copy.
+// An entry held across later updates keeps its point-in-time values.
 type Entry struct {
 	DN    dn.DN
 	Attrs *Attrs
@@ -50,8 +53,17 @@ func (e Entry) Clone() Entry {
 	return Entry{DN: append(dn.DN(nil), e.DN...), Attrs: e.Attrs.Clone()}
 }
 
+// node fields are read and written only under DIT.mu. The *Attrs object a
+// node points to (and the backing array of its dn) is immutable once
+// installed: updates build a fresh value and swap the pointer, never mutate
+// through it. Search relies on this to evaluate snapshots outside the lock.
 type node struct {
-	dn       dn.DN
+	dn dn.DN
+	// key caches dn.Normalize() — also this node's key in DIT.entries.
+	// DN normalization (lower-casing and re-joining every RDN) is too
+	// expensive to recompute on the search path, where results are sorted
+	// by it; it is maintained at Add/ModifyDN time instead.
+	key      string
 	attrs    *Attrs
 	children map[string]bool // normalized child DNs
 }
@@ -142,7 +154,7 @@ func (d *DIT) Add(name dn.DN, attrs *Attrs) error {
 		}
 		return err
 	}
-	d.entries[key] = &node{dn: name, attrs: a, children: map[string]bool{}}
+	d.entries[key] = &node{dn: name, key: key, attrs: a, children: map[string]bool{}}
 	d.indexEntry(key, a)
 	d.seq++
 	rec.Seq = d.seq
@@ -336,7 +348,7 @@ func (d *DIT) ModifyDN(name dn.DN, newRDN dn.RDN, deleteOldRDN bool) error {
 	}
 	collect(n)
 	for _, nd := range subtree {
-		d.unindexEntry(nd.dn.Normalize(), nd.attrs)
+		d.unindexEntry(nd.key, nd.attrs)
 	}
 
 	if p, ok := d.entries[name.Parent().Normalize()]; ok {
@@ -345,7 +357,7 @@ func (d *DIT) ModifyDN(name dn.DN, newRDN dn.RDN, deleteOldRDN bool) error {
 	}
 	depth := name.Depth()
 	for _, nd := range subtree {
-		delete(d.entries, nd.dn.Normalize())
+		delete(d.entries, nd.key)
 	}
 	for _, nd := range subtree {
 		suffixStart := nd.dn.Depth() - depth
@@ -358,6 +370,7 @@ func (d *DIT) ModifyDN(name dn.DN, newRDN dn.RDN, deleteOldRDN bool) error {
 	n.attrs = work
 	for _, nd := range subtree {
 		k := nd.dn.Normalize()
+		nd.key = k
 		d.entries[k] = nd
 		d.indexEntry(k, nd.attrs)
 		if pk := nd.dn.Parent().Normalize(); pk != "" {
@@ -372,7 +385,8 @@ func (d *DIT) ModifyDN(name dn.DN, newRDN dn.RDN, deleteOldRDN bool) error {
 	return nil
 }
 
-// Get returns a copy of the entry at name.
+// Get returns the entry at name. The returned attributes are a shared
+// immutable snapshot (see Entry).
 func (d *DIT) Get(name dn.DN) (Entry, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -380,7 +394,7 @@ func (d *DIT) Get(name dn.DN) (Entry, error) {
 	if !ok {
 		return Entry{}, errf(ldap.ResultNoSuchObject, "no entry %q", name)
 	}
-	return Entry{DN: n.dn, Attrs: n.attrs.Clone()}, nil
+	return Entry{DN: n.dn, Attrs: n.attrs}, nil
 }
 
 // Compare tests an attribute/value assertion against an entry.
@@ -396,12 +410,61 @@ func (d *DIT) Compare(name dn.DN, attr, value string) (bool, error) {
 
 // Search evaluates filter over the entries selected by base and scope and
 // returns matching entries sorted by DN depth then name (parents before
-// children), truncated at sizeLimit when positive.
+// children), truncated at sizeLimit when positive. Truncated result sets
+// are sorted among themselves but are not the depth-first prefix of the
+// full answer — LDAP promises no ordering, and stopping at the limit is
+// what keeps bounded searches cheap on large trees.
+//
+// The lock is held only while collecting candidate (DN, *Attrs) pairs;
+// filter verification and sorting run on that snapshot outside d.mu.
+// Attribute values are immutable once installed (every update builds a
+// fresh *Attrs), so the snapshot stays consistent with no coordination and
+// the returned entries share it without cloning — readers never block
+// writers for the duration of filter evaluation, and writers never tear an
+// entry a reader is matching.
 func (d *DIT) Search(base dn.DN, scope ldap.Scope, filter *ldap.Filter, sizeLimit int) ([]Entry, error) {
 	if filter == nil {
 		// An AND of zero terms is vacuously true: match everything.
 		filter = &ldap.Filter{Kind: ldap.FilterAnd}
 	}
+	cands, err := d.collectCandidates(base, scope, filter)
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	var keys []string
+	for _, c := range cands {
+		if !filter.Matches(c.attrs.Get) {
+			continue
+		}
+		out = append(out, Entry{DN: c.dn, Attrs: c.attrs})
+		keys = append(keys, c.key)
+		if sizeLimit > 0 && len(out) > sizeLimit {
+			// One over the limit proves the limit is exceeded; stop
+			// materializing instead of verifying the whole candidate set.
+			break
+		}
+	}
+	sortEntries(out, keys)
+	if sizeLimit > 0 && len(out) > sizeLimit {
+		return out[:sizeLimit], errf(ldap.ResultSizeLimitExceeded, "size limit %d exceeded", sizeLimit)
+	}
+	return out, nil
+}
+
+// searchCand is one node's read snapshot: the DN (plus its cached
+// normalized form, for sorting without re-normalizing) and the immutable
+// attribute value current at collection time.
+type searchCand struct {
+	dn    dn.DN
+	key   string
+	attrs *Attrs
+}
+
+// collectCandidates gathers the scope-selected (or index-selected) nodes
+// under the read lock. It copies only a DN slice header and an *Attrs
+// pointer per node — the cheap snapshot Search evaluates lock-free.
+func (d *DIT) collectCandidates(base dn.DN, scope ldap.Scope, filter *ldap.Filter) ([]searchCand, error) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 
@@ -411,12 +474,8 @@ func (d *DIT) Search(base dn.DN, scope ldap.Scope, filter *ldap.Filter, sizeLimi
 			return nil, errf(ldap.ResultNoSuchObject, "search base %q does not exist", base)
 		}
 	}
-	var out []Entry
-	add := func(n *node) {
-		if filter.Matches(n.attrs.Get) {
-			out = append(out, Entry{DN: n.dn, Attrs: n.attrs.Clone()})
-		}
-	}
+	var cands []searchCand
+	add := func(n *node) { cands = append(cands, searchCand{dn: n.dn, key: n.key, attrs: n.attrs}) }
 	switch scope {
 	case ldap.ScopeBaseObject:
 		if n, ok := d.entries[baseKey]; ok {
@@ -435,10 +494,10 @@ func (d *DIT) Search(base dn.DN, scope ldap.Scope, filter *ldap.Filter, sizeLimi
 			}
 		}
 	case ldap.ScopeWholeSubtree:
-		if cands, ok := d.indexCandidates(filter); ok {
-			// Indexed fast path: verify scope and the full filter on the
-			// candidate set only.
-			for key := range cands {
+		if keys, ok := d.indexCandidates(filter); ok {
+			// Indexed fast path: scope-check the candidate set only; the
+			// full filter is still verified on every returned entry.
+			for key := range keys {
 				n := d.entries[key]
 				if n == nil {
 					continue
@@ -450,23 +509,14 @@ func (d *DIT) Search(base dn.DN, scope ldap.Scope, filter *ldap.Filter, sizeLimi
 			break
 		}
 		for _, n := range d.entries {
-			if base.IsRoot() || n.dn.Normalize() == baseKey || n.dn.IsDescendantOf(base) {
+			if base.IsRoot() || n.key == baseKey || n.dn.IsDescendantOf(base) {
 				add(n)
 			}
 		}
 	default:
 		return nil, errf(ldap.ResultProtocolError, "unknown scope %d", scope)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if d1, d2 := out[i].DN.Depth(), out[j].DN.Depth(); d1 != d2 {
-			return d1 < d2
-		}
-		return out[i].DN.Normalize() < out[j].DN.Normalize()
-	})
-	if sizeLimit > 0 && len(out) > sizeLimit {
-		return out[:sizeLimit], errf(ldap.ResultSizeLimitExceeded, "size limit %d exceeded", sizeLimit)
-	}
-	return out, nil
+	return cands, nil
 }
 
 // All returns every entry, parents before children. Used by the UM's

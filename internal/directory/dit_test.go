@@ -295,12 +295,25 @@ func TestSearchMissingBase(t *testing.T) {
 }
 
 func TestSearchResultsAreSnapshots(t *testing.T) {
+	// Search results share the tree's copy-on-write attribute values: a
+	// later update installs a fresh *Attrs, so entries returned earlier
+	// keep their point-in-time values.
 	d := buildFigure2(t)
-	got, _ := d.Search(dn.MustParse("o=Lucent"), ldap.ScopeBaseObject, nil, 0)
-	got[0].Attrs.Put("o", "Mutated")
-	e, _ := d.Get(dn.MustParse("o=Lucent"))
-	if e.Attrs.First("o") != "Lucent" {
-		t.Error("search result aliases live entry")
+	name := dn.MustParse("cn=Jill Lu,o=R&D,o=Lucent")
+	got, _ := d.Search(name, ldap.ScopeBaseObject, nil, 0)
+	if err := d.Modify(name, []ldap.Change{{Op: ldap.ModReplace,
+		Attribute: ldap.Attribute{Type: "roomNumber", Values: []string{"3A-200"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Attrs.Has("roomNumber") {
+		t.Error("pre-update search result sees the later update")
+	}
+	// Mutating a Clone() must not write through to the live entry.
+	priv := got[0].Clone()
+	priv.Attrs.Put("cn", "Mutated")
+	e, _ := d.Get(name)
+	if e.Attrs.First("cn") != "Jill Lu" {
+		t.Error("cloned entry aliases live entry")
 	}
 }
 

@@ -6,22 +6,36 @@ import (
 	"metacomm/internal/ldap"
 )
 
-// Equality indexes. Directory servers index the attributes their workloads
-// search by; MetaComm's update path locates entries by device key
-// (definityExtension, mailboxNumber) on every translated update, so without
-// an index each update pays a full scan.
+// Equality and presence indexes. Directory servers index the attributes
+// their workloads search by; MetaComm's update path locates entries by
+// device key (definityExtension, mailboxNumber) on every translated update,
+// so without an index each update pays a full scan.
 //
-// The index maps attribute -> value -> normalized-DN set, maintained inside
-// the DIT's lock on every committed update. Search consults it for equality
-// filters (including equality terms inside an AND) and verifies candidates
+// Each indexed attribute keeps two posting structures, maintained inside
+// the DIT's lock on every committed update: value -> normalized-DN set for
+// equality terms, and the presence set (every DN carrying the attribute)
+// for (attr=*) probes. Search consults them for equality and presence
+// filters (including such terms inside an AND) and verifies candidates
 // against scope and the full filter, so indexed results are always exactly
 // the scan results.
 
-type attrIndex map[string]map[string]map[string]bool
+type attrIndex map[string]*attrPosting
 
-// EnableIndexes builds equality indexes over the named attributes and keeps
-// them maintained. Safe to call on a populated DIT; existing entries are
-// indexed immediately.
+// attrPosting holds one attribute's postings.
+type attrPosting struct {
+	// values maps lower-cased value -> normalized-DN set.
+	values map[string]map[string]bool
+	// present is the set of normalized DNs carrying the attribute at all.
+	present map[string]bool
+}
+
+func newAttrPosting() *attrPosting {
+	return &attrPosting{values: map[string]map[string]bool{}, present: map[string]bool{}}
+}
+
+// EnableIndexes builds equality+presence indexes over the named attributes
+// and keeps them maintained. Safe to call on a populated DIT; existing
+// entries are indexed immediately.
 func (d *DIT) EnableIndexes(attrs ...string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -33,13 +47,11 @@ func (d *DIT) EnableIndexes(attrs ...string) {
 		if _, dup := d.indexes[k]; dup {
 			continue
 		}
-		idx := map[string]map[string]bool{}
+		p := newAttrPosting()
 		for key, n := range d.entries {
-			for _, v := range n.attrs.Get(k) {
-				addToIndex(idx, v, key)
-			}
+			p.index(n.attrs.Get(k), key)
 		}
-		d.indexes[k] = idx
+		d.indexes[k] = p
 	}
 }
 
@@ -54,59 +66,61 @@ func (d *DIT) IndexedAttrs() []string {
 	return out
 }
 
-func addToIndex(idx map[string]map[string]bool, value, dnKey string) {
-	vk := strings.ToLower(value)
-	set := idx[vk]
-	if set == nil {
-		set = map[string]bool{}
-		idx[vk] = set
+// index adds an entry's values for this attribute to both postings.
+func (p *attrPosting) index(values []string, dnKey string) {
+	for _, v := range values {
+		vk := strings.ToLower(v)
+		set := p.values[vk]
+		if set == nil {
+			set = map[string]bool{}
+			p.values[vk] = set
+		}
+		set[dnKey] = true
 	}
-	set[dnKey] = true
+	if len(values) > 0 {
+		p.present[dnKey] = true
+	}
 }
 
-func removeFromIndex(idx map[string]map[string]bool, value, dnKey string) {
-	vk := strings.ToLower(value)
-	if set := idx[vk]; set != nil {
-		delete(set, dnKey)
-		if len(set) == 0 {
-			delete(idx, vk)
+// unindex removes an entry's values for this attribute from both postings.
+func (p *attrPosting) unindex(values []string, dnKey string) {
+	for _, v := range values {
+		vk := strings.ToLower(v)
+		if set := p.values[vk]; set != nil {
+			delete(set, dnKey)
+			if len(set) == 0 {
+				delete(p.values, vk)
+			}
 		}
 	}
+	delete(p.present, dnKey)
 }
 
 // indexEntry adds every indexed attribute of the entry. Caller holds d.mu.
 func (d *DIT) indexEntry(dnKey string, attrs *Attrs) {
-	for a, idx := range d.indexes {
-		for _, v := range attrs.Get(a) {
-			addToIndex(idx, v, dnKey)
-		}
+	for a, p := range d.indexes {
+		p.index(attrs.Get(a), dnKey)
 	}
 }
 
 // unindexEntry removes every indexed attribute of the entry. Caller holds
 // d.mu.
 func (d *DIT) unindexEntry(dnKey string, attrs *Attrs) {
-	for a, idx := range d.indexes {
-		for _, v := range attrs.Get(a) {
-			removeFromIndex(idx, v, dnKey)
-		}
+	for a, p := range d.indexes {
+		p.unindex(attrs.Get(a), dnKey)
 	}
 }
 
 // reindexEntry moves an entry's index postings from old to new state.
 // Caller holds d.mu.
 func (d *DIT) reindexEntry(dnKey string, old, new *Attrs) {
-	for a, idx := range d.indexes {
+	for a, p := range d.indexes {
 		ov, nv := old.Get(a), new.Get(a)
 		if sameStrings(ov, nv) {
 			continue
 		}
-		for _, v := range ov {
-			removeFromIndex(idx, v, dnKey)
-		}
-		for _, v := range nv {
-			addToIndex(idx, v, dnKey)
-		}
+		p.unindex(ov, dnKey)
+		p.index(nv, dnKey)
 	}
 }
 
@@ -123,21 +137,27 @@ func sameStrings(a, b []string) bool {
 }
 
 // indexCandidates returns the candidate DN-key set for a filter, or
-// (nil, false) when the filter has no usable indexed equality term. An AND
-// uses its most selective indexed term; the candidates are a superset of
-// the answer only in the AND case, never missing matches, because every
-// returned entry is still verified against the full filter.
+// (nil, false) when the filter has no usable indexed equality or presence
+// term. An AND uses its most selective indexed term; the candidates are a
+// superset of the answer only in the AND case, never missing matches,
+// because every returned entry is still verified against the full filter.
 func (d *DIT) indexCandidates(f *ldap.Filter) (map[string]bool, bool) {
 	if len(d.indexes) == 0 || f == nil {
 		return nil, false
 	}
 	switch f.Kind {
 	case ldap.FilterEquality:
-		idx, ok := d.indexes[lower(f.Attr)]
+		p, ok := d.indexes[lower(f.Attr)]
 		if !ok {
 			return nil, false
 		}
-		return idx[strings.ToLower(f.Value)], true
+		return p.values[strings.ToLower(f.Value)], true
+	case ldap.FilterPresent:
+		p, ok := d.indexes[lower(f.Attr)]
+		if !ok {
+			return nil, false
+		}
+		return p.present, true
 	case ldap.FilterAnd:
 		var best map[string]bool
 		found := false

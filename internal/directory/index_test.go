@@ -130,6 +130,101 @@ func TestIndexUsedInsideAnd(t *testing.T) {
 	}
 }
 
+func TestPresenceIndexEqualsScan(t *testing.T) {
+	indexed := populated(t, 40, true)
+	scan := populated(t, 40, false)
+	// Strip the extension from half the people so presence is selective.
+	for i := 0; i < 40; i += 2 {
+		name := dn.MustParse(fmt.Sprintf("cn=Person %05d,o=Lucent", i))
+		for _, d := range []*DIT{indexed, scan} {
+			if err := d.Modify(name, []ldap.Change{{Op: ldap.ModDelete,
+				Attribute: ldap.Attribute{Type: "definityExtension"}}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	base := dn.MustParse("o=Lucent")
+	for _, d := range []*DIT{indexed, scan} {
+		got, err := d.Search(base, ldap.ScopeWholeSubtree, ldap.Present("definityExtension"), 0)
+		if err != nil || len(got) != 20 {
+			t.Fatalf("(definityExtension=*) matched %d, %v; want 20", len(got), err)
+		}
+		// Presence term inside an AND: candidates still verified fully.
+		f := ldap.And(ldap.Present("definityExtension"), ldap.Eq("cn", "Person 00001"))
+		got, err = d.Search(base, ldap.ScopeWholeSubtree, f, 0)
+		if err != nil || len(got) != 1 {
+			t.Fatalf("AND with presence matched %d, %v; want 1", len(got), err)
+		}
+		f = ldap.And(ldap.Present("definityExtension"), ldap.Eq("cn", "Person 00002"))
+		got, err = d.Search(base, ldap.ScopeWholeSubtree, f, 0)
+		if err != nil || len(got) != 0 {
+			t.Fatalf("AND with absent presence matched %d, %v; want 0", len(got), err)
+		}
+	}
+}
+
+func TestPresenceIndexFollowsUpdates(t *testing.T) {
+	d := populated(t, 5, true)
+	name := dn.MustParse("cn=Person 00003,o=Lucent")
+	base := dn.MustParse("o=Lucent")
+	presence := func() int {
+		got, err := d.Search(base, ldap.ScopeWholeSubtree, ldap.Present("definityExtension"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(got)
+	}
+	if n := presence(); n != 5 {
+		t.Fatalf("presence = %d, want 5", n)
+	}
+	if err := d.Modify(name, []ldap.Change{{Op: ldap.ModDelete,
+		Attribute: ldap.Attribute{Type: "definityExtension"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := presence(); n != 4 {
+		t.Fatalf("presence after delete = %d, want 4", n)
+	}
+	if err := d.Modify(name, []ldap.Change{{Op: ldap.ModAdd,
+		Attribute: ldap.Attribute{Type: "definityExtension", Values: []string{"7-0000"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := presence(); n != 5 {
+		t.Fatalf("presence after re-add = %d, want 5", n)
+	}
+	if err := d.Delete(name); err != nil {
+		t.Fatal(err)
+	}
+	if n := presence(); n != 4 {
+		t.Fatalf("presence after entry delete = %d, want 4", n)
+	}
+}
+
+func TestSearchSizeLimitStopsEarly(t *testing.T) {
+	// The size-limit path stops materializing once the limit is proven
+	// exceeded: the result is sizeLimit entries (sorted among themselves)
+	// plus sizeLimitExceeded, regardless of how many more would match.
+	d := populated(t, 100, false)
+	got, err := d.Search(dn.MustParse("o=Lucent"), ldap.ScopeWholeSubtree,
+		ldap.Present("cn"), 7)
+	if CodeOf(err) != ldap.ResultSizeLimitExceeded {
+		t.Fatalf("err = %v", err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("len = %d, want 7", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].DN.Depth() > got[i].DN.Depth() {
+			t.Errorf("results not sorted: %s before %s", got[i-1].DN, got[i].DN)
+		}
+	}
+	// A limit the result set does not reach returns everything, no error.
+	got, err = d.Search(dn.MustParse("o=Lucent"), ldap.ScopeWholeSubtree,
+		ldap.Present("cn"), 500)
+	if err != nil || len(got) != 100 {
+		t.Fatalf("got %d, %v", len(got), err)
+	}
+}
+
 func TestIndexRespectsSearchBase(t *testing.T) {
 	d := populated(t, 5, true)
 	if err := d.Add(dn.MustParse("o=Other"), org("Other")); err != nil {

@@ -349,13 +349,25 @@ func (r *ExtendedResponse) encode() *ber.Element {
 
 // Encode returns the wire encoding of the message.
 func (m *Message) Encode() []byte {
-	return ber.NewSequence(ber.NewInteger(int64(m.ID)), m.Op.encode()).Encode()
+	return m.element().Encode()
 }
 
-// Write writes the encoded message to w.
+// AppendTo appends the encoded message to buf and returns the extended
+// buffer; callers with a long-lived write buffer avoid per-message
+// allocations.
+func (m *Message) AppendTo(buf []byte) []byte {
+	return m.element().AppendTo(buf)
+}
+
+// Write writes the encoded message to w in one Write, using a pooled
+// encode buffer.
 func (m *Message) Write(w io.Writer) error {
-	_, err := w.Write(m.Encode())
+	_, err := m.element().WriteTo(w)
 	return err
+}
+
+func (m *Message) element() *ber.Element {
+	return ber.NewSequence(ber.NewInteger(int64(m.ID)), m.Op.encode())
 }
 
 // --- decoding ---

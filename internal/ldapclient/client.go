@@ -5,6 +5,7 @@
 package ldapclient
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -64,8 +65,11 @@ func equalFold(a, b string) bool {
 // Conn is a client connection. Methods are safe for concurrent use; requests
 // are serialized on the wire.
 type Conn struct {
-	mu     sync.Mutex
-	nc     net.Conn
+	mu sync.Mutex
+	nc net.Conn
+	// br buffers reads from nc: BER headers are parsed byte-at-a-time, so
+	// reading the conn raw would cost several syscalls per response.
+	br     *bufio.Reader
 	nextID int32
 	closed bool
 }
@@ -76,7 +80,7 @@ func Dial(addr string) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Conn{nc: nc, nextID: 1}, nil
+	return &Conn{nc: nc, br: bufio.NewReaderSize(nc, 4096), nextID: 1}, nil
 }
 
 // Close sends an unbind and closes the connection.
@@ -105,7 +109,7 @@ func (c *Conn) roundTrip(op ldap.Op, onEntry func(*ldap.SearchResultEntry)) (lda
 		return nil, err
 	}
 	for {
-		msg, err := ldap.ReadMessage(c.nc)
+		msg, err := ldap.ReadMessage(c.br)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,114 @@
+package ldapclient_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"metacomm/internal/directory"
+	"metacomm/internal/ldap"
+	"metacomm/internal/ldapclient"
+	"metacomm/internal/ldapserver"
+	"metacomm/internal/mcschema"
+)
+
+func startPool(t *testing.T, size int) *ldapclient.Pool {
+	t.Helper()
+	d := directory.New(mcschema.New())
+	srv := ldapserver.NewServer(ldapserver.NewDITHandler(d))
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	p, err := ldapclient.DialPool(addr.String(), size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestPoolRoundTrips(t *testing.T) {
+	p := startPool(t, 3)
+	if p.Size() != 3 {
+		t.Fatalf("size = %d", p.Size())
+	}
+	if err := p.Add("o=Lucent", []ldap.Attribute{
+		{Type: "objectClass", Values: []string{"organization"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add("cn=Jo,o=Lucent", []ldap.Attribute{
+		{Type: "objectClass", Values: []string{"mcPerson"}},
+		{Type: "sn", Values: []string{"Jo"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Modify("cn=Jo,o=Lucent", []ldap.Change{{Op: ldap.ModReplace,
+		Attribute: ldap.Attribute{Type: "roomNumber", Values: []string{"1A"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.SearchOne(&ldap.SearchRequest{BaseDN: "cn=Jo,o=Lucent", Scope: ldap.ScopeBaseObject})
+	if err != nil || e.First("roomNumber") != "1A" {
+		t.Fatalf("search = %v, %v", e, err)
+	}
+	match, err := p.Compare("cn=Jo,o=Lucent", "sn", "Jo")
+	if err != nil || !match {
+		t.Fatalf("compare = %v, %v", match, err)
+	}
+	if err := p.ModifyDN("cn=Jo,o=Lucent", "cn=Joe", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Delete("cn=Joe,o=Lucent"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolConcurrentClients(t *testing.T) {
+	p := startPool(t, 4)
+	if err := p.Add("o=Lucent", []ldap.Attribute{
+		{Type: "objectClass", Values: []string{"organization"}}}); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("cn=Worker %02d,o=Lucent", w)
+			if err := p.Add(name, []ldap.Attribute{
+				{Type: "objectClass", Values: []string{"mcPerson"}},
+				{Type: "sn", Values: []string{"W"}}}); err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 20; i++ {
+				if err := p.Modify(name, []ldap.Change{{Op: ldap.ModReplace,
+					Attribute: ldap.Attribute{Type: "roomNumber", Values: []string{fmt.Sprint(i)}}}}); err != nil {
+					errs <- err
+					return
+				}
+				e, err := p.SearchOne(&ldap.SearchRequest{BaseDN: name, Scope: ldap.ScopeBaseObject})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := e.First("roomNumber"); got != fmt.Sprint(i) {
+					errs <- fmt.Errorf("%s: roomNumber = %q, want %d (responses crossed streams)", name, got, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	entries, err := p.Search(&ldap.SearchRequest{BaseDN: "o=Lucent",
+		Scope: ldap.ScopeWholeSubtree, Filter: ldap.Eq("objectClass", "mcPerson")})
+	if err != nil || len(entries) != workers {
+		t.Fatalf("final search = %d entries, %v", len(entries), err)
+	}
+}

@@ -88,16 +88,16 @@ func (h *DITHandler) Search(c *Conn, req *ldap.SearchRequest, send func(*ldap.Se
 	}
 	for _, e := range entries {
 		out := &ldap.SearchResultEntry{DN: e.DN.String()}
-		for _, name := range e.Attrs.Names() {
+		e.Attrs.EachSorted(func(name string, values []string) {
 			if !selectAttr(req.Attributes, name) {
-				continue
+				return
 			}
 			attr := ldap.Attribute{Type: name}
 			if !req.TypesOnly {
-				attr.Values = append(attr.Values, e.Attrs.Get(name)...)
+				attr.Values = append(attr.Values, values...)
 			}
 			out.Attributes = append(out.Attributes, attr)
-		}
+		})
 		if err := send(out); err != nil {
 			return ldap.Result{Code: ldap.ResultOther, Message: err.Error()}
 		}

@@ -5,6 +5,7 @@
 package ldapserver
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -131,8 +132,24 @@ func (s *Server) serveConn(nc net.Conn) {
 		s.mu.Unlock()
 	}()
 	conn := &Conn{RemoteAddr: nc.RemoteAddr().String(), Data: map[string]any{}}
+	// BER elements are read byte-at-a-time for the header, so an
+	// unbuffered net.Conn costs several syscalls per message; the buffered
+	// reader makes it one. The buffered writer coalesces a whole
+	// operation's responses — every streamed search entry plus the final
+	// result — into a single Write, flushed once per request below.
+	br := bufio.NewReaderSize(nc, 4096)
+	bw := bufio.NewWriterSize(nc, 4096)
+	// One reusable encode buffer per connection: responses append into it
+	// before entering the write buffer. The connection's goroutine is the
+	// only writer, so no locking is needed.
+	wbuf := make([]byte, 0, 4096)
+	write := func(m *ldap.Message) error {
+		wbuf = m.AppendTo(wbuf[:0])
+		_, err := bw.Write(wbuf)
+		return err
+	}
 	for {
-		msg, err := ldap.ReadMessage(nc)
+		msg, err := ldap.ReadMessage(br)
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				s.logf("ldapserver: %s: read: %v", conn.RemoteAddr, err)
@@ -142,11 +159,15 @@ func (s *Server) serveConn(nc net.Conn) {
 		if _, ok := msg.Op.(*ldap.UnbindRequest); ok {
 			return
 		}
-		resp := s.dispatch(conn, nc, msg)
+		resp := s.dispatch(conn, write, msg)
 		if resp == nil {
-			continue // abandon has no response
+			continue // abandon has no response (and nothing to flush)
 		}
-		if err := resp.Write(nc); err != nil {
+		err = write(resp)
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
 			s.logf("ldapserver: %s: write: %v", conn.RemoteAddr, err)
 			return
 		}
@@ -154,8 +175,8 @@ func (s *Server) serveConn(nc net.Conn) {
 }
 
 // dispatch runs one operation and returns the final response message (search
-// entries are streamed directly to the connection).
-func (s *Server) dispatch(conn *Conn, nc net.Conn, msg *ldap.Message) (out *ldap.Message) {
+// entries are streamed through write, the connection's buffered encoder).
+func (s *Server) dispatch(conn *Conn, write func(*ldap.Message) error, msg *ldap.Message) (out *ldap.Message) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.logf("ldapserver: %s: handler panic: %v", conn.RemoteAddr, r)
@@ -172,7 +193,7 @@ func (s *Server) dispatch(conn *Conn, nc net.Conn, msg *ldap.Message) (out *ldap
 		return &ldap.Message{ID: msg.ID, Op: &ldap.BindResponse{Result: res}}
 	case *ldap.SearchRequest:
 		send := func(e *ldap.SearchResultEntry) error {
-			return (&ldap.Message{ID: msg.ID, Op: e}).Write(nc)
+			return write(&ldap.Message{ID: msg.ID, Op: e})
 		}
 		res := s.Handler.Search(conn, req, send)
 		return &ldap.Message{ID: msg.ID, Op: &ldap.SearchResultDone{Result: res}}

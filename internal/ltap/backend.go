@@ -33,10 +33,10 @@ func (b *LocalBackend) Search(req *ldap.SearchRequest) ([]*ldapclient.Entry, err
 	out := make([]*ldapclient.Entry, 0, len(entries))
 	for _, e := range entries {
 		ce := &ldapclient.Entry{DN: e.DN.String()}
-		for _, name := range e.Attrs.Names() {
+		e.Attrs.EachSorted(func(name string, values []string) {
 			ce.Attributes = append(ce.Attributes, ldap.Attribute{
-				Type: name, Values: e.Attrs.Get(name)})
-		}
+				Type: name, Values: values})
+		})
 		out = append(out, ce)
 	}
 	return out, nil

@@ -2,6 +2,7 @@ package ltap
 
 import (
 	"sync/atomic"
+	"time"
 
 	"metacomm/internal/dn"
 	"metacomm/internal/ldap"
@@ -40,10 +41,33 @@ type Gateway struct {
 	locks    *lockTable
 	nextID   atomic.Uint64
 	triggers triggerSet
+	cache    *BeforeImageCache
+
+	searches       atomic.Uint64
+	searchNs       atomic.Uint64
+	updates        atomic.Uint64
+	backendFetch   atomic.Uint64
+	backendFetchNs atomic.Uint64
 
 	// AdminDN may quiesce/unquiesce via extended operations ("" disables
 	// the check, prototype mode).
 	AdminDN string
+}
+
+// GatewayStats is a point-in-time snapshot of the gateway's read-path and
+// trap-path counters.
+type GatewayStats struct {
+	// Searches / SearchNs cover proxied client reads.
+	Searches uint64
+	SearchNs uint64
+	// Updates counts trapped update operations.
+	Updates uint64
+	// BackendFetches / BackendFetchNs cover before-image fetches that went
+	// to the backend (cache misses, or all fetches without a cache).
+	BackendFetches uint64
+	BackendFetchNs uint64
+	Cache          CacheStats
+	CacheEnabled   bool
 }
 
 var _ ldapserver.Handler = (*Gateway)(nil)
@@ -51,6 +75,26 @@ var _ ldapserver.Handler = (*Gateway)(nil)
 // NewGateway builds a gateway over a backend with the given action server.
 func NewGateway(backend Backend, action Action) *Gateway {
 	return &Gateway{backend: backend, action: action, locks: newLockTable()}
+}
+
+// UseCache installs a before-image cache on the trap path. Call before
+// serving.
+func (g *Gateway) UseCache(c *BeforeImageCache) { g.cache = c }
+
+// Stats snapshots the gateway's counters.
+func (g *Gateway) Stats() GatewayStats {
+	s := GatewayStats{
+		Searches:       g.searches.Load(),
+		SearchNs:       g.searchNs.Load(),
+		Updates:        g.updates.Load(),
+		BackendFetches: g.backendFetch.Load(),
+		BackendFetchNs: g.backendFetchNs.Load(),
+	}
+	if g.cache != nil {
+		s.CacheEnabled = true
+		s.Cache = g.cache.Stats()
+	}
+	return s
 }
 
 // Quiesce enters quiesce mode: blocks until in-flight updates drain, then
@@ -82,7 +126,10 @@ func (g *Gateway) Bind(c *ldapserver.Conn, req *ldap.BindRequest) ldap.Result {
 
 // Search proxies reads straight through.
 func (g *Gateway) Search(c *ldapserver.Conn, req *ldap.SearchRequest, send func(*ldap.SearchResultEntry) error) ldap.Result {
+	start := time.Now()
 	entries, err := g.backend.Search(req)
+	g.searches.Add(1)
+	g.searchNs.Add(uint64(time.Since(start)))
 	if err != nil && len(entries) == 0 {
 		return resultFromErr(err)
 	}
@@ -116,18 +163,31 @@ func resultFromErr(err error) ldap.Result {
 	return ldap.Result{Code: ldap.ResultOther, Message: err.Error()}
 }
 
-// fetchOld reads the entry's current attributes from the backing server.
+// fetchOld resolves the entry's current attributes: from the before-image
+// cache when warm, falling back to a base-scope search against the backing
+// server (and writing the result through).
 func (g *Gateway) fetchOld(name string) lexpress.Record {
+	if g.cache != nil {
+		if rec, ok := g.cache.Lookup(name); ok {
+			return rec
+		}
+	}
+	start := time.Now()
 	entries, err := g.backend.Search(&ldap.SearchRequest{
 		BaseDN: name,
 		Scope:  ldap.ScopeBaseObject,
 	})
+	g.backendFetch.Add(1)
+	g.backendFetchNs.Add(uint64(time.Since(start)))
 	if err != nil || len(entries) != 1 {
 		return nil
 	}
 	rec := lexpress.NewRecord()
 	for _, a := range entries[0].Attributes {
 		rec.Set(a.Type, a.Values...)
+	}
+	if g.cache != nil {
+		g.cache.Store(name, rec)
 	}
 	return rec
 }
@@ -136,10 +196,19 @@ func (g *Gateway) fetchOld(name string) lexpress.Record {
 // event to the action server.
 func (g *Gateway) trap(c *ldapserver.Conn, ev Event, names ...dn.DN) ldap.Result {
 	keys := g.locks.lockEntries(names...)
+	g.updates.Add(1)
 	ev.ID = g.nextID.Add(1)
 	ev.BoundDN = c.BoundDN
 	ev.Old = g.fetchOld(ev.DN)
 	res := g.action.OnUpdate(ev)
+	// Without changelog coherence the cache must not outlive the write: drop
+	// every entry this update touched before releasing the locks. (With the
+	// changelog attached, the commit's record reaches the cache first.)
+	if g.cache != nil && res.Code == ldap.ResultSuccess && !g.cache.ChangelogAttached() {
+		for _, n := range names {
+			g.cache.Invalidate(n.String())
+		}
+	}
 	g.locks.unlockEntries(keys)
 	// Post-update triggers fire outside the locks, asynchronously.
 	g.fireTriggers(ev, res, names[0])

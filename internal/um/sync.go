@@ -73,19 +73,46 @@ func (u *UM) SynchronizeWithPolicy(deviceName string, policy SyncPolicy) (SyncSt
 		return stats, fmt.Errorf("um: no filter for device %q", deviceName)
 	}
 
+	quiesced, release, err := u.quiesceForSync()
+	if err != nil {
+		return stats, err
+	}
+	defer release()
+
+	return u.synchronizeQuiesced(f, policy, quiesced)
+}
+
+// quiesceForSync enters the quiet state a synchronization pass requires:
+// the gateway quiesce stops new updates at LTAP; the engine drain barrier
+// additionally flushes every shard queue, so the pass observes a quiet
+// system even when no gateway quiesce is configured. It returns whether the
+// gateway quiesce was applied and a release function undoing both layers.
+func (u *UM) quiesceForSync() (gatewayQuiesced bool, release func(), err error) {
+	noop := func() {}
 	if u.cfg.Quiesce != nil {
 		if !u.cfg.Quiesce() {
-			return stats, fmt.Errorf("um: gateway already quiesced")
+			return false, noop, fmt.Errorf("um: gateway already quiesced")
 		}
-		stats.QuiesceApplied = true
-		defer u.cfg.Unquiesce()
+		gatewayQuiesced = true
 	}
-	// The gateway quiesce stops new updates at LTAP; the engine drain
-	// barrier additionally flushes every shard queue, so the pass observes
-	// a quiet system even when no gateway quiesce is configured.
-	if u.Quiesce() {
-		defer u.Resume()
-	}
+	engineQuiesced := u.Quiesce()
+	return gatewayQuiesced, func() {
+		if engineQuiesced {
+			u.Resume()
+		}
+		if gatewayQuiesced {
+			u.cfg.Unquiesce()
+		}
+	}, nil
+}
+
+// synchronizeQuiesced runs one device's reconciliation pass. The caller
+// must hold the quiesced state (quiesceForSync) and passes whether the
+// gateway layer of it was applied, so the logged stats carry the flag.
+func (u *UM) synchronizeQuiesced(f *filterRef, policy SyncPolicy, quiesced bool) (SyncStats, error) {
+	var stats SyncStats
+	stats.QuiesceApplied = quiesced
+	deviceName := f.df.Name()
 
 	deviceRecs, err := f.df.Converter().Dump()
 	if err != nil {
@@ -204,12 +231,19 @@ func (u *UM) SynchronizeWithPolicy(deviceName string, policy SyncPolicy) (SyncSt
 	return stats, nil
 }
 
-// SynchronizeAll reconciles every registered device.
+// SynchronizeAll reconciles every registered device under ONE quiesce: the
+// system goes quiet once for the whole pass instead of cycling the gateway
+// quiesce (and its update-rejection window) per device.
 func (u *UM) SynchronizeAll() (map[string]SyncStats, error) {
 	out := map[string]SyncStats{}
-	for _, f := range u.filters {
-		s, err := u.Synchronize(f.Name())
-		out[f.Name()] = s
+	quiesced, release, err := u.quiesceForSync()
+	if err != nil {
+		return out, err
+	}
+	defer release()
+	for _, df := range u.filters {
+		s, err := u.synchronizeQuiesced(&filterRef{df: df}, DeviceWins, quiesced)
+		out[df.Name()] = s
 		if err != nil {
 			return out, err
 		}

@@ -177,3 +177,32 @@ func TestErrorContainerVisibleUnderSuffix(t *testing.T) {
 		t.Errorf("entry = %v", e.Attributes)
 	}
 }
+
+func TestSynchronizeAllQuiescesOnce(t *testing.T) {
+	s := startSystem(t)
+	// Wrap the gateway quiesce with counters: reconciling every device must
+	// cycle the system through quiesce exactly once, not once per device.
+	var begins, ends int
+	s.UM.SetQuiesce(
+		func() bool { begins++; return s.Gateway.Quiesce() },
+		func() { ends++; s.Gateway.Unquiesce() },
+	)
+	stats, err := s.UM.SynchronizeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("stats for %d devices, want 2", len(stats))
+	}
+	for dev, st := range stats {
+		if !st.QuiesceApplied {
+			t.Errorf("%s: quiesce not applied", dev)
+		}
+	}
+	if begins != 1 || ends != 1 {
+		t.Errorf("quiesce begin/end = %d/%d, want 1/1", begins, ends)
+	}
+	if s.Gateway.Quiesced() {
+		t.Error("gateway left quiesced")
+	}
+}

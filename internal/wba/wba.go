@@ -16,6 +16,7 @@ import (
 
 	"metacomm/internal/ldap"
 	"metacomm/internal/ldapclient"
+	"metacomm/internal/ltap"
 	"metacomm/internal/mcschema"
 	"metacomm/internal/um"
 )
@@ -30,6 +31,9 @@ type Server struct {
 	// Stats, when set, feeds the Update Manager status page (the WBA may
 	// run on a machine without the UM; then the page says so).
 	Stats func() um.Stats
+	// GatewayStats, when set, feeds the LTAP gateway section of the status
+	// page: read-path latency and before-image cache effectiveness.
+	GatewayStats func() ltap.GatewayStats
 
 	mux *http.ServeMux
 }
@@ -301,6 +305,32 @@ var statusTmpl = template.Must(template.Must(pageTmpl.Clone()).Parse(`{{define "
 {{else}}
 <p>The Update Manager does not run in this process; no stats available.</p>
 {{end}}
+{{if .GWired}}
+<h2>LTAP gateway</h2>
+<table border="1" cellpadding="4">
+<tr><th>Counter</th><th>Value</th></tr>
+<tr><td>Searches proxied</td><td>{{.G.Searches}}</td></tr>
+<tr><td>Mean search latency</td><td>{{.SearchMean}}</td></tr>
+<tr><td>Updates trapped</td><td>{{.G.Updates}}</td></tr>
+<tr><td>Before-image backend fetches</td><td>{{.G.BackendFetches}}</td></tr>
+<tr><td>Mean backend fetch latency</td><td>{{.FetchMean}}</td></tr>
+</table>
+{{if .G.CacheEnabled}}
+<h3>Before-image cache</h3>
+<table border="1" cellpadding="4">
+<tr><th>Counter</th><th>Value</th></tr>
+<tr><td>Entries</td><td>{{.G.Cache.Size}}</td></tr>
+<tr><td>Hits</td><td>{{.G.Cache.Hits}}</td></tr>
+<tr><td>Misses</td><td>{{.G.Cache.Misses}}</td></tr>
+<tr><td>Hit rate</td><td>{{.HitRate}}</td></tr>
+<tr><td>Invalidations</td><td>{{.G.Cache.Invalidations}}</td></tr>
+<tr><td>Evictions</td><td>{{.G.Cache.Evictions}}</td></tr>
+<tr><td>Changelog resyncs</td><td>{{.G.Cache.Resyncs}}</td></tr>
+</table>
+{{else}}
+<p>Before-image cache disabled; every trap fetches from the backend.</p>
+{{end}}
+{{end}}
 {{end}}`))
 
 // meanStage renders a per-update mean duration for a cumulative stage time.
@@ -321,6 +351,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		data["DirectoryApply"] = meanStage(st.DirectoryApplyNs, st.UpdatesProcessed)
 		data["Fanout"] = meanStage(st.FanoutNs, st.UpdatesProcessed)
 		data["WriteBack"] = meanStage(st.WriteBackNs, st.UpdatesProcessed)
+	}
+	data["GWired"] = false
+	if s.GatewayStats != nil {
+		gs := s.GatewayStats()
+		data["GWired"] = true
+		data["G"] = gs
+		data["SearchMean"] = meanStage(gs.SearchNs, gs.Searches)
+		data["FetchMean"] = meanStage(gs.BackendFetchNs, gs.BackendFetches)
+		data["HitRate"] = fmt.Sprintf("%.1f%%", 100*gs.Cache.HitRate())
 	}
 	if err := statusTmpl.Execute(w, data); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

@@ -170,3 +170,40 @@ func TestWBAValidation(t *testing.T) {
 		t.Errorf("GET /person without dn = %d", r3.StatusCode)
 	}
 }
+
+func TestStatusPageShowsGatewayAndCache(t *testing.T) {
+	sys, err := metacomm.Start(metacomm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	conn, err := sys.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	s := wba.New(conn, "o=Lucent")
+	s.Stats = sys.UM.Stats
+	s.GatewayStats = sys.Gateway.Stats
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	// A write through LTAP traps an update; its before-image comes from the
+	// cache (warm-started from the directory snapshot).
+	if err := sys.Seed("cn=Status Person,o=Lucent", map[string][]string{
+		"objectClass": {"mcPerson"}, "cn": {"Status Person"}, "sn": {"Person"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	body := get(t, srv.URL+"/status")
+	for _, want := range []string{
+		"LTAP gateway", "Updates trapped", "Before-image cache", "Hit rate",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("status page missing %q", want)
+		}
+	}
+	if strings.Contains(body, "cache disabled") {
+		t.Error("cache reported disabled on a default system")
+	}
+}

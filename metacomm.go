@@ -97,6 +97,16 @@ type Config struct {
 	// embedded device simulators. Real switch administration is slow; the
 	// experiments use this to reproduce that regime (0 = no delay).
 	DeviceLatency time.Duration
+	// BackendConns sizes the connection pools between the gateway and the
+	// backing directory and between the UM and the backing directory
+	// (0 = default pool size). Per-entry update order is preserved by the
+	// UM's shard routing, not by connection order, so pooling is safe.
+	BackendConns int
+	// GatewayCache is the capacity of the LTAP gateway's before-image
+	// cache, which is kept coherent by the directory changelog (0 = default
+	// capacity, < 0 disables the cache so every trap refetches its
+	// before-image from the backing server).
+	GatewayCache int
 	// ExtraMappings is additional lexpress source compiled into the
 	// standard telecom library (for new data sources).
 	ExtraMappings string
@@ -147,6 +157,8 @@ type System struct {
 	remote     *ltap.RemoteAction
 	converters []device.Converter
 	clients    []*ldapclient.Conn
+	pools      []*ldapclient.Pool
+	cache      *ltap.BeforeImageCache
 }
 
 func defaultStr(v, d string) string {
@@ -293,12 +305,13 @@ func Start(cfg Config) (*System, error) {
 		return nil, err
 	}
 
-	// 5. Update Manager over a direct connection to the backing server.
-	backing, err := ldapclient.Dial(s.DirectoryAddrActual)
+	// 5. Update Manager over pooled connections to the backing server, so
+	// concurrent shards are not serialized at the directory wire.
+	backing, err := ldapclient.DialPool(s.DirectoryAddrActual, cfg.BackendConns)
 	if err != nil {
 		return nil, err
 	}
-	s.clients = append(s.clients, backing)
+	s.pools = append(s.pools, backing)
 	manager, err := um.New(um.Config{
 		Suffix:     suffix,
 		Backing:    backing,
@@ -314,14 +327,14 @@ func Start(cfg Config) (*System, error) {
 	manager.AddDevice(mpFilter)
 	s.UM = manager
 
-	// 6. LTAP gateway in front of the backing server. In gateway mode the
-	// trigger events cross a persistent TCP connection; in library mode
-	// they are direct calls.
-	gwBacking, err := ldapclient.Dial(s.DirectoryAddrActual)
+	// 6. LTAP gateway in front of the backing server, over its own
+	// connection pool so proxied reads and before-image fetches from many
+	// client connections proceed in parallel.
+	gwBacking, err := ldapclient.DialPool(s.DirectoryAddrActual, cfg.BackendConns)
 	if err != nil {
 		return nil, err
 	}
-	s.clients = append(s.clients, gwBacking)
+	s.pools = append(s.pools, gwBacking)
 	var action ltap.Action = manager
 	if defaultStr(string(cfg.Mode), string(ModeGateway)) == string(ModeGateway) {
 		s.actionSrv = ltap.NewActionServer(manager)
@@ -337,6 +350,15 @@ func Start(cfg Config) (*System, error) {
 		action = remote
 	}
 	s.Gateway = ltap.NewGateway(gwBacking, action)
+	if cfg.GatewayCache >= 0 {
+		s.cache = ltap.NewBeforeImageCache(cfg.GatewayCache)
+		// The backing server is in-process, so the cache can follow the
+		// directory changelog: trap-path before-images come from memory and
+		// stay coherent with every committed update (including device-
+		// originated ones the UM writes back).
+		s.cache.AttachChangelog(s.DIT)
+		s.Gateway.UseCache(s.cache)
+	}
 	s.ltapServer = ldapserver.NewServer(s.Gateway)
 	s.ltapServer.ErrorLog = cfg.Logger
 	ltapAddr, err := s.ltapServer.Start(defaultStr(cfg.LTAPAddr, "127.0.0.1:0"))
@@ -444,6 +466,12 @@ func (s *System) Close() {
 	}
 	for _, c := range s.clients {
 		c.Close()
+	}
+	for _, p := range s.pools {
+		p.Close()
+	}
+	if s.cache != nil {
+		s.cache.Close()
 	}
 	if s.publisher != nil {
 		s.publisher.Close()
