@@ -18,11 +18,11 @@ test: build
 vet:
 	$(GO) vet ./...
 
-# The engine's ordering/quiesce guarantees and the DIT's copy-on-write
-# search snapshots are concurrency properties; run their tests under the
-# race detector.
+# The engine's ordering/quiesce guarantees, the DIT's copy-on-write
+# search snapshots, and the filters' batched converge path are concurrency
+# properties; run their tests under the race detector.
 race:
-	$(GO) test -race -count=1 ./internal/directory/... ./internal/um/... ./internal/ltap/...
+	$(GO) test -race -count=1 ./internal/directory/... ./internal/um/... ./internal/ltap/... ./internal/filter/...
 
 # One iteration of every benchmark: catches harness rot without the cost of
 # a real measurement run.

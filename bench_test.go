@@ -9,6 +9,7 @@ package metacomm_test
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -233,11 +234,14 @@ func BenchmarkE4SyncScaling(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				// Seed under the suppressed "metacomm" session: no DDU
+				// notifications race the pass, so it measures pure
+				// synchronization and every record is a DirectoryAdd.
 				for j := 0; j < n; j++ {
 					rec := lexpress.NewRecord()
 					rec.Set("extension", fmt.Sprintf("2-%04d", j))
 					rec.Set("name", fmt.Sprintf("Legacy User %04d", j))
-					if _, err := s.PBX.Store.Add("legacy", rec); err != nil {
+					if _, err := s.PBX.Store.Add("metacomm", rec); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -679,4 +683,101 @@ func BenchmarkF2SampleTree(b *testing.B) {
 			b.Fatalf("entries = %d, %v", len(entries), err)
 		}
 	}
+}
+
+// BenchmarkE17SyncSnapshotDelta measures the tentpole claim of the
+// snapshot+delta synchronization engine: on a large population with a live
+// 95/5 read/write workload running, the update-rejection window (the time
+// the system holds the quiesce) is bounded by the DELTA — the updates that
+// landed during the pass — not by the population. The FullQuiesce variant
+// runs the same pass with the snapshot source disabled, reproducing the
+// classic whole-pass quiesce for comparison; concurrent writes must be
+// neither rejected nor lost in either mode.
+func BenchmarkE17SyncSnapshotDelta(b *testing.B) {
+	const population = 5000
+	run := func(b *testing.B, useSnapshot bool) {
+		s := benchSystem(b, metacomm.Config{SyncWorkers: 8, BackendConns: 8, DeviceSessions: 4})
+		if !useSnapshot {
+			s.UM.SetSnapshot(nil)
+		}
+		// Seed the device under the suppressed session and populate the
+		// directory with one initial pass.
+		for j := 0; j < population; j++ {
+			rec := lexpress.NewRecord()
+			rec.Set("extension", fmt.Sprintf("2-%04d", j))
+			rec.Set("name", fmt.Sprintf("Sync User %04d", j))
+			rec.Set("room", "R0")
+			if _, err := s.PBX.Store.Add("metacomm", rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if stats, err := s.UM.Synchronize("pbx"); err != nil || stats.DirectoryAdds != population {
+			b.Fatalf("initial sync = %+v, %v", stats, err)
+		}
+
+		// Concurrent 95/5 workload: 4 clients searching and writing through
+		// the gateway while the pass runs.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		var reads, writes, writeErrs atomic.Int64
+		for w := 0; w < 4; w++ {
+			c := benchClient(b, s)
+			wg.Add(1)
+			go func(c *ldapclient.Conn, seed int) {
+				defer wg.Done()
+				for i := seed; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					target := fmt.Sprintf("cn=Sync User %04d,o=Lucent", (i*7919)%population)
+					if i%20 == 0 {
+						err := c.Modify(target, []ldap.Change{{Op: ldap.ModReplace,
+							Attribute: ldap.Attribute{Type: "roomNumber", Values: []string{fmt.Sprintf("W%d", i)}}}})
+						if err != nil {
+							writeErrs.Add(1)
+						} else {
+							writes.Add(1)
+						}
+					} else {
+						if _, err := c.SearchOne(&ldap.SearchRequest{BaseDN: target, Scope: ldap.ScopeBaseObject}); err == nil {
+							reads.Add(1)
+						}
+					}
+				}
+			}(c, w)
+		}
+
+		var bulkNs, quiesceNs uint64
+		var records int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			stats, err := s.UM.Synchronize("pbx")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if stats.SnapshotUsed != useSnapshot {
+				b.Fatalf("SnapshotUsed = %v, want %v", stats.SnapshotUsed, useSnapshot)
+			}
+			bulkNs += stats.BulkNs
+			quiesceNs += stats.QuiesceNs
+			records += stats.DeviceRecords
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+		if writeErrs.Load() > 0 {
+			b.Fatalf("%d concurrent writes rejected during synchronization", writeErrs.Load())
+		}
+		n := float64(b.N)
+		b.ReportMetric(float64(bulkNs)/n/1e6, "bulk-ms/op")
+		b.ReportMetric(float64(quiesceNs)/n/1e6, "quiesce-ms/op")
+		if bulkNs > 0 {
+			b.ReportMetric(float64(records)/(float64(bulkNs)/1e9), "records/s")
+		}
+		b.ReportMetric(float64(writes.Load())/n, "writes/op")
+	}
+	b.Run("SnapshotDelta", func(b *testing.B) { run(b, true) })
+	b.Run("FullQuiesce", func(b *testing.B) { run(b, false) })
 }

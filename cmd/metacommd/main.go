@@ -37,6 +37,7 @@ func main() {
 		mode     = flag.String("mode", "gateway", "LTAP coupling: gateway or library")
 		umShards = flag.Int("um-shards", 0, "Update Manager shard count (0 = default)")
 		umQueue  = flag.Int("um-queue-depth", 0, "Update Manager per-shard queue capacity (0 = default)")
+		syncWk   = flag.Int("sync-workers", 0, "synchronization reconciliation worker pool size (0 = default)")
 		devSess  = flag.Int("device-sessions", 0, "pooled administration sessions per device (0 = single session)")
 		devLat   = flag.Duration("device-latency", 0, "simulated per-update processing time in the device simulators")
 		beConns  = flag.Int("backend-conns", 0, "pooled connections to the backing directory per component (0 = default)")
@@ -74,6 +75,7 @@ func main() {
 		Mode:            metacomm.Mode(*mode),
 		UMShards:        *umShards,
 		UMQueueDepth:    *umQueue,
+		SyncWorkers:     *syncWk,
 		DeviceSessions:  *devSess,
 		DeviceLatency:   *devLat,
 		BackendConns:    *beConns,
@@ -106,6 +108,7 @@ func main() {
 		srv := wba.New(conn, *suffix)
 		srv.Stats = sys.UM.Stats
 		srv.GatewayStats = sys.Gateway.Stats
+		srv.SyncStats = sys.UM.LastSyncStats
 		go func() {
 			fmt.Printf("web administration: http://%s/\n", *wbaAddr)
 			if err := http.ListenAndServe(*wbaAddr, srv); err != nil {
@@ -121,6 +124,13 @@ func main() {
 	fmt.Printf("shutting down; um: shards=%d processed=%d pending=%d busy-rejections=%d device-applies=%d errors=%d\n",
 		st.Shards, st.UpdatesProcessed, st.Pending, st.QueueRejections, st.DeviceApplies, st.ErrorsLogged)
 	gs := sys.Gateway.Stats()
-	fmt.Printf("gateway: searches=%d updates=%d backend-fetches=%d cache-hits=%d cache-misses=%d hit-rate=%.1f%%\n",
-		gs.Searches, gs.Updates, gs.BackendFetches, gs.Cache.Hits, gs.Cache.Misses, 100*gs.Cache.HitRate())
+	fmt.Printf("gateway: searches=%d updates=%d backend-fetches=%d cache-hits=%d cache-misses=%d hit-rate=%.1f%% quiesces=%d quiesce-ms=%.1f updates-delayed=%d\n",
+		gs.Searches, gs.Updates, gs.BackendFetches, gs.Cache.Hits, gs.Cache.Misses, 100*gs.Cache.HitRate(),
+		gs.Quiesces, float64(gs.QuiesceNs)/1e6, gs.UpdatesDelayedByQuiesce)
+	for name, ss := range sys.UM.LastSyncStats() {
+		fmt.Printf("sync %s: records=%d adds=%d/%d mods=%d/%d in-sync=%d errors=%d snapshot=%v workers=%d bulk-ms=%.1f quiesce-ms=%.1f delta=%d/%d records/s=%.0f\n",
+			name, ss.DeviceRecords, ss.DirectoryAdds, ss.DeviceAdds, ss.DirectoryMods, ss.DeviceMods,
+			ss.AlreadyInSync, ss.Errors, ss.SnapshotUsed, ss.Workers,
+			float64(ss.BulkNs)/1e6, float64(ss.QuiesceNs)/1e6, ss.DeltaRecords, ss.DeltaReplayed, ss.RecordsPerSec())
+	}
 }

@@ -23,11 +23,22 @@ type changeSub struct {
 // the signal to resynchronize from a fresh snapshot. cancel releases the
 // subscription.
 func (d *DIT) SnapshotAndSubscribe(buffer int) (snapshot []Entry, changes <-chan UpdateRecord, cancel func()) {
+	snapshot, _, changes, cancel = d.SnapshotAndSubscribeSeq(buffer)
+	return snapshot, changes, cancel
+}
+
+// SnapshotAndSubscribeSeq is SnapshotAndSubscribe plus the commit sequence
+// the snapshot reflects: the first record on the channel carries Seq
+// seq+1. Consumers that reconcile a snapshot against live state (the UM's
+// snapshot+delta synchronization) use the cursor to report where the
+// bulk/catch-up boundary lies.
+func (d *DIT) SnapshotAndSubscribeSeq(buffer int) (snapshot []Entry, seq uint64, changes <-chan UpdateRecord, cancel func()) {
 	if buffer <= 0 {
 		buffer = 1024
 	}
 	d.mu.Lock()
 	snapshot = d.allLocked()
+	seq = d.seq
 	sub := &changeSub{ch: make(chan UpdateRecord, buffer)}
 	d.subs = append(d.subs, sub)
 	d.mu.Unlock()
@@ -45,7 +56,7 @@ func (d *DIT) SnapshotAndSubscribe(buffer int) (snapshot []Entry, changes <-chan
 			}
 		}
 	}
-	return snapshot, sub.ch, cancel
+	return snapshot, seq, sub.ch, cancel
 }
 
 // emitLocked fans a committed record out to subscribers. Caller holds d.mu;

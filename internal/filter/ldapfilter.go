@@ -102,20 +102,36 @@ func (f *LDAPFilter) applyAdd(u *lexpress.TargetUpdate, keyAttr string) error {
 // else. It is used by translated adds and by the synchronization passes
 // (which already know the entry is absent).
 func (f *LDAPFilter) AddEntry(img lexpress.Record, key string) error {
+	err := f.AddEntryOnce(img)
+	if ldap.IsCode(err, ldap.ResultEntryAlreadyExists) {
+		err = f.AddEntryQualified(img, key)
+	}
+	return err
+}
+
+// AddEntryOnce attempts the natural-RDN add and surfaces entryAlreadyExists
+// to the caller instead of retrying. The snapshot+delta sync engine uses it
+// so a concurrent DDU creating the same person is detected (and converged
+// against) rather than shadowed by a duplicate qualified-RDN entry.
+func (f *LDAPFilter) AddEntryOnce(img lexpress.Record) error {
 	rdnVal := img.First(f.RDNAttr)
 	if rdnVal == "" {
 		return fmt.Errorf("ldapfilter: new entry has no %s", f.RDNAttr)
 	}
 	name := f.PeopleBase.Child(dn.RDN{{Attr: f.RDNAttr, Value: rdnVal}})
-	attrs := recordToAttributes(img)
-	err := f.Client.Add(name.String(), attrs)
-	if ldap.IsCode(err, ldap.ResultEntryAlreadyExists) {
-		// The name is taken by a different person; qualify the RDN with the
-		// key to keep it unique.
-		name = f.PeopleBase.Child(dn.RDN{{Attr: f.RDNAttr, Value: fmt.Sprintf("%s (%s)", rdnVal, key)}})
-		err = f.Client.Add(name.String(), attrs)
+	return f.Client.Add(name.String(), recordToAttributes(img))
+}
+
+// AddEntryQualified creates the entry under an RDN qualified with the key —
+// the fallback when the natural name is already taken by a different
+// person.
+func (f *LDAPFilter) AddEntryQualified(img lexpress.Record, key string) error {
+	rdnVal := img.First(f.RDNAttr)
+	if rdnVal == "" {
+		return fmt.Errorf("ldapfilter: new entry has no %s", f.RDNAttr)
 	}
-	return err
+	name := f.PeopleBase.Child(dn.RDN{{Attr: f.RDNAttr, Value: fmt.Sprintf("%s (%s)", rdnVal, key)}})
+	return f.Client.Add(name.String(), recordToAttributes(img))
 }
 
 func (f *LDAPFilter) applyModify(u *lexpress.TargetUpdate, keyAttr string) error {
@@ -190,34 +206,47 @@ func (f *LDAPFilter) ConvergeEntry(cur *ldapclient.Entry, old, new lexpress.Reco
 	return f.modifyEntry(cur, old, new)
 }
 
-// modifyEntry converges an existing entry toward the new image, limited to
-// the attributes this mapping manages (the union of old/new image attrs).
-// An RDN-attribute change becomes the paper's non-atomic ModifyRDN+Modify
-// pair (§5.1).
-func (f *LDAPFilter) modifyEntry(cur *ldapclient.Entry, old, new lexpress.Record) error {
+// ConvergePlan is the computed convergence for one entry: an optional
+// rename followed by an optional attribute modify. Splitting planning from
+// execution lets the sync engine batch many plans' Modify operations over
+// pipelined connections (ldapclient.ModifyBatch) instead of paying a
+// round-trip each.
+type ConvergePlan struct {
+	// RenameFrom/NewRDN describe the rename half when the mapping changes
+	// the RDN attribute; RenameFrom == "" means no rename.
+	RenameFrom string
+	NewRDN     string
+	// TargetDN is the entry's DN after any rename; Changes apply to it.
+	TargetDN string
+	Changes  []ldap.Change
+}
+
+// Empty reports whether the plan performs no operation at all.
+func (p *ConvergePlan) Empty() bool { return p.RenameFrom == "" && len(p.Changes) == 0 }
+
+// PlanConverge computes the convergence of cur toward the new image without
+// executing it, limited to the attributes this mapping manages (the union
+// of old/new image attrs). An RDN-attribute change becomes the paper's
+// non-atomic ModifyRDN+Modify pair (§5.1), represented as the plan's rename
+// half.
+func (f *LDAPFilter) PlanConverge(cur *ldapclient.Entry, old, new lexpress.Record) (ConvergePlan, error) {
+	var plan ConvergePlan
 	curDN, err := dn.Parse(cur.DN)
 	if err != nil {
-		return err
+		return plan, err
 	}
-	targetDN := cur.DN
+	plan.TargetDN = cur.DN
 
 	// Half one: the rename, when the mapping changes the RDN attribute.
 	newRDNVal := new.First(f.RDNAttr)
 	if newRDNVal != "" && !strings.EqualFold(curDN.FirstValue(f.RDNAttr), newRDNVal) && curDN.FirstValue(f.RDNAttr) != "" {
 		newRDN := dn.RDN{{Attr: f.RDNAttr, Value: newRDNVal}}
-		if err := f.Client.ModifyDN(cur.DN, newRDN.String(), true); err != nil {
-			return err
-		}
-		targetDN = curDN.WithRDN(newRDN).String()
-		if f.AfterRename != nil {
-			if err := f.AfterRename(); err != nil {
-				return fmt.Errorf("ldapfilter: aborted between ModifyRDN and Modify: %w", err)
-			}
-		}
+		plan.RenameFrom = cur.DN
+		plan.NewRDN = newRDN.String()
+		plan.TargetDN = curDN.WithRDN(newRDN).String()
 	}
 
 	// Half two: the attribute modify.
-	var changes []ldap.Change
 	seen := map[string]bool{}
 	for _, a := range new.Attrs() {
 		seen[a] = true
@@ -229,14 +258,14 @@ func (f *LDAPFilter) modifyEntry(cur *ldapclient.Entry, old, new lexpress.Record
 			// missing values, never remove any.
 			for _, v := range new.Get(a) {
 				if !entryHasValue(cur, a, v) {
-					changes = append(changes, ldap.Change{Op: ldap.ModAdd,
+					plan.Changes = append(plan.Changes, ldap.Change{Op: ldap.ModAdd,
 						Attribute: ldap.Attribute{Type: "objectClass", Values: []string{v}}})
 				}
 			}
 			continue
 		}
 		if !sameStringSet(entryAttr(cur, a), new.Get(a)) {
-			changes = append(changes, ldap.Change{Op: ldap.ModReplace,
+			plan.Changes = append(plan.Changes, ldap.Change{Op: ldap.ModReplace,
 				Attribute: ldap.Attribute{Type: a, Values: new.Get(a)}})
 		}
 	}
@@ -246,15 +275,41 @@ func (f *LDAPFilter) modifyEntry(cur *ldapclient.Entry, old, new lexpress.Record
 				continue
 			}
 			if entryAttr(cur, a) != nil {
-				changes = append(changes, ldap.Change{Op: ldap.ModDelete,
+				plan.Changes = append(plan.Changes, ldap.Change{Op: ldap.ModDelete,
 					Attribute: ldap.Attribute{Type: a}})
 			}
 		}
 	}
-	if len(changes) == 0 {
+	return plan, nil
+}
+
+// ApplyConverge executes a plan: the rename (with the injectable §5.1 crash
+// window between the halves), then the modify.
+func (f *LDAPFilter) ApplyConverge(plan ConvergePlan) error {
+	if plan.RenameFrom != "" {
+		if err := f.Client.ModifyDN(plan.RenameFrom, plan.NewRDN, true); err != nil {
+			return err
+		}
+		if f.AfterRename != nil {
+			if err := f.AfterRename(); err != nil {
+				return fmt.Errorf("ldapfilter: aborted between ModifyRDN and Modify: %w", err)
+			}
+		}
+	}
+	if len(plan.Changes) == 0 {
 		return nil
 	}
-	return f.Client.Modify(targetDN, changes)
+	return f.Client.Modify(plan.TargetDN, plan.Changes)
+}
+
+// modifyEntry converges an existing entry toward the new image: plan, then
+// apply.
+func (f *LDAPFilter) modifyEntry(cur *ldapclient.Entry, old, new lexpress.Record) error {
+	plan, err := f.PlanConverge(cur, old, new)
+	if err != nil {
+		return err
+	}
+	return f.ApplyConverge(plan)
 }
 
 func recordToAttributes(rec lexpress.Record) []ldap.Attribute {

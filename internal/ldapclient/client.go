@@ -209,6 +209,73 @@ func (c *Conn) Modify(dn string, changes []ldap.Change) error {
 	return resp.Result.Err()
 }
 
+// ModifyOp is one element of a ModifyBatch.
+type ModifyOp struct {
+	DN      string
+	Changes []ldap.Change
+}
+
+// ModifyBatch pipelines a set of modify operations over the connection: all
+// requests are encoded into one buffer and written with a single syscall,
+// then the responses are read back in order. The server processes one
+// request per connection at a time and responds in order, so pipelining is
+// wire-safe and saves a network round-trip per operation — the payoff for
+// bulk reconciliation (the UM sync engine's directory writebacks).
+//
+// The returned slice has one element per op: nil on success, the op's
+// result error otherwise. A transport failure fills every remaining slot.
+func (c *Conn) ModifyBatch(ops []ModifyOp) []error {
+	errs := make([]error, len(ops))
+	if len(ops) == 0 {
+		return errs
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		for i := range errs {
+			errs[i] = errors.New("ldapclient: connection closed")
+		}
+		return errs
+	}
+	firstID := c.nextID
+	var buf []byte
+	for _, op := range ops {
+		m := &ldap.Message{ID: c.nextID, Op: &ldap.ModifyRequest{DN: op.DN, Changes: op.Changes}}
+		c.nextID++
+		buf = m.AppendTo(buf)
+	}
+	if _, err := c.nc.Write(buf); err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	for i := range ops {
+		msg, err := ldap.ReadMessage(c.br)
+		if err != nil {
+			for j := i; j < len(ops); j++ {
+				errs[j] = err
+			}
+			return errs
+		}
+		want := firstID + int32(i)
+		if msg.ID != want {
+			err := fmt.Errorf("ldapclient: response id %d for request %d", msg.ID, want)
+			for j := i; j < len(ops); j++ {
+				errs[j] = err
+			}
+			return errs
+		}
+		resp, ok := msg.Op.(*ldap.ModifyResponse)
+		if !ok {
+			errs[i] = fmt.Errorf("ldapclient: unexpected response %T to modify", msg.Op)
+			continue
+		}
+		errs[i] = resp.Result.Err()
+	}
+	return errs
+}
+
 // ModifyDN renames an entry.
 func (c *Conn) ModifyDN(dn, newRDN string, deleteOldRDN bool) error {
 	op, err := c.roundTrip(&ldap.ModifyDNRequest{DN: dn, NewRDN: newRDN, DeleteOldRDN: deleteOldRDN}, nil)

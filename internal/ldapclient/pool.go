@@ -112,6 +112,29 @@ func (p *Pool) Modify(dn string, changes []ldap.Change) error {
 	return c.Modify(dn, changes)
 }
 
+// modifyBatchChunk bounds how many pipelined modifies ride one connection
+// checkout: large enough to amortize the round-trip, small enough to bound
+// socket buffering and keep the pool's other connections fed.
+const modifyBatchChunk = 64
+
+// ModifyBatch pipelines the modifies over pooled connections, chunked so a
+// huge batch neither monopolizes one connection nor overruns socket
+// buffers. Chunks run sequentially, so result order matches op order.
+func (p *Pool) ModifyBatch(ops []ModifyOp) []error {
+	errs := make([]error, 0, len(ops))
+	for len(ops) > 0 {
+		n := len(ops)
+		if n > modifyBatchChunk {
+			n = modifyBatchChunk
+		}
+		c := p.get()
+		errs = append(errs, c.ModifyBatch(ops[:n])...)
+		p.put(c)
+		ops = ops[n:]
+	}
+	return errs
+}
+
 // ModifyDN renames an entry.
 func (p *Pool) ModifyDN(dn, newRDN string, deleteOldRDN bool) error {
 	c := p.get()

@@ -66,8 +66,14 @@ type GatewayStats struct {
 	// to the backend (cache misses, or all fetches without a cache).
 	BackendFetches uint64
 	BackendFetchNs uint64
-	Cache          CacheStats
-	CacheEnabled   bool
+	// Quiesces / QuiesceNs count the quiesce windows and their total wall
+	// time; UpdatesDelayedByQuiesce counts update operations that had to
+	// wait out a window.
+	Quiesces                uint64
+	QuiesceNs               uint64
+	UpdatesDelayedByQuiesce uint64
+	Cache                   CacheStats
+	CacheEnabled            bool
 }
 
 var _ ldapserver.Handler = (*Gateway)(nil)
@@ -90,6 +96,7 @@ func (g *Gateway) Stats() GatewayStats {
 		BackendFetches: g.backendFetch.Load(),
 		BackendFetchNs: g.backendFetchNs.Load(),
 	}
+	s.Quiesces, s.QuiesceNs, s.UpdatesDelayedByQuiesce = g.locks.quiesceStats()
 	if g.cache != nil {
 		s.CacheEnabled = true
 		s.Cache = g.cache.Stats()

@@ -19,6 +19,7 @@ package ltap
 
 import (
 	"sync"
+	"time"
 
 	"metacomm/internal/dn"
 )
@@ -35,6 +36,15 @@ type lockTable struct {
 	// updates counts update locks currently held; quiesce waits for them
 	// to drain.
 	updates int
+
+	// Quiesce-window accounting: how often the table quiesced, the total
+	// wall time spent quiesced, and how many update lock acquisitions had
+	// to wait out a quiesce window. The snapshot+delta sync engine's whole
+	// point is shrinking these numbers.
+	quiesces       uint64
+	quiesceNs      uint64
+	updatesDelayed uint64
+	quiesceStart   time.Time
 }
 
 func newLockTable() *lockTable {
@@ -50,9 +60,14 @@ func (t *lockTable) lockEntries(names ...dn.DN) []string {
 	keys := normalizeSorted(names)
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	delayed := false
 	for {
 		if !t.quiesce && t.allFree(keys) {
 			break
+		}
+		if t.quiesce && !delayed {
+			delayed = true
+			t.updatesDelayed++
 		}
 		t.cond.Wait()
 	}
@@ -92,6 +107,8 @@ func (t *lockTable) beginQuiesce() bool {
 		return false
 	}
 	t.quiesce = true
+	t.quiesces++
+	t.quiesceStart = time.Now()
 	for t.updates > 0 {
 		t.cond.Wait()
 	}
@@ -102,6 +119,9 @@ func (t *lockTable) beginQuiesce() bool {
 func (t *lockTable) endQuiesce() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.quiesce {
+		t.quiesceNs += uint64(time.Since(t.quiesceStart))
+	}
 	t.quiesce = false
 	t.cond.Broadcast()
 }
@@ -111,6 +131,18 @@ func (t *lockTable) quiesced() bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.quiesce
+}
+
+// quiesceStats snapshots the quiesce-window accounting. An in-progress
+// quiesce contributes its elapsed time so the window is visible while held.
+func (t *lockTable) quiesceStats() (quiesces, quiesceNs, updatesDelayed uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	quiesces, quiesceNs, updatesDelayed = t.quiesces, t.quiesceNs, t.updatesDelayed
+	if t.quiesce {
+		quiesceNs += uint64(time.Since(t.quiesceStart))
+	}
+	return quiesces, quiesceNs, updatesDelayed
 }
 
 func normalizeSorted(names []dn.DN) []string {

@@ -1,14 +1,32 @@
 package um
 
 import (
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"strings"
+	"sync"
+	"time"
 
+	"metacomm/internal/directory"
+	"metacomm/internal/dn"
 	"metacomm/internal/filter"
 	"metacomm/internal/ldap"
 	"metacomm/internal/ldapclient"
 	"metacomm/internal/lexpress"
 	"metacomm/internal/mcschema"
+)
+
+// Synchronization engine sizing.
+const (
+	// syncChangelogBuffer is the delta subscription's buffer: it must absorb
+	// every directory update committed during the bulk phase (both external
+	// updates and the workers' own writebacks). Overflow is not fatal — the
+	// engine falls back to a classic full-quiesce pass — just slow.
+	syncChangelogBuffer = 8192
+	// syncModifyBatchSize is how many planned directory modifies a worker
+	// accumulates before flushing them as one pipelined ModifyBatch.
+	syncModifyBatchSize = 16
 )
 
 // SyncStats summarize one synchronization pass.
@@ -19,8 +37,37 @@ type SyncStats struct {
 	DeviceAdds     int // records created at the device
 	DeviceMods     int // device records converged to directory state
 	AlreadyInSync  int // record pairs that matched
+	DuplicateKeys  int // directory entries shadowed by a duplicate key value
 	Errors         int // reconciliation failures (also logged)
 	QuiesceApplied bool
+
+	// SnapshotUsed reports the two-phase snapshot+delta pass: bulk
+	// reconciliation ran unquiesced against a COW directory snapshot, and
+	// only the delta replay held the quiesce. False means the whole pass ran
+	// quiesced (no snapshot source, or changelog overflow fallback).
+	SnapshotUsed bool
+	// SnapshotSeq is the directory commit sequence the snapshot reflects.
+	SnapshotSeq uint64
+	// Workers is the reconciliation worker-pool size.
+	Workers int
+	// BulkNs is the bulk reconciliation wall time; QuiesceNs is how long the
+	// pass held the quiesce (the update-rejection window). For a full-
+	// quiesce pass the two are equal.
+	BulkNs    uint64
+	QuiesceNs uint64
+	// DeltaRecords counts external directory updates that landed during the
+	// bulk phase; DeltaReplayed counts the reconciliation actions the delta
+	// replay performed for them.
+	DeltaRecords  int
+	DeltaReplayed int
+}
+
+// RecordsPerSec is the bulk phase's reconciliation throughput.
+func (s SyncStats) RecordsPerSec() float64 {
+	if s.BulkNs == 0 {
+		return 0
+	}
+	return float64(s.DeviceRecords+s.DeviceAdds) / (float64(s.BulkNs) / 1e9)
 }
 
 // SyncPolicy picks which side wins when a record exists on both sides with
@@ -43,8 +90,14 @@ const (
 // used to populate the directory initially and to recover after the device
 // and the directory have been disconnected and updates have been lost.
 //
-// The pass runs in isolation: when the gateway's quiesce facility is
-// configured, all LDAP updates are disallowed for its duration (§5.1).
+// With a snapshot source configured (Config.Snapshot) the pass runs in two
+// phases: the bulk reconciliation runs UNQUIESCED against a consistent COW
+// directory snapshot and the device dump, with a pool of Config.SyncWorkers
+// workers sharded by entry key; a brief quiesced delta phase then replays
+// only the updates that arrived during the bulk pass. The update-rejection
+// window is O(updates-during-sync), not O(population). Without a snapshot
+// source the whole pass runs under the quiesce, as the paper describes
+// (§5.1).
 //
 // Reconciliation policy: the device is authoritative for the attributes it
 // owns (lost DDUs are recovered into the directory); the directory is
@@ -61,25 +114,42 @@ func (u *UM) Synchronize(deviceName string) (SyncStats, error) {
 // explicit conflict policy. Records missing on either side are created
 // there regardless of policy; only value conflicts follow it.
 func (u *UM) SynchronizeWithPolicy(deviceName string, policy SyncPolicy) (SyncStats, error) {
-	var stats SyncStats
-	var f *filterRef
+	var dev *syncDevice
 	for _, df := range u.filters {
 		if df.Name() == deviceName {
-			f = &filterRef{df: df}
+			dev = newSyncDevice(&filterRef{df: df}, policy)
 			break
 		}
 	}
-	if f == nil {
-		return stats, fmt.Errorf("um: no filter for device %q", deviceName)
+	if dev == nil {
+		return SyncStats{}, fmt.Errorf("um: no filter for device %q", deviceName)
 	}
+	u.synchronize([]*syncDevice{dev})
+	return dev.stats, dev.err
+}
 
-	quiesced, release, err := u.quiesceForSync()
-	if err != nil {
-		return stats, err
+// SynchronizeAll reconciles every registered device in ONE pass: the
+// devices share the bulk worker pool (cross-device items for the same entry
+// shard together, preserving per-entry order) and one quiesced delta
+// barrier, so the system goes quiet once for the whole pass. A device whose
+// reconciliation fails does not abort the others; per-device errors are
+// aggregated into the returned error while every device's stats remain in
+// the map.
+func (u *UM) SynchronizeAll() (map[string]SyncStats, error) {
+	devs := make([]*syncDevice, 0, len(u.filters))
+	for _, df := range u.filters {
+		devs = append(devs, newSyncDevice(&filterRef{df: df}, DeviceWins))
 	}
-	defer release()
-
-	return u.synchronizeQuiesced(f, policy, quiesced)
+	u.synchronize(devs)
+	out := make(map[string]SyncStats, len(devs))
+	var errs []error
+	for _, d := range devs {
+		out[d.name] = d.stats
+		if d.err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", d.name, d.err))
+		}
+	}
+	return out, errors.Join(errs...)
 }
 
 // quiesceForSync enters the quiet state a synchronization pass requires:
@@ -106,149 +176,859 @@ func (u *UM) quiesceForSync() (gatewayQuiesced bool, release func(), err error) 
 	}, nil
 }
 
-// synchronizeQuiesced runs one device's reconciliation pass. The caller
-// must hold the quiesced state (quiesceForSync) and passes whether the
-// gateway layer of it was applied, so the logged stats carry the flag.
-func (u *UM) synchronizeQuiesced(f *filterRef, policy SyncPolicy, quiesced bool) (SyncStats, error) {
-	var stats SyncStats
-	stats.QuiesceApplied = quiesced
-	deviceName := f.df.Name()
-
-	deviceRecs, err := f.df.Converter().Dump()
-	if err != nil {
-		return stats, fmt.Errorf("um: dumping %s: %w", deviceName, err)
+// synchronize runs one pass over the given devices, filling each device's
+// stats and err in place.
+func (u *UM) synchronize(devs []*syncDevice) {
+	if len(devs) == 0 {
+		return
 	}
-	stats.DeviceRecords = len(deviceRecs)
+	rc := &recordingClient{inner: u.cfg.Backing, writes: map[string]map[string]int{}}
+	writer := *u.ldapDirect
+	writer.Client = rc
+	eng := &syncEngine{u: u, devs: devs, writer: &writer, rc: rc, workers: u.cfg.SyncWorkers}
+	if eng.workers < 1 {
+		eng.workers = 1
+	}
+	if u.cfg.Snapshot != nil {
+		eng.snapshotMode = true
+		eng.runSnapshotDelta()
+	} else {
+		eng.runFullQuiesce()
+	}
+	for _, d := range devs {
+		d.stats.Workers = eng.workers
+		u.setLastSync(d.name, d.stats)
+		if d.err == nil {
+			u.logf("um: synchronized %s: %+v", d.name, d.stats)
+		}
+	}
+}
 
-	_, ldapKey := f.df.FromDevice().KeyAttrs()
-	mapped := f.df.FromDevice().MappedAttrs()
+// syncDevice is one device's slice of a synchronization pass.
+type syncDevice struct {
+	f      *filterRef
+	name   string
+	policy SyncPolicy
 
-	// One directory scan builds the key index both passes use; locating
-	// each device record with its own subtree search would make
-	// synchronization quadratic in the population.
-	allEntries, err := u.cfg.Backing.Search(&ldap.SearchRequest{
-		BaseDN: u.cfg.Suffix.String(),
+	keySrc  string   // device-side key attribute
+	ldapKey string   // LDAP-side key attribute
+	mapped  []string // attributes the device speaks for
+
+	recs       []lexpress.Record            // device dump
+	entryByKey map[string]*ldapclient.Entry // directory index by ldapKey
+	byKey      map[string]bool              // device records by device key
+
+	mu    sync.Mutex
+	stats SyncStats
+	err   error
+}
+
+func newSyncDevice(f *filterRef, policy SyncPolicy) *syncDevice {
+	return &syncDevice{f: f, name: f.df.Name(), policy: policy}
+}
+
+// bump applies a stats mutation under the device's lock (workers run
+// concurrently).
+func (d *syncDevice) bump(fn func(*SyncStats)) {
+	d.mu.Lock()
+	fn(&d.stats)
+	d.mu.Unlock()
+}
+
+// syncEngine drives one pass across all participating devices. writer is a
+// clone of the UM's direct LDAP filter whose client is the recording
+// wrapper, so every directory write the pass issues is attributed for the
+// delta drain.
+type syncEngine struct {
+	u       *UM
+	devs    []*syncDevice
+	writer  *filter.LDAPFilter
+	rc      *recordingClient
+	workers int
+
+	snapshotMode bool
+	// snapshotByDN indexes the snapshot's person entries by normalized DN —
+	// the delta replay's reference for entries deleted during the bulk pass.
+	snapshotByDN map[string]*ldapclient.Entry
+}
+
+// failAll records err on every device that has not already failed.
+func (e *syncEngine) failAll(err error) {
+	for _, d := range e.devs {
+		if d.err == nil {
+			d.err = err
+		}
+	}
+}
+
+// runFullQuiesce is the classic pass: quiesce first, reconcile everything,
+// release. Used when no snapshot source is configured and as the changelog-
+// overflow fallback.
+func (e *syncEngine) runFullQuiesce() {
+	start := time.Now()
+	quiesced, release, err := e.u.quiesceForSync()
+	if err != nil {
+		e.failAll(err)
+		return
+	}
+	defer release()
+	e.runBulk(nil)
+	elapsed := uint64(time.Since(start))
+	for _, d := range e.devs {
+		if d.err != nil {
+			continue
+		}
+		d.stats.QuiesceApplied = quiesced
+		d.stats.BulkNs = elapsed
+		d.stats.QuiesceNs = elapsed
+	}
+}
+
+// runSnapshotDelta is the two-phase pass: bulk reconciliation against a COW
+// snapshot with no quiesce at all, then a short quiesced window replaying
+// only the updates that landed meanwhile.
+func (e *syncEngine) runSnapshotDelta() {
+	bulkStart := time.Now()
+	snapshot, seq, changes, cancel := e.u.cfg.Snapshot(syncChangelogBuffer)
+	defer cancel()
+	e.runBulk(snapshot)
+	bulkNs := uint64(time.Since(bulkStart))
+
+	quiesced, release, err := e.u.quiesceForSync()
+	if err != nil {
+		e.failAll(err)
+		return
+	}
+	defer release()
+	qStart := time.Now()
+
+	// Every update committed before the quiesce completed has already been
+	// emitted into the subscription buffer (records are emitted
+	// synchronously at commit), so a non-blocking drain sees the complete
+	// delta.
+	dirty, external, overflowed := e.drain(changes)
+	if overflowed {
+		// The bulk phase outlasted the buffer. Finish as a classic full
+		// pass under the quiesce we already hold: re-dump and reconcile
+		// against live state.
+		e.u.logf("um: sync changelog overflowed (buffer %d); falling back to full reconciliation under quiesce", syncChangelogBuffer)
+		for _, d := range e.devs {
+			d.stats = SyncStats{}
+			d.err = nil
+		}
+		e.runBulk(nil)
+		qNs := uint64(time.Since(qStart))
+		for _, d := range e.devs {
+			if d.err != nil {
+				continue
+			}
+			d.stats.QuiesceApplied = quiesced
+			d.stats.BulkNs = bulkNs + qNs
+			d.stats.QuiesceNs = qNs
+		}
+		return
+	}
+
+	replayed := e.replay(dirty)
+	qNs := uint64(time.Since(qStart))
+	for _, d := range e.devs {
+		if d.err != nil {
+			continue
+		}
+		d.stats.QuiesceApplied = quiesced
+		d.stats.SnapshotUsed = true
+		d.stats.SnapshotSeq = seq
+		d.stats.BulkNs = bulkNs
+		d.stats.QuiesceNs = qNs
+		d.stats.DeltaRecords = external
+		_ = replayed
+	}
+}
+
+// runBulk loads the directory (from the given snapshot, or live when nil),
+// dumps and indexes every device, and reconciles all items through the
+// worker pool.
+func (e *syncEngine) runBulk(snapshot []directory.Entry) {
+	var allEntries []*ldapclient.Entry
+	if snapshot != nil {
+		allEntries = personEntries(snapshot)
+	} else {
+		live, err := e.loadDirectory()
+		if err != nil {
+			e.failAll(err)
+			return
+		}
+		allEntries = live
+	}
+	e.indexSnapshot(allEntries)
+
+	var wg sync.WaitGroup
+	for _, dev := range e.devs {
+		wg.Add(1)
+		go func(d *syncDevice) {
+			defer wg.Done()
+			e.prepareDevice(d, allEntries)
+		}(dev)
+	}
+	wg.Wait()
+
+	e.runPool(e.buildItems(allEntries))
+}
+
+// loadDirectory scans the live directory once for all person entries —
+// locating each device record with its own subtree search would make
+// synchronization quadratic in the population.
+func (e *syncEngine) loadDirectory() ([]*ldapclient.Entry, error) {
+	entries, err := e.u.cfg.Backing.Search(&ldap.SearchRequest{
+		BaseDN: e.u.cfg.Suffix.String(),
 		Scope:  ldap.ScopeWholeSubtree,
 		Filter: ldap.Eq("objectClass", mcschema.ClassPerson),
 	})
 	if err != nil {
-		return stats, fmt.Errorf("um: dumping directory: %w", err)
+		return nil, fmt.Errorf("um: dumping directory: %w", err)
 	}
-	entryByKey := map[string]*ldapclient.Entry{}
-	for _, e := range allEntries {
-		if k := e.First(ldapKey); k != "" {
-			entryByKey[k] = e
-		}
-	}
-
-	// Pass 1: device -> directory. Every device record must exist in the
-	// directory with converged attributes. Comparison and convergence
-	// cover only the attributes the device speaks for (the mapping body's
-	// targets), never derive-rule helpers like sn, and never the origin
-	// stamp — synchronization is reconciliation, not an update.
-	for _, rec := range deviceRecs {
-		img, err := f.df.FromDevice().Image(rec)
-		if err != nil {
-			stats.Errors++
-			u.logError(deviceName, "ldap", "sync", rec.First(f.keySrc()), err)
-			continue
-		}
-		key := img.First(ldapKey)
-		if key == "" {
-			stats.Errors++
-			u.logError(deviceName, "ldap", "sync", rec.String(), fmt.Errorf("record has no %s", ldapKey))
-			continue
-		}
-		existing := entryByKey[key]
-		if existing == nil {
-			err := u.ldapDirect.AddEntry(img, key)
-			if err != nil {
-				stats.Errors++
-				u.logError(deviceName, "ldap", "sync-add", key, err)
-				continue
-			}
-			stats.DirectoryAdds++
-			continue
-		}
-		cmp := restrictRecord(img, mapped)
-		cur := entryMappedRecord(existing, mapped)
-		if mappedInSync(cmp, cur) {
-			stats.AlreadyInSync++
-			continue
-		}
-		if policy == DeviceWins {
-			if err := u.ldapDirect.ConvergeEntry(existing, cur, cmp); err != nil {
-				stats.Errors++
-				u.logError(deviceName, "ldap", "sync-mod", key, err)
-				continue
-			}
-			stats.DirectoryMods++
-			continue
-		}
-		// DirectoryWins: push the directory's state down to the device.
-		tu, err := f.df.Translate(lexpress.Descriptor{
-			Source: "ldap", Op: lexpress.OpModify, Key: existing.DN,
-			Old: entryRecord(existing), New: entryRecord(existing),
-		})
-		if err != nil || tu == nil {
-			stats.Errors++
-			u.logError("ldap", deviceName, "sync-mod", key, err)
-			continue
-		}
-		if _, err := f.df.Apply(tu); err != nil {
-			stats.Errors++
-			u.logError("ldap", deviceName, "sync-mod", tu.Key, err)
-			continue
-		}
-		stats.DeviceMods++
-	}
-
-	// Pass 2: directory -> device. People the directory places on this
-	// device but the device does not know get created there.
-	byKey := map[string]bool{}
-	for _, rec := range deviceRecs {
-		byKey[rec.First(f.keySrc())] = true
-	}
-	for _, e := range allEntries {
-		rec := entryRecord(e)
-		tu, err := f.df.Translate(lexpress.Descriptor{
-			Source: "ldap", Op: lexpress.OpAdd, Key: e.DN, New: rec,
-		})
-		if err != nil || tu == nil {
-			continue // not under this device's management
-		}
-		if byKey[tu.Key] {
-			continue
-		}
-		if _, err := f.df.Apply(tu); err != nil {
-			stats.Errors++
-			u.logError("ldap", deviceName, "sync-add", tu.Key, err)
-			continue
-		}
-		stats.DeviceAdds++
-	}
-	u.logf("um: synchronized %s: %+v", deviceName, stats)
-	return stats, nil
+	return entries, nil
 }
 
-// SynchronizeAll reconciles every registered device under ONE quiesce: the
-// system goes quiet once for the whole pass instead of cycling the gateway
-// quiesce (and its update-rejection window) per device.
-func (u *UM) SynchronizeAll() (map[string]SyncStats, error) {
-	out := map[string]SyncStats{}
-	quiesced, release, err := u.quiesceForSync()
-	if err != nil {
-		return out, err
+// personEntries converts the snapshot's person entries to the client form
+// the reconciliation helpers speak. The snapshot shares the tree's
+// immutable attribute values; nothing here may mutate them.
+func personEntries(snapshot []directory.Entry) []*ldapclient.Entry {
+	var out []*ldapclient.Entry
+	for _, se := range snapshot {
+		if se.Attrs == nil {
+			continue
+		}
+		isPerson := false
+		for _, v := range se.Attrs.Get("objectClass") {
+			if strings.EqualFold(v, mcschema.ClassPerson) {
+				isPerson = true
+				break
+			}
+		}
+		if !isPerson {
+			continue
+		}
+		ce := &ldapclient.Entry{DN: se.DN.String()}
+		se.Attrs.EachSorted(func(attr string, values []string) {
+			ce.Attributes = append(ce.Attributes, ldap.Attribute{Type: attr, Values: values})
+		})
+		out = append(out, ce)
 	}
-	defer release()
-	for _, df := range u.filters {
-		s, err := u.synchronizeQuiesced(&filterRef{df: df}, DeviceWins, quiesced)
-		out[df.Name()] = s
-		if err != nil {
-			return out, err
+	return out
+}
+
+// indexSnapshot builds the by-DN index the delta replay consults.
+func (e *syncEngine) indexSnapshot(entries []*ldapclient.Entry) {
+	e.snapshotByDN = make(map[string]*ldapclient.Entry, len(entries))
+	for _, en := range entries {
+		e.snapshotByDN[normalizeDNString(en.DN)] = en
+	}
+}
+
+// prepareDevice dumps one device and builds its key indexes. Duplicate
+// directory key values — two entries claiming the same device key — shadow
+// each other in the index; they are counted, logged, and the last one wins
+// (the historical behavior).
+func (e *syncEngine) prepareDevice(dev *syncDevice, allEntries []*ldapclient.Entry) {
+	recs, err := dev.f.df.Converter().Dump()
+	if err != nil {
+		dev.err = fmt.Errorf("um: dumping %s: %w", dev.name, err)
+		return
+	}
+	dev.recs = recs
+	dev.stats.DeviceRecords = len(recs)
+	dev.keySrc = dev.f.keySrc()
+	_, dev.ldapKey = dev.f.df.FromDevice().KeyAttrs()
+	dev.mapped = dev.f.df.FromDevice().MappedAttrs()
+
+	dev.entryByKey = make(map[string]*ldapclient.Entry, len(allEntries))
+	for _, en := range allEntries {
+		k := en.First(dev.ldapKey)
+		if k == "" {
+			continue
+		}
+		if prev, dup := dev.entryByKey[k]; dup {
+			dev.stats.DuplicateKeys++
+			dev.stats.Errors++
+			e.u.logError(dev.name, "ldap", "sync-index", k,
+				fmt.Errorf("duplicate %s=%q: %s shadows %s", dev.ldapKey, k, en.DN, prev.DN))
+		}
+		dev.entryByKey[k] = en
+	}
+	dev.byKey = make(map[string]bool, len(recs))
+	for _, rec := range recs {
+		dev.byKey[rec.First(dev.keySrc)] = true
+	}
+}
+
+// syncItem is one unit of reconciliation work. Pass 1 items (rec != nil)
+// reconcile a device record into the directory; pass 2 items (dirEntry !=
+// nil) push directory-only people down to the device.
+type syncItem struct {
+	dev      *syncDevice
+	rec      lexpress.Record
+	img      lexpress.Record
+	key      string
+	entry    *ldapclient.Entry
+	dirEntry *ldapclient.Entry
+	shard    string
+}
+
+// buildItems translates dumps and snapshot into work items. Image
+// computation errors are charged here so workers only see routable items.
+// The shard string keys worker routing: all items touching one directory
+// entry carry the same shard (per-entry operation order is preserved, the
+// UM shard discipline), including cross-device items in SynchronizeAll.
+func (e *syncEngine) buildItems(allEntries []*ldapclient.Entry) []syncItem {
+	var items []syncItem
+	for _, dev := range e.devs {
+		if dev.err != nil {
+			continue
+		}
+		// Pass 1: device -> directory. Every device record must exist in
+		// the directory with converged attributes.
+		for _, rec := range dev.recs {
+			img, err := dev.f.df.FromDevice().Image(rec)
+			if err != nil {
+				dev.stats.Errors++
+				e.u.logError(dev.name, "ldap", "sync", rec.First(dev.keySrc), err)
+				continue
+			}
+			key := img.First(dev.ldapKey)
+			if key == "" {
+				dev.stats.Errors++
+				e.u.logError(dev.name, "ldap", "sync", rec.String(), fmt.Errorf("record has no %s", dev.ldapKey))
+				continue
+			}
+			it := syncItem{dev: dev, rec: rec, img: img, key: key, entry: dev.entryByKey[key]}
+			if it.entry != nil {
+				it.shard = normalizeDNString(it.entry.DN)
+			} else {
+				it.shard = "cn:" + strings.ToLower(img.First(mcschema.AttrCN))
+			}
+			items = append(items, it)
+		}
+		// Pass 2: directory -> device. People the directory places on this
+		// device but the device does not know get created there.
+		for _, en := range allEntries {
+			items = append(items, syncItem{dev: dev, dirEntry: en, shard: normalizeDNString(en.DN)})
 		}
 	}
-	return out, nil
+	return items
+}
+
+// runPool reconciles the items with the worker pool: items are routed to
+// workers by FNV-32a of their shard string (the UM shard-hash discipline),
+// so items for one entry run on one worker in submission order while
+// distinct entries proceed in parallel.
+func (e *syncEngine) runPool(items []syncItem) {
+	n := e.workers
+	chans := make([]chan syncItem, n)
+	var wg sync.WaitGroup
+	for i := range chans {
+		chans[i] = make(chan syncItem, 2*syncModifyBatchSize)
+		wg.Add(1)
+		go func(ch chan syncItem) {
+			defer wg.Done()
+			w := &syncWorker{eng: e}
+			for it := range ch {
+				w.process(it)
+			}
+			w.flush()
+		}(chans[i])
+	}
+	for _, it := range items {
+		h := fnv.New32a()
+		h.Write([]byte(it.shard))
+		chans[h.Sum32()%uint32(n)] <- it
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+}
+
+// syncWorker reconciles items on one pool goroutine, accumulating planned
+// directory modifies into a pipelined batch.
+type syncWorker struct {
+	eng *syncEngine
+	ops []ldapclient.ModifyOp
+	ctx []batchCtx
+}
+
+type batchCtx struct {
+	dev *syncDevice
+	key string
+}
+
+func (w *syncWorker) process(it syncItem) {
+	if it.dirEntry != nil {
+		w.processPass2(it)
+		return
+	}
+	if it.entry == nil {
+		w.processAdd(it)
+		return
+	}
+	w.processMatched(it)
+}
+
+// processAdd handles a device record with no directory entry. The bulk
+// phase runs unquiesced, so a concurrent DDU may create the same person
+// between the snapshot and our add: entryAlreadyExists is resolved by
+// locating the live entry by key and converging against it, never by
+// blindly qualifying the RDN (which would duplicate the person).
+func (w *syncWorker) processAdd(it syncItem) {
+	dev := it.dev
+	err := w.eng.writer.AddEntryOnce(it.img)
+	if ldap.IsCode(err, ldap.ResultEntryAlreadyExists) {
+		w.flush() // live reads next; drain queued writes first
+		live, lerr := w.eng.writer.Locate(dev.ldapKey, it.key)
+		if lerr != nil {
+			dev.bump(func(s *SyncStats) { s.Errors++ })
+			w.eng.u.logError(dev.name, "ldap", "sync-add", it.key, lerr)
+			return
+		}
+		if live != nil {
+			// The person exists under a different key index view (created
+			// since the snapshot, or shadowed): converge the pair instead.
+			w.reconcilePair(it, live)
+			return
+		}
+		// The natural name is taken by a DIFFERENT person; qualify the RDN
+		// with the key to keep it unique.
+		err = w.eng.writer.AddEntryQualified(it.img, it.key)
+	}
+	if err != nil {
+		dev.bump(func(s *SyncStats) { s.Errors++ })
+		w.eng.u.logError(dev.name, "ldap", "sync-add", it.key, err)
+		return
+	}
+	dev.bump(func(s *SyncStats) { s.DirectoryAdds++ })
+}
+
+// processMatched reconciles a device record against its directory entry.
+// Comparison and convergence cover only the attributes the device speaks
+// for (the mapping body's targets), never derive-rule helpers like sn, and
+// never the origin stamp — synchronization is reconciliation, not an
+// update.
+func (w *syncWorker) processMatched(it syncItem) {
+	w.reconcilePair(it, it.entry)
+}
+
+func (w *syncWorker) reconcilePair(it syncItem, entry *ldapclient.Entry) {
+	dev := it.dev
+	cmp := restrictRecord(it.img, dev.mapped)
+	cur := entryMappedRecord(entry, dev.mapped)
+	if mappedInSync(cmp, cur) {
+		dev.bump(func(s *SyncStats) { s.AlreadyInSync++ })
+		return
+	}
+	if dev.policy == DeviceWins {
+		plan, err := w.eng.writer.PlanConverge(entry, cur, cmp)
+		if err != nil {
+			dev.bump(func(s *SyncStats) { s.Errors++ })
+			w.eng.u.logError(dev.name, "ldap", "sync-mod", it.key, err)
+			return
+		}
+		if plan.Empty() {
+			dev.bump(func(s *SyncStats) { s.AlreadyInSync++ })
+			return
+		}
+		if plan.RenameFrom != "" {
+			// Renames are the non-atomic ModifyRDN+Modify pair (§5.1);
+			// they run immediately, outside the batch.
+			w.flush()
+			if err := w.eng.writer.ApplyConverge(plan); err != nil {
+				w.convergeError(dev, it.key, err)
+				return
+			}
+			dev.bump(func(s *SyncStats) { s.DirectoryMods++ })
+			return
+		}
+		w.queue(ldapclient.ModifyOp{DN: plan.TargetDN, Changes: plan.Changes}, dev, it.key)
+		return
+	}
+	// DirectoryWins: push the directory's state down to the device.
+	rec := entryRecord(entry)
+	tu, err := dev.f.df.Translate(lexpress.Descriptor{
+		Source: "ldap", Op: lexpress.OpModify, Key: entry.DN, Old: rec, New: rec,
+	})
+	if err != nil || tu == nil {
+		if err == nil {
+			err = fmt.Errorf("entry %s not routable to %s", entry.DN, dev.name)
+		}
+		dev.bump(func(s *SyncStats) { s.Errors++ })
+		w.eng.u.logError("ldap", dev.name, "sync-mod", it.key, err)
+		return
+	}
+	if _, err := dev.f.df.Apply(tu); err != nil {
+		dev.bump(func(s *SyncStats) { s.Errors++ })
+		w.eng.u.logError("ldap", dev.name, "sync-mod", tu.Key, err)
+		return
+	}
+	dev.bump(func(s *SyncStats) { s.DeviceMods++ })
+}
+
+// convergeError charges a directory-converge failure. In snapshot mode a
+// noSuchObject means the entry was deleted during the bulk pass — the
+// delete's changelog record makes the DN dirty and the delta replay
+// resolves it, so it is not an error.
+func (w *syncWorker) convergeError(dev *syncDevice, key string, err error) {
+	if w.eng.snapshotMode && ldap.IsCode(err, ldap.ResultNoSuchObject) {
+		return
+	}
+	dev.bump(func(s *SyncStats) { s.Errors++ })
+	w.eng.u.logError(dev.name, "ldap", "sync-mod", key, err)
+}
+
+// processPass2 creates a device record for a person the directory places on
+// the device.
+func (w *syncWorker) processPass2(it syncItem) {
+	dev := it.dev
+	rec := entryRecord(it.dirEntry)
+	tu, err := dev.f.df.Translate(lexpress.Descriptor{
+		Source: "ldap", Op: lexpress.OpAdd, Key: it.dirEntry.DN, New: rec,
+	})
+	if err != nil || tu == nil {
+		return // not under this device's management
+	}
+	if dev.byKey[tu.Key] {
+		return
+	}
+	if w.eng.snapshotMode && !w.eng.liveExists(it.dirEntry.DN) {
+		// Deleted since the snapshot; creating the device record would
+		// resurrect it. (The delete's delta record covers any remaining
+		// race.)
+		return
+	}
+	if _, err := dev.f.df.Apply(tu); err != nil {
+		dev.bump(func(s *SyncStats) { s.Errors++ })
+		w.eng.u.logError("ldap", dev.name, "sync-add", tu.Key, err)
+		return
+	}
+	dev.bump(func(s *SyncStats) { s.DeviceAdds++ })
+}
+
+// queue adds a planned modify to the pipelined batch.
+func (w *syncWorker) queue(op ldapclient.ModifyOp, dev *syncDevice, key string) {
+	w.ops = append(w.ops, op)
+	w.ctx = append(w.ctx, batchCtx{dev: dev, key: key})
+	if len(w.ops) >= syncModifyBatchSize {
+		w.flush()
+	}
+}
+
+// flush issues the queued modifies as one pipelined batch and maps the
+// per-op results back to their devices.
+func (w *syncWorker) flush() {
+	if len(w.ops) == 0 {
+		return
+	}
+	errs := w.eng.rc.ModifyBatch(w.ops)
+	for i, err := range errs {
+		c := w.ctx[i]
+		if err == nil {
+			c.dev.bump(func(s *SyncStats) { s.DirectoryMods++ })
+			continue
+		}
+		w.convergeError(c.dev, c.key, err)
+	}
+	w.ops = w.ops[:0]
+	w.ctx = w.ctx[:0]
+}
+
+// liveExists base-searches the live directory for the DN.
+func (e *syncEngine) liveExists(dnStr string) bool {
+	entries, err := e.rc.Search(&ldap.SearchRequest{BaseDN: dnStr, Scope: ldap.ScopeBaseObject})
+	return err == nil && len(entries) == 1
+}
+
+// liveEntry fetches the live entry at the DN, or nil when absent.
+func (e *syncEngine) liveEntry(dnStr string) (*ldapclient.Entry, error) {
+	entries, err := e.rc.Search(&ldap.SearchRequest{BaseDN: dnStr, Scope: ldap.ScopeBaseObject})
+	if ldap.IsCode(err, ldap.ResultNoSuchObject) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) != 1 {
+		return nil, nil
+	}
+	return entries[0], nil
+}
+
+// deltaRecord is one changelog record observed during the bulk phase,
+// attributed to the engine's own writebacks or to an external update.
+type deltaRecord struct {
+	rec directory.UpdateRecord
+	own bool
+}
+
+// dirtyDN collects the delta records touching one entry.
+type dirtyDN struct {
+	dnStr string
+	recs  []deltaRecord
+}
+
+// drain empties the changelog subscription non-blocking (the quiesce is
+// held and emission is synchronous at commit, so the buffer already holds
+// the complete delta) and groups the records per normalized DN. Records
+// under the errors container are bookkeeping, not population state, and are
+// skipped. It returns overflowed=true when the subscription was closed for
+// falling behind.
+func (e *syncEngine) drain(changes <-chan directory.UpdateRecord) (map[string]*dirtyDN, int, bool) {
+	dirty := map[string]*dirtyDN{}
+	external := 0
+	note := func(key, dnStr string, rec directory.UpdateRecord, own bool) {
+		d := dirty[key]
+		if d == nil {
+			d = &dirtyDN{dnStr: dnStr}
+			dirty[key] = d
+		}
+		d.recs = append(d.recs, deltaRecord{rec: rec, own: own})
+	}
+	for {
+		select {
+		case rec, ok := <-changes:
+			if !ok {
+				return nil, external, true
+			}
+			parsed, perr := dn.Parse(rec.DN)
+			if perr == nil && parsed.IsDescendantOf(e.u.errorBase()) {
+				continue
+			}
+			key := normalizeDNString(rec.DN)
+			own := e.rc.consume(key, recordFingerprint(rec))
+			if !own {
+				external++
+			}
+			note(key, rec.DN, rec, own)
+			if rec.Op == "modifydn" && perr == nil {
+				// The entry now also lives at the new name; reconcile both.
+				if newRDN, rerr := dn.Parse(rec.NewRDN); rerr == nil && newRDN.Depth() == 1 {
+					newDN := parsed.WithRDN(newRDN.RDN())
+					note(newDN.Normalize(), newDN.String(), rec, own)
+				}
+			}
+		default:
+			return dirty, external, false
+		}
+	}
+}
+
+// replay reconciles every entry an external update touched during the bulk
+// pass, under the held quiesce. The engine's own writebacks were attributed
+// during the drain; a DN whose records are all our own needs nothing.
+func (e *syncEngine) replay(dirty map[string]*dirtyDN) int {
+	replayed := 0
+	for key, d := range dirty {
+		hasExternal := false
+		for _, r := range d.recs {
+			if !r.own {
+				hasExternal = true
+				break
+			}
+		}
+		if !hasExternal {
+			continue
+		}
+		replayed += e.replayDN(key, d)
+	}
+	return replayed
+}
+
+// replayDN re-reconciles one dirty entry against its live state.
+//
+// The consistency argument: an external update that landed during the bulk
+// pass went through the normal trap path — it committed to the directory
+// and fanned out to the devices before the quiesce completed. A bulk worker
+// computing from the snapshot may then have overwritten it (a DeviceWins
+// converge re-asserting pre-update device state). Whenever one of our own
+// writes follows an external record for the entry, the external modifies
+// are re-applied — external updates are newer than the snapshot the pass is
+// defined against, so they win — and the devices are converged to the final
+// directory state. Entries deleted during the pass are un-resurrected with
+// conditional deletes computed from the snapshot image.
+func (e *syncEngine) replayDN(key string, d *dirtyDN) int {
+	replayed := 0
+	live, err := e.liveEntry(d.dnStr)
+	if err != nil {
+		e.replayError(key, err)
+		return 0
+	}
+	if live == nil {
+		return e.replayDeleted(key)
+	}
+	if clobbered(d.recs) {
+		e.reapplyExternal(d)
+		if refetched, rerr := e.liveEntry(d.dnStr); rerr == nil && refetched != nil {
+			live = refetched
+		}
+	}
+	for _, dev := range e.devs {
+		if dev.err != nil {
+			continue
+		}
+		if e.reconcileLive(dev, live) {
+			replayed++
+		}
+	}
+	return replayed
+}
+
+// clobbered reports whether one of the engine's own writes follows an
+// external record — the external update may have been overwritten.
+func clobbered(recs []deltaRecord) bool {
+	sawExternal := false
+	for _, r := range recs {
+		if !r.own {
+			sawExternal = true
+		} else if sawExternal {
+			return true
+		}
+	}
+	return false
+}
+
+// reapplyExternal re-applies the external records' content in commit order,
+// restoring any external update a bulk writeback overwrote. Add records
+// re-assert their attributes; structural ops (delete, modifydn) are left to
+// the live-state reconciliation.
+func (e *syncEngine) reapplyExternal(d *dirtyDN) {
+	for _, r := range d.recs {
+		if r.own {
+			continue
+		}
+		var changes []ldap.Change
+		switch r.rec.Op {
+		case "modify":
+			for _, c := range r.rec.Changes {
+				changes = append(changes, ldap.Change{Op: modOpFromString(c.Op),
+					Attribute: ldap.Attribute{Type: c.Attr, Values: c.Values}})
+			}
+		case "add", "entry":
+			for attr, vals := range r.rec.Attrs {
+				changes = append(changes, ldap.Change{Op: ldap.ModReplace,
+					Attribute: ldap.Attribute{Type: attr, Values: vals}})
+			}
+		default:
+			continue
+		}
+		if len(changes) == 0 {
+			continue
+		}
+		if err := e.rc.Modify(d.dnStr, changes); err != nil &&
+			!ldap.IsCode(err, ldap.ResultNoSuchObject) &&
+			!ldap.IsCode(err, ldap.ResultAttributeOrValueExists) &&
+			!ldap.IsCode(err, ldap.ResultNoSuchAttribute) {
+			e.replayError(d.dnStr, err)
+		}
+	}
+}
+
+// replayDeleted handles a dirty DN with no live entry: it was deleted (or
+// renamed away) during the bulk pass. Any device record the bulk pass
+// created or converged from the snapshot image is a resurrection; undo it
+// with a conditional delete. When the entry merely moved (same key at a new
+// name), the live entry is reconciled instead.
+func (e *syncEngine) replayDeleted(key string) int {
+	snap := e.snapshotByDN[key]
+	if snap == nil {
+		return 0 // created and removed within the pass; devices followed the fan-out
+	}
+	replayed := 0
+	for _, dev := range e.devs {
+		if dev.err != nil {
+			continue
+		}
+		rec := entryRecord(snap)
+		tu, err := dev.f.df.Translate(lexpress.Descriptor{
+			Source: "ldap", Op: lexpress.OpDelete, Key: snap.DN, Old: rec,
+		})
+		if err != nil || tu == nil {
+			continue // the snapshot image never placed this person on the device
+		}
+		// A rename keeps the key: if some live entry still claims it, the
+		// person moved rather than left — converge the device to that entry.
+		devKey := tu.OldKey
+		if devKey == "" {
+			devKey = tu.Key
+		}
+		if liveByKey, lerr := e.writer.Locate(dev.ldapKey, snapKeyValue(snap, dev.ldapKey)); lerr == nil && liveByKey != nil {
+			if e.reconcileLive(dev, liveByKey) {
+				replayed++
+			}
+			continue
+		}
+		tu.Conditional = true // already-gone device records are fine
+		if _, err := dev.f.df.Apply(tu); err != nil {
+			dev.bump(func(s *SyncStats) { s.Errors++ })
+			e.u.logError("ldap", dev.name, "sync-delta", devKey, err)
+			continue
+		}
+		dev.bump(func(s *SyncStats) { s.DeltaReplayed++ })
+		replayed++
+	}
+	return replayed
+}
+
+// snapKeyValue extracts the device-key value from a snapshot entry.
+func snapKeyValue(e *ldapclient.Entry, ldapKey string) string { return e.First(ldapKey) }
+
+// reconcileLive converges one device to the live directory state of an
+// entry the delta touched. The directory is authoritative here: the
+// external update committed there and already fanned out, so this is a
+// convergence re-assertion ordered after every bulk writeback.
+func (e *syncEngine) reconcileLive(dev *syncDevice, live *ldapclient.Entry) bool {
+	rec := entryRecord(live)
+	tu, err := dev.f.df.Translate(lexpress.Descriptor{
+		Source: "ldap", Op: lexpress.OpModify, Key: live.DN, Old: rec, New: rec,
+	})
+	if err != nil || tu == nil {
+		return false // not under this device's management
+	}
+	tu.Conditional = true // fall back to add when the device lacks the record
+	if _, err := dev.f.df.Apply(tu); err != nil {
+		dev.bump(func(s *SyncStats) { s.Errors++ })
+		e.u.logError("ldap", dev.name, "sync-delta", tu.Key, err)
+		return false
+	}
+	dev.bump(func(s *SyncStats) { s.DeltaReplayed++ })
+	return true
+}
+
+// replayError charges a delta-phase system error to the pass (first
+// device): it is not attributable to one device.
+func (e *syncEngine) replayError(key string, err error) {
+	if len(e.devs) == 0 {
+		return
+	}
+	d := e.devs[0]
+	d.bump(func(s *SyncStats) { s.Errors++ })
+	e.u.logError("ldap", "ldap", "sync-delta", key, err)
+}
+
+func modOpFromString(s string) ldap.ModOp {
+	switch s {
+	case "add":
+		return ldap.ModAdd
+	case "delete":
+		return ldap.ModDelete
+	}
+	return ldap.ModReplace
+}
+
+// normalizeDNString normalizes a DN string for map keys; unparsable strings
+// fall back to case folding.
+func normalizeDNString(s string) string {
+	d, err := dn.Parse(s)
+	if err != nil {
+		return strings.ToLower(s)
+	}
+	return d.Normalize()
 }
 
 // filterRef wraps a device filter with sync-pass helpers.

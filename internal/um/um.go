@@ -78,14 +78,26 @@ type Config struct {
 	// rejects the update with ldap.ResultBusy rather than blocking the
 	// caller forever. 0 means DefaultQueueDepth.
 	QueueDepth int
+	// SyncWorkers sizes the synchronization reconciliation worker pool.
+	// Items are sharded onto workers by entry key (the UM shard-hash
+	// discipline), so per-entry ordering holds within a pass. 0 means
+	// DefaultSyncWorkers.
+	SyncWorkers int
+	// Snapshot, when set, provides a consistent COW directory snapshot plus
+	// a changelog subscription starting right after it (the DIT's
+	// SnapshotAndSubscribeSeq). With it, synchronization runs its bulk
+	// phase UNQUISCED against the snapshot and only quiesces to replay the
+	// delta; without it, the whole pass runs under the quiesce as before.
+	Snapshot func(buffer int) ([]directory.Entry, uint64, <-chan directory.UpdateRecord, func())
 	// Log receives operational messages (nil = discard).
 	Log *log.Logger
 }
 
 // Engine sizing defaults.
 const (
-	DefaultShards     = 4
-	DefaultQueueDepth = 256
+	DefaultShards      = 4
+	DefaultQueueDepth  = 256
+	DefaultSyncWorkers = 4
 )
 
 // Stats are the UM's monotonic operation counters plus engine gauges.
@@ -146,6 +158,12 @@ type UM struct {
 	started atomic.Bool
 	stopped atomic.Bool
 
+	// syncMu guards lastSync, the most recent SyncStats per device name
+	// (surfaced on the WBA /status page and the metacommd shutdown
+	// summary).
+	syncMu   sync.Mutex
+	lastSync map[string]SyncStats
+
 	updatesProcessed atomic.Uint64
 	deviceApplies    atomic.Uint64
 	reapplies        atomic.Uint64
@@ -183,10 +201,14 @@ func New(cfg Config) (*UM, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
+	if cfg.SyncWorkers <= 0 {
+		cfg.SyncWorkers = DefaultSyncWorkers
+	}
 	u := &UM{
-		cfg:    cfg,
-		shards: make([]chan *job, cfg.Shards),
-		stop:   make(chan struct{}),
+		cfg:      cfg,
+		shards:   make([]chan *job, cfg.Shards),
+		stop:     make(chan struct{}),
+		lastSync: map[string]SyncStats{},
 	}
 	for i := range u.shards {
 		u.shards[i] = make(chan *job, cfg.QueueDepth)
@@ -229,6 +251,32 @@ func (u *UM) SetLTAP(c filter.LDAPClient) {
 // LDAPViaLTAP exposes the LTAP-path LDAP filter (tests exercise the §5.1
 // rename crash window through it).
 func (u *UM) LDAPViaLTAP() *filter.LDAPFilter { return u.ldapLTAP }
+
+// SetSnapshot installs (or, with nil, removes) the directory snapshot
+// source the synchronization engine uses for its unquiesced bulk phase.
+// Benchmarks and tests use it to force the legacy full-quiesce pass for
+// comparison.
+func (u *UM) SetSnapshot(fn func(int) ([]directory.Entry, uint64, <-chan directory.UpdateRecord, func())) {
+	u.cfg.Snapshot = fn
+}
+
+// LastSyncStats returns the most recent synchronization stats per device.
+func (u *UM) LastSyncStats() map[string]SyncStats {
+	u.syncMu.Lock()
+	defer u.syncMu.Unlock()
+	out := make(map[string]SyncStats, len(u.lastSync))
+	for k, v := range u.lastSync {
+		out[k] = v
+	}
+	return out
+}
+
+// setLastSync records a pass's stats for LastSyncStats.
+func (u *UM) setLastSync(device string, s SyncStats) {
+	u.syncMu.Lock()
+	u.lastSync[device] = s
+	u.syncMu.Unlock()
+}
 
 // Filters returns the registered device filters.
 func (u *UM) Filters() []*filter.DeviceFilter { return u.filters }

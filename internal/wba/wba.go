@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"html/template"
 	"net/http"
+	"sort"
 	"strings"
 	"time"
 
@@ -34,6 +35,10 @@ type Server struct {
 	// GatewayStats, when set, feeds the LTAP gateway section of the status
 	// page: read-path latency and before-image cache effectiveness.
 	GatewayStats func() ltap.GatewayStats
+	// SyncStats, when set, feeds the synchronization section of the status
+	// page: per-device snapshot+delta phase timings for the most recent
+	// pass (um.LastSyncStats).
+	SyncStats func() map[string]um.SyncStats
 
 	mux *http.ServeMux
 }
@@ -314,6 +319,9 @@ var statusTmpl = template.Must(template.Must(pageTmpl.Clone()).Parse(`{{define "
 <tr><td>Updates trapped</td><td>{{.G.Updates}}</td></tr>
 <tr><td>Before-image backend fetches</td><td>{{.G.BackendFetches}}</td></tr>
 <tr><td>Mean backend fetch latency</td><td>{{.FetchMean}}</td></tr>
+<tr><td>Quiesce windows</td><td>{{.G.Quiesces}}</td></tr>
+<tr><td>Total quiesce time</td><td>{{.QuiesceTotal}}</td></tr>
+<tr><td>Updates delayed by quiesce</td><td>{{.G.UpdatesDelayedByQuiesce}}</td></tr>
 </table>
 {{if .G.CacheEnabled}}
 <h3>Before-image cache</h3>
@@ -330,6 +338,20 @@ var statusTmpl = template.Must(template.Must(pageTmpl.Clone()).Parse(`{{define "
 {{else}}
 <p>Before-image cache disabled; every trap fetches from the backend.</p>
 {{end}}
+{{end}}
+{{if .Syncs}}
+<h2>Synchronization (last pass)</h2>
+<table border="1" cellpadding="4">
+<tr><th>Device</th><th>Records</th><th>Dir adds</th><th>Dev adds</th><th>Dir mods</th><th>Dev mods</th>
+<th>In sync</th><th>Errors</th><th>Dup keys</th><th>Snapshot</th><th>Workers</th>
+<th>Bulk</th><th>Quiesce</th><th>Delta seen/replayed</th><th>Records/s</th></tr>
+{{range .Syncs}}
+<tr><td>{{.Name}}</td><td>{{.S.DeviceRecords}}</td><td>{{.S.DirectoryAdds}}</td><td>{{.S.DeviceAdds}}</td>
+<td>{{.S.DirectoryMods}}</td><td>{{.S.DeviceMods}}</td><td>{{.S.AlreadyInSync}}</td><td>{{.S.Errors}}</td>
+<td>{{.S.DuplicateKeys}}</td><td>{{.S.SnapshotUsed}}</td><td>{{.S.Workers}}</td>
+<td>{{.Bulk}}</td><td>{{.Quiesce}}</td><td>{{.S.DeltaRecords}}/{{.S.DeltaReplayed}}</td><td>{{.Rate}}</td></tr>
+{{end}}
+</table>
 {{end}}
 {{end}}`))
 
@@ -360,6 +382,26 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		data["SearchMean"] = meanStage(gs.SearchNs, gs.Searches)
 		data["FetchMean"] = meanStage(gs.BackendFetchNs, gs.BackendFetches)
 		data["HitRate"] = fmt.Sprintf("%.1f%%", 100*gs.Cache.HitRate())
+		data["QuiesceTotal"] = time.Duration(gs.QuiesceNs).String()
+	}
+	if s.SyncStats != nil {
+		type syncRow struct {
+			Name                string
+			S                   um.SyncStats
+			Bulk, Quiesce, Rate string
+		}
+		var rows []syncRow
+		for name, ss := range s.SyncStats() {
+			rows = append(rows, syncRow{
+				Name:    name,
+				S:       ss,
+				Bulk:    time.Duration(ss.BulkNs).String(),
+				Quiesce: time.Duration(ss.QuiesceNs).String(),
+				Rate:    fmt.Sprintf("%.0f", ss.RecordsPerSec()),
+			})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+		data["Syncs"] = rows
 	}
 	if err := statusTmpl.Execute(w, data); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

@@ -87,6 +87,11 @@ type Config struct {
 	// UMQueueDepth is each UM shard's queue capacity; a full queue rejects
 	// updates with LDAP result busy (0 = um.DefaultQueueDepth).
 	UMQueueDepth int
+	// SyncWorkers sizes the synchronization reconciliation worker pool
+	// (0 = um.DefaultSyncWorkers). Synchronization runs its bulk phase
+	// unquiesced against a COW directory snapshot and only quiesces to
+	// replay the updates that arrived meanwhile.
+	SyncWorkers int
 	// DeviceSessions is the number of pooled administration sessions each
 	// device filter keeps open (0 or 1 = a single session). A single
 	// session processes one device command at a time; with sharded UM
@@ -313,12 +318,17 @@ func Start(cfg Config) (*System, error) {
 	}
 	s.pools = append(s.pools, backing)
 	manager, err := um.New(um.Config{
-		Suffix:     suffix,
-		Backing:    backing,
-		Library:    lib,
-		Shards:     cfg.UMShards,
-		QueueDepth: cfg.UMQueueDepth,
-		Log:        cfg.Logger,
+		Suffix:      suffix,
+		Backing:     backing,
+		Library:     lib,
+		Shards:      cfg.UMShards,
+		QueueDepth:  cfg.UMQueueDepth,
+		SyncWorkers: cfg.SyncWorkers,
+		// Snapshot+delta synchronization: the bulk pass reconciles against
+		// a consistent COW snapshot while updates keep flowing; only the
+		// delta replay quiesces.
+		Snapshot: s.DIT.SnapshotAndSubscribeSeq,
+		Log:      cfg.Logger,
 	})
 	if err != nil {
 		return nil, err
