@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke check bench
+.PHONY: all build test vet race fuzz-smoke bench-smoke check bench
 
 all: check
 
@@ -19,17 +19,26 @@ vet:
 	$(GO) vet ./...
 
 # The engine's ordering/quiesce guarantees, the DIT's copy-on-write
-# search snapshots, and the filters' batched converge path are concurrency
+# search snapshots, the filters' batched converge path, and the device
+# stores' fault injection under the outbox drainer are concurrency
 # properties; run their tests under the race detector.
 race:
-	$(GO) test -race -count=1 ./internal/directory/... ./internal/um/... ./internal/ltap/... ./internal/filter/...
+	$(GO) test -race -count=1 ./internal/directory/... ./internal/um/... ./internal/ltap/... ./internal/filter/... ./internal/device/...
+
+# Ten seconds per fuzz target: enough to shake out decoder/parser panics on
+# every run without turning check into a fuzzing campaign. The checked-in
+# corpora under testdata/fuzz replay as ordinary tests in `make test`.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/ber/
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/lexpress/
+	$(GO) test -fuzz=FuzzCompilePattern -fuzztime=10s ./internal/lexpress/
 
 # One iteration of every benchmark: catches harness rot without the cost of
 # a real measurement run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x .
 
-check: test vet race bench-smoke
+check: test vet race fuzz-smoke bench-smoke
 
 # The experiment benchmarks behind EXPERIMENTS.md (long). -count is
 # parameterized so `make bench BENCH_COUNT=10 | tee new.txt` produces

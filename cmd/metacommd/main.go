@@ -42,6 +42,9 @@ func main() {
 		devLat   = flag.Duration("device-latency", 0, "simulated per-update processing time in the device simulators")
 		beConns  = flag.Int("backend-conns", 0, "pooled connections to the backing directory per component (0 = default)")
 		gwCache  = flag.Int("gateway-cache", 0, "LTAP before-image cache capacity (0 = default, negative disables)")
+		outbox   = flag.String("outbox-dir", "", "journal directory for the durable device-update outbox (empty disables)")
+		obRetry  = flag.Int("outbox-retries", 0, "outbox replay attempts before targeted repair (0 = default)")
+		obBack   = flag.Duration("outbox-backoff", 0, "outbox base retry backoff, doubled per attempt (0 = default)")
 		dataDir  = flag.String("data", "", "data directory for the durable directory journal (empty = in-memory)")
 		replAddr = flag.String("replication", "", "replication stream listen address for read replicas (empty disables)")
 		audit    = flag.String("audit", "", "audit log file ('-' = stderr, empty disables)")
@@ -80,7 +83,12 @@ func main() {
 		DeviceLatency:   *devLat,
 		BackendConns:    *beConns,
 		GatewayCache:    *gwCache,
-		InitialSync:     true,
+		Outbox: metacomm.OutboxConfig{
+			Dir:         *outbox,
+			MaxRetries:  *obRetry,
+			BaseBackoff: *obBack,
+		},
+		InitialSync: true,
 		DataDir:         *dataDir,
 		ReplicationAddr: *replAddr,
 		AuditLog:        auditW,
@@ -109,6 +117,7 @@ func main() {
 		srv.Stats = sys.UM.Stats
 		srv.GatewayStats = sys.Gateway.Stats
 		srv.SyncStats = sys.UM.LastSyncStats
+		srv.OutboxStats = sys.UM.OutboxStats
 		go func() {
 			fmt.Printf("web administration: http://%s/\n", *wbaAddr)
 			if err := http.ListenAndServe(*wbaAddr, srv); err != nil {
@@ -132,5 +141,10 @@ func main() {
 			name, ss.DeviceRecords, ss.DirectoryAdds, ss.DeviceAdds, ss.DirectoryMods, ss.DeviceMods,
 			ss.AlreadyInSync, ss.Errors, ss.SnapshotUsed, ss.Workers,
 			float64(ss.BulkNs)/1e6, float64(ss.QuiesceNs)/1e6, ss.DeltaRecords, ss.DeltaReplayed, ss.RecordsPerSec())
+	}
+	for _, obs := range sys.UM.OutboxStats() {
+		fmt.Printf("outbox %s: breaker=%s backlog=%d enqueued=%d drained=%d deferred=%d retries=%d repairs=%d dropped=%d trips=%d\n",
+			obs.Device, obs.Breaker, obs.Backlog, obs.Enqueued, obs.Drained, obs.Deferred,
+			obs.Retries, obs.Repairs, obs.Dropped, obs.Trips)
 	}
 }

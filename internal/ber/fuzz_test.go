@@ -1,0 +1,43 @@
+package ber
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the BER decoder. The decoder sits
+// directly on the network in the LTAP gateway and the backing directory, so
+// it must never panic, never over-read, and its encoder must be a fixed
+// point: whatever decodes must re-encode to a form that decodes back to the
+// same canonical bytes.
+func FuzzDecode(f *testing.F) {
+	// A bind request, a search request shape, and assorted edge encodings.
+	f.Add([]byte{0x30, 0x0c, 0x02, 0x01, 0x01, 0x60, 0x07, 0x02, 0x01, 0x03, 0x04, 0x00, 0x80, 0x00})
+	f.Add([]byte{0x04, 0x03, 'a', 'b', 'c'})
+	f.Add([]byte{0x30, 0x80})                   // indefinite length
+	f.Add([]byte{0x02, 0x81, 0x01, 0x7f})       // long-form length
+	f.Add([]byte{0x1f, 0x85, 0x23, 0x01, 0x00}) // high tag number
+	f.Add([]byte{0x30, 0x02, 0x30, 0x00})       // nesting
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n < 0 || n > len(data) {
+			t.Fatalf("Decode consumed %d of %d bytes", n, len(data))
+		}
+		if e == nil {
+			t.Fatal("nil element without error")
+		}
+		// Canonical round-trip: encode, decode, encode again.
+		enc := e.Encode()
+		e2, err := DecodeFull(enc)
+		if err != nil {
+			t.Fatalf("re-decode of encoded element failed: %v\nencoded: %x", err, enc)
+		}
+		if enc2 := e2.Encode(); !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not a fixed point:\nfirst:  %x\nsecond: %x", enc, enc2)
+		}
+	})
+}

@@ -15,6 +15,7 @@ package device
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
@@ -78,6 +79,11 @@ type Store struct {
 	// failNext holds error messages to inject on upcoming updates
 	// (failure-injection for the error-logging benches).
 	failNext []string
+	// failRate makes each update fail with this probability (fault
+	// injection for the outbox/chaos tests); failRng draws from a seeded
+	// stream so runs are reproducible. Both are guarded by mu.
+	failRate float64
+	failRng  *rand.Rand
 	seq      uint64
 	// generate, when set, is called on Add to produce device-generated
 	// fields (e.g. a unique mailbox id).
@@ -129,13 +135,30 @@ func (s *Store) FailNext(msg string) {
 	s.failNext = append(s.failNext, msg)
 }
 
-func (s *Store) takeInjectedFailure() error {
-	if len(s.failNext) == 0 {
-		return nil
+// SetFailRate makes every update operation fail with probability rate
+// (0 disables). The failures are drawn from a stream seeded with seed, so
+// a logged seed reproduces a chaos run exactly.
+func (s *Store) SetFailRate(rate float64, seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failRate = rate
+	if rate > 0 {
+		s.failRng = rand.New(rand.NewSource(seed))
+	} else {
+		s.failRng = nil
 	}
-	msg := s.failNext[0]
-	s.failNext = s.failNext[1:]
-	return fmt.Errorf("device %s: %s", s.name, msg)
+}
+
+func (s *Store) takeInjectedFailure() error {
+	if len(s.failNext) > 0 {
+		msg := s.failNext[0]
+		s.failNext = s.failNext[1:]
+		return fmt.Errorf("device %s: %s", s.name, msg)
+	}
+	if s.failRate > 0 && s.failRng != nil && s.failRng.Float64() < s.failRate {
+		return fmt.Errorf("device %s: injected transient failure", s.name)
+	}
+	return nil
 }
 
 // Subscribe registers a notification channel. The channel is buffered; a

@@ -284,3 +284,59 @@ func TestStoreConverterEchoSuppression(t *testing.T) {
 	for range c.Notifications() {
 	}
 }
+
+func TestSetFailRateDeterministicAndDisables(t *testing.T) {
+	// Two stores seeded identically must fail on exactly the same
+	// operations — chaos runs log their seed precisely so a failure
+	// schedule can be replayed.
+	run := func(seed int64) []bool {
+		s := NewStore("pbx", "extension")
+		if _, err := s.Add("a", rec("Extension", "1", "Name", "A")); err != nil {
+			t.Fatal(err)
+		}
+		s.SetFailRate(0.5, seed)
+		outcomes := make([]bool, 64)
+		for i := range outcomes {
+			_, err := s.Modify("a", "1", rec("Extension", "1", "Name", "A", "Seq", string(rune('a'+i%26))))
+			outcomes[i] = err != nil
+		}
+		return outcomes
+	}
+	a, b := run(42), run(42)
+	failed := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: outcome differs across identically seeded runs", i)
+		}
+		if a[i] {
+			failed++
+		}
+	}
+	if failed == 0 || failed == len(a) {
+		t.Errorf("fail rate 0.5 produced %d/%d failures; injection looks broken", failed, len(a))
+	}
+	// A different seed gives a different schedule (overwhelmingly likely).
+	c := run(7)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical failure schedules")
+	}
+	// Rate 0 disables injection entirely.
+	s := NewStore("pbx", "extension")
+	if _, err := s.Add("a", rec("Extension", "1")); err != nil {
+		t.Fatal(err)
+	}
+	s.SetFailRate(0.9, 1)
+	s.SetFailRate(0, 0)
+	for i := 0; i < 32; i++ {
+		if _, err := s.Modify("a", "1", rec("Extension", "1", "N", "x")); err != nil {
+			t.Fatalf("op %d failed after SetFailRate(0, 0): %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package filter
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+// Breaker states. Closed passes traffic; Open rejects it outright; HalfOpen
+// admits exactly one probe to test whether the device recovered.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a circuit breaker around one device's administration link.
+// While closed, operations flow; Threshold consecutive failures trip it
+// open. An open breaker rejects operations until its open window elapses,
+// then goes half-open and lets a single probe through: the probe's outcome
+// either closes the breaker or re-opens it with a doubled window (capped at
+// MaxDelay, jittered ±25% so recovering devices are not hit by
+// synchronized probes).
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	baseDelay time.Duration
+	maxDelay  time.Duration
+
+	state     BreakerState
+	fails     int           // consecutive failures while closed
+	openDelay time.Duration // current open window (escalates per trip)
+	probeAt   time.Time     // when an open breaker next admits a probe
+	trips     uint64
+
+	// now is replaceable for tests.
+	now func() time.Time
+}
+
+// NewBreaker builds a breaker. threshold <= 0 means 3 consecutive failures;
+// base <= 0 means 50ms; max <= 0 means 5s.
+func NewBreaker(threshold int, base, max time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if max < base {
+		max = base
+	}
+	return &Breaker{threshold: threshold, baseDelay: base, maxDelay: max, now: time.Now}
+}
+
+// SetClock replaces the breaker's time source (tests drive state
+// transitions deterministically with a fake clock).
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+}
+
+// Allow reports whether an operation may proceed. A closed breaker always
+// allows; an open one allows only once its window elapsed, transitioning to
+// half-open — that caller is the probe, and every other caller is rejected
+// until the probe resolves via Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Before(b.probeAt) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		return true
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// Success records a successful operation: the breaker closes and the
+// escalation resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.openDelay = 0
+}
+
+// Failure records a failed operation. While closed it counts consecutive
+// failures and trips at the threshold; a half-open probe failure re-opens
+// immediately with an escalated window.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerOpen:
+		// Failure from a caller admitted before the trip; the window stands.
+	}
+}
+
+// trip opens the breaker with the next escalation step. Caller holds b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.fails = 0
+	b.trips++
+	if b.openDelay == 0 {
+		b.openDelay = b.baseDelay
+	} else if b.openDelay *= 2; b.openDelay > b.maxDelay {
+		b.openDelay = b.maxDelay
+	}
+	b.probeAt = b.now().Add(jitter(b.openDelay))
+}
+
+// State returns the breaker's current position. An elapsed open window
+// still reports open — the transition to half-open happens in Allow, when a
+// probe actually goes out.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker opened.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// ProbeAt returns when an open breaker admits its next probe (zero time
+// when not open).
+func (b *Breaker) ProbeAt() time.Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return time.Time{}
+	}
+	return b.probeAt
+}
+
+// jitter spreads d over [0.75d, 1.25d].
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d*3/4 + time.Duration(rand.Int63n(int64(d)/2+1))
+}

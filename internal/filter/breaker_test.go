@@ -1,0 +1,123 @@
+package filter
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time { return c.t }
+
+func newTestBreaker(threshold int, base, max time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(threshold, base, max)
+	b.SetClock(clk.now)
+	return b, clk
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, 10*time.Millisecond, time.Second)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if got := b.State(); got != BreakerClosed {
+			t.Fatalf("state after %d failures = %v, want closed", i+1, got)
+		}
+		if !b.Allow() {
+			t.Fatalf("closed breaker denied Allow after %d failures", i+1)
+		}
+	}
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("freshly opened breaker allowed an apply")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("Trips = %d, want 1", b.Trips())
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b, _ := newTestBreaker(3, 10*time.Millisecond, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed: Success must reset the count", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, 10*time.Millisecond, time.Second)
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	// Before the probe time nothing passes.
+	if b.Allow() {
+		t.Fatal("open breaker allowed an apply before the probe window")
+	}
+	// Past the probe time exactly one caller gets through as the probe.
+	clk.t = b.ProbeAt().Add(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no probe allowed after the open window elapsed")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	if b.Allow() {
+		t.Fatal("second caller stole the half-open probe")
+	}
+	// A successful probe closes the breaker.
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker denied Allow")
+	}
+}
+
+func TestBreakerReopensWithEscalatingDelay(t *testing.T) {
+	b, clk := newTestBreaker(1, 10*time.Millisecond, time.Second)
+	b.Failure()
+	first := b.ProbeAt().Sub(clk.t)
+	clk.t = b.ProbeAt().Add(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no probe after first open window")
+	}
+	// The probe fails: back to open with a longer window.
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	second := b.ProbeAt().Sub(clk.t)
+	// Base delay is jittered ±25%, so compare against the guaranteed gap:
+	// the second window's minimum (2*base * 3/4) must exceed the first
+	// window's maximum (base * 5/4)... with base=10ms: 15ms > 12.5ms.
+	if second <= first*11/10 {
+		t.Fatalf("open window did not escalate: first=%v second=%v", first, second)
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("Trips = %d, want 2", b.Trips())
+	}
+}
+
+func TestBreakerDelayCapped(t *testing.T) {
+	b, clk := newTestBreaker(1, 100*time.Millisecond, 300*time.Millisecond)
+	for i := 0; i < 10; i++ {
+		b.Failure()
+		if w := b.ProbeAt().Sub(clk.t); w > 300*time.Millisecond+300*time.Millisecond/4 {
+			t.Fatalf("trip %d: open window %v exceeds cap+jitter", i, w)
+		}
+		clk.t = b.ProbeAt().Add(time.Millisecond)
+		if !b.Allow() {
+			t.Fatalf("trip %d: no probe", i)
+		}
+	}
+}

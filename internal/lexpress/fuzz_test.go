@@ -1,0 +1,75 @@
+package lexpress
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary source text to the mapping-language compiler.
+// Mapping sources are administrator-supplied configuration (the WBA's
+// mapping editor posts them verbatim), so the parser must reject garbage
+// with an error — never a panic or a hang — and anything it accepts must
+// produce a loadable library.
+func FuzzParse(f *testing.F) {
+	// The real library sources are the richest seeds.
+	f.Add(PBXMappings)
+	f.Add(MPMappings)
+	f.Add(ClosureMappings)
+	f.Add(`mapping M source "a" target "b" { key X -> y; map y = X; }`)
+	f.Add(`closure C on "ldap" { derive a = b when present(c); }`)
+	f.Add(`mapping M source "a" target "b" {
+    map y = "lit" + group(X, "([0-9]+)", 1) ? Z;
+    partition when present(X) and not present(Y);
+}`)
+	f.Add(`# comment only`)
+	f.Add(`mapping M`)
+	f.Add("mapping M source \"a\" target \"b\" { map y = X\x00; }")
+	f.Fuzz(func(t *testing.T, src string) {
+		lib, err := Compile(src)
+		if err != nil {
+			return
+		}
+		// Accepted sources must yield a usable library: translating through
+		// every compiled mapping must not panic either.
+		for _, name := range lib.Names() {
+			m, ok := lib.Get(name)
+			if !ok {
+				t.Fatalf("Names lists %q but Get does not find it", name)
+			}
+			rec := NewRecord()
+			rec.Set("cn", "Fuzz Person")
+			rec.Set("definityExtension", "2-9000")
+			_, _ = m.Translate(Descriptor{
+				Source: m.Source, Op: OpModify, Key: "k",
+				Old: rec, New: rec,
+			})
+		}
+	})
+}
+
+// FuzzCompilePattern exercises the group()-pattern engine on its own: it
+// runs on every translated value, so pathological patterns must fail fast.
+func FuzzCompilePattern(f *testing.F) {
+	f.Add(`([0-9])-([0-9]+)`, "2-9000")
+	f.Add(`\+1 908 58([0-9]) ([0-9]+)`, "+1 908 582 9000")
+	f.Add(`.* ([^ ]+)`, "John Doe")
+	f.Add(`(((((a)))))`, "aaaaa")
+	f.Fuzz(func(t *testing.T, pat, input string) {
+		if len(pat) > 1024 || len(input) > 4096 {
+			return // cap work per exec, not coverage
+		}
+		p, err := CompilePattern(pat)
+		if err != nil {
+			return
+		}
+		groups, ok := p.Match(input)
+		if !ok {
+			return
+		}
+		for i, g := range groups {
+			if !strings.Contains(input, g) && g != "" {
+				t.Fatalf("group %d = %q is not a substring of input %q (pattern %q)", i, g, input, pat)
+			}
+		}
+	})
+}

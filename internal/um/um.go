@@ -89,6 +89,11 @@ type Config struct {
 	// phase UNQUISCED against the snapshot and only quiesces to replay the
 	// delta; without it, the whole pass runs under the quiesce as before.
 	Snapshot func(buffer int) ([]directory.Entry, uint64, <-chan directory.UpdateRecord, func())
+	// Outbox configures the durable device-update outbox with per-device
+	// circuit breakers (see OutboxConfig). The zero value disables it:
+	// failed device applies are logged as error entries and lost at that
+	// device until the next synchronization pass.
+	Outbox OutboxConfig
 	// Log receives operational messages (nil = discard).
 	Log *log.Logger
 }
@@ -146,6 +151,11 @@ type UM struct {
 	shards []chan *job
 	wg     sync.WaitGroup
 	stop   chan struct{}
+
+	// outbox is the durable device-update retry facility (nil when
+	// Config.Outbox leaves it disabled). The pointer is set in New and
+	// never changes, so lock-free reads are safe.
+	outbox *outbox
 
 	// engMu guards the drain barrier: pending counts admitted-but-
 	// unfinished updates, paused blocks new admissions (Quiesce/Resume).
@@ -225,6 +235,9 @@ func New(cfg Config) (*UM, error) {
 	}
 	u.ldapDirect = &filter.LDAPFilter{
 		Client: cfg.Backing, Suffix: cfg.Suffix, PeopleBase: cfg.PeopleBase, RDNAttr: mcschema.AttrCN,
+	}
+	if cfg.Outbox.Enabled() {
+		u.outbox = newOutbox(u, cfg.Outbox)
 	}
 	if cfg.LTAP != nil {
 		u.ldapLTAP = &filter.LDAPFilter{
@@ -318,6 +331,11 @@ func (u *UM) Start() error {
 	if err := u.ensureErrorContainer(); err != nil {
 		return err
 	}
+	if u.outbox != nil {
+		if err := u.outbox.start(); err != nil {
+			return err
+		}
+	}
 	for _, q := range u.shards {
 		u.wg.Add(1)
 		go func(q chan *job) {
@@ -358,6 +376,9 @@ func (u *UM) Stop() {
 	u.engCond.Broadcast()
 	u.engMu.Unlock()
 	u.wg.Wait()
+	if u.outbox != nil {
+		u.outbox.close()
+	}
 }
 
 // shardFor routes an update to its shard: all updates for one entry hash to
@@ -600,6 +621,12 @@ func (u *UM) fanOut(desc lexpress.Descriptor, ldapNew lexpress.Record) lexpress.
 		if tu.Conditional {
 			u.reapplies.Add(1)
 		}
+		if u.outbox != nil && u.outbox.deferUpdate(f, desc.Key, tu) {
+			// Open breaker or backlog ahead of this entry: the update is
+			// journaled behind the device's outbox instead of applied here
+			// (the drainer replays it in order once the device answers).
+			continue
+		}
 		targets = append(targets, &target{f: f, tu: tu})
 	}
 	if len(targets) > 1 {
@@ -608,17 +635,20 @@ func (u *UM) fanOut(desc lexpress.Descriptor, ldapNew lexpress.Record) lexpress.
 			wg.Add(1)
 			go func(t *target) {
 				defer wg.Done()
-				t.stored, t.err = t.f.Apply(t.tu)
+				t.stored, t.err = u.applyDevice(t.f, t.tu)
 			}(t)
 		}
 		wg.Wait()
 	} else if len(targets) == 1 {
 		t := targets[0]
-		t.stored, t.err = t.f.Apply(t.tu)
+		t.stored, t.err = u.applyDevice(t.f, t.tu)
 	}
 	generated := lexpress.NewRecord()
 	for _, t := range targets {
 		if t.err != nil {
+			if u.outbox != nil && u.outbox.handleFailure(t.f, desc.Key, t.tu, t.err) {
+				continue // journaled for retry; no error entry unless dropped
+			}
 			u.logError("ldap", t.f.Name(), t.tu.Op.String(), t.tu.Key, t.err)
 			continue
 		}

@@ -39,6 +39,10 @@ type Server struct {
 	// page: per-device snapshot+delta phase timings for the most recent
 	// pass (um.LastSyncStats).
 	SyncStats func() map[string]um.SyncStats
+	// OutboxStats, when set, feeds the device-outbox section of the status
+	// page: per-device circuit-breaker state, journal backlog, and
+	// retry/drain counters (um.OutboxStats; empty when disabled).
+	OutboxStats func() []um.OutboxStats
 
 	mux *http.ServeMux
 }
@@ -339,6 +343,18 @@ var statusTmpl = template.Must(template.Must(pageTmpl.Clone()).Parse(`{{define "
 <p>Before-image cache disabled; every trap fetches from the backend.</p>
 {{end}}
 {{end}}
+{{if .Outboxes}}
+<h2>Device outbox / circuit breakers</h2>
+<table border="1" cellpadding="4">
+<tr><th>Device</th><th>Breaker</th><th>Backlog</th><th>Enqueued</th><th>Drained</th>
+<th>Deferred</th><th>Retries</th><th>Repairs</th><th>Dropped</th><th>Trips</th></tr>
+{{range .Outboxes}}
+<tr><td>{{.Device}}</td><td>{{.Breaker}}</td><td>{{.Backlog}}</td><td>{{.Enqueued}}</td>
+<td>{{.Drained}}</td><td>{{.Deferred}}</td><td>{{.Retries}}</td><td>{{.Repairs}}</td>
+<td>{{.Dropped}}</td><td>{{.Trips}}</td></tr>
+{{end}}
+</table>
+{{end}}
 {{if .Syncs}}
 <h2>Synchronization (last pass)</h2>
 <table border="1" cellpadding="4">
@@ -383,6 +399,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		data["FetchMean"] = meanStage(gs.BackendFetchNs, gs.BackendFetches)
 		data["HitRate"] = fmt.Sprintf("%.1f%%", 100*gs.Cache.HitRate())
 		data["QuiesceTotal"] = time.Duration(gs.QuiesceNs).String()
+	}
+	if s.OutboxStats != nil {
+		if obs := s.OutboxStats(); len(obs) > 0 {
+			data["Outboxes"] = obs
+		}
 	}
 	if s.SyncStats != nil {
 		type syncRow struct {

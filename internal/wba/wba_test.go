@@ -207,3 +207,41 @@ func TestStatusPageShowsGatewayAndCache(t *testing.T) {
 		t.Error("cache reported disabled on a default system")
 	}
 }
+
+func TestStatusPageShowsOutboxBreakers(t *testing.T) {
+	sys, err := metacomm.Start(metacomm.Config{
+		Outbox: metacomm.OutboxConfig{Enable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	conn, err := sys.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	s := wba.New(conn, "o=Lucent")
+	s.Stats = sys.UM.Stats
+	s.OutboxStats = sys.UM.OutboxStats
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	body := get(t, srv.URL+"/status")
+	for _, want := range []string{
+		"Device outbox", "Breaker", "Backlog", "closed", "pbx", "msgplat",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("status page missing %q", want)
+		}
+	}
+
+	// Without the hook the section disappears rather than rendering empty.
+	bare := wba.New(conn, "o=Lucent")
+	bare.Stats = sys.UM.Stats
+	srv2 := httptest.NewServer(bare)
+	t.Cleanup(srv2.Close)
+	if strings.Contains(get(t, srv2.URL+"/status"), "Device outbox") {
+		t.Error("outbox section rendered without an OutboxStats hook")
+	}
+}

@@ -50,6 +50,10 @@ import (
 	"metacomm/internal/um"
 )
 
+// OutboxConfig configures the UM's durable device-update outbox (see
+// um.OutboxConfig for the fields).
+type OutboxConfig = um.OutboxConfig
+
 // Mode selects how LTAP reaches the Update Manager (paper §5.5).
 type Mode string
 
@@ -112,6 +116,13 @@ type Config struct {
 	// capacity, < 0 disables the cache so every trap refetches its
 	// before-image from the backing server).
 	GatewayCache int
+	// Outbox configures the Update Manager's durable device-update outbox
+	// with per-device circuit breakers: failed (or timed-out) device
+	// applies are journaled and replayed with backoff once the device
+	// answers again, falling back to a targeted per-entry repair sync on
+	// conflicts. The zero value disables it — failed device applies are
+	// logged as error entries only (the paper's §4.4 behavior).
+	Outbox OutboxConfig
 	// ExtraMappings is additional lexpress source compiled into the
 	// standard telecom library (for new data sources).
 	ExtraMappings string
@@ -328,6 +339,7 @@ func Start(cfg Config) (*System, error) {
 		// a consistent COW snapshot while updates keep flowing; only the
 		// delta replay quiesces.
 		Snapshot: s.DIT.SnapshotAndSubscribeSeq,
+		Outbox:   cfg.Outbox,
 		Log:      cfg.Logger,
 	})
 	if err != nil {

@@ -8,5 +8,8 @@ cd "$(dirname "$0")/.."
 go build ./...
 go test ./...
 go vet ./...
-go test -race -count=1 ./internal/directory/... ./internal/um/... ./internal/ltap/... ./internal/filter/...
+go test -race -count=1 ./internal/directory/... ./internal/um/... ./internal/ltap/... ./internal/filter/... ./internal/device/...
+go test -fuzz=FuzzDecode -fuzztime=10s ./internal/ber/
+go test -fuzz=FuzzParse -fuzztime=10s ./internal/lexpress/
+go test -fuzz=FuzzCompilePattern -fuzztime=10s ./internal/lexpress/
 go test -run '^$' -bench . -benchtime=1x .
