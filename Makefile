@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fuzz-smoke bench-smoke check bench
+.PHONY: all build test vet race fuzz-smoke bench-smoke check bench bench-e19
 
 all: check
 
@@ -46,3 +46,9 @@ check: test vet race fuzz-smoke bench-smoke
 BENCH_COUNT ?= 1
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1s -count=$(BENCH_COUNT) .
+
+# E19 only: the durable-write group-commit matrix (sync mode x writer count)
+# behind EXPERIMENTS.md E19. Reports recs/group and fsyncs/op alongside
+# ns/op; compare group/writers=16 against always/writers=16.
+bench-e19:
+	$(GO) test -run '^$$' -bench BenchmarkE19DurableWrites -benchtime=1s -count=$(BENCH_COUNT) .

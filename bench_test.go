@@ -881,3 +881,75 @@ func BenchmarkE18OutageDegradation(b *testing.B) {
 	b.Run("Outbox", func(b *testing.B) { run(b, true) })
 	b.Run("LegacyErrorLog", func(b *testing.B) { run(b, false) })
 }
+
+// BenchmarkE19DurableWrites measures the group-commit write pipeline
+// (DESIGN.md §11): concurrent writers — the shape of the UM's sharded
+// engine, every shard committing translated updates to the directory —
+// against a durable journal in the three sync modes. "always" is the
+// baseline the pipeline replaces (one write+fsync cycle per update, no
+// batching), "group" coalesces every concurrently staged update into one
+// buffered write and ONE fsync, "none" flushes without fsync (the
+// pre-PR-5 default). The reported recs-per-group and fsyncs-per-op show
+// the amortization doing the work.
+func BenchmarkE19DurableWrites(b *testing.B) {
+	run := func(b *testing.B, mode directory.SyncMode, writers int) {
+		d := directory.New(nil)
+		j, err := directory.OpenJournal(b.TempDir() + "/e19.journal")
+		if err != nil {
+			b.Fatal(err)
+		}
+		j.Mode = mode
+		if _, err := d.AttachJournal(j); err != nil {
+			b.Fatal(err)
+		}
+		defer d.CloseJournal()
+		if err := d.Add(dn.MustParse("o=Lucent"), directory.AttrsFrom(map[string][]string{
+			"objectClass": {"organization"}})); err != nil {
+			b.Fatal(err)
+		}
+		names := make([]dn.DN, writers)
+		for w := 0; w < writers; w++ {
+			names[w] = dn.MustParse(fmt.Sprintf("cn=W%d,o=Lucent", w))
+			if err := d.Add(names[w], directory.AttrsFrom(map[string][]string{
+				"objectClass": {"person"}, "cn": {fmt.Sprintf("W%d", w)}})); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					i := next.Add(1)
+					if i > int64(b.N) {
+						return
+					}
+					if err := d.Modify(names[w], []ldap.Change{{Op: ldap.ModReplace,
+						Attribute: ldap.Attribute{Type: "roomNumber",
+							Values: []string{fmt.Sprintf("R-%d", i)}}}}); err != nil {
+						b.Errorf("writer %d: %v", w, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		b.StopTimer()
+		st := d.JournalStats()
+		if st.Appends > 0 {
+			b.ReportMetric(st.MeanBatch(), "recs/group")
+			b.ReportMetric(float64(st.Fsyncs)/float64(b.N), "fsyncs/op")
+		}
+	}
+	for _, mode := range []directory.SyncMode{directory.SyncAlways, directory.SyncGroup, directory.SyncNone} {
+		for _, writers := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("sync=%s/writers=%d", mode, writers), func(b *testing.B) {
+				run(b, mode, writers)
+			})
+		}
+	}
+}

@@ -46,6 +46,9 @@ func main() {
 		obRetry  = flag.Int("outbox-retries", 0, "outbox replay attempts before targeted repair (0 = default)")
 		obBack   = flag.Duration("outbox-backoff", 0, "outbox base retry backoff, doubled per attempt (0 = default)")
 		dataDir  = flag.String("data", "", "data directory for the durable directory journal (empty = in-memory)")
+		jSync    = flag.String("journal-sync", "group", "journal durability: always (fsync per update), group (one fsync per commit group), none (no fsync)")
+		jBatch   = flag.Int("journal-batch", 0, "max updates per journal commit group (0 = default)")
+		jLinger  = flag.Duration("journal-linger", 0, "how long a non-full commit group waits for more writers (0 = never)")
 		replAddr = flag.String("replication", "", "replication stream listen address for read replicas (empty disables)")
 		audit    = flag.String("audit", "", "audit log file ('-' = stderr, empty disables)")
 		quiet    = flag.Bool("quiet", false, "suppress operational logging")
@@ -90,6 +93,9 @@ func main() {
 		},
 		InitialSync: true,
 		DataDir:         *dataDir,
+		JournalSync:     *jSync,
+		JournalBatch:    *jBatch,
+		JournalLinger:   *jLinger,
 		ReplicationAddr: *replAddr,
 		AuditLog:        auditW,
 		Logger:          logger,
@@ -118,6 +124,7 @@ func main() {
 		srv.GatewayStats = sys.Gateway.Stats
 		srv.SyncStats = sys.UM.LastSyncStats
 		srv.OutboxStats = sys.UM.OutboxStats
+		srv.JournalStats = sys.DIT.JournalStats
 		go func() {
 			fmt.Printf("web administration: http://%s/\n", *wbaAddr)
 			if err := http.ListenAndServe(*wbaAddr, srv); err != nil {
@@ -146,5 +153,12 @@ func main() {
 		fmt.Printf("outbox %s: breaker=%s backlog=%d enqueued=%d drained=%d deferred=%d retries=%d repairs=%d dropped=%d trips=%d\n",
 			obs.Device, obs.Breaker, obs.Backlog, obs.Enqueued, obs.Drained, obs.Deferred,
 			obs.Retries, obs.Repairs, obs.Dropped, obs.Trips)
+	}
+	if js := sys.DIT.JournalStats(); js.Batches > 0 {
+		fmt.Printf("journal: sync=%s commits=%d groups=%d mean-group=%.1f max-group=%d fsyncs=%d bytes=%d mean-commit=%s torn-tails=%d\n",
+			js.Mode, js.Appends, js.Batches, js.MeanBatch(), js.MaxBatch,
+			js.Fsyncs, js.Bytes, js.MeanCommit(), js.TornTails)
+		fmt.Printf("journal group sizes: 1=%d 2-4=%d 5-16=%d 17-64=%d 65-256=%d >256=%d\n",
+			js.BatchHist[0], js.BatchHist[1], js.BatchHist[2], js.BatchHist[3], js.BatchHist[4], js.BatchHist[5])
 	}
 }

@@ -6,10 +6,24 @@ import "sort"
 // committed update as an UpdateRecord with its commit sequence number. The
 // paper's directory world leans on replication for availability (§2);
 // internal/replica builds the wire protocol on top of this hook.
+//
+// Fan-out is batched per commit group: on a journaled DIT the group
+// committer emits each durable group with one sweep over the subscriber
+// list (one subMu acquisition and one wakeup burst per group, not per
+// update) before any writer in the group is acknowledged. Unjournaled
+// DITs emit inline at commit, as before. Either way the contract
+// consumers rely on holds: when a write call returns, its record is
+// already buffered on every live subscription, in commit order.
 
 // changeSub is one changelog subscriber.
 type changeSub struct {
 	ch chan UpdateRecord
+	// startAfter is the commit seq the subscriber's snapshot reflects;
+	// only records with Seq > startAfter are delivered. This is what makes
+	// SnapshotAndSubscribe exact on a journaled DIT, where records the
+	// snapshot already contains may still be in flight in the committer
+	// when the subscription registers.
+	startAfter uint64
 	// overflowed marks a subscriber that missed records because its buffer
 	// filled; its channel has been closed and the consumer must resync.
 	overflowed bool
@@ -39,13 +53,15 @@ func (d *DIT) SnapshotAndSubscribeSeq(buffer int) (snapshot []Entry, seq uint64,
 	d.mu.Lock()
 	snapshot = d.allLocked()
 	seq = d.seq
-	sub := &changeSub{ch: make(chan UpdateRecord, buffer)}
+	sub := &changeSub{ch: make(chan UpdateRecord, buffer), startAfter: seq}
+	d.subMu.Lock()
 	d.subs = append(d.subs, sub)
+	d.subMu.Unlock()
 	d.mu.Unlock()
 
 	cancel = func() {
-		d.mu.Lock()
-		defer d.mu.Unlock()
+		d.subMu.Lock()
+		defer d.subMu.Unlock()
 		for i, s := range d.subs {
 			if s == sub {
 				d.subs = append(d.subs[:i], d.subs[i+1:]...)
@@ -59,23 +75,48 @@ func (d *DIT) SnapshotAndSubscribeSeq(buffer int) (snapshot []Entry, seq uint64,
 	return snapshot, seq, sub.ch, cancel
 }
 
-// emitLocked fans a committed record out to subscribers. Caller holds d.mu;
-// rec.Seq must be set.
-func (d *DIT) emitLocked(rec UpdateRecord) {
+// emitOne fans a single committed record out (the unjournaled inline
+// path). Caller holds d.mu; rec.Seq must be set.
+func (d *DIT) emitOne(rec UpdateRecord) {
+	d.emitBatch([]UpdateRecord{rec})
+}
+
+// emitBatch fans one commit group out to subscribers in commit order: one
+// subscriber-list sweep for the whole group. Records a subscriber's
+// snapshot already covers (Seq <= startAfter) are skipped. A subscriber
+// whose buffer fills is closed — forcing a resync — rather than blocking
+// the pipeline or growing without bound.
+func (d *DIT) emitBatch(recs []UpdateRecord) {
+	d.subMu.Lock()
+	defer d.subMu.Unlock()
 	if len(d.subs) == 0 {
 		return
 	}
 	keep := d.subs[:0]
 	for _, sub := range d.subs {
-		select {
-		case sub.ch <- rec:
-			keep = append(keep, sub)
-		default:
-			// Slow consumer: close to force a resync rather than block
-			// the commit path or grow without bound.
-			sub.overflowed = true
-			close(sub.ch)
+		alive := true
+		for _, rec := range recs {
+			if rec.Seq <= sub.startAfter {
+				continue
+			}
+			select {
+			case sub.ch <- rec:
+			default:
+				sub.overflowed = true
+				close(sub.ch)
+				alive = false
+			}
+			if !alive {
+				break
+			}
 		}
+		if alive {
+			keep = append(keep, sub)
+		}
+	}
+	// Zero the dropped tail so closed subscribers are collectable.
+	for i := len(keep); i < len(d.subs); i++ {
+		d.subs[i] = nil
 	}
 	d.subs = keep
 }

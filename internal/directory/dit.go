@@ -71,6 +71,14 @@ type node struct {
 // DIT is the in-memory directory information tree. All operations are
 // individually atomic under an internal lock; there is deliberately no
 // multi-operation transaction facility, matching the paper's substrate.
+//
+// Write path (DESIGN.md §11): under d.mu an update validates, applies in
+// memory, takes its commit seq, and stages its journal record; the caller
+// then waits OUTSIDE the lock for the group committer's durability
+// notification. Journal I/O, record marshaling, and changelog fan-out all
+// run off the critical section, so the lock hold time of a write is the
+// in-memory mutation only and durable throughput is bounded by fsyncs per
+// GROUP rather than per update. Unjournaled DITs commit and emit inline.
 type DIT struct {
 	mu      sync.RWMutex
 	entries map[string]*node
@@ -79,10 +87,14 @@ type DIT struct {
 	// enabled.
 	indexes attrIndex
 	// journal, when attached, receives a write-ahead record of every
-	// committed update (see persist.go).
+	// committed update through the group-commit pipeline (see persist.go);
+	// commit is that pipeline.
 	journal *Journal
-	// subs are changelog subscribers (see changelog.go).
-	subs []*changeSub
+	commit  *committer
+	// subs are changelog subscribers, under their own lock so the
+	// committer can fan out without d.mu (see changelog.go).
+	subMu sync.Mutex
+	subs  []*changeSub
 	// seq counts committed updates; used by tests and the synchronization
 	// logic to detect change cheaply.
 	seq uint64
@@ -133,50 +145,61 @@ func (d *DIT) Add(name dn.DN, attrs *Attrs) error {
 	}
 
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	t, err := d.addLocked(name, a)
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return t.Wait()
+}
+
+func (d *DIT) addLocked(name dn.DN, a *Attrs) (commitTicket, error) {
 	key := name.Normalize()
 	if _, exists := d.entries[key]; exists {
-		return errf(ldap.ResultEntryAlreadyExists, "entry %q already exists", name)
+		return commitTicket{}, errf(ldap.ResultEntryAlreadyExists, "entry %q already exists", name)
 	}
 	parent := name.Parent()
 	parentKey := parent.Normalize()
 	if !parent.IsRoot() {
-		p, ok := d.entries[parentKey]
-		if !ok {
-			return errf(ldap.ResultNoSuchObject, "parent of %q does not exist", name)
+		if _, ok := d.entries[parentKey]; !ok {
+			return commitTicket{}, errf(ldap.ResultNoSuchObject, "parent of %q does not exist", name)
 		}
-		p.children[key] = true
 	}
-	rec := UpdateRecord{Op: "add", DN: name.String(), Attrs: a.Map()}
-	if err := d.journalAppend(rec); err != nil {
-		if p, ok := d.entries[parentKey]; ok {
-			delete(p.children, key)
-		}
-		return err
+	if err := d.commitReadyLocked(); err != nil {
+		return commitTicket{}, err
+	}
+	if p, ok := d.entries[parentKey]; ok {
+		p.children[key] = true
 	}
 	d.entries[key] = &node{dn: name, key: key, attrs: a, children: map[string]bool{}}
 	d.indexEntry(key, a)
 	d.seq++
-	rec.Seq = d.seq
-	d.emitLocked(rec)
-	return nil
+	rec := UpdateRecord{Seq: d.seq, Op: "add", DN: name.String(), Attrs: a.Map()}
+	return d.commitLocked(rec), nil
 }
 
 // Delete removes a leaf entry.
 func (d *DIT) Delete(name dn.DN) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	t, err := d.deleteLocked(name)
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return t.Wait()
+}
+
+func (d *DIT) deleteLocked(name dn.DN) (commitTicket, error) {
 	key := name.Normalize()
 	n, ok := d.entries[key]
 	if !ok {
-		return errf(ldap.ResultNoSuchObject, "no entry %q", name)
+		return commitTicket{}, errf(ldap.ResultNoSuchObject, "no entry %q", name)
 	}
 	if len(n.children) > 0 {
-		return errf(ldap.ResultNotAllowedOnNonLeaf, "entry %q has children", name)
+		return commitTicket{}, errf(ldap.ResultNotAllowedOnNonLeaf, "entry %q has children", name)
 	}
-	rec := UpdateRecord{Op: "delete", DN: name.String()}
-	if err := d.journalAppend(rec); err != nil {
-		return err
+	if err := d.commitReadyLocked(); err != nil {
+		return commitTicket{}, err
 	}
 	delete(d.entries, key)
 	d.unindexEntry(key, n.attrs)
@@ -184,9 +207,8 @@ func (d *DIT) Delete(name dn.DN) error {
 		delete(p.children, key)
 	}
 	d.seq++
-	rec.Seq = d.seq
-	d.emitLocked(rec)
-	return nil
+	rec := UpdateRecord{Seq: d.seq, Op: "delete", DN: name.String()}
+	return d.commitLocked(rec), nil
 }
 
 // Modify applies a sequence of changes to one entry atomically: either all
@@ -196,11 +218,19 @@ func (d *DIT) Delete(name dn.DN) error {
 // non-atomicity the paper wrestles with.
 func (d *DIT) Modify(name dn.DN, changes []ldap.Change) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	t, err := d.modifyLocked(name, changes)
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return t.Wait()
+}
+
+func (d *DIT) modifyLocked(name dn.DN, changes []ldap.Change) (commitTicket, error) {
 	key := name.Normalize()
 	n, ok := d.entries[key]
 	if !ok {
-		return errf(ldap.ResultNoSuchObject, "no entry %q", name)
+		return commitTicket{}, errf(ldap.ResultNoSuchObject, "no entry %q", name)
 	}
 	work := n.attrs.Clone()
 	for _, c := range changes {
@@ -211,52 +241,51 @@ func (d *DIT) Modify(name dn.DN, changes []ldap.Change) error {
 		switch c.Op {
 		case ldap.ModAdd:
 			if len(c.Attribute.Values) == 0 {
-				return errf(ldap.ResultProtocolError, "add of %q without values", attr)
+				return commitTicket{}, errf(ldap.ResultProtocolError, "add of %q without values", attr)
 			}
 			for _, v := range c.Attribute.Values {
 				if !work.Add(attr, v) {
-					return errf(ldap.ResultAttributeOrValueExists, "%q already has value %q", attr, v)
+					return commitTicket{}, errf(ldap.ResultAttributeOrValueExists, "%q already has value %q", attr, v)
 				}
 			}
 		case ldap.ModDelete:
 			if d.rdnProtects(name, attr, c.Attribute.Values) {
-				return errf(ldap.ResultNotAllowedOnRDN, "attribute %q is part of the RDN", attr)
+				return commitTicket{}, errf(ldap.ResultNotAllowedOnRDN, "attribute %q is part of the RDN", attr)
 			}
 			if len(c.Attribute.Values) == 0 {
 				if !work.Delete(attr) {
-					return errf(ldap.ResultNoSuchAttribute, "no attribute %q", attr)
+					return commitTicket{}, errf(ldap.ResultNoSuchAttribute, "no attribute %q", attr)
 				}
 			} else {
 				for _, v := range c.Attribute.Values {
 					if !work.DeleteValue(attr, v) {
-						return errf(ldap.ResultNoSuchAttribute, "no value %q for %q", v, attr)
+						return commitTicket{}, errf(ldap.ResultNoSuchAttribute, "no value %q for %q", v, attr)
 					}
 				}
 			}
 		case ldap.ModReplace:
 			if d.rdnProtects(name, attr, c.Attribute.Values) {
-				return errf(ldap.ResultNotAllowedOnRDN, "attribute %q is part of the RDN", attr)
+				return commitTicket{}, errf(ldap.ResultNotAllowedOnRDN, "attribute %q is part of the RDN", attr)
 			}
 			work.Put(attr, c.Attribute.Values...)
 		default:
-			return errf(ldap.ResultProtocolError, "unknown modify op %d", c.Op)
+			return commitTicket{}, errf(ldap.ResultProtocolError, "unknown modify op %d", c.Op)
 		}
 	}
 	if d.schema != nil {
 		if err := d.schema.CheckEntry(work); err != nil {
-			return err
+			return commitTicket{}, err
 		}
 	}
-	rec := modifyRecord(name, changes)
-	if err := d.journalAppend(rec); err != nil {
-		return err
+	if err := d.commitReadyLocked(); err != nil {
+		return commitTicket{}, err
 	}
 	d.reindexEntry(key, n.attrs, work)
 	n.attrs = work
 	d.seq++
+	rec := modifyRecord(name, changes)
 	rec.Seq = d.seq
-	d.emitLocked(rec)
-	return nil
+	return d.commitLocked(rec), nil
 }
 
 // modifyRecord converts a change list into its journal form.
@@ -300,19 +329,27 @@ func (d *DIT) rdnProtects(name dn.DN, attr string, newValues []string) bool {
 // new RDN values are added.
 func (d *DIT) ModifyDN(name dn.DN, newRDN dn.RDN, deleteOldRDN bool) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	t, err := d.modifyDNLocked(name, newRDN, deleteOldRDN)
+	d.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return t.Wait()
+}
+
+func (d *DIT) modifyDNLocked(name dn.DN, newRDN dn.RDN, deleteOldRDN bool) (commitTicket, error) {
 	key := name.Normalize()
 	n, ok := d.entries[key]
 	if !ok {
-		return errf(ldap.ResultNoSuchObject, "no entry %q", name)
+		return commitTicket{}, errf(ldap.ResultNoSuchObject, "no entry %q", name)
 	}
 	newDN := name.WithRDN(newRDN)
 	newKey := newDN.Normalize()
 	if newKey == key {
-		return nil
+		return commitTicket{}, nil
 	}
 	if _, exists := d.entries[newKey]; exists {
-		return errf(ldap.ResultEntryAlreadyExists, "entry %q already exists", newDN)
+		return commitTicket{}, errf(ldap.ResultEntryAlreadyExists, "entry %q already exists", newDN)
 	}
 	work := n.attrs.Clone()
 	if deleteOldRDN {
@@ -327,14 +364,11 @@ func (d *DIT) ModifyDN(name dn.DN, newRDN dn.RDN, deleteOldRDN bool) error {
 	}
 	if d.schema != nil {
 		if err := d.schema.CheckEntry(work); err != nil {
-			return err
+			return commitTicket{}, err
 		}
 	}
-
-	mdnRec := UpdateRecord{Op: "modifydn", DN: name.String(),
-		NewRDN: newRDN.String(), DeleteOldRDN: deleteOldRDN}
-	if err := d.journalAppend(mdnRec); err != nil {
-		return err
+	if err := d.commitReadyLocked(); err != nil {
+		return commitTicket{}, err
 	}
 
 	// Collect the subtree, then rewrite keys.
@@ -380,9 +414,9 @@ func (d *DIT) ModifyDN(name dn.DN, newRDN dn.RDN, deleteOldRDN bool) error {
 		}
 	}
 	d.seq++
-	mdnRec.Seq = d.seq
-	d.emitLocked(mdnRec)
-	return nil
+	rec := UpdateRecord{Seq: d.seq, Op: "modifydn", DN: name.String(),
+		NewRDN: newRDN.String(), DeleteOldRDN: deleteOldRDN}
+	return d.commitLocked(rec), nil
 }
 
 // Get returns the entry at name. The returned attributes are a shared

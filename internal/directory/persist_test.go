@@ -5,7 +5,10 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strconv"
+	"sync"
 	"testing"
+	"time"
 
 	"metacomm/internal/dn"
 	"metacomm/internal/ldap"
@@ -157,9 +160,14 @@ func TestJournalDoubleAttachRejected(t *testing.T) {
 	}
 }
 
-func TestJournalCorruptRecordSurfaces(t *testing.T) {
+func TestJournalCorruptMidFileSurfaces(t *testing.T) {
+	// A garbage record FOLLOWED by more records is real corruption, not a
+	// torn tail, and must abort startup.
 	path := filepath.Join(t.TempDir(), "dir.journal")
-	if err := os.WriteFile(path, []byte("{\"op\":\"add\",\"dn\":\"o=X\",\"attrs\":{\"o\":[\"X\"]}}\nnot-json\n"), 0o644); err != nil {
+	content := "{\"op\":\"add\",\"dn\":\"o=X\",\"attrs\":{\"o\":[\"X\"]}}\n" +
+		"not-json\n" +
+		"{\"op\":\"add\",\"dn\":\"cn=a,o=X\",\"attrs\":{\"cn\":[\"a\"]}}\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	d := New(nil)
@@ -171,6 +179,219 @@ func TestJournalCorruptRecordSurfaces(t *testing.T) {
 	if _, err := d.AttachJournal(j); err == nil {
 		t.Error("corrupt journal replayed cleanly")
 	}
+}
+
+func TestJournalTornTailTolerated(t *testing.T) {
+	// A crash mid-append leaves a partial final record. Replay must
+	// truncate it, keep every complete record, and leave the journal
+	// appendable at a record boundary.
+	path := filepath.Join(t.TempDir(), "dir.journal")
+	d := journaledDIT(t, path)
+	mustAddP(t, d, "o=Lucent", map[string][]string{"objectClass": {"organization"}})
+	mustAddP(t, d, "cn=A,o=Lucent", map[string][]string{"objectClass": {"person"}, "cn": {"A"}})
+	if err := d.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"add","dn":"cn=torn,o=Lu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	restored := New(nil)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := restored.AttachJournal(j)
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("replayed %d records, want 2", n)
+	}
+	if st := restored.JournalStats(); st.TornTails != 1 {
+		t.Errorf("TornTails = %d, want 1", st.TornTails)
+	}
+	// The tail was truncated: further appends land on a record boundary
+	// and a second replay is clean.
+	mustAddP(t, restored, "cn=B,o=Lucent", map[string][]string{"objectClass": {"person"}, "cn": {"B"}})
+	if err := restored.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	again := reopen(t, path)
+	sameState(t, restored, again)
+	if again.Len() != 3 {
+		t.Errorf("after torn-tail recovery got %d entries, want 3", again.Len())
+	}
+}
+
+// TestJournalGroupCommitBatches proves group formation: concurrent writers
+// commit in groups larger than one, with far fewer groups than records.
+// This is the scripts/check.sh group-commit smoke.
+func TestJournalGroupCommitBatches(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dir.journal")
+	d := New(nil)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Mode = SyncGroup
+	// A small linger makes group formation deterministic even on a
+	// single-CPU runner: the committer waits for the other writers to
+	// stage before writing the group.
+	j.Linger = 2 * time.Millisecond
+	if _, err := d.AttachJournal(j); err != nil {
+		t.Fatal(err)
+	}
+	defer d.CloseJournal()
+	mustAddP(t, d, "o=Lucent", map[string][]string{"objectClass": {"organization"}})
+	const writers, each = 3, 40
+	for i := 0; i < writers; i++ {
+		mustAddP(t, d, fmt.Sprintf("cn=W%d,o=Lucent", i),
+			map[string][]string{"objectClass": {"person"}, "cn": {fmt.Sprintf("W%d", i)}})
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := dn.MustParse(fmt.Sprintf("cn=W%d,o=Lucent", i))
+			for k := 0; k < each; k++ {
+				if err := d.Modify(name, []ldap.Change{{Op: ldap.ModReplace,
+					Attribute: ldap.Attribute{Type: "roomNumber",
+						Values: []string{fmt.Sprintf("R-%d-%d", i, k)}}}}); err != nil {
+					t.Errorf("writer %d: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := d.JournalStats()
+	if st.MaxBatch <= 1 {
+		t.Errorf("no group commit observed: MaxBatch = %d", st.MaxBatch)
+	}
+	if st.Batches >= st.Appends {
+		t.Errorf("batches (%d) not fewer than appends (%d)", st.Batches, st.Appends)
+	}
+	if st.Mode != "group" {
+		t.Errorf("stats mode = %q", st.Mode)
+	}
+	// Durability-equivalence: the journal replays to the identical state.
+	if err := d.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	sameState(t, d, reopen(t, path))
+}
+
+// TestGroupCommitCrashRecovery is the write-ahead-safety proof for group
+// commit: every ACKED write (the call returned) survives a simulated crash
+// — the journal file as-is, no clean close, plus a torn tail from a write
+// that was in flight — while unacked tails may be lost but never corrupt
+// replay.
+func TestGroupCommitCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dir.journal")
+	d := New(nil)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Mode = SyncGroup
+	if _, err := d.AttachJournal(j); err != nil {
+		t.Fatal(err)
+	}
+	mustAddP(t, d, "o=Lucent", map[string][]string{"objectClass": {"organization"}})
+	const writers, each = 8, 50
+	type acked struct {
+		mu   sync.Mutex
+		last map[int]string // writer -> last acked roomNumber value
+	}
+	ack := acked{last: map[int]string{}}
+	for i := 0; i < writers; i++ {
+		mustAddP(t, d, fmt.Sprintf("cn=W%d,o=Lucent", i),
+			map[string][]string{"objectClass": {"person"}, "cn": {fmt.Sprintf("W%d", i)}})
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := dn.MustParse(fmt.Sprintf("cn=W%d,o=Lucent", i))
+			for k := 0; k < each; k++ {
+				v := fmt.Sprintf("%d", k)
+				if err := d.Modify(name, []ldap.Change{{Op: ldap.ModReplace,
+					Attribute: ldap.Attribute{Type: "roomNumber", Values: []string{v}}}}); err != nil {
+					t.Errorf("writer %d: %v", i, err)
+					return
+				}
+				// The call returned: this value is acked (durable).
+				ack.mu.Lock()
+				ack.last[i] = v
+				ack.mu.Unlock()
+			}
+		}(i)
+	}
+
+	// Crash MID-FLIGHT: snapshot what has been acked so far, THEN copy the
+	// journal bytes as they are on disk — no close, no flush — and append
+	// a torn half-record as if one more write was in the middle of its
+	// group. Anything acked before the copy must be in the copy.
+	time.Sleep(2 * time.Millisecond)
+	ack.mu.Lock()
+	ackedAtCrash := make(map[int]string, len(ack.last))
+	for k, v := range ack.last {
+		ackedAtCrash[k] = v
+	}
+	ack.mu.Unlock()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := filepath.Join(dir, "crashed.journal")
+	data = append(data, []byte(`{"seq":99999,"op":"modify","dn":"cn=W0,o=Luce`)...)
+	if err := os.WriteFile(crashed, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	restored := New(nil)
+	j2, err := OpenJournal(crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if _, err := restored.AttachJournal(j2); err != nil {
+		t.Fatalf("crash replay failed: %v", err)
+	}
+	for i, want := range ackedAtCrash {
+		e, err := restored.Get(dn.MustParse(fmt.Sprintf("cn=W%d,o=Lucent", i)))
+		if err != nil {
+			t.Fatalf("acked entry W%d lost: %v", i, err)
+		}
+		// Each writer's values ascend, so the restored value must be at
+		// least the one acked before the crash copy (later unacked writes
+		// may also have made it — fine; going backwards would mean an
+		// acked write was lost).
+		got := e.Attrs.First("roomNumber")
+		gotK, err1 := strconv.Atoi(got)
+		wantK, err2 := strconv.Atoi(want)
+		if err1 != nil || err2 != nil || gotK < wantK {
+			t.Errorf("W%d: acked write lost: restored roomNumber %q < acked %q", i, got, want)
+		}
+	}
+
+	// And the post-crash journal on the ORIGINAL path replays the complete
+	// final state once all writers finished.
+	if err := d.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+	full := reopen(t, path)
+	sameState(t, d, full)
 }
 
 // TestJournalRandomOpsProperty drives a random operation sequence and
@@ -225,7 +446,9 @@ func BenchmarkJournalAblation(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			j.SyncEveryWrite = syncEvery
+			if syncEvery {
+				j.Mode = SyncAlways
+			}
 			defer j.Close()
 			if _, err := d.AttachJournal(j); err != nil {
 				b.Fatal(err)

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"metacomm/internal/directory"
 	"metacomm/internal/ldap"
 	"metacomm/internal/ldapclient"
 	"metacomm/internal/ltap"
@@ -43,6 +44,11 @@ type Server struct {
 	// page: per-device circuit-breaker state, journal backlog, and
 	// retry/drain counters (um.OutboxStats; empty when disabled).
 	OutboxStats func() []um.OutboxStats
+	// JournalStats, when set, feeds the directory-journal section of the
+	// status page: group-commit batching, fsync amortization, and commit
+	// latency (directory.JournalStats; zero when the directory runs
+	// in-memory).
+	JournalStats func() directory.JournalStats
 
 	mux *http.ServeMux
 }
@@ -343,6 +349,26 @@ var statusTmpl = template.Must(template.Must(pageTmpl.Clone()).Parse(`{{define "
 <p>Before-image cache disabled; every trap fetches from the backend.</p>
 {{end}}
 {{end}}
+{{if .JWired}}
+<h2>Directory journal (group commit)</h2>
+<table border="1" cellpadding="4">
+<tr><th>Counter</th><th>Value</th></tr>
+<tr><td>Sync mode</td><td>{{.J.Mode}}</td></tr>
+<tr><td>Updates committed</td><td>{{.J.Appends}}</td></tr>
+<tr><td>Commit groups</td><td>{{.J.Batches}}</td></tr>
+<tr><td>Mean group size</td><td>{{.JMeanBatch}}</td></tr>
+<tr><td>Largest group</td><td>{{.J.MaxBatch}}</td></tr>
+<tr><td>Fsyncs</td><td>{{.J.Fsyncs}}</td></tr>
+<tr><td>Bytes written</td><td>{{.J.Bytes}}</td></tr>
+<tr><td>Mean commit latency</td><td>{{.JMeanCommit}}</td></tr>
+<tr><td>Torn tails truncated</td><td>{{.J.TornTails}}</td></tr>
+</table>
+<h3>Group size histogram</h3>
+<table border="1" cellpadding="4">
+<tr><th>1</th><th>2&ndash;4</th><th>5&ndash;16</th><th>17&ndash;64</th><th>65&ndash;256</th><th>&gt;256</th></tr>
+<tr>{{range .JHist}}<td>{{.}}</td>{{end}}</tr>
+</table>
+{{end}}
 {{if .Outboxes}}
 <h2>Device outbox / circuit breakers</h2>
 <table border="1" cellpadding="4">
@@ -403,6 +429,16 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if s.OutboxStats != nil {
 		if obs := s.OutboxStats(); len(obs) > 0 {
 			data["Outboxes"] = obs
+		}
+	}
+	data["JWired"] = false
+	if s.JournalStats != nil {
+		if js := s.JournalStats(); js.Batches > 0 || js.Mode != "" {
+			data["JWired"] = true
+			data["J"] = js
+			data["JMeanBatch"] = fmt.Sprintf("%.1f", js.MeanBatch())
+			data["JMeanCommit"] = js.MeanCommit().String()
+			data["JHist"] = js.BatchHist[:]
 		}
 	}
 	if s.SyncStats != nil {

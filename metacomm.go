@@ -135,6 +135,22 @@ type Config struct {
 	// are write-ahead journaled to <DataDir>/directory.journal and
 	// replayed on the next Start. Empty keeps the directory in memory.
 	DataDir string
+	// JournalSync selects the journal durability mode: "group" (the
+	// default — group commit: all concurrently committed updates share one
+	// buffered write and ONE fsync, each writer acked only once its group
+	// is durable), "always" (one fsync per update — same guarantee, no
+	// amortization), or "none" (flushed to the OS, never fsynced — the
+	// pre-group-commit behavior). Ignored without DataDir.
+	JournalSync string
+	// JournalBatch caps how many updates one commit group may carry
+	// (0 = directory.DefaultJournalBatch). Groups form from whatever is
+	// staged while the previous group's fsync is in flight, so the cap
+	// only bounds worst-case group latency under deep backlog.
+	JournalBatch int
+	// JournalLinger, when positive, holds a non-full commit group open
+	// that long waiting for more writers before fsyncing. Zero (default)
+	// never delays a group.
+	JournalLinger time.Duration
 	// AuditLog, when set, receives one line per update that passes through
 	// LTAP — including rejected ones — via the gateway's trigger facility.
 	AuditLog io.Writer
@@ -211,9 +227,20 @@ func Start(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		mode, err := directory.ParseSyncMode(defaultStr(cfg.JournalSync, "group"))
+		if err != nil {
+			j.Close()
+			return nil, fmt.Errorf("metacomm: %w", err)
+		}
+		j.Mode = mode
+		j.MaxBatch = cfg.JournalBatch
+		j.Linger = cfg.JournalLinger
 		s.journal = j
 		if _, err := s.DIT.AttachJournal(j); err != nil {
 			return nil, fmt.Errorf("metacomm: replaying journal: %w", err)
+		}
+		if st := s.DIT.JournalStats(); st.TornTails > 0 && cfg.Logger != nil {
+			cfg.Logger.Printf("journal: truncated a torn trailing record (crash mid-append); replay continued from the last complete record")
 		}
 	}
 	// The update path locates entries by device key on every translated
@@ -500,6 +527,12 @@ func (s *System) Close() {
 	}
 	if s.dirServer != nil {
 		s.dirServer.Close()
+	}
+	if s.DIT != nil {
+		// Flush the commit pipeline and close the attached journal; the
+		// direct Close below then only covers a journal that was opened
+		// but never attached (failed Start).
+		s.DIT.CloseJournal()
 	}
 	if s.journal != nil {
 		s.journal.Close()

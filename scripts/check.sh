@@ -9,6 +9,9 @@ go build ./...
 go test ./...
 go vet ./...
 go test -race -count=1 ./internal/directory/... ./internal/um/... ./internal/ltap/... ./internal/filter/... ./internal/device/...
+# Group-commit smoke: three concurrent writers against a SyncGroup journal
+# must produce at least one multi-record commit group (batch > 1 observed).
+go test -run TestJournalGroupCommitBatches -count=1 ./internal/directory/
 go test -fuzz=FuzzDecode -fuzztime=10s ./internal/ber/
 go test -fuzz=FuzzParse -fuzztime=10s ./internal/lexpress/
 go test -fuzz=FuzzCompilePattern -fuzztime=10s ./internal/lexpress/
