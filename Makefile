@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fuzz-smoke bench-smoke check bench bench-e19
+.PHONY: all build test vet race fuzz-smoke bench-smoke loadgen-smoke check bench bench-e19 bench-wire
 
 all: check
 
@@ -19,11 +19,12 @@ vet:
 	$(GO) vet ./...
 
 # The engine's ordering/quiesce guarantees, the DIT's copy-on-write
-# search snapshots, the filters' batched converge path, and the device
-# stores' fault injection under the outbox drainer are concurrency
+# search snapshots, the filters' batched converge path, the device
+# stores' fault injection under the outbox drainer, and the wire path's
+# borrowed-buffer decode and pipelined flushing are concurrency
 # properties; run their tests under the race detector.
 race:
-	$(GO) test -race -count=1 ./internal/directory/... ./internal/um/... ./internal/ltap/... ./internal/filter/... ./internal/device/...
+	$(GO) test -race -count=1 ./internal/directory/... ./internal/um/... ./internal/ltap/... ./internal/filter/... ./internal/device/... ./internal/ber/... ./internal/ldapserver/... ./internal/ldapclient/...
 
 # Ten seconds per fuzz target: enough to shake out decoder/parser panics on
 # every run without turning check into a fuzzing campaign. The checked-in
@@ -38,7 +39,12 @@ fuzz-smoke:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x .
 
-check: test vet race fuzz-smoke bench-smoke
+# Two seconds of the wire-path load generator against an in-process system:
+# catches harness rot (dial, seed, measure, JSON output) without a real run.
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -spawn -conns 64 -duration 2s -warmup 500ms -entries 64 -out /tmp/bench_wire_smoke.json
+
+check: test vet race fuzz-smoke bench-smoke loadgen-smoke
 
 # The experiment benchmarks behind EXPERIMENTS.md (long). -count is
 # parameterized so `make bench BENCH_COUNT=10 | tee new.txt` produces
@@ -52,3 +58,10 @@ bench:
 # ns/op; compare group/writers=16 against always/writers=16.
 bench-e19:
 	$(GO) test -run '^$$' -bench BenchmarkE19DurableWrites -benchtime=1s -count=$(BENCH_COUNT) .
+
+# The wire-path benchmark behind EXPERIMENTS.md E20: starts a real metacommd
+# process, drives it with cmd/loadgen at high connection count, and writes
+# BENCH_wire_<rev>.json at the repo root. Tunables: CONNS, DURATION,
+# PIPELINE, ENTRIES (see scripts/bench_wire.sh).
+bench-wire:
+	sh scripts/bench_wire.sh

@@ -1,0 +1,488 @@
+// Command loadgen drives a running metacommd (or a system it spawns itself)
+// with thousands of concurrent LDAP connections and a configurable
+// search/modify mix, and writes the measured throughput, latency
+// distribution, and allocation rate as machine-readable JSON — the wire-path
+// performance trajectory of the repo, one BENCH_wire_<rev>.json per
+// revision.
+//
+// Examples:
+//
+//	loadgen -spawn -conns 1000 -duration 10s          # hermetic, in-process system
+//	loadgen -addr 127.0.0.1:3890 -conns 2000          # against a running metacommd
+//
+// Each connection runs a closed loop: it fires a pipelined burst of
+// operations (one kernel write for the whole burst, see ldapclient.Pipeline),
+// reads the responses, and records each operation's completion latency. The
+// op mix defaults to 95% base-object searches / 5% roomNumber modifies —
+// the read-mostly regime the paper describes for directory workloads.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/bits"
+	"math/rand"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	metacomm "metacomm"
+	"metacomm/internal/ldap"
+	"metacomm/internal/ldapclient"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "LDAP address of a running metacommd (LTAP endpoint)")
+		spawn    = flag.Bool("spawn", false, "start a complete in-process system instead of dialing -addr")
+		conns    = flag.Int("conns", 1000, "concurrent LDAP connections")
+		duration = flag.Duration("duration", 10*time.Second, "measurement window")
+		warmup   = flag.Duration("warmup", time.Second, "warmup before measurement starts")
+		writePct = flag.Int("write-pct", 5, "percent of operations that are modifies (rest are searches)")
+		depth    = flag.Int("pipeline", 8, "operations pipelined per burst (1 = one round-trip per op)")
+		entries  = flag.Int("entries", 1000, "seeded person entries the workload targets")
+		beConns  = flag.Int("backend-conns", 32, "backing-directory pool size when -spawn (gateway searches fan out here)")
+		shards   = flag.Int("um-shards", 0, "UM shards when -spawn (0 = default)")
+		out      = flag.String("out", "", "output JSON path (default BENCH_wire_<rev>.json in the current directory)")
+		rev      = flag.String("rev", "", "revision label for the output file (default git rev-parse --short HEAD)")
+		seed     = flag.Int64("rand-seed", 1, "workload RNG seed (deterministic op mix per connection)")
+	)
+	flag.Parse()
+	if *spawn == (*addr != "") {
+		log.Fatal("loadgen: exactly one of -spawn or -addr is required")
+	}
+	if *writePct < 0 || *writePct > 100 {
+		log.Fatal("loadgen: -write-pct must be 0..100")
+	}
+	if *depth < 1 {
+		*depth = 1
+	}
+	raiseNoFile(*conns)
+
+	target := *addr
+	var sys *metacomm.System
+	if *spawn {
+		var err error
+		sys, err = metacomm.Start(metacomm.Config{
+			BackendConns: *beConns,
+			UMShards:     *shards,
+		})
+		if err != nil {
+			log.Fatalf("loadgen: spawn: %v", err)
+		}
+		defer sys.Close()
+		target = sys.LTAPAddrActual
+		fmt.Printf("spawned system at %s (backend-conns=%d)\n", target, *beConns)
+	}
+
+	dns, err := provision(target, *entries)
+	if err != nil {
+		log.Fatalf("loadgen: seeding %d entries: %v", *entries, err)
+	}
+	fmt.Printf("seeded %d entries; opening %d connections...\n", len(dns), *conns)
+
+	cfgRun := runConfig{
+		conns:    *conns,
+		duration: *duration,
+		warmup:   *warmup,
+		writePct: *writePct,
+		depth:    *depth,
+		seed:     *seed,
+	}
+	r := run(target, dns, cfgRun)
+	r.Config.Spawned = *spawn
+	if sys != nil {
+		ws := sys.WireStats()
+		r.ServerWire = &wireJSON{
+			LTAPMessagesRead:      ws.LTAP.MessagesRead,
+			LTAPResponsesWritten:  ws.LTAP.ResponsesWritten,
+			LTAPFlushes:           ws.LTAP.Flushes,
+			LTAPResponsesPerFlush: round2(ws.LTAP.ResponsesPerFlush()),
+			DirMessagesRead:       ws.Directory.MessagesRead,
+			DirResponsesWritten:   ws.Directory.ResponsesWritten,
+			DirFlushes:            ws.Directory.Flushes,
+			DirResponsesPerFlush:  round2(ws.Directory.ResponsesPerFlush()),
+		}
+	}
+	r.Rev = revision(*rev)
+	r.Timestamp = time.Now().UTC().Format(time.RFC3339)
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_wire_%s.json", r.Rev)
+	}
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		log.Fatalf("loadgen: marshal: %v", err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		log.Fatalf("loadgen: write %s: %v", path, err)
+	}
+
+	fmt.Printf("ops=%d (%d errors) over %.1fs: %.0f ops/s\n",
+		r.Ops, r.Errors, r.Config.DurationSec, r.OpsPerSec)
+	fmt.Printf("latency µs: p50=%d p90=%d p99=%d p999=%d max=%d mean=%.0f\n",
+		r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.P999, r.Latency.Max, r.Latency.Mean)
+	fmt.Printf("client allocs/op=%.1f\n", r.AllocsPerOp)
+	if r.ServerWire != nil {
+		fmt.Printf("server coalescing: ltap %.1f responses/flush, directory %.1f responses/flush\n",
+			r.ServerWire.LTAPResponsesPerFlush, r.ServerWire.DirResponsesPerFlush)
+	}
+	fmt.Printf("wrote %s\n", path)
+	if r.Errors > r.Ops/100 {
+		log.Fatalf("loadgen: error rate over 1%% (%d/%d)", r.Errors, r.Ops)
+	}
+}
+
+// raiseNoFile lifts the fd soft limit toward the hard limit so thousands of
+// sockets (plus the spawned system's accept side) fit in one process.
+func raiseNoFile(conns int) {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return
+	}
+	need := uint64(4*conns + 256)
+	if rl.Cur >= need {
+		return
+	}
+	rl.Cur = rl.Max
+	if rl.Cur > need {
+		rl.Cur = need
+	}
+	_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl)
+}
+
+// provision seeds the person entries the workload reads and writes, shaped
+// like the repo's benchmark population. Re-running against a system that
+// already has them is fine (entryAlreadyExists is not an error here).
+func provision(addr string, n int) ([]string, error) {
+	c, err := ldapclient.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	dns := make([]string, n)
+	const batch = 64
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		ops := make([]ldap.Op, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			dns[i] = fmt.Sprintf("cn=Load Person %05d,o=Lucent", i)
+			ops = append(ops, &ldap.AddRequest{DN: dns[i], Attributes: []ldap.Attribute{
+				{Type: "objectClass", Values: []string{"mcPerson", "definityUser"}},
+				{Type: "cn", Values: []string{fmt.Sprintf("Load Person %05d", i)}},
+				{Type: "sn", Values: []string{fmt.Sprintf("Person %05d", i)}},
+				{Type: "definityExtension", Values: []string{fmt.Sprintf("3-%05d", i)}},
+			}})
+		}
+		for _, res := range c.Pipeline(ops) {
+			if res.Err != nil && !strings.Contains(res.Err.Error(), "already exists") {
+				return nil, res.Err
+			}
+		}
+	}
+	return dns, nil
+}
+
+type runConfig struct {
+	conns    int
+	duration time.Duration
+	warmup   time.Duration
+	writePct int
+	depth    int
+	seed     int64
+}
+
+// result is the machine-readable benchmark record.
+type result struct {
+	Rev       string     `json:"rev"`
+	Timestamp string     `json:"timestamp"`
+	Config    configJSON `json:"config"`
+	Ops       uint64     `json:"ops"`
+	Errors    uint64     `json:"errors"`
+	OpsPerSec float64    `json:"ops_per_sec"`
+	// PerSecond is the throughput trajectory, one sample per elapsed second.
+	PerSecond []uint64    `json:"per_second"`
+	Latency   latencyJSON `json:"latency_us"`
+	// AllocsPerOp is the process-wide heap allocation count per completed
+	// operation over the measurement window (includes the in-process server
+	// when -spawn).
+	AllocsPerOp float64   `json:"allocs_per_op"`
+	ServerWire  *wireJSON `json:"server_wire,omitempty"`
+}
+
+type configJSON struct {
+	Conns       int     `json:"conns"`
+	Pipeline    int     `json:"pipeline"`
+	WritePct    int     `json:"write_pct"`
+	DurationSec float64 `json:"duration_sec"`
+	Entries     int     `json:"entries"`
+	Spawned     bool    `json:"spawned"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+}
+
+type latencyJSON struct {
+	P50  uint64  `json:"p50"`
+	P90  uint64  `json:"p90"`
+	P99  uint64  `json:"p99"`
+	P999 uint64  `json:"p999"`
+	Max  uint64  `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+type wireJSON struct {
+	LTAPMessagesRead      uint64  `json:"ltap_messages_read"`
+	LTAPResponsesWritten  uint64  `json:"ltap_responses_written"`
+	LTAPFlushes           uint64  `json:"ltap_flushes"`
+	LTAPResponsesPerFlush float64 `json:"ltap_responses_per_flush"`
+	DirMessagesRead       uint64  `json:"dir_messages_read"`
+	DirResponsesWritten   uint64  `json:"dir_responses_written"`
+	DirFlushes            uint64  `json:"dir_flushes"`
+	DirResponsesPerFlush  float64 `json:"dir_responses_per_flush"`
+}
+
+// run opens cfg.conns connections, lets them spin through warmup, measures
+// for cfg.duration, and aggregates the per-worker histograms.
+func run(addr string, dns []string, cfg runConfig) result {
+	var (
+		recording atomic.Bool
+		stop      atomic.Bool
+		ops       atomic.Uint64 // completed ops while recording
+		errs      atomic.Uint64
+		dialErrs  atomic.Uint64
+	)
+	workers := make([]*worker, cfg.conns)
+	var wg sync.WaitGroup
+	for i := range workers {
+		w := &worker{
+			hist: newHist(),
+			rng:  rand.New(rand.NewSource(cfg.seed + int64(i))),
+		}
+		workers[i] = w
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := ldapclient.Dial(addr)
+			if err != nil {
+				dialErrs.Add(1)
+				return
+			}
+			defer c.Close()
+			w.loop(c, dns, cfg, &recording, &stop, &ops, &errs)
+		}(i)
+	}
+
+	time.Sleep(cfg.warmup)
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	recording.Store(true)
+	start := time.Now()
+
+	// Sample the throughput trajectory once per second.
+	perSecond := make([]uint64, 0, int(cfg.duration/time.Second)+1)
+	tick := time.NewTicker(time.Second)
+	var last uint64
+	for elapsed := time.Duration(0); elapsed < cfg.duration; {
+		<-tick.C
+		elapsed = time.Since(start)
+		cur := ops.Load()
+		perSecond = append(perSecond, cur-last)
+		last = cur
+	}
+	tick.Stop()
+
+	recording.Store(false)
+	elapsed := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	stop.Store(true)
+	wg.Wait()
+
+	total := ops.Load()
+	h := newHist()
+	for _, w := range workers {
+		h.merge(w.hist)
+	}
+	res := result{
+		Config: configJSON{
+			Conns:       cfg.conns,
+			Pipeline:    cfg.depth,
+			WritePct:    cfg.writePct,
+			DurationSec: round2(elapsed.Seconds()),
+			Entries:     len(dns),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		},
+		Ops:       total,
+		Errors:    errs.Load() + dialErrs.Load(),
+		OpsPerSec: round2(float64(total) / elapsed.Seconds()),
+		PerSecond: perSecond,
+		Latency: latencyJSON{
+			P50:  h.quantile(0.50),
+			P90:  h.quantile(0.90),
+			P99:  h.quantile(0.99),
+			P999: h.quantile(0.999),
+			Max:  h.max,
+			Mean: round2(h.mean()),
+		},
+	}
+	if total > 0 {
+		res.AllocsPerOp = round2(float64(msAfter.Mallocs-msBefore.Mallocs) / float64(total))
+	}
+	if n := dialErrs.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d of %d connections failed to dial\n", n, cfg.conns)
+	}
+	return res
+}
+
+// worker is one connection's closed loop.
+type worker struct {
+	hist *hist
+	rng  *rand.Rand
+}
+
+func (w *worker) loop(c *ldapclient.Conn, dns []string, cfg runConfig,
+	recording, stop *atomic.Bool, ops, errs *atomic.Uint64) {
+	burst := make([]ldap.Op, cfg.depth)
+	gen := 0
+	for !stop.Load() {
+		for i := range burst {
+			dn := dns[w.rng.Intn(len(dns))]
+			if w.rng.Intn(100) < cfg.writePct {
+				gen++
+				burst[i] = &ldap.ModifyRequest{DN: dn, Changes: []ldap.Change{{
+					Op: ldap.ModReplace,
+					Attribute: ldap.Attribute{Type: "roomNumber",
+						Values: []string{fmt.Sprintf("R-%d", gen)}},
+				}}}
+			} else {
+				burst[i] = &ldap.SearchRequest{BaseDN: dn, Scope: ldap.ScopeBaseObject}
+			}
+		}
+		t0 := time.Now()
+		results := c.Pipeline(burst)
+		us := uint64(time.Since(t0).Microseconds())
+		if !recording.Load() {
+			for _, r := range results {
+				if r.Err != nil {
+					return // poisoned connection; transport errors don't recover
+				}
+			}
+			continue
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				errs.Add(1)
+				return
+			}
+			ops.Add(1)
+			w.hist.record(us)
+		}
+	}
+}
+
+// hist is an HDR-style log-linear histogram of microsecond latencies: exact
+// below 32µs, then 32 sub-buckets per power of two (≤ ~3% relative error),
+// covering up to ~2^31 µs (~36 min) in 1024 counters.
+type hist struct {
+	counts [1024]uint64
+	total  uint64
+	sum    uint64
+	max    uint64
+}
+
+func newHist() *hist { return &hist{} }
+
+func (h *hist) record(us uint64) {
+	h.counts[histIndex(us)]++
+	h.total++
+	h.sum += us
+	if us > h.max {
+		h.max = us
+	}
+}
+
+func histIndex(v uint64) int {
+	if v < 32 {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 6 // v >= 32, so exp >= 0
+	idx := (exp+1)*32 + int(v>>uint(exp)) - 32
+	if idx >= len((*hist)(nil).counts) {
+		return len((*hist)(nil).counts) - 1
+	}
+	return idx
+}
+
+// histValue returns the upper edge of bucket idx.
+func histValue(idx int) uint64 {
+	if idx < 32 {
+		return uint64(idx)
+	}
+	exp := idx/32 - 1
+	sub := uint64(idx%32) + 32
+	return (sub + 1) << uint(exp)
+}
+
+func (h *hist) merge(o *hist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+func (h *hist) quantile(q float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.total))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > target {
+			v := histValue(i)
+			if v > h.max {
+				return h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+func (h *hist) mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// revision resolves the label for the output filename.
+func revision(explicit string) string {
+	if explicit != "" {
+		return explicit
+	}
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}

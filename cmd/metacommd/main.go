@@ -41,6 +41,7 @@ func main() {
 		devSess  = flag.Int("device-sessions", 0, "pooled administration sessions per device (0 = single session)")
 		devLat   = flag.Duration("device-latency", 0, "simulated per-update processing time in the device simulators")
 		beConns  = flag.Int("backend-conns", 0, "pooled connections to the backing directory per component (0 = default)")
+		maxMsg   = flag.Int("max-message", 0, "max LDAP request message size in bytes on both listeners (0 = 4 MB default)")
 		gwCache  = flag.Int("gateway-cache", 0, "LTAP before-image cache capacity (0 = default, negative disables)")
 		outbox   = flag.String("outbox-dir", "", "journal directory for the durable device-update outbox (empty disables)")
 		obRetry  = flag.Int("outbox-retries", 0, "outbox replay attempts before targeted repair (0 = default)")
@@ -73,25 +74,26 @@ func main() {
 		auditW = f
 	}
 	sys, err := metacomm.Start(metacomm.Config{
-		Suffix:          *suffix,
-		DirectoryAddr:   *dirAddr,
-		LTAPAddr:        *ltap,
-		PBXAddr:         *pbxAddr,
-		MPAddr:          *mpAddr,
-		Mode:            metacomm.Mode(*mode),
-		UMShards:        *umShards,
-		UMQueueDepth:    *umQueue,
-		SyncWorkers:     *syncWk,
-		DeviceSessions:  *devSess,
-		DeviceLatency:   *devLat,
-		BackendConns:    *beConns,
-		GatewayCache:    *gwCache,
+		Suffix:         *suffix,
+		DirectoryAddr:  *dirAddr,
+		LTAPAddr:       *ltap,
+		PBXAddr:        *pbxAddr,
+		MPAddr:         *mpAddr,
+		Mode:           metacomm.Mode(*mode),
+		UMShards:       *umShards,
+		UMQueueDepth:   *umQueue,
+		SyncWorkers:    *syncWk,
+		DeviceSessions: *devSess,
+		DeviceLatency:  *devLat,
+		BackendConns:   *beConns,
+		MaxMessageSize: *maxMsg,
+		GatewayCache:   *gwCache,
 		Outbox: metacomm.OutboxConfig{
 			Dir:         *outbox,
 			MaxRetries:  *obRetry,
 			BaseBackoff: *obBack,
 		},
-		InitialSync: true,
+		InitialSync:     true,
 		DataDir:         *dataDir,
 		JournalSync:     *jSync,
 		JournalBatch:    *jBatch,
@@ -139,6 +141,13 @@ func main() {
 	st := sys.UM.Stats()
 	fmt.Printf("shutting down; um: shards=%d processed=%d pending=%d busy-rejections=%d device-applies=%d errors=%d\n",
 		st.Shards, st.UpdatesProcessed, st.Pending, st.QueueRejections, st.DeviceApplies, st.ErrorsLogged)
+	ws := sys.WireStats()
+	fmt.Printf("wire ltap: messages=%d responses=%d flushes=%d responses/flush=%.1f oversize-rejected=%d\n",
+		ws.LTAP.MessagesRead, ws.LTAP.ResponsesWritten, ws.LTAP.Flushes,
+		ws.LTAP.ResponsesPerFlush(), ws.LTAP.OversizeRejected)
+	fmt.Printf("wire directory: messages=%d responses=%d flushes=%d responses/flush=%.1f oversize-rejected=%d\n",
+		ws.Directory.MessagesRead, ws.Directory.ResponsesWritten, ws.Directory.Flushes,
+		ws.Directory.ResponsesPerFlush(), ws.Directory.OversizeRejected)
 	gs := sys.Gateway.Stats()
 	fmt.Printf("gateway: searches=%d updates=%d backend-fetches=%d cache-hits=%d cache-misses=%d hit-rate=%.1f%% quiesces=%d quiesce-ms=%.1f updates-delayed=%d\n",
 		gs.Searches, gs.Updates, gs.BackendFetches, gs.Cache.Hits, gs.Cache.Misses, 100*gs.Cache.HitRate(),

@@ -448,7 +448,11 @@ func decodeLength(b []byte) (length, consumed int, err error) {
 
 // ReadElement reads one complete BER element from r. It reads the identifier
 // and length octets byte-at-a-time, then the content in full, so it can sit
-// directly on a net.Conn without framing.
+// directly on a net.Conn without framing. The result owns its memory (safe
+// to retain), and the message is bounded by DefaultMaxMessageSize.
+//
+// Connection loops should prefer Reader, which amortizes the per-message
+// buffers and Element allocations this function pays on every call.
 func ReadElement(r io.Reader) (*Element, error) {
 	header := make([]byte, 0, 8)
 	one := make([]byte, 1)
@@ -499,6 +503,9 @@ func ReadElement(r io.Reader) (*Element, error) {
 			length = length<<8 | int(c)
 		}
 	}
+	if total := len(header) + length; total > DefaultMaxMessageSize {
+		return nil, fmt.Errorf("%w: %d bytes over limit %d", ErrTooLarge, total, DefaultMaxMessageSize)
+	}
 	if length > MaxElementSize {
 		return nil, fmt.Errorf("ber: element of %d bytes exceeds limit", length)
 	}
@@ -509,6 +516,27 @@ func ReadElement(r io.Reader) (*Element, error) {
 	}
 	e, _, err := Decode(buf)
 	return e, err
+}
+
+// Clone returns a deep copy of e that owns all of its memory. It is the
+// copy-on-retain escape hatch for borrowed trees produced by Reader /
+// Decoder: anything that must outlive the next read (cache entries,
+// journal lines, changelog records) clones first.
+func (e *Element) Clone() *Element {
+	if e == nil {
+		return nil
+	}
+	c := &Element{Class: e.Class, Tag: e.Tag, Constructed: e.Constructed}
+	if e.Value != nil {
+		c.Value = append([]byte(nil), e.Value...)
+	}
+	if e.Children != nil {
+		c.Children = make([]*Element, len(e.Children))
+		for i, ch := range e.Children {
+			c.Children[i] = ch.Clone()
+		}
+	}
+	return c
 }
 
 // String renders e for debugging.

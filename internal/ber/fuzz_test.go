@@ -21,6 +21,21 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		e, n, err := Decode(data)
+		// The zero-copy arena decoder must agree with the canonical decoder
+		// on every input: same error, same consumed count, same tree.
+		var d Decoder
+		ae, an, aerr := d.Decode(data)
+		if (err == nil) != (aerr == nil) {
+			t.Fatalf("decoder divergence on error: Decode=%v Decoder=%v", err, aerr)
+		}
+		if err == nil {
+			if an != n {
+				t.Fatalf("decoder divergence on consumed: Decode=%d Decoder=%d", n, an)
+			}
+			if enc, aenc := e.Encode(), ae.Encode(); !bytes.Equal(enc, aenc) {
+				t.Fatalf("decoder divergence on tree:\nDecode:  %x\nDecoder: %x", enc, aenc)
+			}
+		}
 		if err != nil {
 			return
 		}

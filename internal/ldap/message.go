@@ -177,6 +177,11 @@ type ExtendedRequest struct {
 	Value []byte
 }
 
+// NoticeOfDisconnection is the OID of the unsolicited notice (RFC 4511
+// §4.4.1) a server sends, with message ID 0, before dropping a connection it
+// cannot continue to serve — e.g. one that sent an oversized message.
+const NoticeOfDisconnection = "1.3.6.1.4.1.1466.20036"
+
 // Response operations.
 
 // BindResponse carries the result of a bind.
@@ -372,9 +377,45 @@ func (m *Message) element() *ber.Element {
 
 // --- decoding ---
 
-// ReadMessage reads and decodes one LDAPMessage from r.
+// ReadMessage reads and decodes one LDAPMessage from r, allocating fresh
+// buffers for the message. Connection loops should prefer Reader, which
+// reuses its decode storage across messages.
 func ReadMessage(r io.Reader) (*Message, error) {
 	e, err := ber.ReadElement(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMessage(e)
+}
+
+// Reader reads LDAP messages from one connection with zero-copy BER decode:
+// the BER element tree is borrowed from per-connection reused storage, and
+// DecodeMessage converts everything it keeps into owned memory (strings, or
+// explicit clones for the raw []byte fields), so returned Messages are safe
+// to retain — changelog records, cache entries and journal lines built from
+// them never alias the read buffer. Not safe for concurrent use.
+type Reader struct {
+	br *ber.Reader
+}
+
+// NewReader wraps r (ideally a net.Conn; it is buffered internally).
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: ber.NewReader(r)}
+}
+
+// SetMaxMessageSize bounds a single wire message; n <= 0 restores
+// ber.DefaultMaxMessageSize. Oversized messages fail with an error wrapping
+// ber.ErrTooLarge before their content is read or allocated.
+func (r *Reader) SetMaxMessageSize(n int) { r.br.SetMaxMessageSize(n) }
+
+// MessageBuffered reports whether a complete request is already buffered, so
+// servers can coalesce responses: flush only before a read that would block.
+func (r *Reader) MessageBuffered() bool { return r.br.MessageBuffered() }
+
+// ReadMessage reads and decodes one LDAPMessage. The returned message owns
+// its memory.
+func (r *Reader) ReadMessage() (*Message, error) {
+	e, err := r.br.ReadElement()
 	if err != nil {
 		return nil, err
 	}
@@ -623,7 +664,10 @@ func decodeOp(e *ber.Element) (Op, error) {
 			case 0:
 				req.Name = c.Str()
 			case 1:
-				req.Value = c.Value
+				// Copy-on-retain: the element may borrow a reused read
+				// buffer (ldap.Reader), and extended values can outlive the
+				// request (quiesce bodies, future controls).
+				req.Value = append([]byte(nil), c.Value...)
 			}
 		}
 		if req.Name == "" {
@@ -683,7 +727,8 @@ func decodeOp(e *ber.Element) (Op, error) {
 			case 10:
 				resp.Name = c.Str()
 			case 11:
-				resp.Value = c.Value
+				// Copy-on-retain, as for ExtendedRequest above.
+				resp.Value = append([]byte(nil), c.Value...)
 			}
 		}
 		return resp, nil

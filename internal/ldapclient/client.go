@@ -5,7 +5,6 @@
 package ldapclient
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -67,9 +66,11 @@ func equalFold(a, b string) bool {
 type Conn struct {
 	mu sync.Mutex
 	nc net.Conn
-	// br buffers reads from nc: BER headers are parsed byte-at-a-time, so
-	// reading the conn raw would cost several syscalls per response.
-	br     *bufio.Reader
+	// rd owns this connection's read-path storage: a buffered reader (BER
+	// headers never hit the conn byte-at-a-time), a reused message buffer
+	// and a reused element arena, bounded by SetMaxMessageSize. Decoded
+	// responses own their memory; only the wire bytes are borrowed.
+	rd     *ldap.Reader
 	nextID int32
 	closed bool
 }
@@ -80,7 +81,17 @@ func Dial(addr string) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Conn{nc: nc, br: bufio.NewReaderSize(nc, 4096), nextID: 1}, nil
+	return &Conn{nc: nc, rd: ldap.NewReader(nc), nextID: 1}, nil
+}
+
+// SetMaxMessageSize bounds a single response message (0 restores the
+// default, ber.DefaultMaxMessageSize). An oversized response fails the
+// in-flight operation before its content is read or allocated; the
+// connection should then be discarded.
+func (c *Conn) SetMaxMessageSize(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rd.SetMaxMessageSize(n)
 }
 
 // Close sends an unbind and closes the connection.
@@ -109,7 +120,7 @@ func (c *Conn) roundTrip(op ldap.Op, onEntry func(*ldap.SearchResultEntry)) (lda
 		return nil, err
 	}
 	for {
-		msg, err := ldap.ReadMessage(c.br)
+		msg, err := c.rd.ReadMessage()
 		if err != nil {
 			return nil, err
 		}
@@ -215,63 +226,139 @@ type ModifyOp struct {
 	Changes []ldap.Change
 }
 
-// ModifyBatch pipelines a set of modify operations over the connection: all
-// requests are encoded into one buffer and written with a single syscall,
-// then the responses are read back in order. The server processes one
-// request per connection at a time and responds in order, so pipelining is
-// wire-safe and saves a network round-trip per operation — the payoff for
-// bulk reconciliation (the UM sync engine's directory writebacks).
+// PipelineResult carries the outcome of one pipelined operation: the final
+// response op, collected search entries (search requests only), and the
+// operation's error (transport or result).
+type PipelineResult struct {
+	Op      ldap.Op
+	Entries []*Entry
+	Err     error
+}
+
+// Pipeline writes a burst of independent requests in one buffer — a single
+// kernel write — then reads the responses back in order. The server
+// processes one request per connection at a time and responds in order, so
+// pipelining is wire-safe and saves a network round-trip per operation; with
+// the server's coalesced flushing, the responses come back in one write
+// too. Search requests collect their entry stream into Entries.
 //
-// The returned slice has one element per op: nil on success, the op's
-// result error otherwise. A transport failure fills every remaining slot.
-func (c *Conn) ModifyBatch(ops []ModifyOp) []error {
-	errs := make([]error, len(ops))
+// The returned slice has one element per op. A transport failure fails every
+// remaining slot and poisons the connection for the ops after it.
+func (c *Conn) Pipeline(ops []ldap.Op) []PipelineResult {
+	out := make([]PipelineResult, len(ops))
 	if len(ops) == 0 {
-		return errs
+		return out
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		for i := range errs {
-			errs[i] = errors.New("ldapclient: connection closed")
+		err := errors.New("ldapclient: connection closed")
+		for i := range out {
+			out[i].Err = err
 		}
-		return errs
+		return out
 	}
 	firstID := c.nextID
 	var buf []byte
 	for _, op := range ops {
-		m := &ldap.Message{ID: c.nextID, Op: &ldap.ModifyRequest{DN: op.DN, Changes: op.Changes}}
+		m := &ldap.Message{ID: c.nextID, Op: op}
 		c.nextID++
 		buf = m.AppendTo(buf)
 	}
 	if _, err := c.nc.Write(buf); err != nil {
-		for i := range errs {
-			errs[i] = err
+		for i := range out {
+			out[i].Err = err
 		}
-		return errs
+		return out
 	}
 	for i := range ops {
-		msg, err := ldap.ReadMessage(c.br)
-		if err != nil {
-			for j := i; j < len(ops); j++ {
-				errs[j] = err
-			}
-			return errs
-		}
 		want := firstID + int32(i)
-		if msg.ID != want {
-			err := fmt.Errorf("ldapclient: response id %d for request %d", msg.ID, want)
-			for j := i; j < len(ops); j++ {
-				errs[j] = err
+		for {
+			msg, err := c.rd.ReadMessage()
+			if err != nil {
+				for j := i; j < len(ops); j++ {
+					out[j].Err = err
+				}
+				return out
 			}
-			return errs
+			if msg.ID != want {
+				err := fmt.Errorf("ldapclient: response id %d for request %d", msg.ID, want)
+				for j := i; j < len(ops); j++ {
+					out[j].Err = err
+				}
+				return out
+			}
+			if e, ok := msg.Op.(*ldap.SearchResultEntry); ok {
+				out[i].Entries = append(out[i].Entries, &Entry{DN: e.DN, Attributes: e.Attributes})
+				continue
+			}
+			out[i].Op = msg.Op
+			out[i].Err = resultErr(ops[i], msg.Op)
+			break
 		}
-		resp, ok := msg.Op.(*ldap.ModifyResponse)
-		if !ok {
-			errs[i] = fmt.Errorf("ldapclient: unexpected response %T to modify", msg.Op)
-			continue
+	}
+	return out
+}
+
+// resultErr extracts the op-level error from a final response, checking the
+// response type matches the request.
+func resultErr(req, resp ldap.Op) error {
+	switch req.(type) {
+	case *ldap.SearchRequest:
+		if r, ok := resp.(*ldap.SearchResultDone); ok {
+			return r.Result.Err()
 		}
-		errs[i] = resp.Result.Err()
+	case *ldap.ModifyRequest:
+		if r, ok := resp.(*ldap.ModifyResponse); ok {
+			return r.Result.Err()
+		}
+	case *ldap.AddRequest:
+		if r, ok := resp.(*ldap.AddResponse); ok {
+			return r.Result.Err()
+		}
+	case *ldap.DeleteRequest:
+		if r, ok := resp.(*ldap.DeleteResponse); ok {
+			return r.Result.Err()
+		}
+	case *ldap.ModifyDNRequest:
+		if r, ok := resp.(*ldap.ModifyDNResponse); ok {
+			return r.Result.Err()
+		}
+	case *ldap.CompareRequest:
+		if r, ok := resp.(*ldap.CompareResponse); ok {
+			switch r.Result.Code {
+			case ldap.ResultCompareTrue, ldap.ResultCompareFalse:
+				return nil
+			}
+			return r.Result.Err()
+		}
+	case *ldap.BindRequest:
+		if r, ok := resp.(*ldap.BindResponse); ok {
+			return r.Result.Err()
+		}
+	case *ldap.ExtendedRequest:
+		if r, ok := resp.(*ldap.ExtendedResponse); ok {
+			return r.Result.Err()
+		}
+	}
+	return fmt.Errorf("ldapclient: unexpected response %T to %T", resp, req)
+}
+
+// ModifyBatch pipelines a set of modify operations over the connection (see
+// Pipeline) — the payoff for bulk reconciliation (the UM sync engine's
+// directory writebacks).
+//
+// The returned slice has one element per op: nil on success, the op's
+// result error otherwise. A transport failure fills every remaining slot.
+func (c *Conn) ModifyBatch(ops []ModifyOp) []error {
+	reqs := make([]ldap.Op, len(ops))
+	for i, op := range ops {
+		reqs[i] = &ldap.ModifyRequest{DN: op.DN, Changes: op.Changes}
+	}
+	results := c.Pipeline(reqs)
+	errs := make([]error, len(ops))
+	for i, r := range results {
+		errs[i] = r.Err
 	}
 	return errs
 }

@@ -1,0 +1,71 @@
+package ldapclient_test
+
+import (
+	"testing"
+
+	"metacomm/internal/ldap"
+)
+
+// TestPipelineMixedOps drives a single burst mixing searches, modifies, a
+// compare, and a failing op, and checks every slot comes back positionally
+// with its own entries and error.
+func TestPipelineMixedOps(t *testing.T) {
+	c := startServer(t)
+	seedBatchPeople(t, c, "A", "B")
+
+	results := c.Pipeline([]ldap.Op{
+		&ldap.SearchRequest{BaseDN: "cn=A,o=Lucent", Scope: ldap.ScopeBaseObject},
+		&ldap.ModifyRequest{DN: "cn=B,o=Lucent", Changes: []ldap.Change{{Op: ldap.ModReplace,
+			Attribute: ldap.Attribute{Type: "roomNumber", Values: []string{"4D"}}}}},
+		&ldap.SearchRequest{BaseDN: "cn=Ghost,o=Lucent", Scope: ldap.ScopeBaseObject},
+		&ldap.CompareRequest{DN: "cn=A,o=Lucent", Attr: "sn", Value: "A"},
+		&ldap.SearchRequest{BaseDN: "cn=B,o=Lucent", Scope: ldap.ScopeBaseObject},
+	})
+	if len(results) != 5 {
+		t.Fatalf("got %d results, want 5", len(results))
+	}
+	if results[0].Err != nil || len(results[0].Entries) != 1 || results[0].Entries[0].First("sn") != "A" {
+		t.Errorf("search A = %+v", results[0])
+	}
+	if results[1].Err != nil {
+		t.Errorf("modify B: %v", results[1].Err)
+	}
+	if !ldap.IsCode(results[2].Err, ldap.ResultNoSuchObject) {
+		t.Errorf("ghost search err = %v, want noSuchObject", results[2].Err)
+	}
+	if results[3].Err != nil {
+		t.Errorf("compare: %v", results[3].Err)
+	}
+	if r, ok := results[3].Op.(*ldap.CompareResponse); !ok || r.Result.Code != ldap.ResultCompareTrue {
+		t.Errorf("compare op = %#v, want compareTrue", results[3].Op)
+	}
+	// The modify earlier in the same burst is visible to the later search:
+	// pipelining preserves in-order execution on the connection.
+	if results[4].Err != nil || results[4].Entries[0].First("roomNumber") != "4D" {
+		t.Errorf("search B after modify = %+v", results[4])
+	}
+
+	// The connection still serves ordinary requests afterwards.
+	if _, err := c.SearchOne(&ldap.SearchRequest{BaseDN: "cn=A,o=Lucent", Scope: ldap.ScopeBaseObject}); err != nil {
+		t.Errorf("post-pipeline search: %v", err)
+	}
+}
+
+// TestPipelineEntriesStreamPerSlot checks a subtree search inside a burst
+// collects its whole entry stream into its own slot.
+func TestPipelineEntriesStreamPerSlot(t *testing.T) {
+	c := startServer(t)
+	seedBatchPeople(t, c, "A", "B", "C")
+
+	results := c.Pipeline([]ldap.Op{
+		&ldap.SearchRequest{BaseDN: "o=Lucent", Scope: ldap.ScopeWholeSubtree,
+			Filter: ldap.Eq("objectClass", "mcPerson")},
+		&ldap.CompareRequest{DN: "cn=C,o=Lucent", Attr: "sn", Value: "C"},
+	})
+	if results[0].Err != nil || len(results[0].Entries) != 3 {
+		t.Fatalf("subtree slot = %+v", results[0])
+	}
+	if results[1].Err != nil {
+		t.Fatalf("compare after stream: %v", results[1].Err)
+	}
+}

@@ -12,7 +12,9 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 
+	"metacomm/internal/ber"
 	"metacomm/internal/ldap"
 )
 
@@ -46,12 +48,59 @@ type Server struct {
 	Handler Handler
 	// ErrorLog receives connection-level errors; nil discards them.
 	ErrorLog *log.Logger
+	// MaxMessageSize bounds a single request message (identifier + length +
+	// content); 0 means ber.DefaultMaxMessageSize. A request declaring a
+	// larger length is answered with a protocolError unsolicited notice and
+	// the connection is closed, before any content is read or allocated.
+	MaxMessageSize int
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]bool
 	closed   bool
 	wg       sync.WaitGroup
+
+	wire wireCounters
+}
+
+// wireCounters aggregates per-connection wire activity across the server.
+type wireCounters struct {
+	messagesRead     atomic.Uint64
+	responsesWritten atomic.Uint64
+	flushes          atomic.Uint64
+	oversizeRejected atomic.Uint64
+}
+
+// WireStats is a point-in-time snapshot of the server's wire-path counters.
+// ResponsesWritten counts every response message including streamed search
+// entries; Flushes counts explicit buffer flushes (the 4 KB write buffer may
+// add implicit ones when a large search stream overflows it), so
+// ResponsesWritten/Flushes approximates the pipelining coalescing factor
+// (1.0 = one write syscall per response).
+type WireStats struct {
+	MessagesRead     uint64
+	ResponsesWritten uint64
+	Flushes          uint64
+	OversizeRejected uint64
+}
+
+// ResponsesPerFlush returns the mean number of response messages coalesced
+// into one kernel write.
+func (w WireStats) ResponsesPerFlush() float64 {
+	if w.Flushes == 0 {
+		return 0
+	}
+	return float64(w.ResponsesWritten) / float64(w.Flushes)
+}
+
+// WireStats snapshots the server's wire counters.
+func (s *Server) WireStats() WireStats {
+	return WireStats{
+		MessagesRead:     s.wire.messagesRead.Load(),
+		ResponsesWritten: s.wire.responsesWritten.Load(),
+		Flushes:          s.wire.flushes.Load(),
+		OversizeRejected: s.wire.oversizeRejected.Load(),
+	}
 }
 
 // NewServer returns a server for the handler.
@@ -132,13 +181,17 @@ func (s *Server) serveConn(nc net.Conn) {
 		s.mu.Unlock()
 	}()
 	conn := &Conn{RemoteAddr: nc.RemoteAddr().String(), Data: map[string]any{}}
-	// BER elements are read byte-at-a-time for the header, so an
-	// unbuffered net.Conn costs several syscalls per message; the buffered
-	// reader makes it one. The buffered writer coalesces a whole
-	// operation's responses — every streamed search entry plus the final
-	// result — into a single Write, flushed once per request below.
-	br := bufio.NewReaderSize(nc, 4096)
+	// The reader owns this connection's decode storage: a buffered reader
+	// (headers parse without byte-at-a-time conn reads), a reused message
+	// buffer, and an element arena — steady-state BER decode allocates
+	// nothing. DecodeMessage copies what it keeps, so handlers own their
+	// requests. The buffered writer coalesces responses; it is flushed only
+	// before a read that would block, so a pipelined burst of requests gets
+	// its responses in one kernel write.
+	rd := ldap.NewReader(nc)
+	rd.SetMaxMessageSize(s.MaxMessageSize)
 	bw := bufio.NewWriterSize(nc, 4096)
+	defer bw.Flush() // unbind and error exits still deliver pending responses
 	// One reusable encode buffer per connection: responses append into it
 	// before entering the write buffer. The connection's goroutine is the
 	// only writer, so no locking is needed.
@@ -146,16 +199,42 @@ func (s *Server) serveConn(nc net.Conn) {
 	write := func(m *ldap.Message) error {
 		wbuf = m.AppendTo(wbuf[:0])
 		_, err := bw.Write(wbuf)
+		if err == nil {
+			s.wire.responsesWritten.Add(1)
+		}
 		return err
 	}
 	for {
-		msg, err := ldap.ReadMessage(br)
+		// Flush only when no complete pipelined request is already buffered:
+		// a client that wrote N requests in one burst gets its N responses
+		// coalesced, while a request-at-a-time client still sees its
+		// response before the server blocks for the next request.
+		if !rd.MessageBuffered() && bw.Buffered() > 0 {
+			if err := bw.Flush(); err != nil {
+				s.logf("ldapserver: %s: write: %v", conn.RemoteAddr, err)
+				return
+			}
+			s.wire.flushes.Add(1)
+		}
+		msg, err := rd.ReadMessage()
 		if err != nil {
+			if errors.Is(err, ber.ErrTooLarge) {
+				// Refuse the oversized message with LDAP's unsolicited
+				// notice (message ID 0), then drop the connection; nothing
+				// was allocated or read for the declared length.
+				s.wire.oversizeRejected.Add(1)
+				_ = write(&ldap.Message{ID: 0, Op: &ldap.ExtendedResponse{
+					Name: ldap.NoticeOfDisconnection,
+					Result: ldap.Result{Code: ldap.ResultProtocolError,
+						Message: err.Error()}}})
+				return
+			}
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				s.logf("ldapserver: %s: read: %v", conn.RemoteAddr, err)
 			}
 			return
 		}
+		s.wire.messagesRead.Add(1)
 		if _, ok := msg.Op.(*ldap.UnbindRequest); ok {
 			return
 		}
@@ -163,11 +242,7 @@ func (s *Server) serveConn(nc net.Conn) {
 		if resp == nil {
 			continue // abandon has no response (and nothing to flush)
 		}
-		err = write(resp)
-		if err == nil {
-			err = bw.Flush()
-		}
-		if err != nil {
+		if err := write(resp); err != nil {
 			s.logf("ldapserver: %s: write: %v", conn.RemoteAddr, err)
 			return
 		}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"metacomm/internal/ldap"
@@ -100,8 +101,17 @@ func (s *ActionServer) serve(nc net.Conn) {
 		s.mu.Unlock()
 	}()
 	dec := json.NewDecoder(bufio.NewReader(nc))
-	enc := json.NewEncoder(nc)
-	var wmu sync.Mutex // one writer at a time on the shared encoder
+	// Replies are buffered; a handler flushes after writing unless another
+	// FINISHED handler is already queued on the write mutex (the group-
+	// commit discipline: the last writer in the queue flushes for
+	// everyone). Replies that complete together — the UM's sharded fan-out
+	// finishing a burst — coalesce into one kernel write, while a reply
+	// with no one behind it goes out immediately, so a slow in-flight
+	// action never delays an already-written reply.
+	bw := bufio.NewWriterSize(nc, 4096)
+	enc := json.NewEncoder(bw)
+	var queued atomic.Int64 // finished handlers at or past the mutex
+	var wmu sync.Mutex      // one writer at a time on the shared encoder
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
 	for {
@@ -114,8 +124,12 @@ func (s *ActionServer) serve(nc net.Conn) {
 			defer handlers.Done()
 			res := s.Action.OnUpdate(ev)
 			out := Result{ID: ev.ID, Code: int(res.Code), Message: res.Message}
+			queued.Add(1)
 			wmu.Lock()
 			err := enc.Encode(out)
+			if queued.Add(-1) == 0 && err == nil {
+				err = bw.Flush()
+			}
 			wmu.Unlock()
 			if err != nil {
 				nc.Close() // the reader loop notices and winds down

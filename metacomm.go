@@ -111,6 +111,12 @@ type Config struct {
 	// (0 = default pool size). Per-entry update order is preserved by the
 	// UM's shard routing, not by connection order, so pooling is safe.
 	BackendConns int
+	// MaxMessageSize bounds a single LDAP request message on both listeners
+	// (the LTAP gateway and the backing directory server); 0 means
+	// ber.DefaultMaxMessageSize (4 MB). A request declaring a larger length
+	// is refused with a protocolError unsolicited notice and the connection
+	// is closed, before any content is read or allocated.
+	MaxMessageSize int
 	// GatewayCache is the capacity of the LTAP gateway's before-image
 	// cache, which is kept coherent by the directory changelog (0 = default
 	// capacity, < 0 disables the cache so every trap refetches its
@@ -257,6 +263,7 @@ func Start(cfg Config) (*System, error) {
 	}
 	s.dirServer = ldapserver.NewServer(ldapserver.NewDITHandler(s.DIT))
 	s.dirServer.ErrorLog = cfg.Logger
+	s.dirServer.MaxMessageSize = cfg.MaxMessageSize
 	dirAddr, err := s.dirServer.Start(defaultStr(cfg.DirectoryAddr, "127.0.0.1:0"))
 	if err != nil {
 		return nil, fmt.Errorf("metacomm: directory listener: %w", err)
@@ -410,6 +417,7 @@ func Start(cfg Config) (*System, error) {
 	}
 	s.ltapServer = ldapserver.NewServer(s.Gateway)
 	s.ltapServer.ErrorLog = cfg.Logger
+	s.ltapServer.MaxMessageSize = cfg.MaxMessageSize
 	ltapAddr, err := s.ltapServer.Start(defaultStr(cfg.LTAPAddr, "127.0.0.1:0"))
 	if err != nil {
 		return nil, fmt.Errorf("metacomm: ltap listener: %w", err)
@@ -466,6 +474,26 @@ func Start(cfg Config) (*System, error) {
 	}
 	ok = true
 	return s, nil
+}
+
+// WireStats holds wire-path counters for both LDAP listeners: LTAP (the
+// public endpoint) and the backing directory server (which the gateway, the
+// UM, and replication readers hit).
+type WireStats struct {
+	LTAP      ldapserver.WireStats
+	Directory ldapserver.WireStats
+}
+
+// WireStats snapshots both listeners' wire counters.
+func (s *System) WireStats() WireStats {
+	var w WireStats
+	if s.ltapServer != nil {
+		w.LTAP = s.ltapServer.WireStats()
+	}
+	if s.dirServer != nil {
+		w.Directory = s.dirServer.WireStats()
+	}
+	return w
 }
 
 // Client opens an LDAP connection to the system's public (LTAP) endpoint —

@@ -1,0 +1,46 @@
+#!/bin/sh
+# Wire-path benchmark (EXPERIMENTS.md E20): start a real metacommd process,
+# drive it with cmd/loadgen over thousands of concurrent LDAP connections,
+# and leave the machine-readable record as BENCH_wire_<rev>.json at the repo
+# root. Tunables come from the environment:
+#
+#   CONNS=1000 DURATION=10s PIPELINE=8 ENTRIES=1000 WRITE_PCT=5 sh scripts/bench_wire.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+CONNS=${CONNS:-1000}
+DURATION=${DURATION:-10s}
+PIPELINE=${PIPELINE:-8}
+ENTRIES=${ENTRIES:-1000}
+WRITE_PCT=${WRITE_PCT:-5}
+OUT=${OUT:-}
+
+go build -o /tmp/metacommd.bench ./cmd/metacommd
+go build -o /tmp/loadgen.bench ./cmd/loadgen
+
+# A separate server process, like a deployment: the load generator measures
+# real sockets, not loopback-in-process shortcuts. WBA is disabled so the
+# run has no port collisions; backend pools are sized so gateway searches
+# are not serialized on the default four connections.
+/tmp/metacommd.bench -quiet -ltap 127.0.0.1:0 -wba "" -backend-conns 32 \
+	>/tmp/metacommd.bench.out 2>&1 &
+SRV=$!
+trap 'kill $SRV 2>/dev/null || true' EXIT INT TERM
+
+ADDR=""
+i=0
+while [ $i -lt 50 ]; do
+	ADDR=$(awk '/LDAP \(via LTAP\):/ {print $4; exit}' /tmp/metacommd.bench.out)
+	[ -n "$ADDR" ] && break
+	sleep 0.2
+	i=$((i + 1))
+done
+if [ -z "$ADDR" ]; then
+	echo "bench_wire: metacommd did not come up:" >&2
+	cat /tmp/metacommd.bench.out >&2
+	exit 1
+fi
+
+/tmp/loadgen.bench -addr "$ADDR" -conns "$CONNS" -duration "$DURATION" \
+	-pipeline "$PIPELINE" -entries "$ENTRIES" -write-pct "$WRITE_PCT" \
+	${OUT:+-out "$OUT"}

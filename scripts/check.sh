@@ -8,7 +8,7 @@ cd "$(dirname "$0")/.."
 go build ./...
 go test ./...
 go vet ./...
-go test -race -count=1 ./internal/directory/... ./internal/um/... ./internal/ltap/... ./internal/filter/... ./internal/device/...
+go test -race -count=1 ./internal/directory/... ./internal/um/... ./internal/ltap/... ./internal/filter/... ./internal/device/... ./internal/ber/... ./internal/ldapserver/... ./internal/ldapclient/...
 # Group-commit smoke: three concurrent writers against a SyncGroup journal
 # must produce at least one multi-record commit group (batch > 1 observed).
 go test -run TestJournalGroupCommitBatches -count=1 ./internal/directory/
@@ -16,3 +16,7 @@ go test -fuzz=FuzzDecode -fuzztime=10s ./internal/ber/
 go test -fuzz=FuzzParse -fuzztime=10s ./internal/lexpress/
 go test -fuzz=FuzzCompilePattern -fuzztime=10s ./internal/lexpress/
 go test -run '^$' -bench . -benchtime=1x .
+# Wire-path load-generator smoke: spawn an in-process system, drive it for
+# two seconds, and verify the machine-readable benchmark record is written.
+go run ./cmd/loadgen -spawn -conns 64 -duration 2s -warmup 500ms -entries 64 -out /tmp/bench_wire_smoke.json
+test -s /tmp/bench_wire_smoke.json
