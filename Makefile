@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fuzz-smoke bench-smoke loadgen-smoke check bench bench-e19 bench-wire
+.PHONY: all build test vet race fuzz-smoke bench-smoke loadgen-smoke benchscale-smoke check bench bench-e19 bench-wire bench-scale
 
 all: check
 
@@ -44,7 +44,13 @@ bench-smoke:
 loadgen-smoke:
 	$(GO) run ./cmd/loadgen -spawn -conns 64 -duration 2s -warmup 500ms -entries 64 -out /tmp/bench_wire_smoke.json
 
-check: test vet race fuzz-smoke bench-smoke loadgen-smoke
+# A 10k-population pass of the scale benchmark: exercises segmented populate,
+# online compaction under load (zero rejected writes is asserted by the tool),
+# and journal-set replay, without the cost of the 1M run.
+benchscale-smoke:
+	$(GO) run ./cmd/benchscale -pops 10000 -ops 200 -out /tmp/bench_scale_smoke.json
+
+check: test vet race fuzz-smoke bench-smoke loadgen-smoke benchscale-smoke
 
 # The experiment benchmarks behind EXPERIMENTS.md (long). -count is
 # parameterized so `make bench BENCH_COUNT=10 | tee new.txt` produces
@@ -65,3 +71,10 @@ bench-e19:
 # PIPELINE, ENTRIES (see scripts/bench_wire.sh).
 bench-wire:
 	sh scripts/bench_wire.sh
+
+# The population-scale benchmark behind EXPERIMENTS.md E21: per-op latency,
+# heap per entry, crash-recovery replay, and compaction-under-load from 1k to
+# 1M entries. Writes BENCH_scale_<rev>.json at the repo root. Tunables:
+# POPS, SEGMENTS, OPS (see scripts/bench_scale.sh).
+bench-scale:
+	sh scripts/bench_scale.sh

@@ -219,7 +219,9 @@ type result struct {
 	// operation over the measurement window (includes the in-process server
 	// when -spawn).
 	AllocsPerOp float64   `json:"allocs_per_op"`
-	ServerWire  *wireJSON `json:"server_wire,omitempty"`
+	// HeapInUse is the client process's live heap after the run (bytes).
+	HeapInUse  uint64    `json:"heap_in_use_bytes"`
+	ServerWire *wireJSON `json:"server_wire,omitempty"`
 }
 
 type configJSON struct {
@@ -230,6 +232,7 @@ type configJSON struct {
 	Entries     int     `json:"entries"`
 	Spawned     bool    `json:"spawned"`
 	GOMAXPROCS  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu"`
 }
 
 type latencyJSON struct {
@@ -322,6 +325,7 @@ func run(addr string, dns []string, cfg runConfig) result {
 			DurationSec: round2(elapsed.Seconds()),
 			Entries:     len(dns),
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			NumCPU:      runtime.NumCPU(),
 		},
 		Ops:       total,
 		Errors:    errs.Load() + dialErrs.Load(),
@@ -339,6 +343,7 @@ func run(addr string, dns []string, cfg runConfig) result {
 	if total > 0 {
 		res.AllocsPerOp = round2(float64(msAfter.Mallocs-msBefore.Mallocs) / float64(total))
 	}
+	res.HeapInUse = msAfter.HeapInuse
 	if n := dialErrs.Load(); n > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: %d of %d connections failed to dial\n", n, cfg.conns)
 	}

@@ -50,6 +50,8 @@ func main() {
 		jSync    = flag.String("journal-sync", "group", "journal durability: always (fsync per update), group (one fsync per commit group), none (no fsync)")
 		jBatch   = flag.Int("journal-batch", 0, "max updates per journal commit group (0 = default)")
 		jLinger  = flag.Duration("journal-linger", 0, "how long a non-full commit group waits for more writers (0 = never)")
+		ditSegs  = flag.Int("dit-segments", 0, "DN-hash DIT segment count, each with its own lock and journal (0 = default)")
+		compact  = flag.Duration("compact-interval", 0, "background journal compaction: one segment per interval, online (0 disables)")
 		replAddr = flag.String("replication", "", "replication stream listen address for read replicas (empty disables)")
 		audit    = flag.String("audit", "", "audit log file ('-' = stderr, empty disables)")
 		quiet    = flag.Bool("quiet", false, "suppress operational logging")
@@ -98,6 +100,8 @@ func main() {
 		JournalSync:     *jSync,
 		JournalBatch:    *jBatch,
 		JournalLinger:   *jLinger,
+		DITSegments:     *ditSegs,
+		CompactInterval: *compact,
 		ReplicationAddr: *replAddr,
 		AuditLog:        auditW,
 		Logger:          logger,
@@ -169,5 +173,11 @@ func main() {
 			js.Fsyncs, js.Bytes, js.MeanCommit(), js.TornTails)
 		fmt.Printf("journal group sizes: 1=%d 2-4=%d 5-16=%d 17-64=%d 65-256=%d >256=%d\n",
 			js.BatchHist[0], js.BatchHist[1], js.BatchHist[2], js.BatchHist[3], js.BatchHist[4], js.BatchHist[5])
+	}
+	ds := sys.DIT.Stats()
+	fmt.Printf("dit: segments=%d entries=%d interned-names=%d\n", ds.Segments, ds.Entries, ds.InternedNames)
+	if cs := sys.DIT.CompactionStats(); cs.Runs > 0 || cs.Skips > 0 {
+		fmt.Printf("compaction: runs=%d skips=%d snapshot-entries=%d spliced-bytes=%d last-ms=%.1f\n",
+			cs.Runs, cs.Skips, cs.SnapshotEntries, cs.SplicedBytes, float64(cs.LastNs)/1e6)
 	}
 }

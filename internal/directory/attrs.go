@@ -19,9 +19,15 @@ import (
 // Attrs is a case-insensitive multi-valued attribute map. Attribute type
 // names compare case-insensitively but the first-seen spelling is preserved
 // for display, as LDAP servers do.
+//
+// Representation: a small slice of fields rather than two maps. Real
+// entries carry a handful of attributes, so linear scans beat hashing, and
+// the per-entry footprint is one slice header plus one attrField per
+// attribute — with both the lowered key and the display spelling interned
+// (see intern.go), a million entries share one string object per distinct
+// attribute name instead of storing a million copies.
 type Attrs struct {
-	names map[string]string   // lower-cased type -> display spelling
-	vals  map[string][]string // lower-cased type -> values
+	fields []attrField
 	// view caches the deterministic iteration order used by Names and
 	// EachSorted. The DIT's copy-on-write discipline means an installed
 	// *Attrs is never mutated, so concurrent lazy initialization here is
@@ -30,12 +36,18 @@ type Attrs struct {
 	view atomic.Pointer[sortedView]
 }
 
-// sortedView is the cached iteration order: lowered keys sorted
-// lexicographically (which is exactly case-insensitive order of the display
-// spellings) with the display spellings aligned.
+// attrField is one attribute: its lowered (canonical) key, its first-seen
+// display spelling, and its values. key and display are interned.
+type attrField struct {
+	key     string
+	display string
+	vals    []string
+}
+
+// sortedView is the cached iteration order: field indices sorted by lowered
+// key (which is exactly case-insensitive order of the display spellings).
 type sortedView struct {
-	keys  []string
-	names []string
+	order []int
 }
 
 // sorted returns the cached view, computing it on first use.
@@ -43,23 +55,19 @@ func (a *Attrs) sorted() *sortedView {
 	if v := a.view.Load(); v != nil {
 		return v
 	}
-	v := &sortedView{keys: make([]string, 0, len(a.names))}
-	for k := range a.names {
-		v.keys = append(v.keys, k)
+	v := &sortedView{order: make([]int, len(a.fields))}
+	for i := range v.order {
+		v.order[i] = i
 	}
-	sort.Strings(v.keys)
-	v.names = make([]string, len(v.keys))
-	for i, k := range v.keys {
-		v.names[i] = a.names[k]
-	}
+	sort.Slice(v.order, func(i, j int) bool {
+		return a.fields[v.order[i]].key < a.fields[v.order[j]].key
+	})
 	a.view.Store(v)
 	return v
 }
 
 // NewAttrs returns an empty attribute map.
-func NewAttrs() *Attrs {
-	return &Attrs{names: map[string]string{}, vals: map[string][]string{}}
-}
+func NewAttrs() *Attrs { return &Attrs{} }
 
 // AttrsFrom builds an Attrs from a plain map (convenient in tests and
 // loaders).
@@ -73,26 +81,51 @@ func AttrsFrom(m map[string][]string) *Attrs {
 	return a
 }
 
-func lower(s string) string { return strings.ToLower(s) }
+// lower canonicalizes an attribute type name. Names are ASCII in practice,
+// so the common all-lower spelling returns its input unchanged with no
+// allocation.
+func lower(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; 'A' <= c && c <= 'Z' {
+			return strings.ToLower(s)
+		}
+	}
+	return s
+}
+
+// idx returns the field index for the (already lowered) key, or -1.
+func (a *Attrs) idx(k string) int {
+	for i := range a.fields {
+		if a.fields[i].key == k {
+			return i
+		}
+	}
+	return -1
+}
 
 // Get returns all values of attr (nil when absent). The returned slice is
 // shared; callers must not mutate it.
-func (a *Attrs) Get(attr string) []string { return a.vals[lower(attr)] }
+func (a *Attrs) Get(attr string) []string {
+	if i := a.idx(lower(attr)); i >= 0 {
+		return a.fields[i].vals
+	}
+	return nil
+}
 
 // First returns the first value of attr, or "".
 func (a *Attrs) First(attr string) string {
-	if vs := a.vals[lower(attr)]; len(vs) > 0 {
+	if vs := a.Get(attr); len(vs) > 0 {
 		return vs[0]
 	}
 	return ""
 }
 
 // Has reports whether attr has at least one value.
-func (a *Attrs) Has(attr string) bool { return len(a.vals[lower(attr)]) > 0 }
+func (a *Attrs) Has(attr string) bool { return len(a.Get(attr)) > 0 }
 
 // HasValue reports whether attr contains value (case-insensitively).
 func (a *Attrs) HasValue(attr, value string) bool {
-	for _, v := range a.vals[lower(attr)] {
+	for _, v := range a.Get(attr) {
 		if strings.EqualFold(v, value) {
 			return true
 		}
@@ -104,15 +137,19 @@ func (a *Attrs) HasValue(attr, value string) bool {
 func (a *Attrs) Put(attr string, values ...string) {
 	a.view.Store(nil)
 	k := lower(attr)
+	i := a.idx(k)
 	if len(values) == 0 {
-		delete(a.vals, k)
-		delete(a.names, k)
+		if i >= 0 {
+			a.fields = append(a.fields[:i], a.fields[i+1:]...)
+		}
 		return
 	}
-	if _, ok := a.names[k]; !ok {
-		a.names[k] = attr
+	vals := append([]string(nil), values...)
+	if i >= 0 {
+		a.fields[i].vals = vals
+		return
 	}
-	a.vals[k] = append([]string(nil), values...)
+	a.fields = append(a.fields, attrField{key: intern(k), display: intern(attr), vals: vals})
 }
 
 // Add appends a value to attr, refusing duplicates (LDAP sets have no
@@ -123,27 +160,30 @@ func (a *Attrs) Add(attr, value string) bool {
 	}
 	a.view.Store(nil)
 	k := lower(attr)
-	if _, ok := a.names[k]; !ok {
-		a.names[k] = attr
+	if i := a.idx(k); i >= 0 {
+		a.fields[i].vals = append(a.fields[i].vals, value)
+		return true
 	}
-	a.vals[k] = append(a.vals[k], value)
+	a.fields = append(a.fields, attrField{key: intern(k), display: intern(attr), vals: []string{value}})
 	return true
 }
 
 // DeleteValue removes one value from attr, reporting whether it was present.
 // When the last value goes, the attribute disappears.
 func (a *Attrs) DeleteValue(attr, value string) bool {
-	k := lower(attr)
-	vs := a.vals[k]
-	for i, v := range vs {
+	i := a.idx(lower(attr))
+	if i < 0 {
+		return false
+	}
+	vs := a.fields[i].vals
+	for vi, v := range vs {
 		if strings.EqualFold(v, value) {
 			a.view.Store(nil)
-			vs = append(vs[:i], vs[i+1:]...)
+			vs = append(vs[:vi], vs[vi+1:]...)
 			if len(vs) == 0 {
-				delete(a.vals, k)
-				delete(a.names, k)
+				a.fields = append(a.fields[:i], a.fields[i+1:]...)
 			} else {
-				a.vals[k] = vs
+				a.fields[i].vals = vs
 			}
 			return true
 		}
@@ -153,13 +193,12 @@ func (a *Attrs) DeleteValue(attr, value string) bool {
 
 // Delete removes attr entirely, reporting whether it existed.
 func (a *Attrs) Delete(attr string) bool {
-	k := lower(attr)
-	if _, ok := a.vals[k]; !ok {
+	i := a.idx(lower(attr))
+	if i < 0 {
 		return false
 	}
 	a.view.Store(nil)
-	delete(a.vals, k)
-	delete(a.names, k)
+	a.fields = append(a.fields[:i], a.fields[i+1:]...)
 	return true
 }
 
@@ -167,7 +206,12 @@ func (a *Attrs) Delete(attr string) bool {
 // case-insensitively for deterministic iteration. The slice is the caller's
 // to keep.
 func (a *Attrs) Names() []string {
-	return append([]string(nil), a.sorted().names...)
+	v := a.sorted()
+	out := make([]string, len(v.order))
+	for i, fi := range v.order {
+		out[i] = a.fields[fi].display
+	}
+	return out
 }
 
 // EachSorted calls f for every attribute in the same deterministic order as
@@ -177,29 +221,33 @@ func (a *Attrs) Names() []string {
 // entry per search.
 func (a *Attrs) EachSorted(f func(attr string, values []string)) {
 	v := a.sorted()
-	for i, k := range v.keys {
-		f(v.names[i], a.vals[k])
+	for _, fi := range v.order {
+		f(a.fields[fi].display, a.fields[fi].vals)
 	}
 }
 
 // Len returns the number of distinct attribute types.
-func (a *Attrs) Len() int { return len(a.vals) }
+func (a *Attrs) Len() int { return len(a.fields) }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. Interned name objects are shared by design;
+// value slices are copied.
 func (a *Attrs) Clone() *Attrs {
-	c := NewAttrs()
-	for k, display := range a.names {
-		c.names[k] = display
-		c.vals[k] = append([]string(nil), a.vals[k]...)
+	c := &Attrs{}
+	if len(a.fields) > 0 {
+		c.fields = make([]attrField, len(a.fields))
+		copy(c.fields, a.fields)
+		for i := range c.fields {
+			c.fields[i].vals = append([]string(nil), c.fields[i].vals...)
+		}
 	}
 	return c
 }
 
 // Map returns a plain map copy keyed by display names.
 func (a *Attrs) Map() map[string][]string {
-	out := make(map[string][]string, len(a.vals))
-	for k, display := range a.names {
-		out[display] = append([]string(nil), a.vals[k]...)
+	out := make(map[string][]string, len(a.fields))
+	for i := range a.fields {
+		out[a.fields[i].display] = append([]string(nil), a.fields[i].vals...)
 	}
 	return out
 }
@@ -210,13 +258,14 @@ func (a *Attrs) Equal(b *Attrs) bool {
 	if a.Len() != b.Len() {
 		return false
 	}
-	for k, vs := range a.vals {
-		ws := b.vals[k]
-		if len(vs) != len(ws) {
+	for i := range a.fields {
+		f := &a.fields[i]
+		ws := b.Get(f.key)
+		if len(f.vals) != len(ws) {
 			return false
 		}
-		for _, v := range vs {
-			if !b.HasValue(k, v) {
+		for _, v := range f.vals {
+			if !b.HasValue(f.key, v) {
 				return false
 			}
 		}

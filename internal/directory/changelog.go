@@ -1,19 +1,21 @@
 package directory
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Changelog subscriptions: replicas (and any other consumer) receive every
 // committed update as an UpdateRecord with its commit sequence number. The
 // paper's directory world leans on replication for availability (§2);
 // internal/replica builds the wire protocol on top of this hook.
 //
-// Fan-out is batched per commit group: on a journaled DIT the group
-// committer emits each durable group with one sweep over the subscriber
-// list (one subMu acquisition and one wakeup burst per group, not per
-// update) before any writer in the group is acknowledged. Unjournaled
-// DITs emit inline at commit, as before. Either way the contract
-// consumers rely on holds: when a write call returns, its record is
-// already buffered on every live subscription, in commit order.
+// On a segmented DIT the per-segment group committers complete out of
+// global order (each pipeline fsyncs independently), so fan-out runs
+// through the emitter: a reorder buffer keyed by the global commit seq that
+// releases records to subscribers only in gap-free ascending order. The
+// contract consumers rely on is unchanged: when a write call returns, its
+// record is already buffered on every live subscription, in commit order.
 
 // changeSub is one changelog subscriber.
 type changeSub struct {
@@ -46,20 +48,73 @@ func (d *DIT) SnapshotAndSubscribe(buffer int) (snapshot []Entry, changes <-chan
 // seq+1. Consumers that reconcile a snapshot against live state (the UM's
 // snapshot+delta synchronization) use the cursor to report where the
 // bulk/catch-up boundary lies.
+//
+// Exactness on a segmented DIT rests on the prefix property: sequence
+// numbers are only assigned inside a segment write critical section, so
+// with every segment read-locked the applied updates are exactly
+// {1..d.seq} — the captured state and cursor correspond precisely.
 func (d *DIT) SnapshotAndSubscribeSeq(buffer int) (snapshot []Entry, seq uint64, changes <-chan UpdateRecord, cancel func()) {
 	if buffer <= 0 {
 		buffer = 1024
 	}
-	d.mu.Lock()
+	d.rlockAll()
 	snapshot = d.allLocked()
-	seq = d.seq
+	seq = d.seq.Load()
 	sub := &changeSub{ch: make(chan UpdateRecord, buffer), startAfter: seq}
 	d.subMu.Lock()
 	d.subs = append(d.subs, sub)
 	d.subMu.Unlock()
-	d.mu.Unlock()
+	d.runlockAll()
 
-	cancel = func() {
+	return snapshot, seq, sub.ch, d.cancelFunc(sub)
+}
+
+// SnapshotRangeAndSubscribeSeq is the streaming form of
+// SnapshotAndSubscribeSeq: the same exact cut (consistent state + cursor +
+// subscription), but the snapshot is streamed to visit per segment after
+// the locks are released instead of materialized into one sorted slice.
+// Only (DN, *Attrs) headers are captured under the locks, so the extra
+// memory is one slice of headers, released segment by segment as visit
+// consumes them. Visit order is unspecified (NOT parents-first); a visit
+// returning false stops the stream but leaves the subscription live.
+func (d *DIT) SnapshotRangeAndSubscribeSeq(buffer int, visit func(Entry) bool) (seq uint64, changes <-chan UpdateRecord, cancel func()) {
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	d.rlockAll()
+	perSeg := make([][]Entry, len(d.segs))
+	for i, s := range d.segs {
+		es := make([]Entry, 0, len(s.entries))
+		for _, n := range s.entries {
+			es = append(es, Entry{DN: n.dn, Attrs: n.attrs})
+		}
+		perSeg[i] = es
+	}
+	seq = d.seq.Load()
+	sub := &changeSub{ch: make(chan UpdateRecord, buffer), startAfter: seq}
+	d.subMu.Lock()
+	d.subs = append(d.subs, sub)
+	d.subMu.Unlock()
+	d.runlockAll()
+
+	stopped := false
+	for i := range perSeg {
+		if !stopped {
+			for _, e := range perSeg[i] {
+				if !visit(e) {
+					stopped = true
+					break
+				}
+			}
+		}
+		perSeg[i] = nil
+	}
+	return seq, sub.ch, d.cancelFunc(sub)
+}
+
+// cancelFunc builds the subscription-release closure.
+func (d *DIT) cancelFunc(sub *changeSub) func() {
+	return func() {
 		d.subMu.Lock()
 		defer d.subMu.Unlock()
 		for i, s := range d.subs {
@@ -72,20 +127,14 @@ func (d *DIT) SnapshotAndSubscribeSeq(buffer int) (snapshot []Entry, seq uint64,
 			}
 		}
 	}
-	return snapshot, seq, sub.ch, cancel
 }
 
-// emitOne fans a single committed record out (the unjournaled inline
-// path). Caller holds d.mu; rec.Seq must be set.
-func (d *DIT) emitOne(rec UpdateRecord) {
-	d.emitBatch([]UpdateRecord{rec})
-}
-
-// emitBatch fans one commit group out to subscribers in commit order: one
-// subscriber-list sweep for the whole group. Records a subscriber's
-// snapshot already covers (Seq <= startAfter) are skipped. A subscriber
-// whose buffer fills is closed — forcing a resync — rather than blocking
-// the pipeline or growing without bound.
+// emitBatch fans a run of committed records out to subscribers in commit
+// order: one subscriber-list sweep for the whole batch. Records a
+// subscriber's snapshot already covers (Seq <= startAfter) are skipped. A
+// subscriber whose buffer fills is closed — forcing a resync — rather than
+// blocking the pipeline or growing without bound. Called only by the
+// emitter, which guarantees gap-free ascending Seq across calls.
 func (d *DIT) emitBatch(recs []UpdateRecord) {
 	d.subMu.Lock()
 	defer d.subMu.Unlock()
@@ -121,14 +170,21 @@ func (d *DIT) emitBatch(recs []UpdateRecord) {
 	d.subs = keep
 }
 
-// allLocked snapshots every entry, parents first. Caller holds d.mu. The
-// snapshot shares the tree's immutable attribute values (see Entry).
+// allLocked snapshots every entry, parents first. Caller holds every
+// segment lock. The snapshot shares the tree's immutable attribute values
+// (see Entry).
 func (d *DIT) allLocked() []Entry {
-	out := make([]Entry, 0, len(d.entries))
-	keys := make([]string, 0, len(d.entries))
-	for k, n := range d.entries {
-		out = append(out, Entry{DN: n.dn, Attrs: n.attrs})
-		keys = append(keys, k)
+	total := 0
+	for _, s := range d.segs {
+		total += len(s.entries)
+	}
+	out := make([]Entry, 0, total)
+	keys := make([]string, 0, total)
+	for _, s := range d.segs {
+		for k, n := range s.entries {
+			out = append(out, Entry{DN: n.dn, Attrs: n.attrs})
+			keys = append(keys, k)
+		}
 	}
 	sortEntries(out, keys)
 	return out
@@ -158,4 +214,116 @@ func (s *entrySorter) Less(i, j int) bool {
 		return di < dj
 	}
 	return s.k[i] < s.k[j]
+}
+
+// emitter is the changelog sequencer: per-segment commit pipelines finish
+// their groups in their own time, but subscribers must observe one gap-free
+// global order. Completed records park in a reorder buffer keyed by commit
+// seq; whenever the next-expected seq is present, the contiguous run drains
+// to subscribers in one emitBatch sweep. Sequence numbers whose write
+// failed (a poisoned pipeline dropped the group) are skipped explicitly so
+// a gap never stalls emission forever.
+type emitter struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	// emitted is the highest seq released (or skipped); pending parks
+	// completed records above emitted+1.
+	emitted uint64
+	pending map[uint64]pendingRec
+	d       *DIT
+	scratch []UpdateRecord
+}
+
+type pendingRec struct {
+	rec  UpdateRecord
+	skip bool
+}
+
+func newEmitter(d *DIT) *emitter {
+	e := &emitter{d: d, pending: make(map[uint64]pendingRec)}
+	e.cond.L = &e.mu
+	return e
+}
+
+// ready submits one completed record for in-order emission.
+func (e *emitter) ready(rec UpdateRecord) {
+	e.mu.Lock()
+	e.pending[rec.Seq] = pendingRec{rec: rec}
+	e.drainLocked()
+	e.mu.Unlock()
+}
+
+// readyBatch submits a durable commit group for in-order emission.
+func (e *emitter) readyBatch(recs []UpdateRecord) {
+	e.mu.Lock()
+	for i := range recs {
+		e.pending[recs[i].Seq] = pendingRec{rec: recs[i]}
+	}
+	e.drainLocked()
+	e.mu.Unlock()
+}
+
+// skip marks one seq as failed (never to be emitted) so the order can move
+// past it.
+func (e *emitter) skip(seq uint64) {
+	e.mu.Lock()
+	e.pending[seq] = pendingRec{skip: true}
+	e.drainLocked()
+	e.mu.Unlock()
+}
+
+// skipBatch marks a dropped commit group's seqs as failed.
+func (e *emitter) skipBatch(recs []UpdateRecord) {
+	e.mu.Lock()
+	for i := range recs {
+		e.pending[recs[i].Seq] = pendingRec{skip: true}
+	}
+	e.drainLocked()
+	e.mu.Unlock()
+}
+
+// drainLocked releases the contiguous run starting at emitted+1. Caller
+// holds e.mu. emitBatch takes only subMu, so the lock order is
+// segment locks -> e.mu -> subMu (never cyclic).
+func (e *emitter) drainLocked() {
+	batch := e.scratch[:0]
+	advanced := false
+	for {
+		p, ok := e.pending[e.emitted+1]
+		if !ok {
+			break
+		}
+		delete(e.pending, e.emitted+1)
+		e.emitted++
+		advanced = true
+		if !p.skip {
+			batch = append(batch, p.rec)
+		}
+	}
+	if len(batch) > 0 {
+		e.d.emitBatch(batch)
+	}
+	e.scratch = batch[:0]
+	if advanced {
+		e.cond.Broadcast()
+	}
+}
+
+// waitEmitted blocks until seq has been released to subscribers (or
+// skipped). Writers wait on this after durability so that "call returned"
+// still implies "buffered on every subscription".
+func (e *emitter) waitEmitted(seq uint64) {
+	e.mu.Lock()
+	for e.emitted < seq {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// advanceTo fast-forwards the order cursor past replayed history. Only
+// valid while the DIT is quiescent (journal attach).
+func (e *emitter) advanceTo(seq uint64) {
+	e.mu.Lock()
+	e.emitted = seq
+	e.mu.Unlock()
 }

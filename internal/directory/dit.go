@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"metacomm/internal/dn"
 	"metacomm/internal/ldap"
@@ -53,74 +54,231 @@ func (e Entry) Clone() Entry {
 	return Entry{DN: append(dn.DN(nil), e.DN...), Attrs: e.Attrs.Clone()}
 }
 
-// node fields are read and written only under DIT.mu. The *Attrs object a
-// node points to (and the backing array of its dn) is immutable once
-// installed: updates build a fresh value and swap the pointer, never mutate
-// through it. Search relies on this to evaluate snapshots outside the lock.
+// node fields are read and written only under the owning segment's lock.
+// The *Attrs object a node points to (and the backing array of its dn) is
+// immutable once installed: updates build a fresh value and swap the
+// pointer, never mutate through it. Search relies on this to evaluate
+// snapshots outside the lock.
 type node struct {
 	dn dn.DN
-	// key caches dn.Normalize() — also this node's key in DIT.entries.
+	// key caches dn.Normalize() — also this node's key in segment.entries.
 	// DN normalization (lower-casing and re-joining every RDN) is too
 	// expensive to recompute on the search path, where results are sorted
 	// by it; it is maintained at Add/ModifyDN time instead.
-	key      string
-	attrs    *Attrs
-	children map[string]bool // normalized child DNs
+	key   string
+	attrs *Attrs
+	// children holds normalized child DNs; nil until the first child
+	// arrives, because at million-entry scale most entries are leaves and
+	// an empty map per leaf is measurable heap.
+	children map[string]bool
 }
 
-// DIT is the in-memory directory information tree. All operations are
-// individually atomic under an internal lock; there is deliberately no
-// multi-operation transaction facility, matching the paper's substrate.
-//
-// Write path (DESIGN.md §11): under d.mu an update validates, applies in
-// memory, takes its commit seq, and stages its journal record; the caller
-// then waits OUTSIDE the lock for the group committer's durability
-// notification. Journal I/O, record marshaling, and changelog fan-out all
-// run off the critical section, so the lock hold time of a write is the
-// in-memory mutation only and durable throughput is bounded by fsyncs per
-// GROUP rather than per update. Unjournaled DITs commit and emit inline.
-type DIT struct {
+func (n *node) addChild(key string) {
+	if n.children == nil {
+		n.children = make(map[string]bool, 1)
+	}
+	n.children[key] = true
+}
+
+// segment is one DN-hash partition of the DIT: its own entry map, its own
+// equality indexes, its own journal file, and its own group-commit
+// pipeline, all behind its own lock. Writes touching a single entry lock
+// only the (entry, parent) segments; nothing a segment does blocks the
+// others.
+type segment struct {
+	id      int
 	mu      sync.RWMutex
 	entries map[string]*node
-	schema  *Schema
-	// indexes holds the equality indexes (see index.go); nil when none are
-	// enabled.
+	// indexes holds this segment's share of the equality indexes (see
+	// index.go); nil when none are enabled.
 	indexes attrIndex
 	// journal, when attached, receives a write-ahead record of every
-	// committed update through the group-commit pipeline (see persist.go);
-	// commit is that pipeline.
+	// committed update routed to this segment through its group-commit
+	// pipeline (see persist.go); commit is that pipeline.
 	journal *Journal
 	commit  *committer
-	// subs are changelog subscribers, under their own lock so the
-	// committer can fan out without d.mu (see changelog.go).
-	subMu sync.Mutex
-	subs  []*changeSub
-	// seq counts committed updates; used by tests and the synchronization
-	// logic to detect change cheaply.
-	seq uint64
+	// sizeAfterCompact is the journal's byte size right after this
+	// segment's last compaction (or attach); the auto-compactor compares it
+	// against the live size to skip segments that haven't grown. Guarded by
+	// DIT.compactMu (only the compactor touches it).
+	sizeAfterCompact int64
 }
 
-// New returns an empty DIT. schema may be nil to disable validation.
-func New(schema *Schema) *DIT {
-	return &DIT{entries: map[string]*node{}, schema: schema}
+// DefaultDITSegments is the segment count metacomm configures when
+// Config.DITSegments is zero.
+const DefaultDITSegments = 8
+
+// DIT is the in-memory directory information tree. All operations are
+// individually atomic under internal locks; there is deliberately no
+// multi-operation transaction facility, matching the paper's substrate.
+//
+// Scale architecture (DESIGN.md §13): entries are partitioned by FNV-32a of
+// the normalized DN — the same shard discipline as the UM and sync worker
+// pools — into independently locked segments, each with its own journal and
+// group-commit pipeline. A single global atomic commit sequence keeps the
+// changelog totally ordered: a sequence number is only ever taken inside a
+// segment's write critical section, so holding every segment lock
+// guarantees the applied updates are exactly {1..seq} (the prefix
+// property), which is what keeps SnapshotAndSubscribeSeq exact. The
+// emitter (changelog.go) re-assembles per-segment commit completions into
+// one gap-free global order before fan-out.
+//
+// Write path (DESIGN.md §11): under the segment lock an update validates,
+// applies in memory, takes its commit seq, and stages its journal record;
+// the caller then waits OUTSIDE the lock for the group committer's
+// durability notification and the emitter's order notification. Journal
+// I/O, record marshaling, and changelog fan-out all run off the critical
+// section. Unjournaled DITs hand the record straight to the emitter.
+type DIT struct {
+	schema *Schema
+	segs   []*segment
+	// seq is the global commit sequence; incremented only while holding
+	// the write lock of the segment (or segments) the update mutates.
+	seq atomic.Uint64
+	// count tracks the live entry total across segments.
+	count atomic.Int64
+	// em is the changelog sequencer: it restores the global total order
+	// over records completed by per-segment pipelines.
+	em *emitter
+	// subs are changelog subscribers, under their own lock so the
+	// emitter can fan out without any segment lock (see changelog.go).
+	subMu sync.Mutex
+	subs  []*changeSub
+	// indexed lists the lowered names of indexed attributes; written under
+	// all segment locks, read under any one segment lock.
+	indexed []string
+
+	tornTails atomic.Uint64
+
+	// compactMu serializes compaction sweeps (manual Compact, the
+	// auto-compactor, and CloseJournal's shutdown barrier).
+	compactMu sync.Mutex
+	// auto-compaction goroutine lifecycle, guarded by autoMu.
+	autoMu   sync.Mutex
+	autoStop chan struct{}
+	autoDone chan struct{}
+	autoNext int // next segment in the round-robin sweep
+
+	// Compaction counters (atomics; see CompactionStats).
+	compactRuns    atomic.Uint64
+	compactSkips   atomic.Uint64
+	compactSpliced atomic.Uint64
+	compactEntries atomic.Uint64
+	compactLastNs  atomic.Int64
+}
+
+// New returns an empty single-segment DIT. schema may be nil to disable
+// validation. Single-segment DITs accept the legacy single-file
+// AttachJournal; use NewSegmented for the partitioned form.
+func New(schema *Schema) *DIT { return NewSegmented(schema, 1) }
+
+// NewSegmented returns an empty DIT partitioned into n DN-hash segments
+// (n <= 0 selects DefaultDITSegments).
+func NewSegmented(schema *Schema, n int) *DIT {
+	if n <= 0 {
+		n = DefaultDITSegments
+	}
+	d := &DIT{schema: schema, segs: make([]*segment, n)}
+	for i := range d.segs {
+		d.segs[i] = &segment{id: i, entries: map[string]*node{}}
+	}
+	d.em = newEmitter(d)
+	return d
 }
 
 // Schema returns the schema in force (nil when unvalidated).
 func (d *DIT) Schema() *Schema { return d.schema }
 
 // Seq returns the number of committed updates.
-func (d *DIT) Seq() uint64 {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.seq
-}
+func (d *DIT) Seq() uint64 { return d.seq.Load() }
 
 // Len returns the number of entries.
-func (d *DIT) Len() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return len(d.entries)
+func (d *DIT) Len() int { return int(d.count.Load()) }
+
+// Segments returns the segment count.
+func (d *DIT) Segments() int { return len(d.segs) }
+
+// fnv32a is FNV-1a over s — the same function (hash/fnv's New32a) the UM
+// shards and sync workers key on, inlined to avoid a hasher allocation on
+// every routed operation.
+func fnv32a(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
 }
+
+// segIndex routes a normalized DN key to its segment index.
+func (d *DIT) segIndex(key string) int {
+	if len(d.segs) == 1 {
+		return 0
+	}
+	return int(fnv32a(key) % uint32(len(d.segs)))
+}
+
+// seg routes a normalized DN key to its segment.
+func (d *DIT) seg(key string) *segment { return d.segs[d.segIndex(key)] }
+
+// lockPair write-locks the segments of two keys in ascending id order (the
+// global lock order; see also lockAll), coping with both keys landing in
+// the same segment.
+func lockPair(a, b *segment) {
+	if a == b {
+		a.mu.Lock()
+		return
+	}
+	if a.id > b.id {
+		a, b = b, a
+	}
+	a.mu.Lock()
+	b.mu.Lock()
+}
+
+func unlockPair(a, b *segment) {
+	if a == b {
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// lockAll write-locks every segment in ascending id order. With all locks
+// held the applied update set is exactly {1..seq} — no sequence number is
+// ever assigned outside a segment write critical section.
+func (d *DIT) lockAll() {
+	for _, s := range d.segs {
+		s.mu.Lock()
+	}
+}
+
+func (d *DIT) unlockAll() {
+	for _, s := range d.segs {
+		s.mu.Unlock()
+	}
+}
+
+func (d *DIT) rlockAll() {
+	for _, s := range d.segs {
+		s.mu.RLock()
+	}
+}
+
+func (d *DIT) runlockAll() {
+	for _, s := range d.segs {
+		s.mu.RUnlock()
+	}
+}
+
+// journaled reports whether journals are attached (all-or-none). Caller
+// holds at least one segment lock.
+func (d *DIT) journaled() bool { return d.segs[0].journal != nil }
 
 // Add creates a new leaf entry. The parent must exist (except for
 // depth-1 suffix entries). RDN attribute values are folded into the entry's
@@ -144,71 +302,76 @@ func (d *DIT) Add(name dn.DN, attrs *Attrs) error {
 		}
 	}
 
-	d.mu.Lock()
-	t, err := d.addLocked(name, a)
-	d.mu.Unlock()
+	key := name.Normalize()
+	parentKey := name.Parent().Normalize()
+	sa, sp := d.seg(key), d.seg(parentKey)
+	lockPair(sa, sp)
+	t, err := d.addLocked(sa, sp, name, key, parentKey, a)
+	unlockPair(sa, sp)
 	if err != nil {
 		return err
 	}
 	return t.Wait()
 }
 
-func (d *DIT) addLocked(name dn.DN, a *Attrs) (commitTicket, error) {
-	key := name.Normalize()
-	if _, exists := d.entries[key]; exists {
+func (d *DIT) addLocked(sa, sp *segment, name dn.DN, key, parentKey string, a *Attrs) (commitTicket, error) {
+	if _, exists := sa.entries[key]; exists {
 		return commitTicket{}, errf(ldap.ResultEntryAlreadyExists, "entry %q already exists", name)
 	}
 	parent := name.Parent()
-	parentKey := parent.Normalize()
 	if !parent.IsRoot() {
-		if _, ok := d.entries[parentKey]; !ok {
+		if _, ok := sp.entries[parentKey]; !ok {
 			return commitTicket{}, errf(ldap.ResultNoSuchObject, "parent of %q does not exist", name)
 		}
 	}
-	if err := d.commitReadyLocked(); err != nil {
+	if err := sa.commitReady(); err != nil {
 		return commitTicket{}, err
 	}
-	if p, ok := d.entries[parentKey]; ok {
-		p.children[key] = true
+	if p, ok := sp.entries[parentKey]; ok {
+		p.addChild(key)
 	}
-	d.entries[key] = &node{dn: name, key: key, attrs: a, children: map[string]bool{}}
-	d.indexEntry(key, a)
-	d.seq++
-	rec := UpdateRecord{Seq: d.seq, Op: "add", DN: name.String(), Attrs: a.Map()}
-	return d.commitLocked(rec), nil
+	sa.entries[key] = &node{dn: name, key: key, attrs: a}
+	sa.indexEntry(key, a)
+	d.count.Add(1)
+	seq := d.seq.Add(1)
+	rec := UpdateRecord{Seq: seq, Op: "add", DN: name.String(), Attrs: a.Map()}
+	return d.commitLocked(sa, rec), nil
 }
 
 // Delete removes a leaf entry.
 func (d *DIT) Delete(name dn.DN) error {
-	d.mu.Lock()
-	t, err := d.deleteLocked(name)
-	d.mu.Unlock()
+	key := name.Normalize()
+	parentKey := name.Parent().Normalize()
+	sa, sp := d.seg(key), d.seg(parentKey)
+	lockPair(sa, sp)
+	t, err := d.deleteLocked(sa, sp, name, key, parentKey)
+	unlockPair(sa, sp)
 	if err != nil {
 		return err
 	}
 	return t.Wait()
 }
 
-func (d *DIT) deleteLocked(name dn.DN) (commitTicket, error) {
-	key := name.Normalize()
-	n, ok := d.entries[key]
+func (d *DIT) deleteLocked(sa, sp *segment, name dn.DN, key, parentKey string) (commitTicket, error) {
+	n, ok := sa.entries[key]
 	if !ok {
 		return commitTicket{}, errf(ldap.ResultNoSuchObject, "no entry %q", name)
 	}
 	if len(n.children) > 0 {
 		return commitTicket{}, errf(ldap.ResultNotAllowedOnNonLeaf, "entry %q has children", name)
 	}
-	if err := d.commitReadyLocked(); err != nil {
+	if err := sa.commitReady(); err != nil {
 		return commitTicket{}, err
 	}
-	delete(d.entries, key)
-	d.unindexEntry(key, n.attrs)
-	if p, ok := d.entries[name.Parent().Normalize()]; ok {
+	delete(sa.entries, key)
+	sa.unindexEntry(key, n.attrs)
+	if p, ok := sp.entries[parentKey]; ok {
 		delete(p.children, key)
 	}
-	d.seq++
-	rec := UpdateRecord{Seq: d.seq, Op: "delete", DN: name.String()}
-	return d.commitLocked(rec), nil
+	d.count.Add(-1)
+	seq := d.seq.Add(1)
+	rec := UpdateRecord{Seq: seq, Op: "delete", DN: name.String()}
+	return d.commitLocked(sa, rec), nil
 }
 
 // Modify applies a sequence of changes to one entry atomically: either all
@@ -217,22 +380,42 @@ func (d *DIT) deleteLocked(name dn.DN) (commitTicket, error) {
 // (notAllowedOnRDN) — that requires ModifyDN, which is precisely the
 // non-atomicity the paper wrestles with.
 func (d *DIT) Modify(name dn.DN, changes []ldap.Change) error {
-	d.mu.Lock()
-	t, err := d.modifyLocked(name, changes)
-	d.mu.Unlock()
+	key := name.Normalize()
+	s := d.seg(key)
+	s.mu.Lock()
+	t, err := d.modifyLocked(s, name, key, changes)
+	s.mu.Unlock()
 	if err != nil {
 		return err
 	}
 	return t.Wait()
 }
 
-func (d *DIT) modifyLocked(name dn.DN, changes []ldap.Change) (commitTicket, error) {
-	key := name.Normalize()
-	n, ok := d.entries[key]
+func (d *DIT) modifyLocked(s *segment, name dn.DN, key string, changes []ldap.Change) (commitTicket, error) {
+	n, ok := s.entries[key]
 	if !ok {
 		return commitTicket{}, errf(ldap.ResultNoSuchObject, "no entry %q", name)
 	}
-	work := n.attrs.Clone()
+	work, err := d.applyChanges(name, n.attrs, changes)
+	if err != nil {
+		return commitTicket{}, err
+	}
+	if err := s.commitReady(); err != nil {
+		return commitTicket{}, err
+	}
+	s.reindexEntry(key, n.attrs, work)
+	n.attrs = work
+	seq := d.seq.Add(1)
+	rec := modifyRecord(name, changes)
+	rec.Seq = seq
+	return d.commitLocked(s, rec), nil
+}
+
+// applyChanges builds the post-modify attribute state from cur without
+// mutating it, enforcing LDAP change semantics, RDN protection, and schema
+// validation. Shared by the live modify path and relaxed journal replay.
+func (d *DIT) applyChanges(name dn.DN, cur *Attrs, changes []ldap.Change) (*Attrs, error) {
+	work := cur.Clone()
 	for _, c := range changes {
 		attr := c.Attribute.Type
 		if d.schema != nil {
@@ -241,51 +424,43 @@ func (d *DIT) modifyLocked(name dn.DN, changes []ldap.Change) (commitTicket, err
 		switch c.Op {
 		case ldap.ModAdd:
 			if len(c.Attribute.Values) == 0 {
-				return commitTicket{}, errf(ldap.ResultProtocolError, "add of %q without values", attr)
+				return nil, errf(ldap.ResultProtocolError, "add of %q without values", attr)
 			}
 			for _, v := range c.Attribute.Values {
 				if !work.Add(attr, v) {
-					return commitTicket{}, errf(ldap.ResultAttributeOrValueExists, "%q already has value %q", attr, v)
+					return nil, errf(ldap.ResultAttributeOrValueExists, "%q already has value %q", attr, v)
 				}
 			}
 		case ldap.ModDelete:
 			if d.rdnProtects(name, attr, c.Attribute.Values) {
-				return commitTicket{}, errf(ldap.ResultNotAllowedOnRDN, "attribute %q is part of the RDN", attr)
+				return nil, errf(ldap.ResultNotAllowedOnRDN, "attribute %q is part of the RDN", attr)
 			}
 			if len(c.Attribute.Values) == 0 {
 				if !work.Delete(attr) {
-					return commitTicket{}, errf(ldap.ResultNoSuchAttribute, "no attribute %q", attr)
+					return nil, errf(ldap.ResultNoSuchAttribute, "no attribute %q", attr)
 				}
 			} else {
 				for _, v := range c.Attribute.Values {
 					if !work.DeleteValue(attr, v) {
-						return commitTicket{}, errf(ldap.ResultNoSuchAttribute, "no value %q for %q", v, attr)
+						return nil, errf(ldap.ResultNoSuchAttribute, "no value %q for %q", v, attr)
 					}
 				}
 			}
 		case ldap.ModReplace:
 			if d.rdnProtects(name, attr, c.Attribute.Values) {
-				return commitTicket{}, errf(ldap.ResultNotAllowedOnRDN, "attribute %q is part of the RDN", attr)
+				return nil, errf(ldap.ResultNotAllowedOnRDN, "attribute %q is part of the RDN", attr)
 			}
 			work.Put(attr, c.Attribute.Values...)
 		default:
-			return commitTicket{}, errf(ldap.ResultProtocolError, "unknown modify op %d", c.Op)
+			return nil, errf(ldap.ResultProtocolError, "unknown modify op %d", c.Op)
 		}
 	}
 	if d.schema != nil {
 		if err := d.schema.CheckEntry(work); err != nil {
-			return commitTicket{}, err
+			return nil, err
 		}
 	}
-	if err := d.commitReadyLocked(); err != nil {
-		return commitTicket{}, err
-	}
-	d.reindexEntry(key, n.attrs, work)
-	n.attrs = work
-	d.seq++
-	rec := modifyRecord(name, changes)
-	rec.Seq = d.seq
-	return d.commitLocked(rec), nil
+	return work, nil
 }
 
 // modifyRecord converts a change list into its journal form.
@@ -327,10 +502,18 @@ func (d *DIT) rdnProtects(name dn.DN, attr string, newValues []string) bool {
 // ModifyDN renames an entry (and its subtree) to a new leaf RDN. The old
 // RDN values are removed from the attributes when deleteOldRDN is set; the
 // new RDN values are added.
+//
+// A rename re-routes every moved entry to the segment of its new key, so it
+// is the one update that locks every segment — the cross-partition
+// operation, rare by construction in the directory workloads MetaComm
+// serves. On a journaled DIT it is journaled as per-entry delete+entry
+// records in the affected segments' own files (segment journals replay
+// independently and never contain cross-segment operations), while the
+// changelog still carries the single logical modifydn record.
 func (d *DIT) ModifyDN(name dn.DN, newRDN dn.RDN, deleteOldRDN bool) error {
-	d.mu.Lock()
+	d.lockAll()
 	t, err := d.modifyDNLocked(name, newRDN, deleteOldRDN)
-	d.mu.Unlock()
+	d.unlockAll()
 	if err != nil {
 		return err
 	}
@@ -339,7 +522,7 @@ func (d *DIT) ModifyDN(name dn.DN, newRDN dn.RDN, deleteOldRDN bool) error {
 
 func (d *DIT) modifyDNLocked(name dn.DN, newRDN dn.RDN, deleteOldRDN bool) (commitTicket, error) {
 	key := name.Normalize()
-	n, ok := d.entries[key]
+	n, ok := d.seg(key).entries[key]
 	if !ok {
 		return commitTicket{}, errf(ldap.ResultNoSuchObject, "no entry %q", name)
 	}
@@ -348,7 +531,7 @@ func (d *DIT) modifyDNLocked(name dn.DN, newRDN dn.RDN, deleteOldRDN bool) (comm
 	if newKey == key {
 		return commitTicket{}, nil
 	}
-	if _, exists := d.entries[newKey]; exists {
+	if _, exists := d.seg(newKey).entries[newKey]; exists {
 		return commitTicket{}, errf(ldap.ResultEntryAlreadyExists, "entry %q already exists", newDN)
 	}
 	work := n.attrs.Clone()
@@ -367,64 +550,102 @@ func (d *DIT) modifyDNLocked(name dn.DN, newRDN dn.RDN, deleteOldRDN bool) (comm
 			return commitTicket{}, err
 		}
 	}
-	if err := d.commitReadyLocked(); err != nil {
-		return commitTicket{}, err
-	}
 
-	// Collect the subtree, then rewrite keys.
+	// Collect the subtree and compute every node's rebased DN up front, so
+	// commit readiness of every involved segment is checked before anything
+	// mutates.
 	var subtree []*node
 	var collect func(*node)
 	collect = func(nd *node) {
 		subtree = append(subtree, nd)
 		for ck := range nd.children {
-			collect(d.entries[ck])
+			collect(d.seg(ck).entries[ck])
 		}
 	}
 	collect(n)
-	for _, nd := range subtree {
-		d.unindexEntry(nd.key, nd.attrs)
-	}
 
-	if p, ok := d.entries[name.Parent().Normalize()]; ok {
-		delete(p.children, key)
-		p.children[newKey] = true
-	}
 	depth := name.Depth()
-	for _, nd := range subtree {
-		delete(d.entries, nd.key)
-	}
-	for _, nd := range subtree {
+	moves := make([]renameMove, len(subtree))
+	for i, nd := range subtree {
 		suffixStart := nd.dn.Depth() - depth
 		rebased := make(dn.DN, 0, nd.dn.Depth())
 		rebased = append(rebased, nd.dn[:suffixStart]...)
 		rebased = append(rebased, newDN...)
-		nd.dn = rebased
-		nd.children = map[string]bool{}
+		moves[i] = renameMove{nd: nd, oldKey: nd.key, oldDN: nd.dn.String(), newDN: rebased}
+	}
+	journaled := d.journaled()
+	if journaled {
+		seen := make(map[*segment]bool)
+		for i := range moves {
+			for _, s := range []*segment{d.seg(moves[i].oldKey), d.seg(moves[i].newDN.Normalize())} {
+				if !seen[s] {
+					seen[s] = true
+					if err := s.commitReady(); err != nil {
+						return commitTicket{}, err
+					}
+				}
+			}
+		}
+	}
+
+	for _, nd := range subtree {
+		d.seg(nd.key).unindexEntry(nd.key, nd.attrs)
+	}
+	if p, ok := d.seg(name.Parent().Normalize()).entries[name.Parent().Normalize()]; ok {
+		delete(p.children, key)
+		p.addChild(newKey)
+	}
+	for _, nd := range subtree {
+		delete(d.seg(nd.key).entries, nd.key)
+	}
+	for i := range moves {
+		nd := moves[i].nd
+		nd.dn = moves[i].newDN
+		nd.children = nil
 	}
 	n.attrs = work
 	for _, nd := range subtree {
 		k := nd.dn.Normalize()
 		nd.key = k
-		d.entries[k] = nd
-		d.indexEntry(k, nd.attrs)
+		s := d.seg(k)
+		s.entries[k] = nd
+		s.indexEntry(k, nd.attrs)
 		if pk := nd.dn.Parent().Normalize(); pk != "" {
-			if p, ok := d.entries[pk]; ok {
-				p.children[k] = true
+			if p, ok := d.seg(pk).entries[pk]; ok {
+				p.addChild(k)
 			}
 		}
 	}
-	d.seq++
-	rec := UpdateRecord{Seq: d.seq, Op: "modifydn", DN: name.String(),
+	seq := d.seq.Add(1)
+	logical := UpdateRecord{Seq: seq, Op: "modifydn", DN: name.String(),
 		NewRDN: newRDN.String(), DeleteOldRDN: deleteOldRDN}
-	return d.commitLocked(rec), nil
+	if journaled {
+		if err := d.journalRenameParts(seq, moves); err != nil {
+			d.em.skip(seq)
+			return commitTicket{}, errf(ldap.ResultUnavailable, "journal write failed: %v", err)
+		}
+	}
+	d.em.ready(logical)
+	return commitTicket{em: d.em, seq: seq}, nil
+}
+
+// renameMove is one entry's half of a ModifyDN: the node, where it came
+// from, and where it lands.
+type renameMove struct {
+	nd     *node
+	oldKey string
+	oldDN  string
+	newDN  dn.DN
 }
 
 // Get returns the entry at name. The returned attributes are a shared
 // immutable snapshot (see Entry).
 func (d *DIT) Get(name dn.DN) (Entry, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	n, ok := d.entries[name.Normalize()]
+	key := name.Normalize()
+	s := d.seg(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.entries[key]
 	if !ok {
 		return Entry{}, errf(ldap.ResultNoSuchObject, "no entry %q", name)
 	}
@@ -433,9 +654,11 @@ func (d *DIT) Get(name dn.DN) (Entry, error) {
 
 // Compare tests an attribute/value assertion against an entry.
 func (d *DIT) Compare(name dn.DN, attr, value string) (bool, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	n, ok := d.entries[name.Normalize()]
+	key := name.Normalize()
+	s := d.seg(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n, ok := s.entries[key]
 	if !ok {
 		return false, errf(ldap.ResultNoSuchObject, "no entry %q", name)
 	}
@@ -449,13 +672,15 @@ func (d *DIT) Compare(name dn.DN, attr, value string) (bool, error) {
 // full answer — LDAP promises no ordering, and stopping at the limit is
 // what keeps bounded searches cheap on large trees.
 //
-// The lock is held only while collecting candidate (DN, *Attrs) pairs;
-// filter verification and sorting run on that snapshot outside d.mu.
-// Attribute values are immutable once installed (every update builds a
-// fresh *Attrs), so the snapshot stays consistent with no coordination and
-// the returned entries share it without cloning — readers never block
-// writers for the duration of filter evaluation, and writers never tear an
-// entry a reader is matching.
+// Candidate collection visits segments one at a time under their read
+// locks; filter verification and sorting run on that snapshot outside any
+// lock. Attribute values are immutable once installed (every update builds
+// a fresh *Attrs), so each entry in the snapshot is internally consistent
+// with no coordination and the returned entries share it without cloning.
+// Cross-entry, a whole-subtree search on a segmented DIT observes each
+// segment at a (slightly) different instant — the usual read-committed
+// answer an LDAP search provides, not a point-in-time snapshot (that is
+// SnapshotAndSubscribeSeq's job).
 func (d *DIT) Search(base dn.DN, scope ldap.Scope, filter *ldap.Filter, sizeLimit int) ([]Entry, error) {
 	if filter == nil {
 		// An AND of zero terms is vacuously true: match everything.
@@ -496,15 +721,16 @@ type searchCand struct {
 }
 
 // collectCandidates gathers the scope-selected (or index-selected) nodes
-// under the read lock. It copies only a DN slice header and an *Attrs
-// pointer per node — the cheap snapshot Search evaluates lock-free.
+// under per-segment read locks. It copies only a DN slice header and an
+// *Attrs pointer per node — the cheap snapshot Search evaluates lock-free.
 func (d *DIT) collectCandidates(base dn.DN, scope ldap.Scope, filter *ldap.Filter) ([]searchCand, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-
 	baseKey := base.Normalize()
 	if !base.IsRoot() {
-		if _, ok := d.entries[baseKey]; !ok {
+		sb := d.seg(baseKey)
+		sb.mu.RLock()
+		_, ok := sb.entries[baseKey]
+		sb.mu.RUnlock()
+		if !ok {
 			return nil, errf(ldap.ResultNoSuchObject, "search base %q does not exist", base)
 		}
 	}
@@ -512,40 +738,79 @@ func (d *DIT) collectCandidates(base dn.DN, scope ldap.Scope, filter *ldap.Filte
 	add := func(n *node) { cands = append(cands, searchCand{dn: n.dn, key: n.key, attrs: n.attrs}) }
 	switch scope {
 	case ldap.ScopeBaseObject:
-		if n, ok := d.entries[baseKey]; ok {
+		sb := d.seg(baseKey)
+		sb.mu.RLock()
+		if n, ok := sb.entries[baseKey]; ok {
 			add(n)
 		}
+		sb.mu.RUnlock()
 	case ldap.ScopeSingleLevel:
 		if base.IsRoot() {
-			for _, n := range d.entries {
-				if n.dn.Depth() == 1 {
-					add(n)
+			for _, s := range d.segs {
+				s.mu.RLock()
+				for _, n := range s.entries {
+					if n.dn.Depth() == 1 {
+						add(n)
+					}
 				}
-			}
-		} else if n, ok := d.entries[baseKey]; ok {
-			for ck := range n.children {
-				add(d.entries[ck])
-			}
-		}
-	case ldap.ScopeWholeSubtree:
-		if keys, ok := d.indexCandidates(filter); ok {
-			// Indexed fast path: scope-check the candidate set only; the
-			// full filter is still verified on every returned entry.
-			for key := range keys {
-				n := d.entries[key]
-				if n == nil {
-					continue
-				}
-				if base.IsRoot() || key == baseKey || n.dn.IsDescendantOf(base) {
-					add(n)
-				}
+				s.mu.RUnlock()
 			}
 			break
 		}
-		for _, n := range d.entries {
-			if base.IsRoot() || n.key == baseKey || n.dn.IsDescendantOf(base) {
-				add(n)
+		// Copy the child key set under the parent's lock, then fetch the
+		// children grouped by segment. A child deleted between the copy and
+		// the fetch simply isn't returned.
+		sb := d.seg(baseKey)
+		sb.mu.RLock()
+		var childKeys []string
+		if n, ok := sb.entries[baseKey]; ok {
+			childKeys = make([]string, 0, len(n.children))
+			for ck := range n.children {
+				childKeys = append(childKeys, ck)
 			}
+		}
+		sb.mu.RUnlock()
+		bySeg := make([][]string, len(d.segs))
+		for _, ck := range childKeys {
+			i := d.segIndex(ck)
+			bySeg[i] = append(bySeg[i], ck)
+		}
+		for i, keys := range bySeg {
+			if len(keys) == 0 {
+				continue
+			}
+			s := d.segs[i]
+			s.mu.RLock()
+			for _, k := range keys {
+				if n, ok := s.entries[k]; ok {
+					add(n)
+				}
+			}
+			s.mu.RUnlock()
+		}
+	case ldap.ScopeWholeSubtree:
+		for _, s := range d.segs {
+			s.mu.RLock()
+			if keys, ok := s.indexCandidates(filter); ok {
+				// Indexed fast path: scope-check the candidate set only; the
+				// full filter is still verified on every returned entry.
+				for key := range keys {
+					n := s.entries[key]
+					if n == nil {
+						continue
+					}
+					if base.IsRoot() || key == baseKey || n.dn.IsDescendantOf(base) {
+						add(n)
+					}
+				}
+			} else {
+				for _, n := range s.entries {
+					if base.IsRoot() || n.key == baseKey || n.dn.IsDescendantOf(base) {
+						add(n)
+					}
+				}
+			}
+			s.mu.RUnlock()
 		}
 	default:
 		return nil, errf(ldap.ResultProtocolError, "unknown scope %d", scope)
@@ -553,9 +818,52 @@ func (d *DIT) collectCandidates(base dn.DN, scope ldap.Scope, filter *ldap.Filte
 	return cands, nil
 }
 
-// All returns every entry, parents before children. Used by the UM's
-// synchronization facility to dump the directory.
+// All returns every entry, parents before children. Prefer Range for bulk
+// passes that do not need the sorted materialized slice.
 func (d *DIT) All() []Entry {
 	out, _ := d.Search(dn.DN{}, ldap.ScopeWholeSubtree, nil, 0)
 	return out
+}
+
+// Range streams every entry to visit, one segment at a time, stopping early
+// when visit returns false. Unlike All it never materializes the whole
+// directory: the transient copy is bounded by the largest segment, and
+// entries share the tree's immutable attribute values. Order is
+// unspecified. Each segment is visited at its own instant (read-committed
+// across segments); use SnapshotRangeAndSubscribeSeq for an exact cut.
+func (d *DIT) Range(visit func(Entry) bool) {
+	var buf []Entry
+	for _, s := range d.segs {
+		buf = buf[:0]
+		s.mu.RLock()
+		for _, n := range s.entries {
+			buf = append(buf, Entry{DN: n.dn, Attrs: n.attrs})
+		}
+		s.mu.RUnlock()
+		for _, e := range buf {
+			if !visit(e) {
+				return
+			}
+		}
+	}
+}
+
+// DITStats is a point-in-time footprint summary.
+type DITStats struct {
+	Segments       int
+	Entries        int
+	SegmentEntries []int // live entries per segment
+	InternedNames  int   // global attribute-name intern table size
+}
+
+// Stats snapshots entry distribution across segments.
+func (d *DIT) Stats() DITStats {
+	st := DITStats{Segments: len(d.segs), SegmentEntries: make([]int, len(d.segs)), InternedNames: InternedNames()}
+	for i, s := range d.segs {
+		s.mu.RLock()
+		st.SegmentEntries[i] = len(s.entries)
+		s.mu.RUnlock()
+		st.Entries += st.SegmentEntries[i]
+	}
+	return st
 }

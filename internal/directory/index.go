@@ -11,17 +11,17 @@ import (
 // device key (definityExtension, mailboxNumber) on every translated update,
 // so without an index each update pays a full scan.
 //
-// Each indexed attribute keeps two posting structures, maintained inside
-// the DIT's lock on every committed update: value -> normalized-DN set for
-// equality terms, and the presence set (every DN carrying the attribute)
-// for (attr=*) probes. Search consults them for equality and presence
-// filters (including such terms inside an AND) and verifies candidates
-// against scope and the full filter, so indexed results are always exactly
-// the scan results.
+// Each segment keeps its own postings for every indexed attribute,
+// maintained inside that segment's lock on every committed update: value ->
+// normalized-DN set for equality terms, and the presence set (every DN
+// carrying the attribute) for (attr=*) probes. Search consults them
+// per segment for equality and presence filters (including such terms
+// inside an AND) and verifies candidates against scope and the full
+// filter, so indexed results are always exactly the scan results.
 
 type attrIndex map[string]*attrPosting
 
-// attrPosting holds one attribute's postings.
+// attrPosting holds one attribute's postings within one segment.
 type attrPosting struct {
 	// values maps lower-cased value -> normalized-DN set.
 	values map[string]map[string]bool
@@ -37,33 +37,40 @@ func newAttrPosting() *attrPosting {
 // and keeps them maintained. Safe to call on a populated DIT; existing
 // entries are indexed immediately.
 func (d *DIT) EnableIndexes(attrs ...string) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.indexes == nil {
-		d.indexes = attrIndex{}
-	}
+	d.lockAll()
+	defer d.unlockAll()
 	for _, a := range attrs {
 		k := lower(a)
-		if _, dup := d.indexes[k]; dup {
+		dup := false
+		for _, have := range d.indexed {
+			if have == k {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		p := newAttrPosting()
-		for key, n := range d.entries {
-			p.index(n.attrs.Get(k), key)
+		d.indexed = append(d.indexed, k)
+		for _, s := range d.segs {
+			if s.indexes == nil {
+				s.indexes = attrIndex{}
+			}
+			p := newAttrPosting()
+			for key, n := range s.entries {
+				p.index(n.attrs.Get(k), key)
+			}
+			s.indexes[k] = p
 		}
-		d.indexes[k] = p
 	}
 }
 
-// IndexedAttrs lists the indexed attributes (sorted order not guaranteed).
+// IndexedAttrs lists the indexed attributes (lowered spellings).
 func (d *DIT) IndexedAttrs() []string {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	out := make([]string, 0, len(d.indexes))
-	for a := range d.indexes {
-		out = append(out, a)
-	}
-	return out
+	s := d.segs[0]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), d.indexed...)
 }
 
 // index adds an entry's values for this attribute to both postings.
@@ -96,25 +103,26 @@ func (p *attrPosting) unindex(values []string, dnKey string) {
 	delete(p.present, dnKey)
 }
 
-// indexEntry adds every indexed attribute of the entry. Caller holds d.mu.
-func (d *DIT) indexEntry(dnKey string, attrs *Attrs) {
-	for a, p := range d.indexes {
+// indexEntry adds every indexed attribute of the entry. Caller holds the
+// segment lock.
+func (s *segment) indexEntry(dnKey string, attrs *Attrs) {
+	for a, p := range s.indexes {
 		p.index(attrs.Get(a), dnKey)
 	}
 }
 
 // unindexEntry removes every indexed attribute of the entry. Caller holds
-// d.mu.
-func (d *DIT) unindexEntry(dnKey string, attrs *Attrs) {
-	for a, p := range d.indexes {
+// the segment lock.
+func (s *segment) unindexEntry(dnKey string, attrs *Attrs) {
+	for a, p := range s.indexes {
 		p.unindex(attrs.Get(a), dnKey)
 	}
 }
 
 // reindexEntry moves an entry's index postings from old to new state.
-// Caller holds d.mu.
-func (d *DIT) reindexEntry(dnKey string, old, new *Attrs) {
-	for a, p := range d.indexes {
+// Caller holds the segment lock.
+func (s *segment) reindexEntry(dnKey string, old, new *Attrs) {
+	for a, p := range s.indexes {
 		ov, nv := old.Get(a), new.Get(a)
 		if sameStrings(ov, nv) {
 			continue
@@ -136,24 +144,25 @@ func sameStrings(a, b []string) bool {
 	return true
 }
 
-// indexCandidates returns the candidate DN-key set for a filter, or
-// (nil, false) when the filter has no usable indexed equality or presence
-// term. An AND uses its most selective indexed term; the candidates are a
-// superset of the answer only in the AND case, never missing matches,
-// because every returned entry is still verified against the full filter.
-func (d *DIT) indexCandidates(f *ldap.Filter) (map[string]bool, bool) {
-	if len(d.indexes) == 0 || f == nil {
+// indexCandidates returns this segment's candidate DN-key set for a filter,
+// or (nil, false) when the filter has no usable indexed equality or
+// presence term. An AND uses its most selective indexed term; the
+// candidates are a superset of the answer only in the AND case, never
+// missing matches, because every returned entry is still verified against
+// the full filter. Caller holds the segment lock.
+func (s *segment) indexCandidates(f *ldap.Filter) (map[string]bool, bool) {
+	if len(s.indexes) == 0 || f == nil {
 		return nil, false
 	}
 	switch f.Kind {
 	case ldap.FilterEquality:
-		p, ok := d.indexes[lower(f.Attr)]
+		p, ok := s.indexes[lower(f.Attr)]
 		if !ok {
 			return nil, false
 		}
 		return p.values[strings.ToLower(f.Value)], true
 	case ldap.FilterPresent:
-		p, ok := d.indexes[lower(f.Attr)]
+		p, ok := s.indexes[lower(f.Attr)]
 		if !ok {
 			return nil, false
 		}
@@ -162,7 +171,7 @@ func (d *DIT) indexCandidates(f *ldap.Filter) (map[string]bool, bool) {
 		var best map[string]bool
 		found := false
 		for _, c := range f.Children {
-			if set, ok := d.indexCandidates(c); ok {
+			if set, ok := s.indexCandidates(c); ok {
 				if !found || len(set) < len(best) {
 					best, found = set, true
 				}

@@ -9,7 +9,6 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,22 +23,25 @@ import (
 // snapshot compaction. Reopening the journal replays it, restoring the
 // exact directory state.
 //
-// The commit path is a staged group-commit pipeline (DESIGN.md §11).
-// Under the DIT lock a write only validates, applies in memory, takes its
-// commit sequence number, and stages its record; a single committer
-// goroutine marshals and writes every concurrently staged record as one
-// buffered write with ONE fsync per group, then fans the group out to
-// changelog subscribers and finally wakes the staging writers. A writer's
-// ack therefore still means "durable per the journal's sync mode and
-// visible on every subscription", but neither marshaling nor journal I/O
-// ever executes inside the DIT critical section, and fsync cost is
-// amortized across however many writers committed together.
+// On a segmented DIT every segment has its own journal file and its own
+// group-commit pipeline (one fsync per group per segment; see DESIGN.md
+// §11/§13), named <base>.seg<i> and attached together via
+// AttachJournalSet. Segment journals replay independently: each file
+// carries a linear per-DN history (the router always sends a DN to the
+// same file), so replay is relaxed — "entry"/"add" upsert, modify/delete
+// apply strictly per entry, parent/child links are wired in one post-pass.
+// A legacy single-file journal (or a set written under a different segment
+// count) is replayed and folded into the current layout at attach.
 //
-// The journal is deliberately simple — one file, newline-delimited JSON,
+// The journal is deliberately simple — newline-delimited JSON,
 // atomically-renamed snapshots — because the consistency story of MetaComm
 // does not depend on it: a directory restored from an older journal is just
 // a repository that missed updates, which the Update Manager's
-// synchronization facility reconciles.
+// synchronization facility reconciles. The same stance covers the one
+// cross-segment operation: a ModifyDN journals as per-entry delete+entry
+// records in the affected segments' files, durable per the sync mode
+// before the call returns, but a crash mid-write can persist a subset of
+// the rename — an older-state repository that sync reconciles.
 
 // UpdateRecord is one committed update, as written to the journal and
 // streamed to replicas. Seq is assigned at commit; replay derives order
@@ -120,7 +122,7 @@ func ParseSyncMode(s string) (SyncMode, error) {
 const DefaultJournalBatch = 256
 
 // Journal persists committed directory updates. Configure Mode, MaxBatch,
-// and Linger before AttachJournal; they are read by the commit pipeline.
+// and Linger before attaching; they are read by the commit pipeline.
 type Journal struct {
 	mu   sync.Mutex
 	path string
@@ -192,7 +194,26 @@ func (j *Journal) writeGroup(data []byte) error {
 	return nil
 }
 
-// JournalStats is a point-in-time snapshot of the commit pipeline.
+// size flushes buffered output and reports the journal file's current byte
+// size (the auto-compactor's growth probe).
+func (j *Journal) size() (int64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return 0, fmt.Errorf("directory: journal closed")
+	}
+	if err := j.w.Flush(); err != nil {
+		return 0, err
+	}
+	st, err := j.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// JournalStats is a point-in-time snapshot of the commit pipeline. On a
+// segmented DIT the counters aggregate every segment's pipeline.
 type JournalStats struct {
 	// Mode is the journal's sync mode ("always", "group", "none").
 	Mode string
@@ -213,8 +234,8 @@ type JournalStats struct {
 	// CommitNs sums the writers' observed ack latency (stage → durable);
 	// CommitNs/Appends is the mean durable-commit latency.
 	CommitNs int64
-	// TornTails counts torn trailing records truncated during replay (0 or
-	// 1 per attach; a crash mid-append leaves at most one).
+	// TornTails counts torn trailing records truncated during replay (at
+	// most one per journal file; a crash mid-append leaves at most one).
 	TornTails uint64
 }
 
@@ -238,17 +259,19 @@ func (s JournalStats) MeanCommit() time.Duration {
 	return time.Duration(s.CommitNs / int64(s.Appends))
 }
 
-// committer is the group-commit pipeline attached between a DIT and its
-// journal. Writers stage records under d.mu (cheap: one slice append) and
-// then block in await outside the lock; the run goroutine claims every
-// staged record, writes the group through one buffered write + one fsync,
-// fans the group out to changelog subscribers, and finally broadcasts
-// durability so the writers return. Emission-before-broadcast preserves
-// the invariant consumers rely on (see um/sync.go): once a writer's call
-// returns, its record is already in every subscription buffer.
+// committer is the group-commit pipeline attached between one segment and
+// its journal. Writers stage records under the segment lock (cheap: one
+// slice append) and then block in await outside the lock; the run goroutine
+// claims every staged record, writes the group through one buffered write +
+// one fsync, hands the group to the emitter for globally ordered changelog
+// fan-out, and finally broadcasts durability so the writers return. A
+// writer's ticket additionally waits for the emitter's order notification,
+// preserving the invariant consumers rely on (see um/sync.go): once a
+// writer's call returns, its record is already in every subscription
+// buffer, in global commit order.
 type committer struct {
-	d *DIT
-	j *Journal
+	em *emitter
+	j  *Journal
 
 	mu     sync.Mutex
 	work   sync.Cond // signals run: queue non-empty or closing
@@ -257,7 +280,7 @@ type committer struct {
 	staged uint64 // highest seq staged
 	// durable is the highest seq written per the journal's mode; err is a
 	// sticky I/O failure that poisons the pipeline (reads keep working,
-	// every later write is rejected before mutating the DIT).
+	// every later write to this segment is rejected before mutating).
 	durable uint64
 	err     error
 	closed  bool
@@ -273,17 +296,16 @@ type committer struct {
 	enc *json.Encoder
 
 	// Stats, guarded by mu except the atomics.
-	appends   uint64
-	batches   uint64
-	bytes     uint64
-	maxSeen   int
-	hist      [6]uint64
-	commitNs  int64  // atomic
-	tornTails uint64 // set at attach, read-only after
+	appends  uint64
+	batches  uint64
+	bytes    uint64
+	maxSeen  int
+	hist     [6]uint64
+	commitNs int64 // atomic
 }
 
-func newCommitter(d *DIT, j *Journal) *committer {
-	c := &committer{d: d, j: j, stopped: make(chan struct{}),
+func newCommitter(em *emitter, j *Journal) *committer {
+	c := &committer{em: em, j: j, stopped: make(chan struct{}),
 		maxBatch: j.MaxBatch, linger: j.Linger}
 	if c.maxBatch <= 0 {
 		c.maxBatch = DefaultJournalBatch
@@ -296,8 +318,8 @@ func newCommitter(d *DIT, j *Journal) *committer {
 }
 
 // ready reports whether the pipeline accepts new records. Checked under
-// d.mu before a write mutates anything, so a closed or failed journal
-// rejects updates without applying them.
+// the segment lock before a write mutates anything, so a closed or failed
+// journal rejects updates without applying them.
 func (c *committer) ready() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -310,8 +332,10 @@ func (c *committer) ready() error {
 	return nil
 }
 
-// stage enqueues one sequenced record. Called with d.mu held, which is what
-// guarantees queue order == commit order == journal file order.
+// stage enqueues one sequenced record. Called with the segment lock held,
+// which is what guarantees queue order == this segment's commit order ==
+// journal file order (global seqs are taken under the same lock, so the
+// queue is seq-ascending too).
 func (c *committer) stage(rec UpdateRecord) {
 	c.mu.Lock()
 	c.queue = append(c.queue, rec)
@@ -320,8 +344,8 @@ func (c *committer) stage(rec UpdateRecord) {
 	c.work.Signal()
 }
 
-// await blocks until seq is durable (per mode) and emitted, or the
-// pipeline failed before reaching it.
+// await blocks until seq is durable (per mode), or the pipeline failed
+// before reaching it.
 func (c *committer) await(seq uint64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -334,9 +358,9 @@ func (c *committer) await(seq uint64) error {
 	return nil
 }
 
-// flush waits until everything staged so far is durable. Callers hold d.mu
-// (so nothing new can stage) — Compact and CloseJournal use it to quiesce
-// the pipeline.
+// flush waits until everything staged so far is durable. Callers hold the
+// segment lock (so nothing new can stage) — compaction and CloseJournal
+// use it to quiesce the pipeline.
 func (c *committer) flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -349,7 +373,19 @@ func (c *committer) flush() error {
 	return c.err
 }
 
-// stop shuts the run goroutine down after a flush. Caller holds d.mu.
+// poison marks the pipeline failed (a direct journal write outside the run
+// loop hit an error); later writes are rejected pre-mutation.
+func (c *committer) poison(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+	c.done.Broadcast()
+}
+
+// stop shuts the run goroutine down after a flush. Caller holds the
+// segment lock.
 func (c *committer) stop() {
 	c.mu.Lock()
 	c.closed = true
@@ -358,8 +394,8 @@ func (c *committer) stop() {
 	<-c.stopped
 }
 
-// run is the committer goroutine: claim a group, write it, emit it, wake
-// its writers; repeat.
+// run is the committer goroutine: claim a group, write it, hand it to the
+// emitter, wake its writers; repeat.
 func (c *committer) run() {
 	defer close(c.stopped)
 	for {
@@ -411,7 +447,10 @@ func (c *committer) run() {
 
 		var err error
 		if failed {
-			// Poisoned: drop the group, fail its writers via the sticky err.
+			// Poisoned: drop the group, fail its writers via the sticky
+			// err, and release the group's seqs so the global emission
+			// order moves past them instead of stalling on the gap.
+			c.em.skipBatch(batch)
 			c.done.Broadcast()
 			continue
 		}
@@ -419,10 +458,13 @@ func (c *committer) run() {
 		nbytes, err = c.writeGroup(batch)
 
 		if err == nil {
-			// Fan out to changelog subscribers BEFORE acking the writers:
-			// one subscriber sweep per group instead of per record, and a
-			// returned write is already visible on every subscription.
-			c.d.emitBatch(batch)
+			// Hand the durable group to the emitter BEFORE acking the
+			// writers: it is released to subscribers as soon as every
+			// earlier seq (possibly from other segments' pipelines) has
+			// been, and the writer's ticket waits for exactly that.
+			c.em.readyBatch(batch)
+		} else {
+			c.em.skipBatch(batch)
 		}
 
 		c.mu.Lock()
@@ -463,7 +505,7 @@ func (c *committer) writeGroup(batch []UpdateRecord) (int, error) {
 	return c.buf.Len(), nil
 }
 
-// stats snapshots the pipeline counters.
+// journalStats snapshots the pipeline counters.
 func (c *committer) journalStats() JournalStats {
 	c.mu.Lock()
 	s := JournalStats{
@@ -473,7 +515,6 @@ func (c *committer) journalStats() JournalStats {
 		Bytes:     c.bytes,
 		MaxBatch:  c.maxSeen,
 		BatchHist: c.hist,
-		TornTails: c.tornTails,
 	}
 	c.mu.Unlock()
 	s.Fsyncs = atomic.LoadUint64(&c.j.fsyncs)
@@ -481,120 +522,388 @@ func (c *committer) journalStats() JournalStats {
 	return s
 }
 
-// commitTicket is what a writer blocks on after releasing d.mu: Wait
-// returns once the staged record is durable and emitted. The zero ticket
-// (unjournaled DIT — the commit was final and emitted inline) waits for
-// nothing.
+// commitTicket is what a writer blocks on after releasing the segment
+// lock: Wait returns once the staged record is durable (journaled DITs)
+// and released to subscribers in global order. The zero ticket (a no-op
+// update) waits for nothing.
 type commitTicket struct {
 	c   *committer
+	em  *emitter
 	seq uint64
 }
 
-// Wait blocks for the ticket's durability notification.
+// Wait blocks for the ticket's durability and emission notifications.
 func (t commitTicket) Wait() error {
-	if t.c == nil {
+	if t.c != nil {
+		start := time.Now()
+		err := t.c.await(t.seq)
+		atomic.AddInt64(&t.c.commitNs, time.Since(start).Nanoseconds())
+		if err != nil {
+			return err
+		}
+	}
+	if t.em != nil {
+		t.em.waitEmitted(t.seq)
+	}
+	return nil
+}
+
+// commitReady rejects writes early when the segment's pipeline cannot
+// accept them (closed or failed journal). Called with the segment lock
+// held, before mutating.
+func (s *segment) commitReady() error {
+	if s.commit == nil {
 		return nil
 	}
-	start := time.Now()
-	err := t.c.await(t.seq)
-	atomic.AddInt64(&t.c.commitNs, time.Since(start).Nanoseconds())
-	return err
+	return s.commit.ready()
 }
 
-// commitReadyLocked rejects writes early when the pipeline cannot accept
-// them (closed or failed journal). Called with d.mu held, before mutating.
-func (d *DIT) commitReadyLocked() error {
-	if d.commit == nil {
-		return nil
+// commitLocked finishes a sequenced in-memory commit on segment s:
+// journaled DITs stage the record for the segment's group committer
+// (journal write, emitter hand-off, and the writer's wait all happen
+// outside the lock); unjournaled DITs hand the record to the emitter
+// directly.
+func (d *DIT) commitLocked(s *segment, rec UpdateRecord) commitTicket {
+	if s.commit != nil {
+		s.commit.stage(rec)
+		return commitTicket{c: s.commit, em: d.em, seq: rec.Seq}
 	}
-	return d.commit.ready()
+	d.em.ready(rec)
+	return commitTicket{em: d.em, seq: rec.Seq}
 }
 
-// commitLocked finishes a sequenced in-memory commit: journaled DITs stage
-// the record for the group committer (journal write, changelog fan-out,
-// and the writer's wait all happen outside d.mu); unjournaled DITs emit to
-// subscribers inline, exactly the pre-pipeline behavior.
-func (d *DIT) commitLocked(rec UpdateRecord) commitTicket {
-	if d.commit != nil {
-		d.commit.stage(rec)
-		return commitTicket{c: d.commit, seq: rec.Seq}
+// journalRenameParts journals a ModifyDN's per-entry decomposition: every
+// moved entry contributes a delete record to its old segment's journal and
+// an entry record to its new segment's journal, all carrying the rename's
+// global seq. Caller holds every segment lock, so flushing the involved
+// pipelines quiesces them and the direct appends land in correct per-DN
+// order within each file.
+func (d *DIT) journalRenameParts(seq uint64, moves []renameMove) error {
+	bySeg := make(map[*segment][]UpdateRecord)
+	var order []*segment // deterministic write order
+	appendRec := func(s *segment, rec UpdateRecord) {
+		if _, ok := bySeg[s]; !ok {
+			order = append(order, s)
+		}
+		bySeg[s] = append(bySeg[s], rec)
 	}
-	d.emitOne(rec)
-	return commitTicket{}
+	for i := range moves {
+		m := &moves[i]
+		appendRec(d.seg(m.oldKey), UpdateRecord{Seq: seq, Op: "delete", DN: m.oldDN})
+		nd := m.nd
+		appendRec(d.seg(nd.key), UpdateRecord{Seq: seq, Op: "entry", DN: nd.dn.String(), Attrs: nd.attrs.Map()})
+	}
+	for _, s := range order {
+		if err := s.commit.flush(); err != nil {
+			return err
+		}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, s := range order {
+		buf.Reset()
+		recs := bySeg[s]
+		for i := range recs {
+			if err := enc.Encode(&recs[i]); err != nil {
+				return err
+			}
+		}
+		if err := s.journal.writeGroup(buf.Bytes()); err != nil {
+			s.commit.poison(err)
+			return err
+		}
+	}
+	return nil
 }
 
-// AttachJournal replays the journal's records into the DIT, then attaches
-// it and starts the group-commit pipeline so every future committed update
-// is appended. It returns the number of records replayed. A torn trailing
-// record (crash mid-append) is truncated and tolerated — the journal ends
-// at the last complete record, which is exactly the acked prefix —
-// but corruption followed by further complete records still errors. The
-// DIT must not have a journal attached already.
+// AttachJournal replays a legacy single-file journal into the DIT, then
+// attaches it and starts the group-commit pipeline so every future
+// committed update is appended. It returns the number of records replayed.
+// A torn trailing record (crash mid-append) is truncated and tolerated —
+// the journal ends at the last complete record, which is exactly the acked
+// prefix — but corruption followed by further complete records still
+// errors. Only single-segment DITs accept this form; segmented DITs attach
+// one journal per segment via AttachJournalSet.
 func (d *DIT) AttachJournal(j *Journal) (int, error) {
-	d.mu.Lock()
-	if d.journal != nil {
-		d.mu.Unlock()
+	if len(d.segs) != 1 {
+		return 0, fmt.Errorf("directory: single-file journal on a %d-segment DIT; use AttachJournalSet", len(d.segs))
+	}
+	s := d.segs[0]
+	s.mu.RLock()
+	attached := s.journal != nil
+	s.mu.RUnlock()
+	if attached {
 		return 0, fmt.Errorf("directory: journal already attached")
 	}
-	d.mu.Unlock()
 
-	n, torn, err := d.replay(j.path)
+	n, torn, err := d.replayFile(j.path, d.applyRecord)
 	if err != nil {
 		return n, err
 	}
-	d.mu.Lock()
-	if d.journal != nil {
-		d.mu.Unlock()
+	s.mu.Lock()
+	if s.journal != nil {
+		s.mu.Unlock()
 		return n, fmt.Errorf("directory: journal already attached")
 	}
-	d.journal = j
-	d.commit = newCommitter(d, j)
+	s.journal = j
+	s.commit = newCommitter(d.em, j)
 	if torn {
-		d.commit.tornTails = 1
+		d.tornTails.Store(1)
 	}
-	d.mu.Unlock()
+	s.mu.Unlock()
 	return n, nil
 }
 
-// CloseJournal flushes the commit pipeline, stops the committer, closes
-// the journal file, and detaches it. Writers that race the close are
-// rejected with unavailable before they mutate anything; everything staged
-// before the close is written first. A DIT without a journal returns nil.
+// JournalSetConfig configures AttachJournalSet. Base is the path stem;
+// segment i journals to <Base>.seg<i> and the layout manifest lives at
+// <Base>.meta. Mode/MaxBatch/Linger apply to every segment's pipeline.
+type JournalSetConfig struct {
+	Base     string
+	Mode     SyncMode
+	MaxBatch int
+	Linger   time.Duration
+}
+
+func segJournalPath(base string, i int) string { return fmt.Sprintf("%s.seg%d", base, i) }
+
+// journalManifest records the on-disk layout so attach can tell whether
+// the existing files match the configured segment count.
+type journalManifest struct {
+	Segments int `json:"segments"`
+}
+
+// AttachJournalSet replays and attaches one journal per segment. It
+// returns the total records replayed across files. Three on-disk layouts
+// are accepted:
+//
+//   - Fresh or matching segment files: each file replays relaxed into its
+//     segment(s) — linear in live entries after compaction, since a
+//     compacted file is exactly one entry record per live entry.
+//   - A legacy single-file journal at Base (pre-segmentation data dir):
+//     replayed strictly, then folded into segment files via a compaction
+//     sweep; the legacy file is removed afterwards. A crash anywhere in
+//     the migration is safe: entry upserts make re-folding idempotent.
+//   - Segment files written under a different segment count: replayed
+//     through the current router (a DN's records are totally ordered
+//     within whichever single file held them), then rewritten into the
+//     current layout and the stale files removed.
+func (d *DIT) AttachJournalSet(cfg JournalSetConfig) (int, error) {
+	for _, s := range d.segs {
+		s.mu.RLock()
+		attached := s.journal != nil
+		s.mu.RUnlock()
+		if attached {
+			return 0, fmt.Errorf("directory: journal already attached")
+		}
+	}
+
+	// A crash mid-compaction leaves a .compact temporary; it is garbage
+	// (the real journal was never replaced) and must not survive.
+	for i := 0; ; i++ {
+		path := segJournalPath(cfg.Base, i) + ".compact"
+		if err := os.Remove(path); err != nil && i >= len(d.segs) {
+			break
+		}
+	}
+
+	// Read the layout manifest (absence means legacy or fresh).
+	manifestPath := cfg.Base + ".meta"
+	diskSegs := 0
+	if b, err := os.ReadFile(manifestPath); err == nil {
+		var m journalManifest
+		if json.Unmarshal(b, &m) == nil {
+			diskSegs = m.Segments
+		}
+	}
+
+	total := 0
+	migrate := false
+
+	// Legacy single-file journal: strict replay (one file carries the
+	// global order, so the original operation semantics hold exactly).
+	if _, err := os.Stat(cfg.Base); err == nil {
+		n, torn, err := d.replayFile(cfg.Base, d.applyRecord)
+		if err != nil {
+			return total, err
+		}
+		if torn {
+			d.tornTails.Add(1)
+		}
+		total += n
+		migrate = true
+	}
+
+	// Segment files: relaxed replay through the current router. Files
+	// beyond the configured count (larger previous layout) are folded in
+	// and removed after migration.
+	if diskSegs != 0 && diskSegs != len(d.segs) {
+		migrate = true
+	}
+	scan := len(d.segs)
+	if diskSegs > scan {
+		scan = diskSegs
+	}
+	maxSeq := uint64(0)
+	applied := 0
+	var stale []string
+	for i := 0; i < scan; i++ {
+		path := segJournalPath(cfg.Base, i)
+		if _, err := os.Stat(path); err != nil {
+			continue
+		}
+		n, ms, torn, err := d.replayRelaxed(path)
+		if err != nil {
+			return total, err
+		}
+		if torn {
+			d.tornTails.Add(1)
+		}
+		total += n
+		applied += n
+		if ms > maxSeq {
+			maxSeq = ms
+		}
+		if i >= len(d.segs) {
+			stale = append(stale, path)
+		}
+	}
+	d.wireChildren()
+
+	// Advance the global sequence past everything replayed so future seqs
+	// never collide with ones already on disk or streamed to replicas.
+	seq := d.seq.Load() + uint64(applied)
+	if maxSeq > seq {
+		seq = maxSeq
+	}
+	d.seq.Store(seq)
+	d.em.advanceTo(seq)
+
+	// Open and attach every segment's journal.
+	opened := make([]*Journal, 0, len(d.segs))
+	for i, s := range d.segs {
+		j, err := OpenJournal(segJournalPath(cfg.Base, i))
+		if err != nil {
+			for _, oj := range opened {
+				oj.Close()
+			}
+			return total, err
+		}
+		j.Mode, j.MaxBatch, j.Linger = cfg.Mode, cfg.MaxBatch, cfg.Linger
+		opened = append(opened, j)
+		s.mu.Lock()
+		s.journal = j
+		s.commit = newCommitter(d.em, j)
+		s.mu.Unlock()
+	}
+
+	if migrate {
+		// Fold the foreign layout into the current one: one compaction
+		// sweep writes every segment's live state into its own file, after
+		// which the legacy/stale files are dead weight.
+		if err := d.Compact(); err != nil {
+			return total, err
+		}
+		if err := os.Remove(cfg.Base); err != nil && !os.IsNotExist(err) {
+			return total, err
+		}
+		for _, path := range stale {
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return total, err
+			}
+		}
+	}
+	for _, s := range d.segs {
+		if sz, err := s.journal.size(); err == nil {
+			s.sizeAfterCompact = sz
+		}
+	}
+
+	// Persist the layout manifest (tmp+rename so it is never torn).
+	mb, _ := json.Marshal(journalManifest{Segments: len(d.segs)})
+	tmp := manifestPath + ".tmp"
+	if err := os.WriteFile(tmp, append(mb, '\n'), 0o644); err != nil {
+		return total, err
+	}
+	if err := os.Rename(tmp, manifestPath); err != nil {
+		return total, err
+	}
+	if dirf, err := os.Open(filepath.Dir(manifestPath)); err == nil {
+		dirf.Sync()
+		dirf.Close()
+	}
+	return total, nil
+}
+
+// CloseJournal stops background compaction, flushes every segment's commit
+// pipeline, stops the committers, closes the journal files, and detaches
+// them. Writers that race the close are rejected with unavailable before
+// they mutate anything; everything staged before the close is written
+// first. A DIT without journals returns nil.
 func (d *DIT) CloseJournal() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.journal == nil {
-		return nil
+	d.stopAutoCompact()
+	d.compactMu.Lock()
+	defer d.compactMu.Unlock()
+	var firstErr error
+	for _, s := range d.segs {
+		s.mu.Lock()
+		if s.journal == nil {
+			s.mu.Unlock()
+			continue
+		}
+		flushErr := s.commit.flush()
+		s.commit.stop()
+		closeErr := s.journal.Close()
+		s.journal = nil
+		s.commit = nil
+		s.mu.Unlock()
+		if firstErr == nil {
+			if flushErr != nil {
+				firstErr = flushErr
+			} else {
+				firstErr = closeErr
+			}
+		}
 	}
-	flushErr := d.commit.flush()
-	d.commit.stop()
-	closeErr := d.journal.Close()
-	d.journal = nil
-	d.commit = nil
-	if flushErr != nil {
-		return flushErr
-	}
-	return closeErr
+	return firstErr
 }
 
-// JournalStats snapshots the commit pipeline (zero when no journal is
-// attached).
+// JournalStats snapshots the commit pipelines, aggregated across segments
+// (zero when no journal is attached).
 func (d *DIT) JournalStats() JournalStats {
-	d.mu.RLock()
-	c := d.commit
-	d.mu.RUnlock()
-	if c == nil {
-		return JournalStats{}
+	var out JournalStats
+	for _, s := range d.segs {
+		s.mu.RLock()
+		c := s.commit
+		s.mu.RUnlock()
+		if c == nil {
+			continue
+		}
+		st := c.journalStats()
+		if out.Mode == "" {
+			out.Mode = st.Mode
+		}
+		out.Appends += st.Appends
+		out.Batches += st.Batches
+		out.Fsyncs += st.Fsyncs
+		out.Bytes += st.Bytes
+		if st.MaxBatch > out.MaxBatch {
+			out.MaxBatch = st.MaxBatch
+		}
+		for i := range out.BatchHist {
+			out.BatchHist[i] += st.BatchHist[i]
+		}
+		out.CommitNs += st.CommitNs
 	}
-	return c.journalStats()
+	out.TornTails = d.tornTails.Load()
+	return out
 }
 
-// replay applies all records from path (missing file = empty journal). A
-// torn final record — unmarshalable bytes with nothing but emptiness after
-// them, the signature of a crash mid-append — is truncated from the file
-// and reported via torn; an unmarshalable record followed by more data is
-// real corruption and errors.
-func (d *DIT) replay(path string) (count int, torn bool, err error) {
+// replayFile applies all records from path (missing file = empty journal)
+// through apply. A torn final record — unmarshalable bytes with nothing
+// but emptiness after them, the signature of a crash mid-append — is
+// truncated from the file and reported via torn; an unmarshalable record
+// followed by more data is real corruption and errors.
+func (d *DIT) replayFile(path string, apply func(UpdateRecord) error) (count int, torn bool, err error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return 0, false, nil
@@ -623,7 +932,7 @@ func (d *DIT) replay(path string) (count int, torn bool, err error) {
 				}
 				return count, true, nil
 			}
-			if aerr := d.applyRecord(u); aerr != nil {
+			if aerr := apply(u); aerr != nil {
 				return count, false, fmt.Errorf("directory: replaying record %d (%s %q): %w",
 					count+1, u.Op, u.DN, aerr)
 			}
@@ -639,6 +948,23 @@ func (d *DIT) replay(path string) (count int, torn bool, err error) {
 	}
 }
 
+// replayRelaxed replays one segment journal. See applyRelaxed for the
+// (deliberately weaker) semantics; maxSeq reports the highest commit seq
+// seen in the file.
+func (d *DIT) replayRelaxed(path string) (count int, maxSeq uint64, torn bool, err error) {
+	count, torn, err = d.replayFile(path, func(rec UpdateRecord) error {
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
+		return d.applyRelaxed(rec)
+	})
+	return count, maxSeq, torn, err
+}
+
+// applyRecord replays one record of a legacy single-file journal through
+// the public operations — the file carries the global commit order, so
+// full LDAP semantics (parent existence, leaf-only delete, subtree
+// renames) hold at every prefix.
 func (d *DIT) applyRecord(rec UpdateRecord) error {
 	name, err := dn.Parse(rec.DN)
 	if err != nil {
@@ -650,21 +976,9 @@ func (d *DIT) applyRecord(rec UpdateRecord) error {
 	case "delete":
 		return d.Delete(name)
 	case "modify":
-		changes := make([]ldap.Change, 0, len(rec.Changes))
-		for _, c := range rec.Changes {
-			var op ldap.ModOp
-			switch c.Op {
-			case "add":
-				op = ldap.ModAdd
-			case "delete":
-				op = ldap.ModDelete
-			case "replace":
-				op = ldap.ModReplace
-			default:
-				return fmt.Errorf("unknown change op %q", c.Op)
-			}
-			changes = append(changes, ldap.Change{Op: op,
-				Attribute: ldap.Attribute{Type: c.Attr, Values: c.Values}})
+		changes, err := changesFromRecord(rec)
+		if err != nil {
+			return err
 		}
 		return d.Modify(name, changes)
 	case "modifydn":
@@ -677,86 +991,109 @@ func (d *DIT) applyRecord(rec UpdateRecord) error {
 	return fmt.Errorf("unknown journal op %q", rec.Op)
 }
 
-// Compact rewrites the journal as a snapshot: one add record per live
-// entry, parents first. The commit pipeline is flushed first (d.mu blocks
-// new stages), then the rewrite goes to a temporary file that is
-// atomically renamed over the journal, so a crash leaves either the old or
-// the new journal intact.
-func (d *DIT) Compact() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.journal == nil {
-		return fmt.Errorf("directory: no journal attached")
-	}
-	if err := d.commit.flush(); err != nil {
-		return err
-	}
-	j := d.journal
-
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if err := j.w.Flush(); err != nil {
-		return err
-	}
-
-	tmp := j.path + ".compact"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+// applyRelaxed replays one record of a per-segment journal. A segment file
+// sees only its own entries' history — parents may live elsewhere and
+// logical modifydn records never appear (renames are decomposed into
+// per-entry delete+entry parts at journaling time) — so replay is
+// entry-local: add/entry upsert (which also makes migration re-folds
+// idempotent), modify and delete apply strictly to the entry (its per-DN
+// history within one file is total), and parent/child links are wired in
+// a single post-pass after every file has replayed.
+func (d *DIT) applyRelaxed(rec UpdateRecord) error {
+	name, err := dn.Parse(rec.DN)
 	if err != nil {
 		return err
 	}
-	w := bufio.NewWriter(f)
-	enc := json.NewEncoder(w)
-	// Parents before children: sort by depth then name (the same order
-	// Search emits).
-	type pair struct {
-		key string
-		n   *node
-	}
-	nodes := make([]pair, 0, len(d.entries))
-	for k, n := range d.entries {
-		nodes = append(nodes, pair{k, n})
-	}
-	sort.Slice(nodes, func(i, j int) bool {
-		di, dj := nodes[i].n.dn.Depth(), nodes[j].n.dn.Depth()
-		if di != dj {
-			return di < dj
+	key := name.Normalize()
+	s := d.seg(key)
+	switch rec.Op {
+	case "add", "entry":
+		a := AttrsFrom(rec.Attrs)
+		s.mu.Lock()
+		if n, ok := s.entries[key]; ok {
+			s.reindexEntry(key, n.attrs, a)
+			n.attrs = a
+			n.dn = name
+		} else {
+			s.entries[key] = &node{dn: name, key: key, attrs: a}
+			s.indexEntry(key, a)
+			d.count.Add(1)
 		}
-		return nodes[i].key < nodes[j].key
-	})
-	for _, p := range nodes {
-		rec := UpdateRecord{Op: "entry", DN: p.n.dn.String(), Attrs: p.n.attrs.Map()}
-		if err := enc.Encode(&rec); err != nil {
-			f.Close()
+		s.mu.Unlock()
+		return nil
+	case "delete":
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		n, ok := s.entries[key]
+		if !ok {
+			return errf(ldap.ResultNoSuchObject, "no entry %q", name)
+		}
+		delete(s.entries, key)
+		s.unindexEntry(key, n.attrs)
+		d.count.Add(-1)
+		return nil
+	case "modify":
+		changes, err := changesFromRecord(rec)
+		if err != nil {
 			return err
 		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		n, ok := s.entries[key]
+		if !ok {
+			return errf(ldap.ResultNoSuchObject, "no entry %q", name)
+		}
+		work, err := d.applyChanges(name, n.attrs, changes)
+		if err != nil {
+			return err
+		}
+		s.reindexEntry(key, n.attrs, work)
+		n.attrs = work
+		return nil
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
+	return fmt.Errorf("unexpected op %q in segment journal", rec.Op)
+}
+
+// changesFromRecord decodes a modify record's change list.
+func changesFromRecord(rec UpdateRecord) ([]ldap.Change, error) {
+	changes := make([]ldap.Change, 0, len(rec.Changes))
+	for _, c := range rec.Changes {
+		var op ldap.ModOp
+		switch c.Op {
+		case "add":
+			op = ldap.ModAdd
+		case "delete":
+			op = ldap.ModDelete
+		case "replace":
+			op = ldap.ModReplace
+		default:
+			return nil, fmt.Errorf("unknown change op %q", c.Op)
+		}
+		changes = append(changes, ldap.Change{Op: op,
+			Attribute: ldap.Attribute{Type: c.Attr, Values: c.Values}})
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
+	return changes, nil
+}
+
+// wireChildren rebuilds every parent's child-link set after relaxed
+// replay, which installs entries without cross-segment linking.
+func (d *DIT) wireChildren() {
+	d.lockAll()
+	defer d.unlockAll()
+	for _, s := range d.segs {
+		for _, n := range s.entries {
+			n.children = nil
+		}
 	}
-	if err := f.Close(); err != nil {
-		return err
+	for _, s := range d.segs {
+		for key, n := range s.entries {
+			pk := n.dn.Parent().Normalize()
+			if pk == "" {
+				continue
+			}
+			if p, ok := d.seg(pk).entries[pk]; ok {
+				p.addChild(key)
+			}
+		}
 	}
-	if err := j.f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, j.path); err != nil {
-		return err
-	}
-	nf, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	j.f = nf
-	j.w = bufio.NewWriter(nf)
-	// fsync the directory so the rename is durable.
-	if dirf, err := os.Open(filepath.Dir(j.path)); err == nil {
-		dirf.Sync()
-		dirf.Close()
-	}
-	return nil
 }

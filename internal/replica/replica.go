@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -315,13 +316,20 @@ func (r *Replica) loadSnapshot(entries []*directory.UpdateRecord) error {
 			return err
 		}
 	}
-	// Remove local entries the primary no longer has, leaves first.
-	local := r.DIT.All()
-	for i := len(local) - 1; i >= 0; i-- {
-		if !want[local[i].DN.Normalize()] {
-			if err := r.DIT.Delete(local[i].DN); err != nil {
-				return err
-			}
+	// Remove local entries the primary no longer has. Collect the stale
+	// DNs by streaming the tree (no population-sized copy), then delete
+	// deepest-first so children always go before their parents.
+	var stale []dn.DN
+	r.DIT.Range(func(e directory.Entry) bool {
+		if !want[e.DN.Normalize()] {
+			stale = append(stale, e.DN)
+		}
+		return true
+	})
+	sort.Slice(stale, func(i, j int) bool { return stale[i].Depth() > stale[j].Depth() })
+	for _, name := range stale {
+		if err := r.DIT.Delete(name); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -189,7 +189,7 @@ func (u *UM) synchronize(devs []*syncDevice) {
 	if eng.workers < 1 {
 		eng.workers = 1
 	}
-	if u.cfg.Snapshot != nil {
+	if u.cfg.Snapshot != nil || u.cfg.SnapshotRange != nil {
 		eng.snapshotMode = true
 		eng.runSnapshotDelta()
 	} else {
@@ -272,7 +272,7 @@ func (e *syncEngine) runFullQuiesce() {
 		return
 	}
 	defer release()
-	e.runBulk(nil)
+	e.runBulk()
 	elapsed := uint64(time.Since(start))
 	for _, d := range e.devs {
 		if d.err != nil {
@@ -289,9 +289,30 @@ func (e *syncEngine) runFullQuiesce() {
 // only the updates that landed meanwhile.
 func (e *syncEngine) runSnapshotDelta() {
 	bulkStart := time.Now()
-	snapshot, seq, changes, cancel := e.u.cfg.Snapshot(syncChangelogBuffer)
+	var (
+		persons []*ldapclient.Entry
+		seq     uint64
+		changes <-chan directory.UpdateRecord
+		cancel  func()
+	)
+	if e.u.cfg.SnapshotRange != nil {
+		// Streaming cut: person entries are filtered and converted as the
+		// directory segments stream by, so the full directory is never
+		// materialized — non-person entries cost one visit, not a slot in a
+		// population-sized snapshot slice.
+		seq, changes, cancel = e.u.cfg.SnapshotRange(syncChangelogBuffer, func(en directory.Entry) bool {
+			if ce := personEntry(en); ce != nil {
+				persons = append(persons, ce)
+			}
+			return true
+		})
+	} else {
+		var snapshot []directory.Entry
+		snapshot, seq, changes, cancel = e.u.cfg.Snapshot(syncChangelogBuffer)
+		persons = personEntries(snapshot)
+	}
 	defer cancel()
-	e.runBulk(snapshot)
+	e.runBulkEntries(persons)
 	bulkNs := uint64(time.Since(bulkStart))
 
 	quiesced, release, err := e.u.quiesceForSync()
@@ -316,7 +337,7 @@ func (e *syncEngine) runSnapshotDelta() {
 			d.stats = SyncStats{}
 			d.err = nil
 		}
-		e.runBulk(nil)
+		e.runBulk()
 		qNs := uint64(time.Since(qStart))
 		for _, d := range e.devs {
 			if d.err != nil {
@@ -345,21 +366,20 @@ func (e *syncEngine) runSnapshotDelta() {
 	}
 }
 
-// runBulk loads the directory (from the given snapshot, or live when nil),
-// dumps and indexes every device, and reconciles all items through the
-// worker pool.
-func (e *syncEngine) runBulk(snapshot []directory.Entry) {
-	var allEntries []*ldapclient.Entry
-	if snapshot != nil {
-		allEntries = personEntries(snapshot)
-	} else {
-		live, err := e.loadDirectory()
-		if err != nil {
-			e.failAll(err)
-			return
-		}
-		allEntries = live
+// runBulk dumps the live directory and reconciles against it (the classic
+// quiesced pass and the changelog-overflow fallback).
+func (e *syncEngine) runBulk() {
+	live, err := e.loadDirectory()
+	if err != nil {
+		e.failAll(err)
+		return
 	}
+	e.runBulkEntries(live)
+}
+
+// runBulkEntries dumps and indexes every device and reconciles all items
+// (the directory's person entries) through the worker pool.
+func (e *syncEngine) runBulkEntries(allEntries []*ldapclient.Entry) {
 	e.indexSnapshot(allEntries)
 
 	var wg sync.WaitGroup
@@ -396,26 +416,34 @@ func (e *syncEngine) loadDirectory() ([]*ldapclient.Entry, error) {
 func personEntries(snapshot []directory.Entry) []*ldapclient.Entry {
 	var out []*ldapclient.Entry
 	for _, se := range snapshot {
-		if se.Attrs == nil {
-			continue
+		if ce := personEntry(se); ce != nil {
+			out = append(out, ce)
 		}
-		isPerson := false
-		for _, v := range se.Attrs.Get("objectClass") {
-			if strings.EqualFold(v, mcschema.ClassPerson) {
-				isPerson = true
-				break
-			}
-		}
-		if !isPerson {
-			continue
-		}
-		ce := &ldapclient.Entry{DN: se.DN.String()}
-		se.Attrs.EachSorted(func(attr string, values []string) {
-			ce.Attributes = append(ce.Attributes, ldap.Attribute{Type: attr, Values: values})
-		})
-		out = append(out, ce)
 	}
 	return out
+}
+
+// personEntry converts one snapshot entry, or returns nil for non-person
+// entries (the streaming path's per-entry filter).
+func personEntry(se directory.Entry) *ldapclient.Entry {
+	if se.Attrs == nil {
+		return nil
+	}
+	isPerson := false
+	for _, v := range se.Attrs.Get("objectClass") {
+		if strings.EqualFold(v, mcschema.ClassPerson) {
+			isPerson = true
+			break
+		}
+	}
+	if !isPerson {
+		return nil
+	}
+	ce := &ldapclient.Entry{DN: se.DN.String()}
+	se.Attrs.EachSorted(func(attr string, values []string) {
+		ce.Attributes = append(ce.Attributes, ldap.Attribute{Type: attr, Values: values})
+	})
+	return ce
 }
 
 // indexSnapshot builds the by-DN index the delta replay consults.

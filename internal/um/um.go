@@ -89,6 +89,13 @@ type Config struct {
 	// phase UNQUISCED against the snapshot and only quiesces to replay the
 	// delta; without it, the whole pass runs under the quiesce as before.
 	Snapshot func(buffer int) ([]directory.Entry, uint64, <-chan directory.UpdateRecord, func())
+	// SnapshotRange is the streaming form of Snapshot (the DIT's
+	// SnapshotRangeAndSubscribeSeq): the same exact cut, but entries are
+	// streamed to the visit callback instead of materialized into one
+	// slice, so the bulk pass's transient footprint is the person entries
+	// it keeps, not the whole directory. Preferred over Snapshot when both
+	// are set.
+	SnapshotRange func(buffer int, visit func(directory.Entry) bool) (uint64, <-chan directory.UpdateRecord, func())
 	// Outbox configures the durable device-update outbox with per-device
 	// circuit breakers (see OutboxConfig). The zero value disables it:
 	// failed device applies are logged as error entries and lost at that
@@ -267,10 +274,12 @@ func (u *UM) LDAPViaLTAP() *filter.LDAPFilter { return u.ldapLTAP }
 
 // SetSnapshot installs (or, with nil, removes) the directory snapshot
 // source the synchronization engine uses for its unquiesced bulk phase.
-// Benchmarks and tests use it to force the legacy full-quiesce pass for
-// comparison.
+// Installing or removing it also removes a configured streaming source
+// (SnapshotRange), so SetSnapshot(nil) forces the legacy full-quiesce pass
+// — benchmarks and tests use that for comparison.
 func (u *UM) SetSnapshot(fn func(int) ([]directory.Entry, uint64, <-chan directory.UpdateRecord, func())) {
 	u.cfg.Snapshot = fn
+	u.cfg.SnapshotRange = nil
 }
 
 // LastSyncStats returns the most recent synchronization stats per device.

@@ -157,6 +157,18 @@ type Config struct {
 	// that long waiting for more writers before fsyncing. Zero (default)
 	// never delays a group.
 	JournalLinger time.Duration
+	// DITSegments partitions the directory into that many DN-hash segments,
+	// each independently locked with its own journal file and commit
+	// pipeline (0 = directory.DefaultDITSegments). A data dir written under
+	// a different segment count (or by the old single-file journal) is
+	// migrated on startup.
+	DITSegments int
+	// CompactInterval, when positive, runs background journal compaction:
+	// every interval one segment (round-robin) whose journal has grown
+	// enough is rewritten online — no stop-the-world pause, replay time
+	// stays linear in live entries. Zero disables background compaction.
+	// Ignored without DataDir.
+	CompactInterval time.Duration
 	// AuditLog, when set, receives one line per update that passes through
 	// LTAP — including rejected ones — via the gateway's trigger facility.
 	AuditLog io.Writer
@@ -187,7 +199,6 @@ type System struct {
 	PBXAddrActual         string
 	MPAddrActual          string
 
-	journal    *directory.Journal
 	publisher  *replica.Publisher
 	dirServer  *ldapserver.Server
 	ltapServer *ldapserver.Server
@@ -224,29 +235,28 @@ func Start(cfg Config) (*System, error) {
 
 	// 1. Backing directory server with the integrated schema; the suffix
 	// entry exists from the start.
-	s.DIT = directory.New(mcschema.New())
+	s.DIT = directory.NewSegmented(mcschema.New(), cfg.DITSegments)
 	if cfg.DataDir != "" {
 		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 			return nil, fmt.Errorf("metacomm: data dir: %w", err)
 		}
-		j, err := directory.OpenJournal(filepath.Join(cfg.DataDir, "directory.journal"))
-		if err != nil {
-			return nil, err
-		}
 		mode, err := directory.ParseSyncMode(defaultStr(cfg.JournalSync, "group"))
 		if err != nil {
-			j.Close()
 			return nil, fmt.Errorf("metacomm: %w", err)
 		}
-		j.Mode = mode
-		j.MaxBatch = cfg.JournalBatch
-		j.Linger = cfg.JournalLinger
-		s.journal = j
-		if _, err := s.DIT.AttachJournal(j); err != nil {
+		if _, err := s.DIT.AttachJournalSet(directory.JournalSetConfig{
+			Base:     filepath.Join(cfg.DataDir, "directory.journal"),
+			Mode:     mode,
+			MaxBatch: cfg.JournalBatch,
+			Linger:   cfg.JournalLinger,
+		}); err != nil {
 			return nil, fmt.Errorf("metacomm: replaying journal: %w", err)
 		}
 		if st := s.DIT.JournalStats(); st.TornTails > 0 && cfg.Logger != nil {
-			cfg.Logger.Printf("journal: truncated a torn trailing record (crash mid-append); replay continued from the last complete record")
+			cfg.Logger.Printf("journal: truncated %d torn trailing record(s) (crash mid-append); replay continued from the last complete record", st.TornTails)
+		}
+		if cfg.CompactInterval > 0 {
+			s.DIT.StartAutoCompact(cfg.CompactInterval)
 		}
 	}
 	// The update path locates entries by device key on every translated
@@ -373,8 +383,12 @@ func Start(cfg Config) (*System, error) {
 		// a consistent COW snapshot while updates keep flowing; only the
 		// delta replay quiesces.
 		Snapshot: s.DIT.SnapshotAndSubscribeSeq,
-		Outbox:   cfg.Outbox,
-		Log:      cfg.Logger,
+		// Preferred streaming form of the same cut: the bulk pass filters
+		// person entries as segments stream by instead of materializing the
+		// whole directory.
+		SnapshotRange: s.DIT.SnapshotRangeAndSubscribeSeq,
+		Outbox:        cfg.Outbox,
+		Log:           cfg.Logger,
 	})
 	if err != nil {
 		return nil, err
@@ -557,13 +571,9 @@ func (s *System) Close() {
 		s.dirServer.Close()
 	}
 	if s.DIT != nil {
-		// Flush the commit pipeline and close the attached journal; the
-		// direct Close below then only covers a journal that was opened
-		// but never attached (failed Start).
+		// Stops background compaction, flushes every segment's commit
+		// pipeline, and closes the attached journal files.
 		s.DIT.CloseJournal()
-	}
-	if s.journal != nil {
-		s.journal.Close()
 	}
 	if s.PBX != nil {
 		s.PBX.Close()

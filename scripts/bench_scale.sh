@@ -1,0 +1,23 @@
+#!/bin/sh
+# bench_scale.sh -- population-scale benchmark (EXPERIMENTS.md E21).
+#
+# Builds cmd/benchscale and runs it across the configured populations,
+# writing BENCH_scale_<rev>.json at the repo root. Tunables:
+#
+#   POPS=1000,10000,100000,1000000   populations to measure
+#   SEGMENTS=0                       DIT segments (0 = default)
+#   OPS=2000                         measured ops per type per population
+#   OUT=BENCH_scale_<rev>.json       output path
+set -eu
+
+cd "$(dirname "$0")/.."
+
+POPS="${POPS:-1000,10000,100000,1000000}"
+SEGMENTS="${SEGMENTS:-0}"
+OPS="${OPS:-2000}"
+REV="$(git rev-parse --short HEAD 2>/dev/null || echo dev)"
+OUT="${OUT:-BENCH_scale_${REV}.json}"
+
+go build -o /tmp/benchscale ./cmd/benchscale
+
+/tmp/benchscale -pops "$POPS" -segments "$SEGMENTS" -ops "$OPS" -out "$OUT" -rev "$REV"

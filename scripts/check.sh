@@ -20,3 +20,7 @@ go test -run '^$' -bench . -benchtime=1x .
 # two seconds, and verify the machine-readable benchmark record is written.
 go run ./cmd/loadgen -spawn -conns 64 -duration 2s -warmup 500ms -entries 64 -out /tmp/bench_wire_smoke.json
 test -s /tmp/bench_wire_smoke.json
+# Scale-harness smoke at 10k entries: segmented populate, online compaction
+# under load (the tool exits nonzero on any rejected write), journal replay.
+go run ./cmd/benchscale -pops 10000 -ops 200 -out /tmp/bench_scale_smoke.json
+test -s /tmp/bench_scale_smoke.json
