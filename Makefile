@@ -33,6 +33,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=10s ./internal/ber/
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/lexpress/
 	$(GO) test -fuzz=FuzzCompilePattern -fuzztime=10s ./internal/lexpress/
+	$(GO) test -fuzz=FuzzJournalV2Record -fuzztime=10s ./internal/directory/
 
 # One iteration of every benchmark: catches harness rot without the cost of
 # a real measurement run.

@@ -46,6 +46,7 @@ func main() {
 		segments = flag.Int("segments", 0, "DIT segment count (0 = default)")
 		ops      = flag.Int("ops", 2000, "measured operations per op type per population")
 		writers  = flag.Int("writers", 8, "concurrent populate/load writers")
+		attachWk = flag.Int("attach-workers", 0, "worker count for the parallel attach phase (0 = max(2, GOMAXPROCS))")
 		syncMode = flag.String("journal-sync", "group", "journal durability mode for the run")
 		outPath  = flag.String("out", "", "output JSON path (default BENCH_scale_<rev>.json)")
 		rev      = flag.String("rev", "", "revision tag for the record (default git rev-parse)")
@@ -79,7 +80,7 @@ func main() {
 	}
 	for _, n := range populations {
 		fmt.Fprintf(os.Stderr, "benchscale: population %d...\n", n)
-		pr, err := runPopulation(n, *segments, *ops, *writers, mode)
+		pr, err := runPopulation(n, *segments, *ops, *writers, *attachWk, mode)
 		if err != nil {
 			fatal(fmt.Errorf("population %d: %w", n, err))
 		}
@@ -104,6 +105,10 @@ func main() {
 			p.Search.P50, p.Search.P99, p.HeapBytesPerEntry,
 			float64(p.ReplayNs)/1e6, float64(p.ReplayCompactedNs)/1e6,
 			p.CompactUnderLoad.RejectedWrites, p.CompactUnderLoad.WorstWriteUs)
+		for _, a := range p.AttachReplay {
+			fmt.Printf("    attach format=%-4s workers=%d records=%d wall=%.1fms records/s=%.0f MB/s=%.1f\n",
+				a.Format, a.Workers, a.Records, float64(a.WallNs)/1e6, a.RecordsPerSec, a.MBPerSec)
+		}
 	}
 }
 
@@ -148,6 +153,23 @@ type popResult struct {
 	ReplayCompactedRecords int   `json:"replay_compacted_records"`
 
 	CompactUnderLoad compactLoad `json:"compact_under_load"`
+
+	// AttachReplay (E22) measures cold attach over the compacted journal
+	// set in both record formats: v2 sequential, v2 on the worker pool,
+	// and JSON sequential (the set is migrated to JSON in between, then
+	// back — exercising the format migration both ways).
+	AttachReplay []attachPhase `json:"attach_replay"`
+}
+
+// attachPhase is one timed cold attach of the journal set.
+type attachPhase struct {
+	Format        string  `json:"format"`
+	Workers       int     `json:"workers"`
+	Records       uint64  `json:"records"`
+	Bytes         uint64  `json:"bytes"`
+	WallNs        int64   `json:"wall_ns"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	MBPerSec      float64 `json:"mb_per_sec"`
 }
 
 type compactLoad struct {
@@ -178,7 +200,7 @@ func personAttrs(i int) *directory.Attrs {
 	})
 }
 
-func runPopulation(n, segments, ops, writers int, mode directory.SyncMode) (popResult, error) {
+func runPopulation(n, segments, ops, writers, attachWorkers int, mode directory.SyncMode) (popResult, error) {
 	dir, err := os.MkdirTemp("", "benchscale")
 	if err != nil {
 		return popResult{}, err
@@ -391,7 +413,81 @@ func runPopulation(n, segments, ops, writers int, mode directory.SyncMode) (popR
 	if err := cold2.CloseJournal(); err != nil {
 		return pr, err
 	}
+
+	// E22 attach/replay phases over the compacted set: v2 sequential, v2
+	// on the worker pool, then (after migrating the set to JSON) JSON
+	// sequential — the v2-vs-JSON decode ratio and the parallel headroom.
+	parWorkers := attachWorkers
+	if parWorkers <= 0 {
+		parWorkers = runtime.GOMAXPROCS(0)
+		if parWorkers < 2 {
+			parWorkers = 2 // exercise the pool even on one CPU
+		}
+	}
+	// Each timed config takes the best of three attaches, and the two v2
+	// configs interleave their tries: a cold attach is one long measurement
+	// with no averaging, successive attaches in one process get gradually
+	// slower as the heap fragments, and noisy neighbors swing single runs —
+	// back-to-back triples would bias whichever config ran first.
+	attachBest := func(workers int, format directory.JournalFormat, best *attachPhase) error {
+		runtime.GC()
+		a, err := attachOnce(base, segments, n, workers, mode, format)
+		if err != nil {
+			return fmt.Errorf("attach phase %s/w%d: %w", format, workers, err)
+		}
+		if best.WallNs == 0 || a.WallNs < best.WallNs {
+			*best = a
+		}
+		return nil
+	}
+	var seqBest, parBest, jsonBest attachPhase
+	for t := 0; t < 3; t++ {
+		if err := attachBest(1, directory.FormatV2, &seqBest); err != nil {
+			return pr, err
+		}
+		if err := attachBest(parWorkers, directory.FormatV2, &parBest); err != nil {
+			return pr, err
+		}
+	}
+	// Migrate the set v2 -> JSON (untimed), time JSON replay, migrate back.
+	if _, err := attachOnce(base, segments, n, 1, mode, directory.FormatJSON); err != nil {
+		return pr, fmt.Errorf("migrate to json: %w", err)
+	}
+	for t := 0; t < 3; t++ {
+		if err := attachBest(1, directory.FormatJSON, &jsonBest); err != nil {
+			return pr, err
+		}
+	}
+	if _, err := attachOnce(base, segments, n, 1, mode, directory.FormatV2); err != nil {
+		return pr, fmt.Errorf("migrate back to v2: %w", err)
+	}
+	pr.AttachReplay = append(pr.AttachReplay, seqBest, parBest, jsonBest)
 	return pr, nil
+}
+
+// attachOnce cold-attaches the journal set and reports the replay phase
+// stats the directory recorded (decode + link pass, excluding index build).
+func attachOnce(base string, segments, wantLen, workers int, mode directory.SyncMode, format directory.JournalFormat) (attachPhase, error) {
+	d := directory.NewSegmented(mcschema.New(), segments)
+	if _, err := d.AttachJournalSet(directory.JournalSetConfig{
+		Base: base, Mode: mode, Format: format, Workers: workers}); err != nil {
+		return attachPhase{}, err
+	}
+	if d.Len() != wantLen {
+		d.CloseJournal()
+		return attachPhase{}, fmt.Errorf("attach restored %d entries, want %d", d.Len(), wantLen)
+	}
+	st := d.JournalStats()
+	a := attachPhase{
+		Format:        st.Format,
+		Workers:       st.ReplayWorkers,
+		Records:       st.ReplayedRecords,
+		Bytes:         st.ReplayedBytes,
+		WallNs:        st.ReplayNs,
+		RecordsPerSec: st.ReplayRecordsPerSec(),
+		MBPerSec:      st.ReplayMBPerSec(),
+	}
+	return a, d.CloseJournal()
 }
 
 // quantilesUs reduces a nanosecond sample to microsecond p50/p99.

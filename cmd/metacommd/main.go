@@ -51,6 +51,7 @@ func main() {
 		jBatch   = flag.Int("journal-batch", 0, "max updates per journal commit group (0 = default)")
 		jLinger  = flag.Duration("journal-linger", 0, "how long a non-full commit group waits for more writers (0 = never)")
 		ditSegs  = flag.Int("dit-segments", 0, "DN-hash DIT segment count, each with its own lock and journal (0 = default)")
+		attachWk = flag.Int("attach-workers", 0, "startup journal-replay worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		compact  = flag.Duration("compact-interval", 0, "background journal compaction: one segment per interval, online (0 disables)")
 		replAddr = flag.String("replication", "", "replication stream listen address for read replicas (empty disables)")
 		audit    = flag.String("audit", "", "audit log file ('-' = stderr, empty disables)")
@@ -101,6 +102,7 @@ func main() {
 		JournalBatch:    *jBatch,
 		JournalLinger:   *jLinger,
 		DITSegments:     *ditSegs,
+		AttachWorkers:   *attachWk,
 		CompactInterval: *compact,
 		ReplicationAddr: *replAddr,
 		AuditLog:        auditW,
@@ -173,6 +175,11 @@ func main() {
 			js.Fsyncs, js.Bytes, js.MeanCommit(), js.TornTails)
 		fmt.Printf("journal group sizes: 1=%d 2-4=%d 5-16=%d 17-64=%d 65-256=%d >256=%d\n",
 			js.BatchHist[0], js.BatchHist[1], js.BatchHist[2], js.BatchHist[3], js.BatchHist[4], js.BatchHist[5])
+	}
+	if js := sys.DIT.JournalStats(); js.Format != "" {
+		fmt.Printf("journal replay: format=%s records=%d bytes=%d workers=%d wall-ms=%.1f records/s=%.0f\n",
+			js.Format, js.ReplayedRecords, js.ReplayedBytes, js.ReplayWorkers,
+			float64(js.ReplayNs)/1e6, js.ReplayRecordsPerSec())
 	}
 	ds := sys.DIT.Stats()
 	fmt.Printf("dit: segments=%d entries=%d interned-names=%d\n", ds.Segments, ds.Entries, ds.InternedNames)

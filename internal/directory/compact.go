@@ -43,7 +43,9 @@ import (
 // of a segment compaction; returning an error aborts exactly as an I/O
 // failure at that point would. Stages: "tmp-written" (snapshot written,
 // nothing spliced or renamed), "mid-splice" (delta records copied to the
-// temp file, original journal still in place).
+// temp file, original journal still in place), "pre-rename" (temp file
+// fsynced and closed, original journal still the live file — the last
+// instant a crash loses only the temp).
 var compactHook func(stage string, seg int) error
 
 // CompactionStats is a point-in-time snapshot of background/foreground
@@ -84,6 +86,11 @@ func (d *DIT) Compact() error {
 		if err := d.compactSegment(s); err != nil {
 			return err
 		}
+	}
+	// Refresh the manifest's entry-count hint — after a full sweep every
+	// file is exactly one record per live entry, so the counts are exact.
+	if d.journalBase != "" {
+		return d.writeManifest(d.journalBase, d.journalFormat)
 	}
 	return nil
 }
@@ -136,12 +143,33 @@ func (d *DIT) compactSegment(s *segment) error {
 		return err
 	}
 	w := bufio.NewWriterSize(f, 256<<10)
-	enc := json.NewEncoder(w)
-	for i := range snap {
-		rec := UpdateRecord{Op: "entry", DN: snap[i].dn.String(), Attrs: snap[i].attrs.Map()}
-		if err := enc.Encode(&rec); err != nil {
-			f.Close()
-			return err
+	// The rewrite is also the format migration path: the snapshot is
+	// written in the journal's CONFIGURED format, so attaching a legacy
+	// JSON set with Format v2 converts it by simply compacting.
+	switch j.Format {
+	case FormatJSON:
+		enc := json.NewEncoder(w)
+		for i := range snap {
+			rec := UpdateRecord{Op: "entry", DN: snap[i].dn.String(), Attrs: snap[i].attrs.Map()}
+			if err := enc.Encode(&rec); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	default:
+		var enc v2Encoder
+		var bin []byte
+		for i := range snap {
+			rec := UpdateRecord{Op: "entry", DN: snap[i].dn.String(), attrsDec: snap[i].attrs, normKey: snap[i].key}
+			bin, err = enc.appendRecord(bin[:0], &rec)
+			if err != nil {
+				f.Close()
+				return err
+			}
+			if _, err := w.Write(bin); err != nil {
+				f.Close()
+				return err
+			}
 		}
 	}
 	if err := w.Flush(); err != nil {
@@ -200,6 +228,11 @@ func (d *DIT) compactSegment(s *segment) error {
 	}
 	if err := f.Close(); err != nil {
 		return err
+	}
+	if compactHook != nil {
+		if err := compactHook("pre-rename", s.id); err != nil {
+			return err
+		}
 	}
 	if err := j.f.Close(); err != nil {
 		return err
@@ -278,7 +311,9 @@ func (d *DIT) autoCompactLoop(interval time.Duration, stop, done chan struct{}) 
 		if grown {
 			// An I/O failure here poisons the pipeline and surfaces to
 			// writers; the sweep itself just moves on.
-			_ = d.compactSegment(s)
+			if d.compactSegment(s) == nil && d.journalBase != "" {
+				_ = d.writeManifest(d.journalBase, d.journalFormat)
+			}
 		} else {
 			d.compactSkips.Add(1)
 		}

@@ -150,6 +150,18 @@ type DIT struct {
 
 	tornTails atomic.Uint64
 
+	// replay captures the stats of the most recent journal attach
+	// (records/bytes replayed, wall time, workers, per-segment times);
+	// nil until a journal has been attached. See JournalStats.
+	replay atomic.Pointer[replayStats]
+
+	// journalBase/journalFormat remember the attached journal set's layout
+	// so manifest refreshes (post-compaction, clean close) can rewrite
+	// <base>.meta with current per-segment entry counts. Written once by
+	// AttachJournalSet before any compactor can run; read under compactMu.
+	journalBase   string
+	journalFormat JournalFormat
+
 	// compactMu serializes compaction sweeps (manual Compact, the
 	// auto-compactor, and CloseJournal's shutdown barrier).
 	compactMu sync.Mutex

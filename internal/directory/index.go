@@ -37,8 +37,23 @@ func newAttrPosting() *attrPosting {
 // and keeps them maintained. Safe to call on a populated DIT; existing
 // entries are indexed immediately.
 func (d *DIT) EnableIndexes(attrs ...string) {
+	// Reuse the attach worker pool size: after a parallel journal replay
+	// the initial posting build is the other population-sized cost.
+	workers := 1
+	if r := d.replay.Load(); r != nil && r.Workers > workers {
+		workers = r.Workers
+	}
+	d.enableIndexes(workers, attrs)
+}
+
+// enableIndexes is EnableIndexes with a worker count: each segment's
+// postings touch only that segment, so on an attach with a worker pool
+// the initial build fans out per segment. workers <= 1 keeps the
+// sequential path.
+func (d *DIT) enableIndexes(workers int, attrs []string) {
 	d.lockAll()
 	defer d.unlockAll()
+	var added []string
 	for _, a := range attrs {
 		k := lower(a)
 		dup := false
@@ -52,17 +67,24 @@ func (d *DIT) EnableIndexes(attrs ...string) {
 			continue
 		}
 		d.indexed = append(d.indexed, k)
-		for _, s := range d.segs {
-			if s.indexes == nil {
-				s.indexes = attrIndex{}
-			}
+		added = append(added, k)
+	}
+	if len(added) == 0 {
+		return
+	}
+	forEachIdx(workers, len(d.segs), func(i int) {
+		s := d.segs[i]
+		if s.indexes == nil {
+			s.indexes = attrIndex{}
+		}
+		for _, k := range added {
 			p := newAttrPosting()
 			for key, n := range s.entries {
 				p.index(n.attrs.Get(k), key)
 			}
 			s.indexes[k] = p
 		}
-	}
+	})
 }
 
 // IndexedAttrs lists the indexed attributes (lowered spellings).

@@ -59,6 +59,26 @@ type UpdateRecord struct {
 
 	NewRDN       string `json:"newRDN,omitempty"` // modifydn
 	DeleteOldRDN bool   `json:"deleteOldRDN,omitempty"`
+
+	// attrsDec, when non-nil, is the add/entry attribute set as a decoded
+	// *Attrs. The v2 codec decodes straight into this form (and compaction
+	// encodes straight out of it), skipping the map[string][]string round
+	// trip; Attrs stays authoritative for JSON records and the changelog.
+	attrsDec *Attrs
+
+	// normKey, when non-empty, is the entry's normalized DN key, carried by
+	// v2 "entry" frames (compaction knows it for free) so relaxed replay
+	// skips re-normalizing the DN. Must equal dn.Parse(DN).Normalize().
+	normKey string
+}
+
+// attrsValue returns the record's attribute set as an *Attrs, preferring
+// the decoded fast-path form.
+func (r *UpdateRecord) attrsValue() *Attrs {
+	if r.attrsDec != nil {
+		return r.attrsDec
+	}
+	return AttrsFrom(r.Attrs)
 }
 
 // UpdateChange is one modification inside an UpdateRecord.
@@ -115,6 +135,40 @@ func ParseSyncMode(s string) (SyncMode, error) {
 	return SyncNone, fmt.Errorf("directory: unknown sync mode %q (want always, group, or none)", s)
 }
 
+// JournalFormat selects the on-disk record encoding. New journals default
+// to FormatV2; a journal set written in the other format is migrated at
+// attach through the compaction rewrite (replay sniffs per record, so files
+// that mix both formats — the state between a format switch and its
+// migrating compaction — always replay correctly).
+type JournalFormat int
+
+const (
+	// FormatV2 is the CRC-framed binary record codec (journalv2.go).
+	FormatV2 JournalFormat = iota
+	// FormatJSON is the legacy newline-delimited JSON encoding.
+	FormatJSON
+)
+
+// String returns the manifest/flag spelling of the format.
+func (f JournalFormat) String() string {
+	if f == FormatJSON {
+		return "json"
+	}
+	return "v2"
+}
+
+// ParseJournalFormat parses a journal format spelling ("" selects the
+// default, FormatV2).
+func ParseJournalFormat(s string) (JournalFormat, error) {
+	switch s {
+	case "v2", "":
+		return FormatV2, nil
+	case "json":
+		return FormatJSON, nil
+	}
+	return FormatV2, fmt.Errorf("directory: unknown journal format %q (want v2 or json)", s)
+}
+
 // DefaultJournalBatch caps how many records one commit group may carry when
 // Journal.MaxBatch is unset. Groups form from whatever is concurrently
 // staged — there is no artificial wait — so the cap only bounds worst-case
@@ -139,6 +193,9 @@ type Journal struct {
 	// records staged while the previous group's fsync was in flight, which
 	// adds no latency and is usually what you want.
 	Linger time.Duration
+	// Format selects the record encoding for appends and compaction
+	// rewrites (default FormatV2). Replay is format-agnostic.
+	Format JournalFormat
 
 	fsyncs uint64 // atomic
 }
@@ -237,6 +294,18 @@ type JournalStats struct {
 	// TornTails counts torn trailing records truncated during replay (at
 	// most one per journal file; a crash mid-append leaves at most one).
 	TornTails uint64
+
+	// Format is the journal's record encoding ("v2", "json").
+	Format string
+	// Attach-time replay: records applied, journal bytes decoded, total
+	// wall time (including the cross-segment link pass), the worker count
+	// used, and per-segment-file wall times. Zero until a journal set is
+	// attached.
+	ReplayedRecords uint64
+	ReplayedBytes   uint64
+	ReplayNs        int64
+	ReplayWorkers   int
+	SegmentReplayNs []int64
 }
 
 // BatchHistBounds are the inclusive upper bounds of JournalStats.BatchHist
@@ -257,6 +326,22 @@ func (s JournalStats) MeanCommit() time.Duration {
 		return 0
 	}
 	return time.Duration(s.CommitNs / int64(s.Appends))
+}
+
+// ReplayRecordsPerSec returns the attach-time replay rate in records/s.
+func (s JournalStats) ReplayRecordsPerSec() float64 {
+	if s.ReplayNs <= 0 {
+		return 0
+	}
+	return float64(s.ReplayedRecords) / (float64(s.ReplayNs) / 1e9)
+}
+
+// ReplayMBPerSec returns the attach-time replay rate in MB/s of journal.
+func (s JournalStats) ReplayMBPerSec() float64 {
+	if s.ReplayNs <= 0 {
+		return 0
+	}
+	return float64(s.ReplayedBytes) / (1 << 20) / (float64(s.ReplayNs) / 1e9)
 }
 
 // committer is the group-commit pipeline attached between one segment and
@@ -289,11 +374,15 @@ type committer struct {
 	maxBatch int
 	linger   time.Duration
 
-	// Marshaling state, reused across groups: the encoder appends each
+	// Marshaling state, reused across groups: the JSON encoder appends each
 	// record plus the record separator to buf, so the per-record
-	// append(b, '\n') allocation of the old path is gone.
-	buf bytes.Buffer
-	enc *json.Encoder
+	// append(b, '\n') allocation of the old path is gone; v2 groups frame
+	// into bin with enc2's reused payload scratch. Which pair runs is the
+	// journal's Format.
+	buf  bytes.Buffer
+	enc  *json.Encoder
+	bin  []byte
+	enc2 v2Encoder
 
 	// Stats, guarded by mu except the atomics.
 	appends  uint64
@@ -490,19 +579,32 @@ func (c *committer) run() {
 	}
 }
 
-// writeGroup marshals the group into the reused buffer and appends it to
-// the journal with the mode's durability.
+// writeGroup marshals the group into the reused buffer (in the journal's
+// format) and appends it to the journal with the mode's durability.
 func (c *committer) writeGroup(batch []UpdateRecord) (int, error) {
-	c.buf.Reset()
+	if c.j.Format == FormatJSON {
+		c.buf.Reset()
+		for i := range batch {
+			if err := c.enc.Encode(&batch[i]); err != nil {
+				return 0, err
+			}
+		}
+		if err := c.j.writeGroup(c.buf.Bytes()); err != nil {
+			return 0, err
+		}
+		return c.buf.Len(), nil
+	}
+	var err error
+	c.bin = c.bin[:0]
 	for i := range batch {
-		if err := c.enc.Encode(&batch[i]); err != nil {
+		if c.bin, err = c.enc2.appendRecord(c.bin, &batch[i]); err != nil {
 			return 0, err
 		}
 	}
-	if err := c.j.writeGroup(c.buf.Bytes()); err != nil {
+	if err := c.j.writeGroup(c.bin); err != nil {
 		return 0, err
 	}
-	return c.buf.Len(), nil
+	return len(c.bin), nil
 }
 
 // journalStats snapshots the pipeline counters.
@@ -600,15 +702,30 @@ func (d *DIT) journalRenameParts(seq uint64, moves []renameMove) error {
 	}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
+	var enc2 v2Encoder
+	var bin []byte
 	for _, s := range order {
-		buf.Reset()
 		recs := bySeg[s]
-		for i := range recs {
-			if err := enc.Encode(&recs[i]); err != nil {
-				return err
+		var group []byte
+		if s.journal.Format == FormatJSON {
+			buf.Reset()
+			for i := range recs {
+				if err := enc.Encode(&recs[i]); err != nil {
+					return err
+				}
 			}
+			group = buf.Bytes()
+		} else {
+			bin = bin[:0]
+			var err error
+			for i := range recs {
+				if bin, err = enc2.appendRecord(bin, &recs[i]); err != nil {
+					return err
+				}
+			}
+			group = bin
 		}
-		if err := s.journal.writeGroup(buf.Bytes()); err != nil {
+		if err := s.journal.writeGroup(group); err != nil {
 			s.commit.poison(err)
 			return err
 		}
@@ -636,10 +753,14 @@ func (d *DIT) AttachJournal(j *Journal) (int, error) {
 		return 0, fmt.Errorf("directory: journal already attached")
 	}
 
-	n, torn, err := d.replayFile(j.path, d.applyRecord)
+	start := time.Now()
+	n, nb, torn, err := d.replayFile(j.path, d.applyRecord)
 	if err != nil {
 		return n, err
 	}
+	ns := time.Since(start).Nanoseconds()
+	d.replay.Store(&replayStats{Format: j.Format, Workers: 1, Records: uint64(n),
+		Bytes: uint64(nb), WallNs: ns, SegmentNs: []int64{ns}})
 	s.mu.Lock()
 	if s.journal != nil {
 		s.mu.Unlock()
@@ -656,20 +777,70 @@ func (d *DIT) AttachJournal(j *Journal) (int, error) {
 
 // JournalSetConfig configures AttachJournalSet. Base is the path stem;
 // segment i journals to <Base>.seg<i> and the layout manifest lives at
-// <Base>.meta. Mode/MaxBatch/Linger apply to every segment's pipeline.
+// <Base>.meta. Mode/MaxBatch/Linger/Format apply to every segment's
+// pipeline; Workers caps the attach-replay worker pool (0 = GOMAXPROCS).
 type JournalSetConfig struct {
 	Base     string
 	Mode     SyncMode
 	MaxBatch int
 	Linger   time.Duration
+	Format   JournalFormat
+	Workers  int
 }
 
 func segJournalPath(base string, i int) string { return fmt.Sprintf("%s.seg%d", base, i) }
 
 // journalManifest records the on-disk layout so attach can tell whether
-// the existing files match the configured segment count.
+// the existing files match the configured segment count and record format.
+// An absent format field means a set written before v2 existed, i.e. JSON.
 type journalManifest struct {
-	Segments int `json:"segments"`
+	Segments int    `json:"segments"`
+	Format   string `json:"format,omitempty"`
+	// Entries holds each segment's live entry count at the time the
+	// manifest was written (compaction, clean close, attach). It is a
+	// presize hint only — attach allocates each empty segment map at this
+	// capacity so replay never grows a map — and staleness is harmless.
+	Entries []int `json:"entries,omitempty"`
+}
+
+// replayStats captures one attach-time replay (see JournalStats).
+type replayStats struct {
+	Format    JournalFormat
+	Workers   int
+	Records   uint64
+	Bytes     uint64
+	WallNs    int64
+	SegmentNs []int64
+}
+
+// forEachIdx runs fn(i) for every i in [0, n), fanning out over up to
+// workers goroutines (inline when workers <= 1).
+func forEachIdx(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // AttachJournalSet replays and attaches one journal per segment. It
@@ -687,6 +858,16 @@ type journalManifest struct {
 //     through the current router (a DN's records are totally ordered
 //     within whichever single file held them), then rewritten into the
 //     current layout and the stale files removed.
+//
+// When the on-disk layout matches the configured segment count, the files
+// replay CONCURRENTLY on a pool of cfg.Workers goroutines (default
+// GOMAXPROCS): each segment's file only ever touches that segment's entry
+// map, so the only cross-segment work — the parent/child link pass and the
+// global sequence restore — runs after every file has landed. The legacy
+// and re-fold layouts keep the sequential path (their records cross
+// segments). A set written in the other record format (manifest says so)
+// replays normally — the decoder sniffs per record — and is migrated to
+// cfg.Format through the same compaction rewrite the layout migrations use.
 func (d *DIT) AttachJournalSet(cfg JournalSetConfig) (int, error) {
 	for _, s := range d.segs {
 		s.mu.RLock()
@@ -709,20 +890,33 @@ func (d *DIT) AttachJournalSet(cfg JournalSetConfig) (int, error) {
 	// Read the layout manifest (absence means legacy or fresh).
 	manifestPath := cfg.Base + ".meta"
 	diskSegs := 0
+	diskFormat := FormatJSON // manifests predating v2 carry no format field
+	haveManifest := false
+	var entriesHint []int
 	if b, err := os.ReadFile(manifestPath); err == nil {
 		var m journalManifest
 		if json.Unmarshal(b, &m) == nil {
 			diskSegs = m.Segments
+			haveManifest = true
+			entriesHint = m.Entries
+			if m.Format != "" {
+				if f, ferr := ParseJournalFormat(m.Format); ferr == nil {
+					diskFormat = f
+				}
+			}
 		}
 	}
 
 	total := 0
 	migrate := false
+	legacy := false
+	replayStart := time.Now()
+	rst := replayStats{Format: cfg.Format, Workers: 1}
 
 	// Legacy single-file journal: strict replay (one file carries the
 	// global order, so the original operation semantics hold exactly).
 	if _, err := os.Stat(cfg.Base); err == nil {
-		n, torn, err := d.replayFile(cfg.Base, d.applyRecord)
+		n, nb, torn, err := d.replayFile(cfg.Base, d.applyRecord)
 		if err != nil {
 			return total, err
 		}
@@ -730,44 +924,123 @@ func (d *DIT) AttachJournalSet(cfg JournalSetConfig) (int, error) {
 			d.tornTails.Add(1)
 		}
 		total += n
+		rst.Records += uint64(n)
+		rst.Bytes += uint64(nb)
 		migrate = true
+		legacy = true
 	}
 
-	// Segment files: relaxed replay through the current router. Files
-	// beyond the configured count (larger previous layout) are folded in
-	// and removed after migration.
-	if diskSegs != 0 && diskSegs != len(d.segs) {
+	// A set written under a different segment count is re-folded; one
+	// written in the other record format is rewritten in cfg.Format. Both
+	// go through the same migrating compaction after attach.
+	refold := diskSegs != 0 && diskSegs != len(d.segs)
+	if refold || (haveManifest && diskFormat != cfg.Format) {
 		migrate = true
-	}
-	scan := len(d.segs)
-	if diskSegs > scan {
-		scan = diskSegs
 	}
 	maxSeq := uint64(0)
 	applied := 0
 	var stale []string
-	for i := 0; i < scan; i++ {
-		path := segJournalPath(cfg.Base, i)
-		if _, err := os.Stat(path); err != nil {
-			continue
+
+	if refold || legacy {
+		// Foreign layouts replay sequentially, in file order: their records
+		// route across segments through the current router, and files
+		// beyond the configured count (larger previous layout) are folded
+		// in and removed after migration.
+		scan := len(d.segs)
+		if diskSegs > scan {
+			scan = diskSegs
 		}
-		n, ms, torn, err := d.replayRelaxed(path)
-		if err != nil {
-			return total, err
+		rst.SegmentNs = make([]int64, scan)
+		for i := 0; i < scan; i++ {
+			path := segJournalPath(cfg.Base, i)
+			if _, err := os.Stat(path); err != nil {
+				continue
+			}
+			t0 := time.Now()
+			n, ms, nb, torn, err := d.replayRelaxed(path)
+			if err != nil {
+				return total, err
+			}
+			if torn {
+				d.tornTails.Add(1)
+			}
+			total += n
+			applied += n
+			rst.Records += uint64(n)
+			rst.Bytes += uint64(nb)
+			rst.SegmentNs[i] = time.Since(t0).Nanoseconds()
+			if ms > maxSeq {
+				maxSeq = ms
+			}
+			if i >= len(d.segs) {
+				stale = append(stale, path)
+			}
 		}
-		if torn {
-			d.tornTails.Add(1)
+	} else {
+		// Matching layout: every file touches only its own segment's entry
+		// map, so the files replay concurrently on the worker pool.
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
 		}
-		total += n
-		applied += n
-		if ms > maxSeq {
-			maxSeq = ms
+		if workers > len(d.segs) {
+			workers = len(d.segs)
 		}
-		if i >= len(d.segs) {
-			stale = append(stale, path)
+		rst.Workers = workers
+		// Presize each empty segment map from the manifest's entry counts:
+		// a compacted file upserts exactly that many live entries, and
+		// growing a multi-hundred-thousand-key map mid-replay (repeated
+		// doubling plus bucket evacuation) is the dominant allocator cost
+		// at this population. The hint may be stale; maps still grow.
+		for i, s := range d.segs {
+			if i < len(entriesHint) && entriesHint[i] > 0 {
+				s.mu.Lock()
+				if len(s.entries) == 0 {
+					s.entries = make(map[string]*node, entriesHint[i])
+				}
+				s.mu.Unlock()
+			}
+		}
+		type segReplay struct {
+			n    int
+			max  uint64
+			nb   int64
+			torn bool
+			ns   int64
+			err  error
+		}
+		res := make([]segReplay, len(d.segs))
+		forEachIdx(workers, len(d.segs), func(i int) {
+			path := segJournalPath(cfg.Base, i)
+			if _, err := os.Stat(path); err != nil {
+				return
+			}
+			t0 := time.Now()
+			n, ms, nb, torn, err := d.replayRelaxed(path)
+			res[i] = segReplay{n: n, max: ms, nb: nb, torn: torn,
+				ns: time.Since(t0).Nanoseconds(), err: err}
+		})
+		rst.SegmentNs = make([]int64, len(d.segs))
+		for i := range res {
+			if res[i].err != nil {
+				return total, res[i].err
+			}
+			if res[i].torn {
+				d.tornTails.Add(1)
+			}
+			total += res[i].n
+			applied += res[i].n
+			rst.Records += uint64(res[i].n)
+			rst.Bytes += uint64(res[i].nb)
+			rst.SegmentNs[i] = res[i].ns
+			if res[i].max > maxSeq {
+				maxSeq = res[i].max
+			}
 		}
 	}
-	d.wireChildren()
+	d.wireChildren(rst.Workers)
+	rst.WallNs = time.Since(replayStart).Nanoseconds()
+	d.replay.Store(&rst)
 
 	// Advance the global sequence past everything replayed so future seqs
 	// never collide with ones already on disk or streamed to replicas.
@@ -788,13 +1061,14 @@ func (d *DIT) AttachJournalSet(cfg JournalSetConfig) (int, error) {
 			}
 			return total, err
 		}
-		j.Mode, j.MaxBatch, j.Linger = cfg.Mode, cfg.MaxBatch, cfg.Linger
+		j.Mode, j.MaxBatch, j.Linger, j.Format = cfg.Mode, cfg.MaxBatch, cfg.Linger, cfg.Format
 		opened = append(opened, j)
 		s.mu.Lock()
 		s.journal = j
 		s.commit = newCommitter(d.em, j)
 		s.mu.Unlock()
 	}
+	d.journalBase, d.journalFormat = cfg.Base, cfg.Format
 
 	if migrate {
 		// Fold the foreign layout into the current one: one compaction
@@ -818,20 +1092,42 @@ func (d *DIT) AttachJournalSet(cfg JournalSetConfig) (int, error) {
 		}
 	}
 
-	// Persist the layout manifest (tmp+rename so it is never torn).
-	mb, _ := json.Marshal(journalManifest{Segments: len(d.segs)})
-	tmp := manifestPath + ".tmp"
+	if err := d.writeManifest(cfg.Base, cfg.Format); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// writeManifest persists the layout manifest (tmp+rename so it is never
+// torn). Alongside the segment count and record format it records each
+// segment's live entry count, the presize hint the next attach uses.
+// Refreshed at attach, after every full compaction, and at clean close so
+// the hint tracks the population.
+func (d *DIT) writeManifest(base string, format JournalFormat) error {
+	m := journalManifest{
+		Segments: len(d.segs),
+		Format:   format.String(),
+		Entries:  make([]int, len(d.segs)),
+	}
+	for i, s := range d.segs {
+		s.mu.RLock()
+		m.Entries[i] = len(s.entries)
+		s.mu.RUnlock()
+	}
+	mb, _ := json.Marshal(m)
+	path := base + ".meta"
+	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, append(mb, '\n'), 0o644); err != nil {
-		return total, err
+		return err
 	}
-	if err := os.Rename(tmp, manifestPath); err != nil {
-		return total, err
+	if err := os.Rename(tmp, path); err != nil {
+		return err
 	}
-	if dirf, err := os.Open(filepath.Dir(manifestPath)); err == nil {
+	if dirf, err := os.Open(filepath.Dir(path)); err == nil {
 		dirf.Sync()
 		dirf.Close()
 	}
-	return total, nil
+	return nil
 }
 
 // CloseJournal stops background compaction, flushes every segment's commit
@@ -864,6 +1160,11 @@ func (d *DIT) CloseJournal() error {
 			}
 		}
 	}
+	// A clean close leaves the manifest's presize hint exact for the next
+	// attach (entry counts drift between compactions while serving).
+	if firstErr == nil && d.journalBase != "" {
+		firstErr = d.writeManifest(d.journalBase, d.journalFormat)
+	}
 	return firstErr
 }
 
@@ -871,9 +1172,20 @@ func (d *DIT) CloseJournal() error {
 // (zero when no journal is attached).
 func (d *DIT) JournalStats() JournalStats {
 	var out JournalStats
+	if rs := d.replay.Load(); rs != nil {
+		out.Format = rs.Format.String()
+		out.ReplayedRecords = rs.Records
+		out.ReplayedBytes = rs.Bytes
+		out.ReplayNs = rs.WallNs
+		out.ReplayWorkers = rs.Workers
+		out.SegmentReplayNs = append([]int64(nil), rs.SegmentNs...)
+	}
 	for _, s := range d.segs {
 		s.mu.RLock()
 		c := s.commit
+		if s.journal != nil && out.Format == "" {
+			out.Format = s.journal.Format.String()
+		}
 		s.mu.RUnlock()
 		if c == nil {
 			continue
@@ -899,51 +1211,83 @@ func (d *DIT) JournalStats() JournalStats {
 }
 
 // replayFile applies all records from path (missing file = empty journal)
-// through apply. A torn final record — unmarshalable bytes with nothing
-// but emptiness after them, the signature of a crash mid-append — is
-// truncated from the file and reported via torn; an unmarshalable record
-// followed by more data is real corruption and errors.
-func (d *DIT) replayFile(path string, apply func(UpdateRecord) error) (count int, torn bool, err error) {
+// through apply, reporting the journal bytes consumed by complete records.
+// Each record's first byte says what it is — 0xB2 a v2 frame, anything
+// else a JSON line — so one file may mix formats (the state between a
+// format switch and its migrating compaction). A torn final record — an
+// incomplete frame, or unmarshalable bytes with nothing but emptiness
+// after them; the signature of a crash mid-append — is truncated from the
+// file and reported via torn; a damaged record followed by more data is
+// real corruption and errors.
+func (d *DIT) replayFile(path string, apply func(UpdateRecord) error) (count int, nbytes int64, torn bool, err error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return 0, false, nil
+		return 0, 0, false, nil
 	}
 	if err != nil {
-		return 0, false, err
+		return 0, 0, false, err
 	}
 	defer f.Close()
-	r := bufio.NewReaderSize(f, 64*1024)
-	var off int64 // byte offset of the line being read
+	r := bufio.NewReaderSize(f, 256*1024)
+	var dec v2Decoder
+	var rec UpdateRecord
+	var off int64 // byte offset of the record being read
 	for {
-		line, rerr := r.ReadBytes('\n')
-		lineLen := int64(len(line))
-		rec := bytes.TrimSuffix(line, []byte{'\n'})
-		if len(bytes.TrimSpace(rec)) > 0 {
-			var u UpdateRecord
-			if uerr := json.Unmarshal(rec, &u); uerr != nil {
-				rest, _ := io.ReadAll(r)
-				if len(bytes.TrimSpace(rest)) > 0 {
-					return count, false, fmt.Errorf("directory: journal record %d: %w", count+1, uerr)
-				}
+		first, perr := r.Peek(1)
+		if perr == io.EOF {
+			return count, off, false, nil
+		}
+		if perr != nil {
+			return count, off, false, perr
+		}
+		if first[0] == frameMarkerV2 {
+			n, ferr := dec.readFrame(r, &rec)
+			if ferr == errTornFrameV2 {
 				// Torn tail: drop it so future appends start at a record
 				// boundary instead of extending garbage.
 				if terr := os.Truncate(path, off); terr != nil {
-					return count, false, fmt.Errorf("directory: truncating torn journal tail: %w", terr)
+					return count, off, false, fmt.Errorf("directory: truncating torn journal tail: %w", terr)
 				}
-				return count, true, nil
+				return count, off, true, nil
+			}
+			if ferr != nil {
+				return count, off, false, fmt.Errorf("directory: journal record %d: %w", count+1, ferr)
+			}
+			if aerr := apply(rec); aerr != nil {
+				return count, off, false, fmt.Errorf("directory: replaying record %d (%s %q): %w",
+					count+1, rec.Op, rec.DN, aerr)
+			}
+			count++
+			off += int64(n)
+			continue
+		}
+		line, rerr := r.ReadBytes('\n')
+		lineLen := int64(len(line))
+		recb := bytes.TrimSuffix(line, []byte{'\n'})
+		if len(bytes.TrimSpace(recb)) > 0 {
+			var u UpdateRecord
+			if uerr := json.Unmarshal(recb, &u); uerr != nil {
+				rest, _ := io.ReadAll(r)
+				if len(bytes.TrimSpace(rest)) > 0 {
+					return count, off, false, fmt.Errorf("directory: journal record %d: %w", count+1, uerr)
+				}
+				if terr := os.Truncate(path, off); terr != nil {
+					return count, off, false, fmt.Errorf("directory: truncating torn journal tail: %w", terr)
+				}
+				return count, off, true, nil
 			}
 			if aerr := apply(u); aerr != nil {
-				return count, false, fmt.Errorf("directory: replaying record %d (%s %q): %w",
+				return count, off, false, fmt.Errorf("directory: replaying record %d (%s %q): %w",
 					count+1, u.Op, u.DN, aerr)
 			}
 			count++
 		}
 		off += lineLen
 		if rerr == io.EOF {
-			return count, false, nil
+			return count, off, false, nil
 		}
 		if rerr != nil {
-			return count, false, rerr
+			return count, off, false, rerr
 		}
 	}
 }
@@ -951,14 +1295,14 @@ func (d *DIT) replayFile(path string, apply func(UpdateRecord) error) (count int
 // replayRelaxed replays one segment journal. See applyRelaxed for the
 // (deliberately weaker) semantics; maxSeq reports the highest commit seq
 // seen in the file.
-func (d *DIT) replayRelaxed(path string) (count int, maxSeq uint64, torn bool, err error) {
-	count, torn, err = d.replayFile(path, func(rec UpdateRecord) error {
+func (d *DIT) replayRelaxed(path string) (count int, maxSeq uint64, nbytes int64, torn bool, err error) {
+	count, nbytes, torn, err = d.replayFile(path, func(rec UpdateRecord) error {
 		if rec.Seq > maxSeq {
 			maxSeq = rec.Seq
 		}
 		return d.applyRelaxed(rec)
 	})
-	return count, maxSeq, torn, err
+	return count, maxSeq, nbytes, torn, err
 }
 
 // applyRecord replays one record of a legacy single-file journal through
@@ -972,7 +1316,7 @@ func (d *DIT) applyRecord(rec UpdateRecord) error {
 	}
 	switch rec.Op {
 	case "add", "entry":
-		return d.Add(name, AttrsFrom(rec.Attrs))
+		return d.Add(name, rec.attrsValue())
 	case "delete":
 		return d.Delete(name)
 	case "modify":
@@ -1004,11 +1348,14 @@ func (d *DIT) applyRelaxed(rec UpdateRecord) error {
 	if err != nil {
 		return err
 	}
-	key := name.Normalize()
+	key := rec.normKey // v2 entry frames carry the key; others normalize here
+	if key == "" {
+		key = name.Normalize()
+	}
 	s := d.seg(key)
 	switch rec.Op {
 	case "add", "entry":
-		a := AttrsFrom(rec.Attrs)
+		a := rec.attrsValue()
 		s.mu.Lock()
 		if n, ok := s.entries[key]; ok {
 			s.reindexEntry(key, n.attrs, a)
@@ -1076,24 +1423,114 @@ func changesFromRecord(rec UpdateRecord) ([]ldap.Change, error) {
 }
 
 // wireChildren rebuilds every parent's child-link set after relaxed
-// replay, which installs entries without cross-segment linking.
-func (d *DIT) wireChildren() {
+// replay, which installs entries without cross-segment linking. With
+// workers > 1 the rebuild runs as two barrier-separated parallel passes:
+// phase A scans each segment, clears its nodes' child sets, and buckets
+// every (parent, child) link by the PARENT's segment; phase B hands each
+// parent segment exactly its own buckets — no two workers ever touch the
+// same node, so the passes need no locking beyond the barrier between
+// them (forEachIdx's WaitGroup).
+func (d *DIT) wireChildren(workers int) {
 	d.lockAll()
 	defer d.unlockAll()
-	for _, s := range d.segs {
-		for _, n := range s.entries {
+	if workers <= 1 || len(d.segs) == 1 {
+		for _, s := range d.segs {
+			for _, n := range s.entries {
+				n.children = nil
+			}
+		}
+		// Consecutive entries overwhelmingly share a parent (the flat tree
+		// hangs everything off the suffix), so cache the last parent lookup
+		// — one hash+probe per parent run instead of per entry.
+		var lastPK string
+		var lastP *node
+		for _, s := range d.segs {
+			for key := range s.entries {
+				pk := parentNormKey(key)
+				if pk == "" {
+					continue
+				}
+				if pk != lastPK || lastP == nil {
+					lastPK, lastP = pk, d.seg(pk).entries[pk]
+				}
+				if lastP != nil {
+					lastP.addChild(key)
+				}
+			}
+		}
+		return
+	}
+	type childLink struct{ parent, child string }
+	// links[scanSeg][parentSeg] — each phase-A worker writes only its own
+	// row, each phase-B worker reads only its own column.
+	links := make([][][]childLink, len(d.segs))
+	forEachIdx(workers, len(d.segs), func(i int) {
+		ents := d.segs[i].entries
+		for _, n := range ents {
 			n.children = nil
 		}
-	}
-	for _, s := range d.segs {
-		for key, n := range s.entries {
-			pk := n.dn.Parent().Normalize()
+		row := make([][]childLink, len(d.segs))
+		// Same consecutive-parent cache as the sequential path: routing
+		// (hash) and same-segment node lookup run once per parent run.
+		var lastPK string
+		var lastPS int
+		var lastP *node // valid only when lastPS == i
+		for key := range ents {
+			pk := parentNormKey(key)
 			if pk == "" {
 				continue
 			}
-			if p, ok := d.seg(pk).entries[pk]; ok {
-				p.addChild(key)
+			if pk != lastPK {
+				lastPK, lastPS, lastP = pk, d.segIndex(pk), nil
+				if lastPS == i {
+					lastP = ents[pk]
+				}
+			}
+			if lastPS == i {
+				// Same-segment link: this worker owns every node in
+				// segment i during phase A (children already cleared
+				// above), so apply directly instead of bucketing.
+				if lastP != nil {
+					lastP.addChild(key)
+				}
+				continue
+			}
+			row[lastPS] = append(row[lastPS], childLink{parent: pk, child: key})
+		}
+		links[i] = row
+	})
+	forEachIdx(workers, len(d.segs), func(ps int) {
+		ents := d.segs[ps].entries
+		var lastPK string
+		var lastP *node
+		for _, row := range links {
+			for _, l := range row[ps] {
+				if l.parent != lastPK || lastP == nil {
+					lastPK, lastP = l.parent, ents[l.parent]
+				}
+				if lastP != nil {
+					lastP.addChild(l.child)
+				}
 			}
 		}
+	})
+}
+
+// parentNormKey returns the parent entry's normalized DN key given an
+// entry's normalized key — everything past the first unescaped comma, or
+// "" for a depth-1 entry. Normalized keys escape every literal ',' and
+// '\' inside attribute values, so the first comma not preceded by a
+// backslash escape is exactly the first RDN separator. This is the
+// allocation-free equivalent of n.dn.Parent().Normalize(), which the
+// wiring post-pass would otherwise pay twice per entry per attach.
+func parentNormKey(key string) string {
+	for i := 0; i < len(key); i++ {
+		switch key[i] {
+		case '\\':
+			i++ // skip the escaped byte
+		case ',':
+			return key[i+1:]
+		}
 	}
+	return ""
 }

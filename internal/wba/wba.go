@@ -362,11 +362,22 @@ var statusTmpl = template.Must(template.Must(pageTmpl.Clone()).Parse(`{{define "
 <tr><td>Bytes written</td><td>{{.J.Bytes}}</td></tr>
 <tr><td>Mean commit latency</td><td>{{.JMeanCommit}}</td></tr>
 <tr><td>Torn tails truncated</td><td>{{.J.TornTails}}</td></tr>
+<tr><td>Record format</td><td>{{.J.Format}}</td></tr>
 </table>
 <h3>Group size histogram</h3>
 <table border="1" cellpadding="4">
 <tr><th>1</th><th>2&ndash;4</th><th>5&ndash;16</th><th>17&ndash;64</th><th>65&ndash;256</th><th>&gt;256</th></tr>
 <tr>{{range .JHist}}<td>{{.}}</td>{{end}}</tr>
+</table>
+<h3>Startup replay</h3>
+<table border="1" cellpadding="4">
+<tr><th>Counter</th><th>Value</th></tr>
+<tr><td>Records replayed</td><td>{{.J.ReplayedRecords}}</td></tr>
+<tr><td>Journal bytes decoded</td><td>{{.J.ReplayedBytes}}</td></tr>
+<tr><td>Replay wall time</td><td>{{.JReplayWall}}</td></tr>
+<tr><td>Replay workers</td><td>{{.J.ReplayWorkers}}</td></tr>
+<tr><td>Records/s</td><td>{{.JReplayRate}}</td></tr>
+<tr><td>Per-segment wall</td><td>{{.JSegmentWall}}</td></tr>
 </table>
 {{end}}
 {{if .Outboxes}}
@@ -439,6 +450,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			data["JMeanBatch"] = fmt.Sprintf("%.1f", js.MeanBatch())
 			data["JMeanCommit"] = js.MeanCommit().String()
 			data["JHist"] = js.BatchHist[:]
+			data["JReplayWall"] = time.Duration(js.ReplayNs).String()
+			data["JReplayRate"] = fmt.Sprintf("%.0f", js.ReplayRecordsPerSec())
+			segs := make([]string, len(js.SegmentReplayNs))
+			for i, ns := range js.SegmentReplayNs {
+				segs[i] = time.Duration(ns).String()
+			}
+			data["JSegmentWall"] = strings.Join(segs, " ")
 		}
 	}
 	if s.SyncStats != nil {

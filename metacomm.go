@@ -163,6 +163,11 @@ type Config struct {
 	// a different segment count (or by the old single-file journal) is
 	// migrated on startup.
 	DITSegments int
+	// AttachWorkers caps the startup journal-replay worker pool: with a
+	// matching on-disk layout the segment files replay concurrently, one
+	// goroutine per file up to this many (0 = GOMAXPROCS, 1 = sequential).
+	// Ignored without DataDir.
+	AttachWorkers int
 	// CompactInterval, when positive, runs background journal compaction:
 	// every interval one segment (round-robin) whose journal has grown
 	// enough is rewritten online — no stop-the-world pause, replay time
@@ -249,6 +254,7 @@ func Start(cfg Config) (*System, error) {
 			Mode:     mode,
 			MaxBatch: cfg.JournalBatch,
 			Linger:   cfg.JournalLinger,
+			Workers:  cfg.AttachWorkers,
 		}); err != nil {
 			return nil, fmt.Errorf("metacomm: replaying journal: %w", err)
 		}

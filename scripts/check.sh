@@ -12,9 +12,13 @@ go test -race -count=1 ./internal/directory/... ./internal/um/... ./internal/lta
 # Group-commit smoke: three concurrent writers against a SyncGroup journal
 # must produce at least one multi-record commit group (batch > 1 observed).
 go test -run TestJournalGroupCommitBatches -count=1 ./internal/directory/
+# Journal-format migration smoke: a legacy JSON journal set must come back
+# as v2 (binary frames on disk, manifest updated, identical entry state).
+go test -run TestLegacyJSONJournalMigratesToV2 -count=1 ./internal/directory/
 go test -fuzz=FuzzDecode -fuzztime=10s ./internal/ber/
 go test -fuzz=FuzzParse -fuzztime=10s ./internal/lexpress/
 go test -fuzz=FuzzCompilePattern -fuzztime=10s ./internal/lexpress/
+go test -fuzz=FuzzJournalV2Record -fuzztime=10s ./internal/directory/
 go test -run '^$' -bench . -benchtime=1x .
 # Wire-path load-generator smoke: spawn an in-process system, drive it for
 # two seconds, and verify the machine-readable benchmark record is written.
