@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race fuzz-smoke bench-smoke loadgen-smoke benchscale-smoke check bench bench-e19 bench-wire bench-scale
+.PHONY: all build test vet race fuzz-smoke bench-smoke loadgen-smoke benchscale-smoke replication-smoke check bench bench-e19 bench-wire bench-scale bench-replica
 
 all: check
 
@@ -24,7 +24,14 @@ vet:
 # borrowed-buffer decode and pipelined flushing are concurrency
 # properties; run their tests under the race detector.
 race:
-	$(GO) test -race -count=1 ./internal/directory/... ./internal/um/... ./internal/ltap/... ./internal/filter/... ./internal/device/... ./internal/ber/... ./internal/ldapserver/... ./internal/ldapclient/...
+	$(GO) test -race -count=1 ./internal/directory/... ./internal/um/... ./internal/ltap/... ./internal/filter/... ./internal/device/... ./internal/ber/... ./internal/ldapserver/... ./internal/ldapclient/... ./internal/replica/...
+
+# Multi-master smoke: a two-node mesh, a write accepted on each side, and a
+# conflicting same-DN write — both trees must converge to one winner. Plus a
+# short benchreplica pass so the E23 harness cannot rot.
+replication-smoke:
+	$(GO) test -run TestMultiMasterWritesAnywhereConverge -count=1 .
+	$(GO) run ./cmd/benchreplica -max-nodes 2 -conns 16 -duration 1s -entries 200 -join-entries 2000 -out /tmp/bench_replica_smoke.json
 
 # Ten seconds per fuzz target: enough to shake out decoder/parser panics on
 # every run without turning check into a fuzzing campaign. The checked-in
@@ -51,7 +58,7 @@ loadgen-smoke:
 benchscale-smoke:
 	$(GO) run ./cmd/benchscale -pops 10000 -ops 200 -out /tmp/bench_scale_smoke.json
 
-check: test vet race fuzz-smoke bench-smoke loadgen-smoke benchscale-smoke
+check: test vet race fuzz-smoke bench-smoke loadgen-smoke benchscale-smoke replication-smoke
 
 # The experiment benchmarks behind EXPERIMENTS.md (long). -count is
 # parameterized so `make bench BENCH_COUNT=10 | tee new.txt` produces
@@ -79,3 +86,10 @@ bench-wire:
 # POPS, SEGMENTS, OPS (see scripts/bench_scale.sh).
 bench-scale:
 	sh scripts/bench_scale.sh
+
+# The replication benchmark behind EXPERIMENTS.md E23: read throughput of a
+# 1/2/3-node multi-master mesh plus new-node join catch-up rate. Writes
+# BENCH_replica_<rev>.json at the repo root. Tunables: CONNS, DURATION,
+# ENTRIES, JOIN_ENTRIES (see scripts/bench_replica.sh).
+bench-replica:
+	sh scripts/bench_replica.sh

@@ -26,7 +26,7 @@ func buildTools(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, tool := range []string{"ldapcli", "lexc", "pbxadmin"} {
+		for _, tool := range []string{"ldapcli", "lexc", "pbxadmin", "metacommd"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
 			cmd.Env = os.Environ()
 			if out, err := cmd.CombinedOutput(); err != nil {

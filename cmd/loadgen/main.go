@@ -40,7 +40,7 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "", "LDAP address of a running metacommd (LTAP endpoint)")
+		addr     = flag.String("addr", "", "LDAP address(es) of a running metacommd — comma-separated for a multi-master mesh; connections round-robin across them")
 		spawn    = flag.Bool("spawn", false, "start a complete in-process system instead of dialing -addr")
 		conns    = flag.Int("conns", 1000, "concurrent LDAP connections")
 		duration = flag.Duration("duration", 10*time.Second, "measurement window")
@@ -66,7 +66,7 @@ func main() {
 	}
 	raiseNoFile(*conns)
 
-	target := *addr
+	targets := splitTargets(*addr)
 	var sys *metacomm.System
 	if *spawn {
 		var err error
@@ -78,15 +78,19 @@ func main() {
 			log.Fatalf("loadgen: spawn: %v", err)
 		}
 		defer sys.Close()
-		target = sys.LTAPAddrActual
-		fmt.Printf("spawned system at %s (backend-conns=%d)\n", target, *beConns)
+		targets = []string{sys.LTAPAddrActual}
+		fmt.Printf("spawned system at %s (backend-conns=%d)\n", targets[0], *beConns)
 	}
 
-	dns, err := provision(target, *entries)
+	// Seed through one node; a multi-master mesh replicates the population
+	// to the rest before the warmup ends (writes during warmup are retried
+	// by virtue of LWW idempotence — re-adds report already-exists).
+	dns, err := provision(targets[0], *entries)
 	if err != nil {
 		log.Fatalf("loadgen: seeding %d entries: %v", *entries, err)
 	}
-	fmt.Printf("seeded %d entries; opening %d connections...\n", len(dns), *conns)
+	fmt.Printf("seeded %d entries; opening %d connections across %d target(s)...\n",
+		len(dns), *conns, len(targets))
 
 	cfgRun := runConfig{
 		conns:    *conns,
@@ -96,7 +100,7 @@ func main() {
 		depth:    *depth,
 		seed:     *seed,
 	}
-	r := run(target, dns, cfgRun)
+	r := run(targets, dns, cfgRun)
 	r.Config.Spawned = *spawn
 	if sys != nil {
 		ws := sys.WireStats()
@@ -230,6 +234,7 @@ type configJSON struct {
 	WritePct    int     `json:"write_pct"`
 	DurationSec float64 `json:"duration_sec"`
 	Entries     int     `json:"entries"`
+	Targets     int     `json:"targets"`
 	Spawned     bool    `json:"spawned"`
 	GOMAXPROCS  int     `json:"gomaxprocs"`
 	NumCPU      int     `json:"num_cpu"`
@@ -255,9 +260,10 @@ type wireJSON struct {
 	DirResponsesPerFlush  float64 `json:"dir_responses_per_flush"`
 }
 
-// run opens cfg.conns connections, lets them spin through warmup, measures
-// for cfg.duration, and aggregates the per-worker histograms.
-func run(addr string, dns []string, cfg runConfig) result {
+// run opens cfg.conns connections round-robined across the targets, lets
+// them spin through warmup, measures for cfg.duration, and aggregates the
+// per-worker histograms.
+func run(targets []string, dns []string, cfg runConfig) result {
 	var (
 		recording atomic.Bool
 		stop      atomic.Bool
@@ -276,7 +282,7 @@ func run(addr string, dns []string, cfg runConfig) result {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c, err := ldapclient.Dial(addr)
+			c, err := ldapclient.Dial(targets[i%len(targets)])
 			if err != nil {
 				dialErrs.Add(1)
 				return
@@ -324,6 +330,7 @@ func run(addr string, dns []string, cfg runConfig) result {
 			WritePct:    cfg.writePct,
 			DurationSec: round2(elapsed.Seconds()),
 			Entries:     len(dns),
+			Targets:     len(targets),
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 			NumCPU:      runtime.NumCPU(),
 		},
@@ -474,6 +481,17 @@ func (h *hist) mean() float64 {
 		return 0
 	}
 	return float64(h.sum) / float64(h.total)
+}
+
+// splitTargets parses -addr: comma-separated addresses, blanks dropped.
+func splitTargets(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // revision resolves the label for the output filename.

@@ -20,11 +20,24 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	metacomm "metacomm"
 	"metacomm/internal/wba"
 )
+
+// splitPeers parses the -peers flag: comma-separated addresses, blanks
+// dropped.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -53,7 +66,9 @@ func main() {
 		ditSegs  = flag.Int("dit-segments", 0, "DN-hash DIT segment count, each with its own lock and journal (0 = default)")
 		attachWk = flag.Int("attach-workers", 0, "startup journal-replay worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		compact  = flag.Duration("compact-interval", 0, "background journal compaction: one segment per interval, online (0 disables)")
-		replAddr = flag.String("replication", "", "replication stream listen address for read replicas (empty disables)")
+		replAddr = flag.String("replication", "", "replication stream listen address for read replicas and multi-master peers (empty disables)")
+		nodeID   = flag.Uint("node-id", 0, "this node's replication identity, distinct across the mesh (required with -peers)")
+		peers    = flag.String("peers", "", "comma-separated replication addresses of multi-master peers (requires -node-id)")
 		audit    = flag.String("audit", "", "audit log file ('-' = stderr, empty disables)")
 		quiet    = flag.Bool("quiet", false, "suppress operational logging")
 	)
@@ -76,6 +91,7 @@ func main() {
 		defer f.Close()
 		auditW = f
 	}
+	peerList := splitPeers(*peers)
 	sys, err := metacomm.Start(metacomm.Config{
 		Suffix:         *suffix,
 		DirectoryAddr:  *dirAddr,
@@ -105,6 +121,8 @@ func main() {
 		AttachWorkers:   *attachWk,
 		CompactInterval: *compact,
 		ReplicationAddr: *replAddr,
+		NodeID:          uint32(*nodeID),
+		Peers:           peerList,
 		AuditLog:        auditW,
 		Logger:          logger,
 	})
@@ -113,6 +131,9 @@ func main() {
 	}
 	defer sys.Close()
 
+	if sys.Replicator != nil {
+		fmt.Printf("replication node:  %d (%d peers)\n", sys.Replicator.NodeID, len(peerList))
+	}
 	fmt.Printf("LDAP (via LTAP):   %s\n", sys.LTAPAddrActual)
 	fmt.Printf("backing directory: %s\n", sys.DirectoryAddrActual)
 	fmt.Printf("Definity PBX:      %s\n", sys.PBXAddrActual)
@@ -133,6 +154,9 @@ func main() {
 		srv.SyncStats = sys.UM.LastSyncStats
 		srv.OutboxStats = sys.UM.OutboxStats
 		srv.JournalStats = sys.DIT.JournalStats
+		if sys.Replicator != nil {
+			srv.ReplicationStats = sys.Replicator.Stats
+		}
 		go func() {
 			fmt.Printf("web administration: http://%s/\n", *wbaAddr)
 			if err := http.ListenAndServe(*wbaAddr, srv); err != nil {
@@ -183,6 +207,16 @@ func main() {
 	}
 	ds := sys.DIT.Stats()
 	fmt.Printf("dit: segments=%d entries=%d interned-names=%d\n", ds.Segments, ds.Entries, ds.InternedNames)
+	if sys.Replicator != nil {
+		rs := sys.Replicator.Stats()
+		fmt.Printf("replication node %d: inbound-conns=%d resumes-served=%d snapshots-served=%d records-sent=%d um-remote-applies=%d um-remote-drops=%d\n",
+			rs.NodeID, rs.Publisher.Conns, rs.Publisher.Resumes, rs.Publisher.Snapshots, rs.Publisher.RecordsSent,
+			st.RemoteApplies, st.RemoteDrops)
+		for _, ps := range rs.Peers {
+			fmt.Printf("replication peer %s: connected=%v cursor=%d resumes=%d snapshots=%d applied=%d noops=%d structural=%d\n",
+				ps.Addr, ps.Connected, ps.Cursor, ps.Resumes, ps.Snapshots, ps.Applied, ps.Noops, ps.Structural)
+		}
+	}
 	if cs := sys.DIT.CompactionStats(); cs.Runs > 0 || cs.Skips > 0 {
 		fmt.Printf("compaction: runs=%d skips=%d snapshot-entries=%d spliced-bytes=%d last-ms=%.1f\n",
 			cs.Runs, cs.Skips, cs.SnapshotEntries, cs.SplicedBytes, float64(cs.LastNs)/1e6)

@@ -46,8 +46,8 @@ func main() {
 
 	go func() {
 		for range time.Tick(10 * time.Second) {
-			fmt.Printf("replica: connected=%v appliedSeq=%d resyncs=%d entries=%d\n",
-				r.Connected(), r.AppliedSeq(), r.Resyncs(), r.DIT.Len())
+			fmt.Printf("replica: connected=%v appliedSeq=%d resumes=%d resyncs=%d entries=%d\n",
+				r.Connected(), r.AppliedSeq(), r.Resumes(), r.Resyncs(), r.DIT.Len())
 		}
 	}()
 

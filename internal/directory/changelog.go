@@ -138,6 +138,13 @@ func (d *DIT) cancelFunc(sub *changeSub) func() {
 func (d *DIT) emitBatch(recs []UpdateRecord) {
 	d.subMu.Lock()
 	defer d.subMu.Unlock()
+	// Record the batch in the cursor-addressable tail ring first (same
+	// critical section as delivery, so tail order == delivery order and a
+	// SubscribeFrom registered under this lock never misses or duplicates
+	// a record; see replication.go).
+	for i := range recs {
+		d.tailAppendLocked(recs[i])
+	}
 	if len(d.subs) == 0 {
 		return
 	}
@@ -321,9 +328,13 @@ func (e *emitter) waitEmitted(seq uint64) {
 }
 
 // advanceTo fast-forwards the order cursor past replayed history. Only
-// valid while the DIT is quiescent (journal attach).
+// valid while the DIT is quiescent (journal attach). The changelog tail
+// restarts its coverage at seq: replayed history was never emitted, so
+// nothing before seq can be resumed from (peers with older cursors fall
+// back to a snapshot).
 func (e *emitter) advanceTo(seq uint64) {
 	e.mu.Lock()
 	e.emitted = seq
 	e.mu.Unlock()
+	e.d.resetTailTo(seq)
 }

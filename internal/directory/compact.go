@@ -121,11 +121,23 @@ func (d *DIT) compactSegment(s *segment) error {
 		s.mu.Unlock()
 		return err
 	}
-	snap := make([]searchCand, 0, len(s.entries))
+	type compactEnt struct {
+		searchCand
+		stamp Stamp
+	}
+	snap := make([]compactEnt, 0, len(s.entries))
 	for k, n := range s.entries {
-		snap = append(snap, searchCand{dn: n.dn, key: k, attrs: n.attrs})
+		snap = append(snap, compactEnt{searchCand{dn: n.dn, key: k, attrs: n.attrs}, n.stamp})
+	}
+	// Tombstones survive compaction too (as trailing stamped delete
+	// records) — without them a restarted node would forget its deletes
+	// and let stale remote upserts resurrect entries.
+	tombs := make([]ReplTombstone, 0, len(s.tombstones))
+	for k, ts := range s.tombstones {
+		tombs = append(tombs, ReplTombstone{Key: k, Stamp: ts})
 	}
 	s.mu.Unlock()
+	sort.Slice(tombs, func(i, j int) bool { return tombs[i].Key < tombs[j].Key })
 
 	// Parents before children within the segment — replay does not need it
 	// (relaxed replay is entry-local), but humans reading a journal do.
@@ -150,7 +162,16 @@ func (d *DIT) compactSegment(s *segment) error {
 	case FormatJSON:
 		enc := json.NewEncoder(w)
 		for i := range snap {
-			rec := UpdateRecord{Op: "entry", DN: snap[i].dn.String(), Attrs: snap[i].attrs.Map()}
+			rec := UpdateRecord{Op: "entry", DN: snap[i].dn.String(), Attrs: snap[i].attrs.Map(),
+				OriginSeq: snap[i].stamp.Seq, OriginNode: snap[i].stamp.Node}
+			if err := enc.Encode(&rec); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		for _, tb := range tombs {
+			rec := UpdateRecord{Op: "delete", DN: tb.Key,
+				OriginSeq: tb.Stamp.Seq, OriginNode: tb.Stamp.Node}
 			if err := enc.Encode(&rec); err != nil {
 				f.Close()
 				return err
@@ -160,7 +181,21 @@ func (d *DIT) compactSegment(s *segment) error {
 		var enc v2Encoder
 		var bin []byte
 		for i := range snap {
-			rec := UpdateRecord{Op: "entry", DN: snap[i].dn.String(), attrsDec: snap[i].attrs, normKey: snap[i].key}
+			rec := UpdateRecord{Op: "entry", DN: snap[i].dn.String(), attrsDec: snap[i].attrs, normKey: snap[i].key,
+				OriginSeq: snap[i].stamp.Seq, OriginNode: snap[i].stamp.Node}
+			bin, err = enc.appendRecord(bin[:0], &rec)
+			if err != nil {
+				f.Close()
+				return err
+			}
+			if _, err := w.Write(bin); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		for _, tb := range tombs {
+			rec := UpdateRecord{Op: "delete", DN: tb.Key,
+				OriginSeq: tb.Stamp.Seq, OriginNode: tb.Stamp.Node}
 			bin, err = enc.appendRecord(bin[:0], &rec)
 			if err != nil {
 				f.Close()

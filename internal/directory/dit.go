@@ -67,6 +67,11 @@ type node struct {
 	// by it; it is maintained at Add/ModifyDN time instead.
 	key   string
 	attrs *Attrs
+	// stamp is the origin (Lamport-seq, node-id) of the write that
+	// installed attrs — the last-writer-wins coordinate for multi-master
+	// replication (replication.go). Zero on entries restored from
+	// pre-replication journals.
+	stamp Stamp
 	// children holds normalized child DNs; nil until the first child
 	// arrives, because at million-entry scale most entries are leaves and
 	// an empty map per leaf is measurable heap.
@@ -92,6 +97,11 @@ type segment struct {
 	// indexes holds this segment's share of the equality indexes (see
 	// index.go); nil when none are enabled.
 	indexes attrIndex
+	// tombstones remembers deleted keys and the stamps that deleted them
+	// so a concurrent losing upsert arriving later cannot resurrect the
+	// entry (replication.go); bounded by maxTombstones, nil until the
+	// first delete.
+	tombstones map[string]Stamp
 	// journal, when attached, receives a write-ahead record of every
 	// committed update routed to this segment through its group-commit
 	// pipeline (see persist.go); commit is that pipeline.
@@ -144,6 +154,22 @@ type DIT struct {
 	// emitter can fan out without any segment lock (see changelog.go).
 	subMu sync.Mutex
 	subs  []*changeSub
+	// The cursor-addressable changelog tail (replication.go): a ring of
+	// the most recently emitted records so a reconnecting peer can resume
+	// from its cursor instead of full-resyncing. Guarded by subMu.
+	// tailFirst/tailLast bound the covered cursor range: SubscribeFrom
+	// serves any cursor in [tailFirst, seq].
+	tailBuf   []UpdateRecord
+	tailStart int
+	tailLen   int
+	tailCap   int
+	tailFirst uint64
+	tailLast  uint64
+
+	// nodeID and clock are the replication identity and the Lamport stamp
+	// clock (replication.go). nodeID is written once before serving.
+	nodeID uint32
+	clock  atomic.Uint64
 	// indexed lists the lowered names of indexed attributes; written under
 	// all segment locks, read under any one segment lock.
 	indexed []string
@@ -190,7 +216,7 @@ func NewSegmented(schema *Schema, n int) *DIT {
 	if n <= 0 {
 		n = DefaultDITSegments
 	}
-	d := &DIT{schema: schema, segs: make([]*segment, n)}
+	d := &DIT{schema: schema, segs: make([]*segment, n), tailCap: DefaultChangeTail}
 	for i := range d.segs {
 		d.segs[i] = &segment{id: i, entries: map[string]*node{}}
 	}
@@ -342,11 +368,14 @@ func (d *DIT) addLocked(sa, sp *segment, name dn.DN, key, parentKey string, a *A
 	if p, ok := sp.entries[parentKey]; ok {
 		p.addChild(key)
 	}
-	sa.entries[key] = &node{dn: name, key: key, attrs: a}
+	st := d.stampLocked()
+	sa.entries[key] = &node{dn: name, key: key, attrs: a, stamp: st}
 	sa.indexEntry(key, a)
+	delete(sa.tombstones, key)
 	d.count.Add(1)
 	seq := d.seq.Add(1)
-	rec := UpdateRecord{Seq: seq, Op: "add", DN: name.String(), Attrs: a.Map()}
+	rec := UpdateRecord{Seq: seq, Op: "add", DN: name.String(), Attrs: a.Map(),
+		OriginSeq: st.Seq, OriginNode: st.Node, post: a}
 	return d.commitLocked(sa, rec), nil
 }
 
@@ -380,9 +409,12 @@ func (d *DIT) deleteLocked(sa, sp *segment, name dn.DN, key, parentKey string) (
 	if p, ok := sp.entries[parentKey]; ok {
 		delete(p.children, key)
 	}
+	st := d.stampLocked()
+	sa.setTombstone(key, st)
 	d.count.Add(-1)
 	seq := d.seq.Add(1)
-	rec := UpdateRecord{Seq: seq, Op: "delete", DN: name.String()}
+	rec := UpdateRecord{Seq: seq, Op: "delete", DN: name.String(),
+		OriginSeq: st.Seq, OriginNode: st.Node}
 	return d.commitLocked(sa, rec), nil
 }
 
@@ -417,9 +449,13 @@ func (d *DIT) modifyLocked(s *segment, name dn.DN, key string, changes []ldap.Ch
 	}
 	s.reindexEntry(key, n.attrs, work)
 	n.attrs = work
+	st := d.stampLocked()
+	n.stamp = st
 	seq := d.seq.Add(1)
 	rec := modifyRecord(name, changes)
 	rec.Seq = seq
+	rec.OriginSeq, rec.OriginNode = st.Seq, st.Node
+	rec.post = work
 	return d.commitLocked(s, rec), nil
 }
 
@@ -607,13 +643,19 @@ func (d *DIT) modifyDNLocked(name dn.DN, newRDN dn.RDN, deleteOldRDN bool) (comm
 		delete(p.children, key)
 		p.addChild(newKey)
 	}
+	st := d.stampLocked()
 	for _, nd := range subtree {
 		delete(d.seg(nd.key).entries, nd.key)
+		// The rename is a delete at the old key under the LWW rule: leave
+		// a tombstone so a concurrent remote upsert of the old DN with a
+		// smaller stamp cannot resurrect it.
+		d.seg(nd.key).setTombstone(nd.key, st)
 	}
 	for i := range moves {
 		nd := moves[i].nd
 		nd.dn = moves[i].newDN
 		nd.children = nil
+		nd.stamp = st
 	}
 	n.attrs = work
 	for _, nd := range subtree {
@@ -622,6 +664,7 @@ func (d *DIT) modifyDNLocked(name dn.DN, newRDN dn.RDN, deleteOldRDN bool) (comm
 		s := d.seg(k)
 		s.entries[k] = nd
 		s.indexEntry(k, nd.attrs)
+		delete(s.tombstones, k)
 		if pk := nd.dn.Parent().Normalize(); pk != "" {
 			if p, ok := d.seg(pk).entries[pk]; ok {
 				p.addChild(k)
@@ -630,9 +673,10 @@ func (d *DIT) modifyDNLocked(name dn.DN, newRDN dn.RDN, deleteOldRDN bool) (comm
 	}
 	seq := d.seq.Add(1)
 	logical := UpdateRecord{Seq: seq, Op: "modifydn", DN: name.String(),
-		NewRDN: newRDN.String(), DeleteOldRDN: deleteOldRDN}
+		NewRDN: newRDN.String(), DeleteOldRDN: deleteOldRDN,
+		OriginSeq: st.Seq, OriginNode: st.Node, post: work}
 	if journaled {
-		if err := d.journalRenameParts(seq, moves); err != nil {
+		if err := d.journalRenameParts(seq, st, moves); err != nil {
 			d.em.skip(seq)
 			return commitTicket{}, errf(ldap.ResultUnavailable, "journal write failed: %v", err)
 		}

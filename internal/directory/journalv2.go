@@ -37,6 +37,11 @@ import (
 //	             string attr, uvarint nvals, string values...
 //	modifydn:    string newRDN, byte deleteOldRDN (0|1)
 //	delete:      nothing further
+//	(optional)   uvarint originSeq, uvarint originNode — the replication
+//	             origin stamp, appended after the op-specific fields only
+//	             when nonzero. Pre-replication frames simply end earlier;
+//	             the decoder reads the stamp iff payload bytes remain, so
+//	             both generations round-trip byte-identically.
 //
 // Entry records — what compaction writes, so what nearly every replayed
 // record is after the first restart — carry the entry's normalized DN key,
@@ -190,6 +195,10 @@ func appendPayloadV2(p []byte, rec *UpdateRecord) ([]byte, error) {
 		} else {
 			p = append(p, 0)
 		}
+	}
+	if rec.OriginSeq != 0 || rec.OriginNode != 0 {
+		p = binary.AppendUvarint(p, rec.OriginSeq)
+		p = binary.AppendUvarint(p, uint64(rec.OriginNode))
 	}
 	return p, nil
 }
@@ -467,6 +476,21 @@ func (d *v2Decoder) decodePayload(p []byte, rec *UpdateRecord) error {
 		rec.DeleteOldRDN = b != 0
 	default:
 		return fmt.Errorf("unknown op tag %d", tag)
+	}
+	if c.rem() > 0 {
+		// Optional trailing origin stamp (absent on pre-replication frames).
+		os, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		on, err := c.uvarint()
+		if err != nil {
+			return err
+		}
+		if on > 1<<32-1 {
+			return fmt.Errorf("origin node %d overflows 32 bits", on)
+		}
+		rec.OriginSeq, rec.OriginNode = os, uint32(on)
 	}
 	if c.rem() != 0 {
 		return fmt.Errorf("%d trailing payload bytes", c.rem())

@@ -60,6 +60,14 @@ type UpdateRecord struct {
 	NewRDN       string `json:"newRDN,omitempty"` // modifydn
 	DeleteOldRDN bool   `json:"deleteOldRDN,omitempty"`
 
+	// OriginSeq/OriginNode are the origin stamp — the (Lamport-seq,
+	// node-id) LWW coordinate of the write (replication.go). Journaled and
+	// replicated with every record; zero on records written before
+	// replication existed, which keeps old journals and the v2 codec
+	// byte-compatible (the stamp encodes as an optional trailing field).
+	OriginSeq  uint64 `json:"oseq,omitempty"`
+	OriginNode uint32 `json:"onode,omitempty"`
+
 	// attrsDec, when non-nil, is the add/entry attribute set as a decoded
 	// *Attrs. The v2 codec decodes straight into this form (and compaction
 	// encodes straight out of it), skipping the map[string][]string round
@@ -70,6 +78,13 @@ type UpdateRecord struct {
 	// v2 "entry" frames (compaction knows it for free) so relaxed replay
 	// skips re-normalizing the DN. Must equal dn.Parse(DN).Normalize().
 	normKey string
+
+	// post, when non-nil, is the full attribute state the update left
+	// behind, attached at commit time for changelog consumers that need
+	// images rather than deltas (the replication publisher ships
+	// post-image upserts; see PostImage). Never journaled — replay
+	// reconstructs state, it does not need images.
+	post *Attrs
 }
 
 // attrsValue returns the record's attribute set as an *Attrs, preferring
@@ -680,7 +695,7 @@ func (d *DIT) commitLocked(s *segment, rec UpdateRecord) commitTicket {
 // global seq. Caller holds every segment lock, so flushing the involved
 // pipelines quiesces them and the direct appends land in correct per-DN
 // order within each file.
-func (d *DIT) journalRenameParts(seq uint64, moves []renameMove) error {
+func (d *DIT) journalRenameParts(seq uint64, st Stamp, moves []renameMove) error {
 	bySeg := make(map[*segment][]UpdateRecord)
 	var order []*segment // deterministic write order
 	appendRec := func(s *segment, rec UpdateRecord) {
@@ -691,9 +706,11 @@ func (d *DIT) journalRenameParts(seq uint64, moves []renameMove) error {
 	}
 	for i := range moves {
 		m := &moves[i]
-		appendRec(d.seg(m.oldKey), UpdateRecord{Seq: seq, Op: "delete", DN: m.oldDN})
+		appendRec(d.seg(m.oldKey), UpdateRecord{Seq: seq, Op: "delete", DN: m.oldDN,
+			OriginSeq: st.Seq, OriginNode: st.Node})
 		nd := m.nd
-		appendRec(d.seg(nd.key), UpdateRecord{Seq: seq, Op: "entry", DN: nd.dn.String(), Attrs: nd.attrs.Map()})
+		appendRec(d.seg(nd.key), UpdateRecord{Seq: seq, Op: "entry", DN: nd.dn.String(),
+			Attrs: nd.attrs.Map(), OriginSeq: st.Seq, OriginNode: st.Node})
 	}
 	for _, s := range order {
 		if err := s.commit.flush(); err != nil {
@@ -772,6 +789,12 @@ func (d *DIT) AttachJournal(j *Journal) (int, error) {
 		d.tornTails.Store(1)
 	}
 	s.mu.Unlock()
+	// Replay runs through the public ops, which emit records carrying
+	// replay-minted stamps (restoreStamp then corrects the entries, but not
+	// the emitted copies). Those must never be resumable: restart the
+	// changelog tail's coverage at the restored seq so pre-restart cursors
+	// take the snapshot fallback, which ships the corrected stamps.
+	d.resetTailTo(d.seq.Load())
 	return n, nil
 }
 
@@ -1050,6 +1073,10 @@ func (d *DIT) AttachJournalSet(cfg JournalSetConfig) (int, error) {
 	}
 	d.seq.Store(seq)
 	d.em.advanceTo(seq)
+	// Records restored their own stamps into the clock above; raising it to
+	// the commit seq too keeps fresh local writes above anything a
+	// pre-replication journal (all-zero stamps) could have produced.
+	d.bumpClock(seq)
 
 	// Open and attach every segment's journal.
 	opened := make([]*Journal, 0, len(d.segs))
@@ -1316,23 +1343,74 @@ func (d *DIT) applyRecord(rec UpdateRecord) error {
 	}
 	switch rec.Op {
 	case "add", "entry":
-		return d.Add(name, rec.attrsValue())
+		if err := d.Add(name, rec.attrsValue()); err != nil {
+			return err
+		}
+		d.restoreStamp(name.Normalize(), rec.Origin())
+		return nil
 	case "delete":
-		return d.Delete(name)
+		st := rec.Origin()
+		if err := d.Delete(name); err != nil {
+			if !st.IsZero() && CodeOf(err) == ldap.ResultNoSuchObject {
+				// A tombstone-only record: a remote delete journaled for an
+				// entry this node never held. Restore the tombstone alone.
+				d.restoreTombstone(name.Normalize(), st)
+				return nil
+			}
+			return err
+		}
+		if !st.IsZero() {
+			d.restoreTombstone(name.Normalize(), st)
+		}
+		return nil
 	case "modify":
 		changes, err := changesFromRecord(rec)
 		if err != nil {
 			return err
 		}
-		return d.Modify(name, changes)
+		if err := d.Modify(name, changes); err != nil {
+			return err
+		}
+		d.restoreStamp(name.Normalize(), rec.Origin())
+		return nil
 	case "modifydn":
 		newRDN, err := dn.Parse(rec.NewRDN)
 		if err != nil || newRDN.Depth() != 1 {
 			return fmt.Errorf("bad newRDN %q", rec.NewRDN)
 		}
-		return d.ModifyDN(name, newRDN.RDN(), rec.DeleteOldRDN)
+		if err := d.ModifyDN(name, newRDN.RDN(), rec.DeleteOldRDN); err != nil {
+			return err
+		}
+		d.restoreStamp(name.WithRDN(newRDN.RDN()).Normalize(), rec.Origin())
+		return nil
 	}
 	return fmt.Errorf("unknown journal op %q", rec.Op)
+}
+
+// restoreStamp reinstates a replayed record's origin stamp on its entry
+// (strict replay applies through the public ops, which mint fresh local
+// stamps; without this, a restarted node's entries would lose LWW to
+// stale remote state and diverge). No-op for unstamped legacy records.
+func (d *DIT) restoreStamp(key string, st Stamp) {
+	if st.IsZero() {
+		return
+	}
+	d.bumpClock(st.Seq)
+	s := d.seg(key)
+	s.mu.Lock()
+	if n, ok := s.entries[key]; ok {
+		n.stamp = st
+	}
+	s.mu.Unlock()
+}
+
+// restoreTombstone reinstates a replayed delete's tombstone.
+func (d *DIT) restoreTombstone(key string, st Stamp) {
+	d.bumpClock(st.Seq)
+	s := d.seg(key)
+	s.mu.Lock()
+	s.setTombstone(key, st)
+	s.mu.Unlock()
 }
 
 // applyRelaxed replays one record of a per-segment journal. A segment file
@@ -1356,27 +1434,42 @@ func (d *DIT) applyRelaxed(rec UpdateRecord) error {
 	switch rec.Op {
 	case "add", "entry":
 		a := rec.attrsValue()
+		st := rec.Origin()
+		d.bumpClock(st.Seq)
 		s.mu.Lock()
 		if n, ok := s.entries[key]; ok {
 			s.reindexEntry(key, n.attrs, a)
 			n.attrs = a
 			n.dn = name
+			n.stamp = st
 		} else {
-			s.entries[key] = &node{dn: name, key: key, attrs: a}
+			s.entries[key] = &node{dn: name, key: key, attrs: a, stamp: st}
 			s.indexEntry(key, a)
 			d.count.Add(1)
 		}
+		delete(s.tombstones, key)
 		s.mu.Unlock()
 		return nil
 	case "delete":
+		st := rec.Origin()
+		d.bumpClock(st.Seq)
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		n, ok := s.entries[key]
 		if !ok {
+			if !st.IsZero() {
+				// Tombstone-only record (a remote delete of an entry this
+				// node never held, or compaction's persisted tombstones).
+				s.setTombstone(key, st)
+				return nil
+			}
 			return errf(ldap.ResultNoSuchObject, "no entry %q", name)
 		}
 		delete(s.entries, key)
 		s.unindexEntry(key, n.attrs)
+		if !st.IsZero() {
+			s.setTombstone(key, st)
+		}
 		d.count.Add(-1)
 		return nil
 	case "modify":
@@ -1396,6 +1489,10 @@ func (d *DIT) applyRelaxed(rec UpdateRecord) error {
 		}
 		s.reindexEntry(key, n.attrs, work)
 		n.attrs = work
+		if st := rec.Origin(); !st.IsZero() {
+			n.stamp = st
+			d.bumpClock(st.Seq)
+		}
 		return nil
 	}
 	return fmt.Errorf("unexpected op %q in segment journal", rec.Op)

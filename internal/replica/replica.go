@@ -1,29 +1,39 @@
-// Package replica implements single-master replication for the MetaComm
-// directory. The paper situates LDAP's availability story in replication
-// ("LDAP servers make extensive use of replication to make directory
-// information highly available", §2); this package supplies it:
+// Package replica implements replication for the MetaComm directory. The
+// paper situates LDAP's availability story in replication ("LDAP servers
+// make extensive use of replication to make directory information highly
+// available", §2); this package supplies it in multi-master form:
 //
-//   - a Publisher on the primary streams a consistent snapshot followed by
-//     the live changelog to each consumer, over newline-delimited JSON;
-//   - a Replica maintains a local DIT from that stream and serves reads
-//     (wrap it in an ldapserver.DITHandler); it reconnects and fully
-//     resynchronizes after disconnection or when it falls too far behind —
-//     which is exactly LDAP's relaxed write-write consistency: replicas
-//     converge, they are never transactionally current.
+//   - a Publisher streams committed updates to any consumer over
+//     newline-delimited JSON. A consumer announces itself with a hello
+//     frame carrying its node id and changelog cursor; the publisher
+//     either RESUMES it (replaying the tail of records after the cursor)
+//     or, when the in-memory tail no longer covers the cursor, ships a
+//     full exact-cut snapshot — entries with their origin stamps plus
+//     tombstones — followed by the live stream. Either way no writer on
+//     the publisher is ever quiesced.
+//   - a link (the consumer half) applies every received record through
+//     DIT.ApplyRemote: per-entry last-writer-wins on the (Lamport seq,
+//     node id) origin stamp, so records may arrive in any order, from any
+//     number of peers, any number of times, and every node converges to
+//     the same tree.
+//   - a Replicator (replicator.go) composes one Publisher with N links
+//     into a multi-master node: writes accepted anywhere, exchanged
+//     peer-to-peer, durable cursors so reconnects resume instead of
+//     re-snapshotting.
+//   - a Replica is the read-only special case — one link feeding a local
+//     tree that serves reads (wrap it in an ldapserver.DITHandler).
 //
-// Replay on the replica is convergent rather than strict: an add that finds
-// the entry present becomes a replace, a delete of a missing entry is a
-// no-op. A replica that applies a suffix of the stream twice therefore ends
-// in the same state.
+// Everything on the wire is a full post-image, never a delta: re-applying
+// any suffix of the stream is idempotent (losing/duplicate stamps are
+// silent no-ops), which is what makes the cursor protocol safe against
+// torn connections, duplicated frames, and crash-stale cursors.
 package replica
 
 import (
 	"bufio"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,37 +45,91 @@ import (
 
 // wire message types.
 const (
+	msgHello         = "hello"  // consumer -> publisher: node id + cursor
+	msgResume        = "resume" // publisher confirms tail resume from Seq
 	msgSnapshotBegin = "snapshot-begin"
-	msgSnapshotEntry = "entry"
+	msgSnapshotEntry = "entry" // one stamped snapshot entry
+	msgSnapshotTomb  = "tomb"  // one remembered delete
 	msgSnapshotEnd   = "snapshot-end"
 	msgChange        = "change"
 )
 
+// wire record ops.
+const (
+	opEntry  = "entry"
+	opDelete = "delete"
+)
+
+// wireRecord is one replicated update: a full post-image upsert or a
+// delete, with the origin stamp that decides conflicts.
+type wireRecord struct {
+	Op    string              `json:"op"`
+	DN    string              `json:"dn"`
+	Attrs map[string][]string `json:"attrs,omitempty"`
+	OSeq  uint64              `json:"oseq"`
+	ONode uint32              `json:"onode"`
+}
+
 // frame is one wire message.
 type frame struct {
 	Type string `json:"type"`
-	// Seq: for snapshot-end, the commit sequence the snapshot reflects;
-	// for change, the record's commit sequence.
-	Seq    uint64                  `json:"seq,omitempty"`
-	Record *directory.UpdateRecord `json:"record,omitempty"`
-	// Count: snapshot-end carries the number of entries sent.
-	Count int `json:"count,omitempty"`
+	// Node/Cursor: hello only — the consumer's node id and the publisher
+	// commit seq its state already reflects.
+	Node   uint32 `json:"node,omitempty"`
+	Cursor uint64 `json:"cursor,omitempty"`
+	// Seq: for resume, the confirmed cursor; for snapshot-begin/-end, the
+	// commit seq the cut reflects; for change, the publisher commit seq
+	// the whole frame advances the consumer's cursor to.
+	Seq   uint64 `json:"seq,omitempty"`
+	Count int    `json:"count,omitempty"` // snapshot-end: entries sent
+	// Record: snapshot entry/tomb frames. Records: change frames — one
+	// source commit may decompose into several wire records (a rename is
+	// delete+upsert), shipped in ONE frame so the cursor never lands
+	// between them.
+	Record  *wireRecord  `json:"record,omitempty"`
+	Records []wireRecord `json:"records,omitempty"`
 }
 
-// Publisher serves the replication stream from a primary DIT.
+// PublisherStats counts one publisher's replication activity.
+type PublisherStats struct {
+	// Conns counts accepted consumer connections; Resumes/Snapshots split
+	// their catch-ups by path; RecordsSent totals wire records shipped
+	// (snapshot + live).
+	Conns       uint64
+	Resumes     uint64
+	Snapshots   uint64
+	RecordsSent uint64
+}
+
+// Publisher serves the replication stream from a DIT.
 type Publisher struct {
 	DIT *directory.DIT
 
+	conns     atomic.Uint64
+	resumes   atomic.Uint64
+	snapshots atomic.Uint64
+	sent      atomic.Uint64
+
 	mu       sync.Mutex
 	listener net.Listener
-	conns    map[net.Conn]bool
+	open     map[net.Conn]bool
 	closed   bool
 	wg       sync.WaitGroup
 }
 
-// NewPublisher wraps a primary DIT.
+// NewPublisher wraps a DIT.
 func NewPublisher(d *directory.DIT) *Publisher {
-	return &Publisher{DIT: d, conns: map[net.Conn]bool{}}
+	return &Publisher{DIT: d, open: map[net.Conn]bool{}}
+}
+
+// Stats reports publisher counters.
+func (p *Publisher) Stats() PublisherStats {
+	return PublisherStats{
+		Conns:       p.conns.Load(),
+		Resumes:     p.resumes.Load(),
+		Snapshots:   p.snapshots.Load(),
+		RecordsSent: p.sent.Load(),
+	}
 }
 
 // Start listens for consumers on addr.
@@ -91,8 +155,9 @@ func (p *Publisher) Start(addr string) (net.Addr, error) {
 				c.Close()
 				return
 			}
-			p.conns[c] = true
+			p.open[c] = true
 			p.mu.Unlock()
+			p.conns.Add(1)
 			p.wg.Add(1)
 			go func() {
 				defer p.wg.Done()
@@ -110,43 +175,89 @@ func (p *Publisher) Close() {
 	if p.listener != nil {
 		p.listener.Close()
 	}
-	for c := range p.conns {
+	for c := range p.open {
 		c.Close()
 	}
 	p.mu.Unlock()
 	p.wg.Wait()
 }
 
-// serve ships snapshot + live changes to one consumer until it drops.
+// serve catches one consumer up (resume or snapshot, chosen by its hello
+// cursor) and ships live changes until it drops.
 func (p *Publisher) serve(nc net.Conn) {
 	defer func() {
 		nc.Close()
 		p.mu.Lock()
-		delete(p.conns, nc)
+		delete(p.open, nc)
 		p.mu.Unlock()
 	}()
-	w := bufio.NewWriter(nc)
-	enc := json.NewEncoder(w)
-	send := func(f frame) bool {
-		if err := enc.Encode(f); err != nil {
-			return false
-		}
-		return w.Flush() == nil
-	}
 
-	snapshot, changes, cancel := p.DIT.SnapshotAndSubscribe(4096)
-	defer cancel()
-
-	if !send(frame{Type: msgSnapshotBegin}) {
+	// The hello frame must arrive promptly; a consumer that dials and says
+	// nothing would otherwise pin a subscription forever.
+	nc.SetReadDeadline(time.Now().Add(30 * time.Second))
+	dec := json.NewDecoder(bufio.NewReader(nc))
+	var hello frame
+	if err := dec.Decode(&hello); err != nil || hello.Type != msgHello {
 		return
 	}
-	for _, e := range snapshot {
-		rec := &directory.UpdateRecord{Op: "entry", DN: e.DN.String(), Attrs: e.Attrs.Map()}
-		if !send(frame{Type: msgSnapshotEntry, Record: rec}) {
+	nc.SetReadDeadline(time.Time{})
+
+	w := bufio.NewWriter(nc)
+	enc := json.NewEncoder(w)
+	send := func(f frame) bool { return enc.Encode(f) == nil }
+
+	var changes <-chan directory.UpdateRecord
+	var cancel func()
+	if backlog, ch, cf, ok := p.DIT.SubscribeFrom(hello.Cursor, 4096); ok {
+		p.resumes.Add(1)
+		changes, cancel = ch, cf
+		defer cancel()
+		if !send(frame{Type: msgResume, Seq: hello.Cursor}) {
+			return
+		}
+		for i := range backlog {
+			if !p.sendChange(send, &backlog[i]) {
+				return
+			}
+		}
+	} else {
+		// Tail doesn't cover the cursor (evicted, disabled, or a cursor
+		// from a history this process never saw): exact-cut snapshot.
+		p.snapshots.Add(1)
+		entries, tombs, seq, ch, cf := p.DIT.SnapshotReplicaAndSubscribe(4096)
+		changes, cancel = ch, cf
+		defer cancel()
+		if !send(frame{Type: msgSnapshotBegin, Seq: seq}) {
+			return
+		}
+		for i := range entries {
+			st := entries[i].Stamp
+			if st.IsZero() {
+				// Pre-replication entry (restored from an unstamped legacy
+				// journal): ship the minimal valid stamp so it applies
+				// everywhere but loses to any real write.
+				st = directory.Stamp{Seq: 1, Node: p.DIT.NodeID()}
+			}
+			p.sent.Add(1)
+			if !send(frame{Type: msgSnapshotEntry, Record: &wireRecord{
+				Op: opEntry, DN: entries[i].DN.String(), Attrs: entries[i].Attrs.Map(),
+				OSeq: st.Seq, ONode: st.Node}}) {
+				return
+			}
+		}
+		for i := range tombs {
+			p.sent.Add(1)
+			if !send(frame{Type: msgSnapshotTomb, Record: &wireRecord{
+				Op: opDelete, DN: tombs[i].Key,
+				OSeq: tombs[i].Stamp.Seq, ONode: tombs[i].Stamp.Node}}) {
+				return
+			}
+		}
+		if !send(frame{Type: msgSnapshotEnd, Seq: seq, Count: len(entries)}) {
 			return
 		}
 	}
-	if !send(frame{Type: msgSnapshotEnd, Seq: p.DIT.Seq(), Count: len(snapshot)}) {
+	if w.Flush() != nil {
 		return
 	}
 
@@ -165,9 +276,27 @@ func (p *Publisher) serve(nc net.Conn) {
 		select {
 		case rec, ok := <-changes:
 			if !ok {
-				return // overflow: consumer must reconnect and resync
+				return // overflow: consumer reconnects and resumes/resyncs
 			}
-			if !send(frame{Type: msgChange, Seq: rec.Seq, Record: &rec}) {
+			if !p.sendChange(send, &rec) {
+				return
+			}
+			// Drain whatever else is already buffered before flushing so a
+			// burst of commits costs one syscall, not one per record.
+			for drained := false; !drained; {
+				select {
+				case rec, ok = <-changes:
+					if !ok {
+						return
+					}
+					if !p.sendChange(send, &rec) {
+						return
+					}
+				default:
+					drained = true
+				}
+			}
+			if w.Flush() != nil {
 				return
 			}
 		case <-done:
@@ -176,55 +305,123 @@ func (p *Publisher) serve(nc net.Conn) {
 	}
 }
 
-// Replica maintains a read-only copy of the primary.
-type Replica struct {
-	// DIT is the replica's local tree; serve reads from it.
-	DIT *directory.DIT
+// sendChange converts one committed record to wire form and sends it.
+// Returns false only on a send error; records that convert to nothing
+// (unstamped legacy history) are skipped.
+func (p *Publisher) sendChange(send func(frame) bool, rec *directory.UpdateRecord) bool {
+	wrs := p.wireRecords(rec)
+	if len(wrs) == 0 {
+		return true
+	}
+	p.sent.Add(uint64(len(wrs)))
+	return send(frame{Type: msgChange, Seq: rec.Seq, Records: wrs})
+}
 
-	addr string
+// wireRecords converts one changelog record into its replicated form:
+// full post-image upserts and stamped deletes. A rename decomposes into
+// delete(old)+upsert(new) under the rename's single stamp. Records
+// without a post-image in hand fall back to the live tree — the image
+// read may be newer than the record, but it ships under the record's
+// (older) stamp, so the later state's own record simply re-wins when it
+// arrives: convergence is unaffected.
+func (p *Publisher) wireRecords(rec *directory.UpdateRecord) []wireRecord {
+	st := rec.Origin()
+	if st.IsZero() {
+		return nil // unstamped legacy record; snapshot fallback covers it
+	}
+	switch rec.Op {
+	case "add", "entry":
+		attrs := rec.Attrs
+		if img := rec.PostImage(); img != nil {
+			attrs = img.Map()
+		}
+		return []wireRecord{{Op: opEntry, DN: rec.DN, Attrs: attrs, OSeq: st.Seq, ONode: st.Node}}
+	case "modify":
+		attrs := p.postImageFor(rec, rec.DN)
+		if attrs == nil {
+			return nil // entry since deleted; its delete record follows
+		}
+		return []wireRecord{{Op: opEntry, DN: rec.DN, Attrs: attrs, OSeq: st.Seq, ONode: st.Node}}
+	case "delete":
+		return []wireRecord{{Op: opDelete, DN: rec.DN, OSeq: st.Seq, ONode: st.Node}}
+	case "modifydn":
+		name, err := dn.Parse(rec.DN)
+		if err != nil || name.IsRoot() {
+			return nil
+		}
+		newRDN, err := dn.Parse(rec.NewRDN)
+		if err != nil || newRDN.Depth() != 1 {
+			return nil
+		}
+		newDN := name.WithRDN(newRDN.RDN())
+		out := []wireRecord{{Op: opDelete, DN: rec.DN, OSeq: st.Seq, ONode: st.Node}}
+		if attrs := p.postImageFor(rec, newDN.String()); attrs != nil {
+			out = append(out, wireRecord{Op: opEntry, DN: newDN.String(), Attrs: attrs, OSeq: st.Seq, ONode: st.Node})
+		}
+		return out
+	}
+	return nil
+}
 
-	applied   atomic.Uint64 // primary seq reflected locally
-	resyncs   atomic.Uint64
-	connected atomic.Bool
+// postImageFor returns the record's post-image attributes, falling back
+// to the live tree at name when the record doesn't carry one.
+func (p *Publisher) postImageFor(rec *directory.UpdateRecord, name string) map[string][]string {
+	if img := rec.PostImage(); img != nil {
+		return img.Map()
+	}
+	parsed, err := dn.Parse(name)
+	if err != nil {
+		return nil
+	}
+	e, err := p.DIT.Get(parsed)
+	if err != nil {
+		return nil
+	}
+	return e.Attrs.Map()
+}
+
+// link is the consumer half of one replication connection: it dials a
+// publisher, announces its cursor, applies everything received through
+// ApplyRemote, and reconnects with backoff until stopped. Replica wraps
+// one link; Replicator runs one per peer.
+type link struct {
+	addr    string
+	node    uint32
+	d       *directory.DIT
+	onApply func(directory.RemoteApplied)
+	persist func(cursor uint64)
+
+	cursor     atomic.Uint64 // publisher commit seq reflected locally
+	resyncs    atomic.Uint64 // snapshot catch-ups
+	resumes    atomic.Uint64 // tail resumes
+	applied    atomic.Uint64 // records that won LWW and mutated the tree
+	noops      atomic.Uint64 // losing/duplicate deliveries
+	structural atomic.Uint64 // records skipped on structural conflict
+	connected  atomic.Bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
 
-// New builds a replica of the publisher at addr. schema should match the
-// primary's (nil for none). Call Start to begin replicating.
-func New(addr string, schema *directory.Schema) *Replica {
-	return &Replica{
-		DIT:  directory.New(schema),
-		addr: addr,
-		stop: make(chan struct{}),
-	}
+func newLink(addr string, node uint32, d *directory.DIT,
+	onApply func(directory.RemoteApplied), persist func(uint64)) *link {
+	return &link{addr: addr, node: node, d: d, onApply: onApply,
+		persist: persist, stop: make(chan struct{})}
 }
 
-// AppliedSeq returns the primary commit sequence the replica reflects.
-func (r *Replica) AppliedSeq() uint64 { return r.applied.Load() }
-
-// Resyncs counts full resynchronizations (initial sync included).
-func (r *Replica) Resyncs() uint64 { return r.resyncs.Load() }
-
-// Connected reports whether the replication stream is live.
-func (r *Replica) Connected() bool { return r.connected.Load() }
-
-// Start begins replicating in the background, reconnecting with a small
-// backoff until Stop.
-func (r *Replica) Start() {
-	r.wg.Add(1)
+func (l *link) start() {
+	l.wg.Add(1)
 	go func() {
-		defer r.wg.Done()
+		defer l.wg.Done()
 		for {
 			select {
-			case <-r.stop:
+			case <-l.stop:
 				return
 			default:
 			}
-			if err := r.syncOnce(); err != nil {
+			if err := l.session(); err != nil {
 				select {
-				case <-r.stop:
+				case <-l.stop:
 					return
 				case <-time.After(100 * time.Millisecond):
 				}
@@ -233,209 +430,174 @@ func (r *Replica) Start() {
 	}()
 }
 
-// Stop halts replication.
-func (r *Replica) Stop() {
-	close(r.stop)
-	r.wg.Wait()
+func (l *link) stopAndWait() {
+	close(l.stop)
+	l.wg.Wait()
 }
 
-// syncOnce connects, loads the snapshot, applies live changes until the
-// stream breaks.
-func (r *Replica) syncOnce() error {
-	nc, err := net.DialTimeout("tcp", r.addr, 5*time.Second)
+func (l *link) setCursor(seq uint64) {
+	l.cursor.Store(seq)
+	if l.persist != nil {
+		l.persist(seq)
+	}
+}
+
+// session runs one connection: hello, catch-up (resume or snapshot), then
+// the live stream until it breaks.
+func (l *link) session() error {
+	nc, err := net.DialTimeout("tcp", l.addr, 5*time.Second)
 	if err != nil {
 		return err
 	}
 	defer nc.Close()
 	// Drop the connection promptly when stopping; connDone reaps the
-	// watcher when this sync attempt ends for any other reason.
+	// watcher when this session ends for any other reason.
 	connDone := make(chan struct{})
 	defer close(connDone)
 	go func() {
 		select {
-		case <-r.stop:
+		case <-l.stop:
 			nc.Close()
 		case <-connDone:
 		}
 	}()
-	dec := json.NewDecoder(bufio.NewReader(nc))
 
+	w := bufio.NewWriter(nc)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(frame{Type: msgHello, Node: l.node, Cursor: l.cursor.Load()}); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	dec := json.NewDecoder(bufio.NewReader(nc))
 	// Each frame decodes into a FRESH struct: json.Decoder merges into
 	// existing pointers/maps, which would silently fuse records.
 	var f frame
-	if err := dec.Decode(&f); err != nil || f.Type != msgSnapshotBegin {
-		return fmt.Errorf("replica: bad stream start: %v %q", err, f.Type)
-	}
-	var snapshot []*directory.UpdateRecord
-	for {
-		f = frame{}
-		if err := dec.Decode(&f); err != nil {
-			return err
-		}
-		if f.Type == msgSnapshotEnd {
-			break
-		}
-		if f.Type != msgSnapshotEntry || f.Record == nil {
-			return fmt.Errorf("replica: unexpected frame %q in snapshot", f.Type)
-		}
-		snapshot = append(snapshot, f.Record)
-	}
-	if err := r.loadSnapshot(snapshot); err != nil {
+	if err := dec.Decode(&f); err != nil {
 		return err
 	}
-	r.applied.Store(f.Seq)
-	r.resyncs.Add(1)
-	r.connected.Store(true)
-	defer r.connected.Store(false)
+	switch f.Type {
+	case msgResume:
+		l.resumes.Add(1)
+	case msgSnapshotBegin:
+		l.resyncs.Add(1)
+		for {
+			f = frame{}
+			if err := dec.Decode(&f); err != nil {
+				return err
+			}
+			if f.Type == msgSnapshotEnd {
+				break
+			}
+			if (f.Type != msgSnapshotEntry && f.Type != msgSnapshotTomb) || f.Record == nil {
+				return fmt.Errorf("replica: unexpected frame %q in snapshot", f.Type)
+			}
+			if err := l.applyOne(f.Record); err != nil {
+				return err
+			}
+		}
+		// The cut seq may be BELOW our stale cursor (publisher restarted
+		// with a fresh history); trusting it either way is safe because
+		// every apply is idempotent under LWW.
+		l.setCursor(f.Seq)
+	default:
+		return fmt.Errorf("replica: bad stream start %q", f.Type)
+	}
+	l.connected.Store(true)
+	defer l.connected.Store(false)
 
 	for {
 		f = frame{}
 		if err := dec.Decode(&f); err != nil {
 			return err
 		}
-		if f.Type != msgChange || f.Record == nil {
+		if f.Type != msgChange {
 			return fmt.Errorf("replica: unexpected frame %q in stream", f.Type)
 		}
-		if err := r.applyChange(*f.Record); err != nil {
-			return err
+		for i := range f.Records {
+			if err := l.applyOne(&f.Records[i]); err != nil {
+				return err
+			}
 		}
-		r.applied.Store(f.Seq)
+		// Cursor advances only after the WHOLE frame applied: a rename's
+		// delete+upsert pair is never torn by a reconnect between them.
+		l.setCursor(f.Seq)
 	}
 }
 
-// loadSnapshot converges the local tree to exactly the snapshot contents.
-func (r *Replica) loadSnapshot(entries []*directory.UpdateRecord) error {
-	want := map[string]bool{}
-	for _, rec := range entries {
-		name, err := dn.Parse(rec.DN)
-		if err != nil {
-			return err
-		}
-		want[name.Normalize()] = true
-		if err := r.upsert(name, rec.Attrs); err != nil {
-			return err
-		}
+// applyOne feeds one wire record through LWW resolution. Structural
+// conflicts (bad DN, missing parent, delete of a non-leaf, unstamped
+// record) are counted and skipped — they are per-record, not per-stream,
+// and re-delivery cannot fix them. Real failures (a poisoned local
+// journal) abort the session.
+func (l *link) applyOne(wr *wireRecord) error {
+	name, err := dn.Parse(wr.DN)
+	if err != nil {
+		l.structural.Add(1)
+		return nil
 	}
-	// Remove local entries the primary no longer has. Collect the stale
-	// DNs by streaming the tree (no population-sized copy), then delete
-	// deepest-first so children always go before their parents.
-	var stale []dn.DN
-	r.DIT.Range(func(e directory.Entry) bool {
-		if !want[e.DN.Normalize()] {
-			stale = append(stale, e.DN)
+	var image *directory.Attrs
+	if wr.Op != opDelete {
+		image = directory.AttrsFrom(wr.Attrs)
+	}
+	st := directory.Stamp{Seq: wr.OSeq, Node: wr.ONode}
+	res, err := l.d.ApplyRemote(name, image, st, wr.Op == opDelete)
+	if err != nil {
+		switch directory.CodeOf(err) {
+		case ldap.ResultNoSuchObject, ldap.ResultNotAllowedOnNonLeaf,
+			ldap.ResultProtocolError, ldap.ResultInvalidDNSyntax:
+			l.structural.Add(1)
+			return nil
 		}
-		return true
-	})
-	sort.Slice(stale, func(i, j int) bool { return stale[i].Depth() > stale[j].Depth() })
-	for _, name := range stale {
-		if err := r.DIT.Delete(name); err != nil {
-			return err
-		}
+		return err
+	}
+	if !res.Applied {
+		l.noops.Add(1)
+		return nil
+	}
+	l.applied.Add(1)
+	if l.onApply != nil {
+		l.onApply(res)
 	}
 	return nil
 }
 
-// upsert adds or converges one entry.
-func (r *Replica) upsert(name dn.DN, attrs map[string][]string) error {
-	err := r.DIT.Add(name, directory.AttrsFrom(attrs))
-	if err == nil || directory.CodeOf(err) != ldap.ResultEntryAlreadyExists {
-		return err
-	}
-	// Converge the existing entry: replace every attribute of the new
-	// image, drop the rest (RDN attributes excepted).
-	cur, err := r.DIT.Get(name)
-	if err != nil {
-		return err
-	}
-	var changes []ldap.Change
-	seen := map[string]bool{}
-	for a, vs := range attrs {
-		seen[lowerASCII(a)] = true
-		changes = append(changes, ldap.Change{Op: ldap.ModReplace,
-			Attribute: ldap.Attribute{Type: a, Values: vs}})
-	}
-	for _, a := range cur.Attrs.Names() {
-		if seen[lowerASCII(a)] || name.FirstValue(a) != "" {
-			continue
-		}
-		changes = append(changes, ldap.Change{Op: ldap.ModDelete,
-			Attribute: ldap.Attribute{Type: a}})
-	}
-	if len(changes) == 0 {
-		return nil
-	}
-	return r.DIT.Modify(name, changes)
+// Replica maintains a read-only copy of one publisher — the single-master
+// special case of the protocol (node id 0, no publisher of its own).
+type Replica struct {
+	// DIT is the replica's local tree; serve reads from it.
+	DIT *directory.DIT
+
+	link *link
 }
 
-// applyChange replays one record convergently.
-func (r *Replica) applyChange(rec directory.UpdateRecord) error {
-	name, err := dn.Parse(rec.DN)
-	if err != nil {
-		return err
-	}
-	switch rec.Op {
-	case "add", "entry":
-		return r.upsert(name, rec.Attrs)
-	case "delete":
-		err := r.DIT.Delete(name)
-		if directory.CodeOf(err) == ldap.ResultNoSuchObject {
-			return nil
-		}
-		return err
-	case "modify":
-		changes := make([]ldap.Change, 0, len(rec.Changes))
-		for _, c := range rec.Changes {
-			lc, err := toLDAPChange(c)
-			if err != nil {
-				return err
-			}
-			changes = append(changes, lc)
-		}
-		err := r.DIT.Modify(name, changes)
-		switch directory.CodeOf(err) {
-		case ldap.ResultSuccess:
-			return nil
-		case ldap.ResultNoSuchObject, ldap.ResultNoSuchAttribute, ldap.ResultAttributeOrValueExists:
-			// Convergent replay tolerates re-applied suffixes.
-			return nil
-		}
-		return err
-	case "modifydn":
-		newRDN, err := dn.Parse(rec.NewRDN)
-		if err != nil || newRDN.Depth() != 1 {
-			return fmt.Errorf("replica: bad newRDN %q", rec.NewRDN)
-		}
-		err = r.DIT.ModifyDN(name, newRDN.RDN(), rec.DeleteOldRDN)
-		switch directory.CodeOf(err) {
-		case ldap.ResultSuccess, ldap.ResultNoSuchObject, ldap.ResultEntryAlreadyExists:
-			return nil
-		}
-		return err
-	}
-	return errors.New("replica: unknown record op " + rec.Op)
+// New builds a replica of the publisher at addr. schema should match the
+// publisher's (nil for none). Call Start to begin replicating.
+func New(addr string, schema *directory.Schema) *Replica {
+	d := directory.New(schema)
+	return &Replica{DIT: d, link: newLink(addr, 0, d, nil, nil)}
 }
 
-func toLDAPChange(c directory.UpdateChange) (ldap.Change, error) {
-	var op ldap.ModOp
-	switch c.Op {
-	case "add":
-		op = ldap.ModAdd
-	case "delete":
-		op = ldap.ModDelete
-	case "replace":
-		op = ldap.ModReplace
-	default:
-		return ldap.Change{}, fmt.Errorf("replica: unknown change op %q", c.Op)
-	}
-	return ldap.Change{Op: op, Attribute: ldap.Attribute{Type: c.Attr, Values: c.Values}}, nil
-}
+// AppliedSeq returns the publisher commit sequence the replica reflects.
+func (r *Replica) AppliedSeq() uint64 { return r.link.cursor.Load() }
 
-func lowerASCII(s string) string {
-	b := []byte(s)
-	for i := range b {
-		if b[i] >= 'A' && b[i] <= 'Z' {
-			b[i] += 'a' - 'A'
-		}
-	}
-	return string(b)
-}
+// Resyncs counts full snapshot resynchronizations. A replica whose cursor
+// is still covered by the publisher's changelog tail resumes instead (see
+// Resumes), so reconnects normally leave this untouched.
+func (r *Replica) Resyncs() uint64 { return r.link.resyncs.Load() }
+
+// Resumes counts cursor resumes — the cheap catch-up path, including the
+// initial sync when the publisher's tail reaches back to seq 0.
+func (r *Replica) Resumes() uint64 { return r.link.resumes.Load() }
+
+// Connected reports whether the replication stream is live.
+func (r *Replica) Connected() bool { return r.link.connected.Load() }
+
+// Start begins replicating in the background, reconnecting with a small
+// backoff until Stop.
+func (r *Replica) Start() { r.link.start() }
+
+// Stop halts replication.
+func (r *Replica) Stop() { r.link.stopAndWait() }

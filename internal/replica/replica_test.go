@@ -102,7 +102,7 @@ func TestReplicaReceivesSnapshotAndLiveChanges(t *testing.T) {
 	sameTrees(t, d, r.DIT)
 }
 
-func TestReplicaResyncAfterPublisherRestart(t *testing.T) {
+func TestReplicaResumesAfterPublisherRestart(t *testing.T) {
 	d := primaryDIT(t)
 	pub := replica.NewPublisher(d)
 	addr, err := pub.Start("127.0.0.1:0")
@@ -115,7 +115,9 @@ func TestReplicaResyncAfterPublisherRestart(t *testing.T) {
 	waitSeq(t, r, d.Seq())
 
 	// Publisher dies; primary keeps changing; publisher returns on the
-	// same port.
+	// same port. The replica's cursor is still inside the changelog tail,
+	// so the reconnect RESUMES — it replays only the outage's records,
+	// never a full snapshot.
 	pub.Close()
 	addPerson(t, d, "During Outage")
 	pub2 := replica.NewPublisher(d)
@@ -126,9 +128,37 @@ func TestReplicaResyncAfterPublisherRestart(t *testing.T) {
 
 	waitSeq(t, r, d.Seq())
 	sameTrees(t, d, r.DIT)
-	if r.Resyncs() < 2 {
-		t.Errorf("resyncs = %d, want >= 2", r.Resyncs())
+	if r.Resumes() < 2 {
+		t.Errorf("resumes = %d, want >= 2 (initial + after restart)", r.Resumes())
 	}
+	if r.Resyncs() != 0 {
+		t.Errorf("resyncs = %d, want 0 (tail covered the cursor)", r.Resyncs())
+	}
+}
+
+func TestReplicaSnapshotFallbackWhenTailEvicted(t *testing.T) {
+	d := primaryDIT(t)
+	// A two-record tail: by the time the replica first connects (cursor 0)
+	// the tail's coverage starts far past 0, forcing the snapshot path.
+	d.SetChangeTail(2)
+	for i := 0; i < 8; i++ {
+		addPerson(t, d, fmt.Sprintf("Evict %d", i))
+	}
+	r := startReplication(t, d)
+	waitSeq(t, r, d.Seq())
+	sameTrees(t, d, r.DIT)
+	if r.Resyncs() != 1 {
+		t.Errorf("resyncs = %d, want 1 (tail evicted past cursor 0)", r.Resyncs())
+	}
+	if r.Resumes() != 0 {
+		t.Errorf("resumes = %d, want 0", r.Resumes())
+	}
+
+	// Live changes still flow after a snapshot catch-up, and a reconnect
+	// NOW resumes: the cursor sits at the tail's edge.
+	addPerson(t, d, "After Snapshot")
+	waitSeq(t, r, d.Seq())
+	sameTrees(t, d, r.DIT)
 }
 
 func TestReplicaServesReadsViaLDAPHandler(t *testing.T) {

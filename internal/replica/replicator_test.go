@@ -1,0 +1,128 @@
+package replica_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"metacomm/internal/directory"
+	"metacomm/internal/dn"
+	"metacomm/internal/ldap"
+	"metacomm/internal/mcschema"
+	"metacomm/internal/replica"
+)
+
+// meshNode builds one multi-master node: a DIT plus its replicator, with
+// the publisher listening on a loopback port.
+func meshNode(t *testing.T, id uint32, dir string) (*directory.DIT, *replica.Replicator, string) {
+	t.Helper()
+	d := directory.NewSegmented(mcschema.New(), 4)
+	r := replica.NewReplicator(id, d)
+	if dir != "" {
+		r.SetCursorPath(filepath.Join(dir, fmt.Sprintf("cursors.%d.json", id)))
+	}
+	addr, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Stop)
+	return d, r, addr.String()
+}
+
+// waitConverged polls until every node reports the same fingerprint.
+func waitConverged(t *testing.T, ds ...*directory.DIT) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var fps []string
+	for time.Now().Before(deadline) {
+		fps = fps[:0]
+		same := true
+		for _, d := range ds {
+			fps = append(fps, d.Fingerprint())
+			if fps[len(fps)-1] != fps[0] {
+				same = false
+			}
+		}
+		if same {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("mesh did not converge: fingerprints %v", fps)
+}
+
+func TestReplicatorMeshConverges(t *testing.T) {
+	dir := t.TempDir()
+	d1, r1, a1 := meshNode(t, 1, dir)
+	d2, r2, a2 := meshNode(t, 2, dir)
+	d3, r3, a3 := meshNode(t, 3, dir)
+	r1.AddPeer(a2)
+	r1.AddPeer(a3)
+	r2.AddPeer(a1)
+	r2.AddPeer(a3)
+	r3.AddPeer(a1)
+	r3.AddPeer(a2)
+	r1.Start()
+	r2.Start()
+	r3.Start()
+
+	// All three concurrently create the suffix (an add/add conflict LWW
+	// must collapse to one winner), then disjoint children everywhere.
+	ds := []*directory.DIT{d1, d2, d3}
+	for _, d := range ds {
+		attrs := directory.NewAttrs()
+		attrs.Put("objectClass", "organization")
+		// EntryAlreadyExists is fine: a peer's add may have replicated in
+		// first; LWW picks one image either way.
+		_ = d.Add(dn.MustParse("o=Lucent"), attrs)
+	}
+	for i, d := range ds {
+		for j := 0; j < 20; j++ {
+			err := d.Add(dn.MustParse(fmt.Sprintf("cn=N%d W%02d,o=Lucent", i+1, j)),
+				directory.AttrsFrom(map[string][]string{
+					"objectClass": {"mcPerson"},
+					"cn":          {fmt.Sprintf("N%d W%02d", i+1, j)},
+					"sn":          {"Mesh"},
+				}))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitConverged(t, d1, d2, d3)
+
+	// Every node holds all 60 children + the suffix.
+	if n := d1.Len(); n != 61 {
+		t.Fatalf("node 1 holds %d entries, want 61", n)
+	}
+
+	// A conflicting write on the same DN from two nodes: both trees must
+	// agree on one winner (whichever stamp is larger).
+	target := dn.MustParse("cn=N1 W00,o=Lucent")
+	for i, d := range []*directory.DIT{d2, d3} {
+		if err := d.Modify(target, []ldap.Change{{Op: ldap.ModReplace,
+			Attribute: ldap.Attribute{Type: "roomNumber", Values: []string{fmt.Sprintf("R%d", i+2)}}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitConverged(t, d1, d2, d3)
+	e, err := d1.Get(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.Attrs.First("roomNumber")
+	if got != "R2" && got != "R3" {
+		t.Fatalf("converged roomNumber = %q, want R2 or R3", got)
+	}
+
+	// A delete on one node wins everywhere; the tombstone stops the
+	// slower peers' older state from resurrecting it.
+	if err := d3.Delete(target); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, d1, d2, d3)
+	if _, err := d1.Get(target); err == nil {
+		t.Fatal("deleted entry still present on node 1")
+	}
+}

@@ -123,6 +123,12 @@ type Stats struct {
 	// QueueRejections counts updates bounced with ldap.ResultBusy because
 	// their shard queue was full.
 	QueueRejections uint64
+	// RemoteApplies counts replicated writes from peer nodes fanned out to
+	// this node's devices; RemoteDrops counts ones dropped because their
+	// shard queue was full (the next synchronization pass repairs the
+	// device).
+	RemoteApplies uint64
+	RemoteDrops   uint64
 
 	// Cumulative per-stage wall time, in nanoseconds. Divide by
 	// UpdatesProcessed for means. EnqueueWaitNs is the time updates sat in
@@ -188,6 +194,8 @@ type UM struct {
 	errorsLogged     atomic.Uint64
 	ddusForwarded    atomic.Uint64
 	queueRejections  atomic.Uint64
+	remoteApplies    atomic.Uint64
+	remoteDrops      atomic.Uint64
 	enqueueWaitNs    atomic.Uint64
 	directoryApplyNs atomic.Uint64
 	fanoutNs         atomic.Uint64
@@ -198,6 +206,10 @@ type job struct {
 	ev       ltap.Event
 	reply    chan ldap.Result
 	enqueued time.Time
+	// fn, when set, is a self-contained task (remote-write device
+	// propagation) the shard worker runs instead of process(ev); it has no
+	// caller waiting, so reply is nil.
+	fn func()
 }
 
 // New builds an Update Manager. Call AddDevice for each device filter, then
@@ -316,6 +328,8 @@ func (u *UM) Stats() Stats {
 		ErrorsLogged:     u.errorsLogged.Load(),
 		DDUsForwarded:    u.ddusForwarded.Load(),
 		QueueRejections:  u.queueRejections.Load(),
+		RemoteApplies:    u.remoteApplies.Load(),
+		RemoteDrops:      u.remoteDrops.Load(),
 		EnqueueWaitNs:    u.enqueueWaitNs.Load(),
 		DirectoryApplyNs: u.directoryApplyNs.Load(),
 		FanoutNs:         u.fanoutNs.Load(),
@@ -440,6 +454,74 @@ func (u *UM) OnUpdate(ev ltap.Event) ldap.Result {
 	}
 }
 
+// PropagateRemote fans a replicated write from a peer node out to THIS
+// node's device filters. The write already reached the local directory
+// (DIT.ApplyRemote won its LWW resolution and committed), so the sequence
+// here is the tail of the normal update sequence only: translate + apply
+// per device, serialized per entry on the same shard its LDAP updates
+// use. Two deliberate asymmetries against process():
+//
+//   - it never goes through LTAP — re-trapping a replicated write would
+//     re-stamp it and loop it around the mesh;
+//   - device-GENERATED information is discarded, not written back: the
+//     ORIGIN node ran the write-back for its own write and that result
+//     replicates over like any other update. A local write-back here
+//     would race it with a fresh stamp and ping-pong the entry.
+//
+// old/new are the local before/after images (nil old = created, nil new
+// = deleted). The call never blocks on a full shard queue: the update is
+// dropped (counted in Stats.RemoteDrops) and the next synchronization
+// pass repairs the device. Returns false on drop or when stopped.
+func (u *UM) PropagateRemote(name string, old, new lexpress.Record) bool {
+	u.engMu.Lock()
+	for u.paused && !u.stopped.Load() {
+		u.engCond.Wait()
+	}
+	if u.stopped.Load() {
+		u.engMu.Unlock()
+		return false
+	}
+	u.pending++
+	u.engMu.Unlock()
+
+	j := &job{enqueued: time.Now(), fn: func() { u.propagateRemote(name, old, new) }}
+	select {
+	case u.shardFor(name) <- j:
+		return true
+	default:
+		u.jobDone()
+		u.remoteDrops.Add(1)
+		return false
+	}
+}
+
+// propagateRemote runs one remote write's device fan-out on its shard.
+func (u *UM) propagateRemote(name string, old, new lexpress.Record) {
+	u.remoteApplies.Add(1)
+	op := lexpress.OpModify
+	switch {
+	case old == nil:
+		op = lexpress.OpAdd
+	case new == nil:
+		op = lexpress.OpDelete
+	}
+	explicit := new
+	if explicit == nil {
+		explicit = old
+	}
+	desc := lexpress.Descriptor{
+		Source:   "ldap",
+		Op:       op,
+		Key:      name,
+		Old:      old,
+		New:      new,
+		Explicit: explicit.Attrs(),
+	}
+	fanStart := time.Now()
+	u.fanOut(desc, new) // generated info discarded; see PropagateRemote
+	u.fanoutNs.Add(uint64(time.Since(fanStart)))
+}
+
 // shardWorker drains one shard queue, serializing the update sequences of
 // the entries that hash onto it.
 func (u *UM) shardWorker(q chan *job) {
@@ -447,7 +529,11 @@ func (u *UM) shardWorker(q chan *job) {
 		select {
 		case j := <-q:
 			u.enqueueWaitNs.Add(uint64(time.Since(j.enqueued)))
-			j.reply <- u.process(j.ev)
+			if j.fn != nil {
+				j.fn()
+			} else {
+				j.reply <- u.process(j.ev)
+			}
 			u.jobDone()
 		case <-u.stop:
 			return

@@ -20,6 +20,7 @@ import (
 	"metacomm/internal/ldapclient"
 	"metacomm/internal/ltap"
 	"metacomm/internal/mcschema"
+	"metacomm/internal/replica"
 	"metacomm/internal/um"
 )
 
@@ -49,6 +50,10 @@ type Server struct {
 	// latency (directory.JournalStats; zero when the directory runs
 	// in-memory).
 	JournalStats func() directory.JournalStats
+	// ReplicationStats, when set, feeds the multi-master replication section
+	// of the status page: publisher connection counters plus per-peer link
+	// progress (replica.Replicator.Stats).
+	ReplicationStats func() replica.Stats
 
 	mux *http.ServeMux
 }
@@ -380,6 +385,27 @@ var statusTmpl = template.Must(template.Must(pageTmpl.Clone()).Parse(`{{define "
 <tr><td>Per-segment wall</td><td>{{.JSegmentWall}}</td></tr>
 </table>
 {{end}}
+{{if .RWired}}
+<h2>Multi-master replication (node {{.R.NodeID}})</h2>
+<table border="1" cellpadding="4">
+<tr><th>Counter</th><th>Value</th></tr>
+<tr><td>Inbound connections</td><td>{{.R.Publisher.Conns}}</td></tr>
+<tr><td>Resumes served</td><td>{{.R.Publisher.Resumes}}</td></tr>
+<tr><td>Snapshots served</td><td>{{.R.Publisher.Snapshots}}</td></tr>
+<tr><td>Records sent</td><td>{{.R.Publisher.RecordsSent}}</td></tr>
+</table>
+{{if .RPeers}}
+<h3>Peer links</h3>
+<table border="1" cellpadding="4">
+<tr><th>Peer</th><th>Connected</th><th>Cursor</th><th>Resumes</th><th>Snapshots</th>
+<th>Applied</th><th>No-ops</th><th>Structural skips</th></tr>
+{{range .RPeers}}
+<tr><td>{{.Addr}}</td><td>{{.Connected}}</td><td>{{.Cursor}}</td><td>{{.Resumes}}</td>
+<td>{{.Snapshots}}</td><td>{{.Applied}}</td><td>{{.Noops}}</td><td>{{.Structural}}</td></tr>
+{{end}}
+</table>
+{{end}}
+{{end}}
 {{if .Outboxes}}
 <h2>Device outbox / circuit breakers</h2>
 <table border="1" cellpadding="4">
@@ -458,6 +484,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			}
 			data["JSegmentWall"] = strings.Join(segs, " ")
 		}
+	}
+	data["RWired"] = false
+	if s.ReplicationStats != nil {
+		rs := s.ReplicationStats()
+		data["RWired"] = true
+		data["R"] = rs
+		data["RPeers"] = rs.Peers
 	}
 	if s.SyncStats != nil {
 		type syncRow struct {

@@ -135,8 +135,19 @@ type Config struct {
 	// InitialSync populates the directory from the devices on startup.
 	InitialSync bool
 	// ReplicationAddr, when set, serves the replication stream (see
-	// internal/replica) so read replicas can follow this directory.
+	// internal/replica): read replicas and peer masters follow this
+	// directory through it.
 	ReplicationAddr string
+	// NodeID is this node's multi-master replication identity — the
+	// tiebreak of last-writer-wins conflict resolution. Required (nonzero,
+	// distinct per node) when Peers is set; harmless otherwise.
+	NodeID uint32
+	// Peers lists other masters' replication addresses. Each peer's
+	// committed writes stream in and apply under per-entry LWW, so writes
+	// are accepted on ANY node and all nodes converge; this node's own
+	// stream serves on ReplicationAddr. Reconnects resume from a durable
+	// cursor (DataDir) instead of re-snapshotting.
+	Peers []string
 	// DataDir, when set, makes the directory durable: committed updates
 	// are write-ahead journaled to <DataDir>/directory.journal and
 	// replayed on the next Start. Empty keeps the directory in memory.
@@ -196,6 +207,11 @@ type System struct {
 	MP  *msgplat.MP
 	// Library is the compiled lexpress mapping library.
 	Library *lexpress.Library
+	// Replicator runs this node's replication (nil unless ReplicationAddr
+	// or Peers is configured): the publisher serving our changelog plus
+	// one consumer link per peer. Its Stats surface on the WBA /status
+	// page and the metacommd shutdown summary.
+	Replicator *replica.Replicator
 
 	// Addresses of the running listeners.
 	DirectoryAddrActual   string
@@ -204,7 +220,6 @@ type System struct {
 	PBXAddrActual         string
 	MPAddrActual          string
 
-	publisher  *replica.Publisher
 	dirServer  *ldapserver.Server
 	ltapServer *ldapserver.Server
 	actionSrv  *ltap.ActionServer
@@ -237,10 +252,16 @@ func Start(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("metacomm: bad suffix %q: %v", cfg.Suffix, err)
 	}
 	s.Suffix = suffix
+	if len(cfg.Peers) > 0 && cfg.NodeID == 0 {
+		return nil, fmt.Errorf("metacomm: multi-master replication (Peers) requires a nonzero NodeID")
+	}
 
 	// 1. Backing directory server with the integrated schema; the suffix
 	// entry exists from the start.
 	s.DIT = directory.NewSegmented(mcschema.New(), cfg.DITSegments)
+	// The node id brands every origin stamp, so it must be in place before
+	// the first write — including the suffix add and journal replay below.
+	s.DIT.SetNodeID(cfg.NodeID)
 	if cfg.DataDir != "" {
 		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 			return nil, fmt.Errorf("metacomm: data dir: %w", err)
@@ -285,13 +306,23 @@ func Start(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("metacomm: directory listener: %w", err)
 	}
 	s.DirectoryAddrActual = dirAddr.String()
-	if cfg.ReplicationAddr != "" {
-		s.publisher = replica.NewPublisher(s.DIT)
-		pubAddr, err := s.publisher.Start(cfg.ReplicationAddr)
-		if err != nil {
-			return nil, fmt.Errorf("metacomm: replication listener: %w", err)
+	if cfg.ReplicationAddr != "" || len(cfg.Peers) > 0 {
+		s.Replicator = replica.NewReplicator(cfg.NodeID, s.DIT)
+		if cfg.DataDir != "" {
+			// Durable per-peer cursors: a restarted node resumes each link
+			// where it left off instead of re-snapshotting.
+			s.Replicator.SetCursorPath(filepath.Join(cfg.DataDir, "replication.cursors"))
 		}
-		s.ReplicationAddrActual = pubAddr.String()
+		for _, p := range cfg.Peers {
+			s.Replicator.AddPeer(p)
+		}
+		if cfg.ReplicationAddr != "" {
+			pubAddr, err := s.Replicator.Serve(cfg.ReplicationAddr)
+			if err != nil {
+				return nil, fmt.Errorf("metacomm: replication listener: %w", err)
+			}
+			s.ReplicationAddrActual = pubAddr.String()
+		}
 	}
 
 	// 2. Device simulators.
@@ -492,8 +523,33 @@ func Start(cfg Config) (*System, error) {
 			return nil, fmt.Errorf("metacomm: initial synchronization: %w", err)
 		}
 	}
+
+	// 8. Replication starts LAST, once the whole local stack can absorb
+	// remote writes: each peer write that wins LWW in the DIT is fanned out
+	// to this node's device filters by the UM — without the LTAP trip (no
+	// re-stamping loop) and without the generated-info write-back (the
+	// origin node's write-back replicates over).
+	if s.Replicator != nil {
+		s.Replicator.OnApply = func(res directory.RemoteApplied) {
+			manager.PropagateRemote(res.DN.String(), recordOf(res.Old), recordOf(res.New))
+		}
+		s.Replicator.Start()
+	}
 	ok = true
 	return s, nil
+}
+
+// recordOf converts a directory attribute image into a lexpress record
+// (nil for nil — absent side of a create/delete).
+func recordOf(a *directory.Attrs) lexpress.Record {
+	if a == nil {
+		return nil
+	}
+	rec := lexpress.NewRecord()
+	for name, values := range a.Map() {
+		rec.Set(name, values...)
+	}
+	return rec
 }
 
 // WireStats holds wire-path counters for both LDAP listeners: LTAP (the
@@ -544,8 +600,12 @@ func (s *System) MPAdmin(session string) (*msgplat.Converter, error) {
 	return msgplat.Dial(s.MPAddrActual, session)
 }
 
-// Close shuts the whole system down.
+// Close shuts the whole system down. Replication stops FIRST so no remote
+// write lands in a half-torn-down stack.
 func (s *System) Close() {
+	if s.Replicator != nil {
+		s.Replicator.Stop()
+	}
 	if s.UM != nil {
 		s.UM.Stop()
 	}
@@ -569,9 +629,6 @@ func (s *System) Close() {
 	}
 	if s.cache != nil {
 		s.cache.Close()
-	}
-	if s.publisher != nil {
-		s.publisher.Close()
 	}
 	if s.dirServer != nil {
 		s.dirServer.Close()

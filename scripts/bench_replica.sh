@@ -1,0 +1,19 @@
+#!/bin/sh
+# Replication benchmark (EXPERIMENTS.md E23): read throughput of a 1/2/3-node
+# multi-master mesh with connections round-robined across nodes, plus the
+# join catch-up rate of a brand-new node seeding from a loaded peer without
+# quiescing it. Leaves BENCH_replica_<rev>.json at the repo root. Tunables:
+#
+#   CONNS=64 DURATION=3s ENTRIES=1000 JOIN_ENTRIES=20000 sh scripts/bench_replica.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+CONNS=${CONNS:-64}
+DURATION=${DURATION:-3s}
+ENTRIES=${ENTRIES:-1000}
+JOIN_ENTRIES=${JOIN_ENTRIES:-20000}
+OUT=${OUT:-}
+
+go run ./cmd/benchreplica -conns "$CONNS" -duration "$DURATION" \
+	-entries "$ENTRIES" -join-entries "$JOIN_ENTRIES" \
+	${OUT:+-out "$OUT"}

@@ -8,7 +8,10 @@ cd "$(dirname "$0")/.."
 go build ./...
 go test ./...
 go vet ./...
-go test -race -count=1 ./internal/directory/... ./internal/um/... ./internal/ltap/... ./internal/filter/... ./internal/device/... ./internal/ber/... ./internal/ldapserver/... ./internal/ldapclient/...
+go test -race -count=1 ./internal/directory/... ./internal/um/... ./internal/ltap/... ./internal/filter/... ./internal/device/... ./internal/ber/... ./internal/ldapserver/... ./internal/ldapclient/... ./internal/replica/...
+# Multi-master replication smoke: a two-node mesh, a write accepted on each
+# side, and a conflicting same-DN write — both trees must converge.
+go test -run TestMultiMasterWritesAnywhereConverge -count=1 .
 # Group-commit smoke: three concurrent writers against a SyncGroup journal
 # must produce at least one multi-record commit group (batch > 1 observed).
 go test -run TestJournalGroupCommitBatches -count=1 ./internal/directory/
@@ -28,3 +31,7 @@ test -s /tmp/bench_wire_smoke.json
 # under load (the tool exits nonzero on any rejected write), journal replay.
 go run ./cmd/benchscale -pops 10000 -ops 200 -out /tmp/bench_scale_smoke.json
 test -s /tmp/bench_scale_smoke.json
+# Replication-harness smoke: a 1/2-node read sweep and a small join catch-up,
+# with the machine-readable E23 record written and non-empty.
+go run ./cmd/benchreplica -max-nodes 2 -conns 16 -duration 1s -entries 200 -join-entries 2000 -out /tmp/bench_replica_smoke.json
+test -s /tmp/bench_replica_smoke.json
