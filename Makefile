@@ -21,8 +21,9 @@ vet:
 # The engine's ordering/quiesce guarantees, the DIT's copy-on-write
 # search snapshots, the filters' batched converge path, the device
 # stores' fault injection under the outbox drainer, and the wire path's
-# borrowed-buffer decode and pipelined flushing are concurrency
-# properties; run their tests under the race detector.
+# borrowed-buffer decode, pipelined flushing, and epoll reactor (readiness
+# events racing worker turns) are concurrency properties; run their tests
+# under the race detector.
 race:
 	$(GO) test -race -count=1 ./internal/directory/... ./internal/um/... ./internal/ltap/... ./internal/filter/... ./internal/device/... ./internal/ber/... ./internal/ldapserver/... ./internal/ldapclient/... ./internal/replica/...
 
@@ -49,8 +50,11 @@ bench-smoke:
 
 # Two seconds of the wire-path load generator against an in-process system:
 # catches harness rot (dial, seed, measure, JSON output) without a real run.
+# The second pass serves through the epoll accept loop with a mostly-idle
+# connection pool (falls back to goroutine mode off Linux).
 loadgen-smoke:
 	$(GO) run ./cmd/loadgen -spawn -conns 64 -duration 2s -warmup 500ms -entries 64 -out /tmp/bench_wire_smoke.json
+	$(GO) run ./cmd/loadgen -spawn -accept-loop epoll -conns 32 -idle-conns 96 -idle-interval 1s -duration 2s -warmup 500ms -entries 64 -out /tmp/bench_wire_epoll_smoke.json
 
 # A 10k-population pass of the scale benchmark: exercises segmented populate,
 # online compaction under load (zero rejected writes is asserted by the tool),
@@ -73,10 +77,12 @@ bench:
 bench-e19:
 	$(GO) test -run '^$$' -bench BenchmarkE19DurableWrites -benchtime=1s -count=$(BENCH_COUNT) .
 
-# The wire-path benchmark behind EXPERIMENTS.md E20: starts a real metacommd
-# process, drives it with cmd/loadgen at high connection count, and writes
-# BENCH_wire_<rev>.json at the repo root. Tunables: CONNS, DURATION,
-# PIPELINE, ENTRIES (see scripts/bench_wire.sh).
+# The wire-path benchmarks behind EXPERIMENTS.md E20 and E24: a real
+# metacommd process driven at high active-connection count, then the
+# mostly-idle matrix — goroutine vs epoll accept loops at ~1k and ~10k
+# held-open connections — merged into BENCH_wire_<rev>.json at the repo
+# root with a side-by-side summary. Tunables: CONNS, DURATION, PIPELINE,
+# ENTRIES, ACTIVE, IDLE_TIERS, IDLE_INTERVAL (see scripts/bench_wire.sh).
 bench-wire:
 	sh scripts/bench_wire.sh
 

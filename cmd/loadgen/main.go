@@ -9,6 +9,8 @@
 //
 //	loadgen -spawn -conns 1000 -duration 10s          # hermetic, in-process system
 //	loadgen -addr 127.0.0.1:3890 -conns 2000          # against a running metacommd
+//	loadgen -spawn -accept-loop epoll -conns 64 -idle-conns 5000   # mostly-idle regime
+//	loadgen -merge BENCH_wire_abc.json run1.json run2.json         # combine runs
 //
 // Each connection runs a closed loop: it fires a pipelined burst of
 // operations (one kernel write for the whole burst, see ldapclient.Pipeline),
@@ -24,6 +26,7 @@ import (
 	"log"
 	"math/bits"
 	"math/rand"
+	"net"
 	"os"
 	"os/exec"
 	"runtime"
@@ -34,8 +37,10 @@ import (
 	"time"
 
 	metacomm "metacomm"
+	"metacomm/internal/ber"
 	"metacomm/internal/ldap"
 	"metacomm/internal/ldapclient"
+	"metacomm/internal/ldapserver"
 )
 
 func main() {
@@ -53,18 +58,34 @@ func main() {
 		out      = flag.String("out", "", "output JSON path (default BENCH_wire_<rev>.json in the current directory)")
 		rev      = flag.String("rev", "", "revision label for the output file (default git rev-parse --short HEAD)")
 		seed     = flag.Int64("rand-seed", 1, "workload RNG seed (deterministic op mix per connection)")
+		idleN    = flag.Int("idle-conns", 0, "held-open mostly-idle connections alongside the active workers; each issues one base search per -idle-interval")
+		idleIvl  = flag.Duration("idle-interval", 10*time.Second, "per-idle-connection operation interval")
+		acceptLp = flag.String("accept-loop", "", "accept loop for the spawned system's listeners: goroutine or epoll (requires -spawn)")
+		label    = flag.String("label", "", "run label recorded in the output JSON (merge summaries key on it)")
+		merge    = flag.String("merge", "", "merge the per-run JSON files given as arguments into one benchmark record at this path; generates no load")
+		expName  = flag.String("experiment", "", "experiment tag recorded in the merged record (with -merge)")
 	)
 	flag.Parse()
+	if *merge != "" {
+		mergeRuns(*merge, flag.Args(), revision(*rev), *expName)
+		return
+	}
 	if *spawn == (*addr != "") {
 		log.Fatal("loadgen: exactly one of -spawn or -addr is required")
+	}
+	if *acceptLp != "" && !*spawn {
+		log.Fatal("loadgen: -accept-loop configures the spawned system; it requires -spawn")
 	}
 	if *writePct < 0 || *writePct > 100 {
 		log.Fatal("loadgen: -write-pct must be 0..100")
 	}
+	if *idleN < 0 {
+		log.Fatal("loadgen: -idle-conns must be >= 0")
+	}
 	if *depth < 1 {
 		*depth = 1
 	}
-	raiseNoFile(*conns)
+	raiseNoFile(*conns+*idleN, *spawn)
 
 	targets := splitTargets(*addr)
 	var sys *metacomm.System
@@ -73,13 +94,18 @@ func main() {
 		sys, err = metacomm.Start(metacomm.Config{
 			BackendConns: *beConns,
 			UMShards:     *shards,
+			AcceptLoop:   *acceptLp,
 		})
 		if err != nil {
 			log.Fatalf("loadgen: spawn: %v", err)
 		}
 		defer sys.Close()
 		targets = []string{sys.LTAPAddrActual}
-		fmt.Printf("spawned system at %s (backend-conns=%d)\n", targets[0], *beConns)
+		mode := *acceptLp
+		if mode == "" {
+			mode = metacomm.AcceptLoopGoroutine
+		}
+		fmt.Printf("spawned system at %s (backend-conns=%d accept-loop=%s)\n", targets[0], *beConns, mode)
 	}
 
 	// Seed through one node; a multi-master mesh replicates the population
@@ -92,6 +118,17 @@ func main() {
 	fmt.Printf("seeded %d entries; opening %d connections across %d target(s)...\n",
 		len(dns), *conns, len(targets))
 
+	var idle *idlePool
+	if *idleN > 0 {
+		idle, err = dialIdle(targets, *idleN)
+		if err != nil {
+			log.Fatalf("loadgen: idle pool: %v", err)
+		}
+		defer idle.shutdown()
+		idle.start(*idleIvl)
+		fmt.Printf("holding %d idle connections open (one op per %s each)\n", *idleN, *idleIvl)
+	}
+
 	cfgRun := runConfig{
 		conns:    *conns,
 		duration: *duration,
@@ -101,7 +138,18 @@ func main() {
 		seed:     *seed,
 	}
 	r := run(targets, dns, cfgRun)
+	r.Label = *label
 	r.Config.Spawned = *spawn
+	if *spawn {
+		r.Config.AcceptLoop = *acceptLp
+		if r.Config.AcceptLoop == "" {
+			r.Config.AcceptLoop = metacomm.AcceptLoopGoroutine
+		}
+	}
+	r.Config.IdleConns = *idleN
+	if *idleN > 0 {
+		r.Config.IdleIntervalSec = round2(idleIvl.Seconds())
+	}
 	if sys != nil {
 		ws := sys.WireStats()
 		r.ServerWire = &wireJSON{
@@ -113,6 +161,19 @@ func main() {
 			DirResponsesWritten:   ws.Directory.ResponsesWritten,
 			DirFlushes:            ws.Directory.Flushes,
 			DirResponsesPerFlush:  round2(ws.Directory.ResponsesPerFlush()),
+		}
+		if rs := ws.LTAP.Reactor; rs.Enabled {
+			r.ServerWire.LTAPReactor = reactorJSONOf(rs)
+		}
+		if rs := ws.Directory.Reactor; rs.Enabled {
+			r.ServerWire.DirReactor = reactorJSONOf(rs)
+		}
+	}
+	if idle != nil {
+		idle.shutdown()
+		r.IdleOps = idle.ops.Load()
+		if n := idle.errs.Load(); n > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: %d idle-connection op errors\n", n)
 		}
 	}
 	r.Rev = revision(*rev)
@@ -136,9 +197,15 @@ func main() {
 	fmt.Printf("latency µs: p50=%d p90=%d p99=%d p999=%d max=%d mean=%.0f\n",
 		r.Latency.P50, r.Latency.P90, r.Latency.P99, r.Latency.P999, r.Latency.Max, r.Latency.Mean)
 	fmt.Printf("client allocs/op=%.1f\n", r.AllocsPerOp)
+	fmt.Printf("process after run: heap-in-use=%d bytes goroutines=%d idle-ops=%d\n",
+		r.HeapInUse, r.NumGoroutine, r.IdleOps)
 	if r.ServerWire != nil {
 		fmt.Printf("server coalescing: ltap %.1f responses/flush, directory %.1f responses/flush\n",
 			r.ServerWire.LTAPResponsesPerFlush, r.ServerWire.DirResponsesPerFlush)
+		if rs := r.ServerWire.LTAPReactor; rs != nil {
+			fmt.Printf("ltap reactor: conns=%d workers=%d wakeups=%d frames=%d frames/wakeup=%.1f\n",
+				rs.Conns, rs.Workers, rs.Wakeups, rs.Frames, rs.FramesPerWakeup)
+		}
 	}
 	fmt.Printf("wrote %s\n", path)
 	if r.Errors > r.Ops/100 {
@@ -146,22 +213,42 @@ func main() {
 	}
 }
 
-// raiseNoFile lifts the fd soft limit toward the hard limit so thousands of
-// sockets (plus the spawned system's accept side) fit in one process.
-func raiseNoFile(conns int) {
+// raiseNoFile lifts the fd limit so the requested connection count (plus the
+// spawned system's accept side — two fds per connection in-process) fits, and
+// fails fast with a clear message when it cannot. Privileged processes may
+// raise the hard limit too; unprivileged ones are stuck at it.
+func raiseNoFile(conns int, spawn bool) {
+	perConn := uint64(1)
+	if spawn {
+		perConn = 2 // the server end of every connection lives in this process too
+	}
+	need := perConn*uint64(conns) + 1024
 	var rl syscall.Rlimit
 	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
 		return
 	}
-	need := uint64(4*conns + 256)
 	if rl.Cur >= need {
 		return
+	}
+	if rl.Max < need {
+		// Raising the hard limit needs CAP_SYS_RESOURCE; try, ignore failure.
+		try := rl
+		try.Cur, try.Max = need, need
+		if syscall.Setrlimit(syscall.RLIMIT_NOFILE, &try) == nil {
+			return
+		}
 	}
 	rl.Cur = rl.Max
 	if rl.Cur > need {
 		rl.Cur = need
 	}
 	_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl)
+	syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl)
+	if rl.Cur < need {
+		log.Fatalf("loadgen: %d connections (-conns plus -idle-conns) need ~%d file descriptors "+
+			"but RLIMIT_NOFILE caps at %d; lower the connection counts or raise the limit (ulimit -n)",
+			conns, need, rl.Cur)
+	}
 }
 
 // provision seeds the person entries the workload reads and writes, shaped
@@ -211,33 +298,46 @@ type runConfig struct {
 // result is the machine-readable benchmark record.
 type result struct {
 	Rev       string     `json:"rev"`
+	Label     string     `json:"label,omitempty"`
 	Timestamp string     `json:"timestamp"`
 	Config    configJSON `json:"config"`
 	Ops       uint64     `json:"ops"`
 	Errors    uint64     `json:"errors"`
 	OpsPerSec float64    `json:"ops_per_sec"`
+	// IdleOps counts the slow-drip operations issued over the held-open idle
+	// connections (not part of Ops or the latency histogram).
+	IdleOps uint64 `json:"idle_ops,omitempty"`
 	// PerSecond is the throughput trajectory, one sample per elapsed second.
 	PerSecond []uint64    `json:"per_second"`
 	Latency   latencyJSON `json:"latency_us"`
 	// AllocsPerOp is the process-wide heap allocation count per completed
 	// operation over the measurement window (includes the in-process server
 	// when -spawn).
-	AllocsPerOp float64   `json:"allocs_per_op"`
-	// HeapInUse is the client process's live heap after the run (bytes).
-	HeapInUse  uint64    `json:"heap_in_use_bytes"`
-	ServerWire *wireJSON `json:"server_wire,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// HeapInUse is the process's live heap after the run and a forced GC,
+	// with any idle connections still held open (bytes; includes the
+	// in-process server when -spawn — the per-idle-conn server cost is the
+	// delta between runs that differ only in -idle-conns).
+	HeapInUse uint64 `json:"heap_in_use_bytes"`
+	// NumGoroutine is the process goroutine count at the same instant: in
+	// -spawn mode it exposes goroutine-per-conn vs O(workers) serving.
+	NumGoroutine int       `json:"num_goroutine"`
+	ServerWire   *wireJSON `json:"server_wire,omitempty"`
 }
 
 type configJSON struct {
-	Conns       int     `json:"conns"`
-	Pipeline    int     `json:"pipeline"`
-	WritePct    int     `json:"write_pct"`
-	DurationSec float64 `json:"duration_sec"`
-	Entries     int     `json:"entries"`
-	Targets     int     `json:"targets"`
-	Spawned     bool    `json:"spawned"`
-	GOMAXPROCS  int     `json:"gomaxprocs"`
-	NumCPU      int     `json:"num_cpu"`
+	Conns           int     `json:"conns"`
+	IdleConns       int     `json:"idle_conns"`
+	IdleIntervalSec float64 `json:"idle_interval_sec,omitempty"`
+	AcceptLoop      string  `json:"accept_loop,omitempty"`
+	Pipeline        int     `json:"pipeline"`
+	WritePct        int     `json:"write_pct"`
+	DurationSec     float64 `json:"duration_sec"`
+	Entries         int     `json:"entries"`
+	Targets         int     `json:"targets"`
+	Spawned         bool    `json:"spawned"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	NumCPU          int     `json:"num_cpu"`
 }
 
 type latencyJSON struct {
@@ -250,14 +350,40 @@ type latencyJSON struct {
 }
 
 type wireJSON struct {
-	LTAPMessagesRead      uint64  `json:"ltap_messages_read"`
-	LTAPResponsesWritten  uint64  `json:"ltap_responses_written"`
-	LTAPFlushes           uint64  `json:"ltap_flushes"`
-	LTAPResponsesPerFlush float64 `json:"ltap_responses_per_flush"`
-	DirMessagesRead       uint64  `json:"dir_messages_read"`
-	DirResponsesWritten   uint64  `json:"dir_responses_written"`
-	DirFlushes            uint64  `json:"dir_flushes"`
-	DirResponsesPerFlush  float64 `json:"dir_responses_per_flush"`
+	LTAPMessagesRead      uint64       `json:"ltap_messages_read"`
+	LTAPResponsesWritten  uint64       `json:"ltap_responses_written"`
+	LTAPFlushes           uint64       `json:"ltap_flushes"`
+	LTAPResponsesPerFlush float64      `json:"ltap_responses_per_flush"`
+	DirMessagesRead       uint64       `json:"dir_messages_read"`
+	DirResponsesWritten   uint64       `json:"dir_responses_written"`
+	DirFlushes            uint64       `json:"dir_flushes"`
+	DirResponsesPerFlush  float64      `json:"dir_responses_per_flush"`
+	LTAPReactor           *reactorJSON `json:"ltap_reactor,omitempty"`
+	DirReactor            *reactorJSON `json:"dir_reactor,omitempty"`
+}
+
+// reactorJSON records the epoll reactor's counters for one listener, present
+// only when that listener served in epoll mode.
+type reactorJSON struct {
+	Conns           uint64  `json:"conns"`
+	Workers         uint64  `json:"workers"`
+	Wakeups         uint64  `json:"wakeups"`
+	Events          uint64  `json:"events"`
+	Frames          uint64  `json:"frames"`
+	FramesPerWakeup float64 `json:"frames_per_wakeup"`
+	QueueDepth      uint64  `json:"queue_depth"`
+}
+
+func reactorJSONOf(rs ldapserver.ReactorStats) *reactorJSON {
+	return &reactorJSON{
+		Conns:           rs.Conns,
+		Workers:         rs.Workers,
+		Wakeups:         rs.Wakeups,
+		Events:          rs.Events,
+		Frames:          rs.Frames,
+		FramesPerWakeup: round2(rs.FramesPerWakeup()),
+		QueueDepth:      rs.QueueDepth,
+	}
 }
 
 // run opens cfg.conns connections round-robined across the targets, lets
@@ -350,7 +476,14 @@ func run(targets []string, dns []string, cfg runConfig) result {
 	if total > 0 {
 		res.AllocsPerOp = round2(float64(msAfter.Mallocs-msBefore.Mallocs) / float64(total))
 	}
-	res.HeapInUse = msAfter.HeapInuse
+	// Steady-state footprint: active workers are gone, idle connections (if
+	// any) are still held open, transient server workers have drained. The
+	// forced GC makes HeapInuse mean live bytes, not floating garbage.
+	runtime.GC()
+	var msFinal runtime.MemStats
+	runtime.ReadMemStats(&msFinal)
+	res.HeapInUse = msFinal.HeapInuse
+	res.NumGoroutine = runtime.NumGoroutine()
 	if n := dialErrs.Load(); n > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: %d of %d connections failed to dial\n", n, cfg.conns)
 	}
@@ -399,6 +532,169 @@ func (w *worker) loop(c *ldapclient.Conn, dns []string, cfg runConfig,
 			}
 			ops.Add(1)
 			w.hist.record(us)
+		}
+	}
+}
+
+// idlePool holds -idle-conns raw LDAP connections open, each issuing one
+// base-object search per -idle-interval from a small fixed pool of poker
+// goroutines — the 10k-mostly-idle-consumers regime of the paper's directory
+// deployments. Raw net.Conns carry no client-library buffers and no per-conn
+// goroutines, so the held connections cost this process almost nothing and
+// the heap/goroutine readings isolate what the server pays per idle
+// connection.
+type idlePool struct {
+	conns []net.Conn
+	req   []byte
+	ops   atomic.Uint64
+	errs  atomic.Uint64
+	stop  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+}
+
+// dialIdle opens n raw connections round-robined across the targets and
+// proves each live with one search round-trip before it counts as held.
+func dialIdle(targets []string, n int) (*idlePool, error) {
+	p := &idlePool{
+		conns: make([]net.Conn, n),
+		// A base search against a missing DN: the cheapest full
+		// request/dispatch/response cycle, answered in a single frame.
+		req: (&ldap.Message{ID: 1, Op: &ldap.SearchRequest{
+			BaseDN: "o=LoadgenIdleProbe", Scope: ldap.ScopeBaseObject}}).AppendTo(nil),
+		stop: make(chan struct{}),
+	}
+	const dialers = 64
+	var wg sync.WaitGroup
+	errc := make(chan error, 1)
+	var next atomic.Int64
+	for d := 0; d < dialers; d++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 0, 512)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				nc, err := net.Dial("tcp", targets[i%len(targets)])
+				if err == nil {
+					err = p.poke(nc, &buf)
+				}
+				if err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					return
+				}
+				p.conns[i] = nc
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		p.closeAll()
+		return nil, err
+	default:
+	}
+	return p, nil
+}
+
+// poke issues one probe op on nc and reads the single-frame response.
+func (p *idlePool) poke(nc net.Conn, scratch *[]byte) error {
+	if _, err := nc.Write(p.req); err != nil {
+		return err
+	}
+	return readFrame(nc, scratch)
+}
+
+// readFrame consumes exactly one BER frame using the caller's scratch buffer.
+func readFrame(nc net.Conn, scratch *[]byte) error {
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	defer nc.SetReadDeadline(time.Time{})
+	buf := (*scratch)[:0]
+	defer func() { *scratch = buf }()
+	for {
+		size, ok, err := ber.FrameSize(buf, 0)
+		if err != nil {
+			return err
+		}
+		if ok && len(buf) >= size {
+			return nil
+		}
+		var chunk [512]byte
+		n, err := nc.Read(chunk[:])
+		if err != nil {
+			return err
+		}
+		buf = append(buf, chunk[:n]...)
+	}
+}
+
+// start launches the poker pool: each poker owns a contiguous share of the
+// connections and sweeps it once per interval, with first sweeps staggered
+// across the interval so the drip never lands as a synchronized burst.
+func (p *idlePool) start(interval time.Duration) {
+	pokers := 8
+	if len(p.conns) < pokers {
+		pokers = len(p.conns)
+	}
+	share := (len(p.conns) + pokers - 1) / pokers
+	for i := 0; i < pokers; i++ {
+		lo, hi := i*share, (i+1)*share
+		if hi > len(p.conns) {
+			hi = len(p.conns)
+		}
+		if lo >= hi {
+			break
+		}
+		p.wg.Add(1)
+		go func(i, lo, hi int) {
+			defer p.wg.Done()
+			buf := make([]byte, 0, 512)
+			delay := interval * time.Duration(i) / time.Duration(pokers)
+			for {
+				select {
+				case <-p.stop:
+					return
+				case <-time.After(delay):
+				}
+				delay = interval
+				for j := lo; j < hi; j++ {
+					nc := p.conns[j]
+					if nc == nil {
+						continue
+					}
+					if err := p.poke(nc, &buf); err != nil {
+						p.errs.Add(1)
+						nc.Close()
+						p.conns[j] = nil
+						continue
+					}
+					p.ops.Add(1)
+				}
+			}
+		}(i, lo, hi)
+	}
+}
+
+// shutdown stops the pokers and closes every held connection. Idempotent.
+func (p *idlePool) shutdown() {
+	p.once.Do(func() {
+		close(p.stop)
+		p.wg.Wait()
+		p.closeAll()
+	})
+}
+
+func (p *idlePool) closeAll() {
+	for i, nc := range p.conns {
+		if nc != nil {
+			nc.Close()
+			p.conns[i] = nil
 		}
 	}
 }
@@ -492,6 +788,67 @@ func splitTargets(s string) []string {
 		}
 	}
 	return out
+}
+
+// mergedResult is the head-to-head benchmark record: several labelled runs
+// of the same revision combined into one file (E24 records its
+// goroutine-vs-epoll matrix this way in BENCH_wire_<rev>.json).
+type mergedResult struct {
+	Rev        string   `json:"rev"`
+	Timestamp  string   `json:"timestamp"`
+	Experiment string   `json:"experiment,omitempty"`
+	Runs       []result `json:"runs"`
+}
+
+// mergeRuns combines per-run JSON files into one record and prints a
+// side-by-side summary.
+func mergeRuns(outPath string, files []string, rev, experiment string) {
+	if len(files) == 0 {
+		log.Fatal("loadgen: -merge needs at least one per-run JSON file argument")
+	}
+	doc := mergedResult{
+		Rev:        rev,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Experiment: experiment,
+	}
+	for _, f := range files {
+		blob, err := os.ReadFile(f)
+		if err != nil {
+			log.Fatalf("loadgen: merge: %v", err)
+		}
+		var r result
+		if err := json.Unmarshal(blob, &r); err != nil {
+			log.Fatalf("loadgen: merge %s: %v", f, err)
+		}
+		if r.Label == "" {
+			base := f
+			if i := strings.LastIndexByte(base, '/'); i >= 0 {
+				base = base[i+1:]
+			}
+			r.Label = strings.TrimSuffix(base, ".json")
+		}
+		doc.Runs = append(doc.Runs, r)
+	}
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatalf("loadgen: merge marshal: %v", err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+		log.Fatalf("loadgen: write %s: %v", outPath, err)
+	}
+	fmt.Printf("%-26s %7s %7s %10s %8s %14s %11s %10s\n",
+		"label", "conns", "idle", "ops/s", "p99us", "heap-bytes", "goroutines", "frames/wk")
+	for _, r := range doc.Runs {
+		fw := "-"
+		if r.ServerWire != nil && r.ServerWire.LTAPReactor != nil {
+			fw = fmt.Sprintf("%.1f", r.ServerWire.LTAPReactor.FramesPerWakeup)
+		}
+		fmt.Printf("%-26s %7d %7d %10.0f %8d %14d %11d %10s\n",
+			r.Label, r.Config.Conns, r.Config.IdleConns, r.OpsPerSec, r.Latency.P99,
+			r.HeapInUse, r.NumGoroutine, fw)
+	}
+	fmt.Printf("wrote %s\n", outPath)
 }
 
 // revision resolves the label for the output filename.

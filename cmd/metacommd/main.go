@@ -24,6 +24,7 @@ import (
 	"syscall"
 
 	metacomm "metacomm"
+	"metacomm/internal/ldapserver"
 	"metacomm/internal/wba"
 )
 
@@ -55,6 +56,7 @@ func main() {
 		devLat   = flag.Duration("device-latency", 0, "simulated per-update processing time in the device simulators")
 		beConns  = flag.Int("backend-conns", 0, "pooled connections to the backing directory per component (0 = default)")
 		maxMsg   = flag.Int("max-message", 0, "max LDAP request message size in bytes on both listeners (0 = 4 MB default)")
+		acceptLp = flag.String("accept-loop", "goroutine", "connection serving on both listeners: goroutine (per-conn, portable) or epoll (event loop, Linux)")
 		gwCache  = flag.Int("gateway-cache", 0, "LTAP before-image cache capacity (0 = default, negative disables)")
 		outbox   = flag.String("outbox-dir", "", "journal directory for the durable device-update outbox (empty disables)")
 		obRetry  = flag.Int("outbox-retries", 0, "outbox replay attempts before targeted repair (0 = default)")
@@ -106,6 +108,7 @@ func main() {
 		DeviceLatency:  *devLat,
 		BackendConns:   *beConns,
 		MaxMessageSize: *maxMsg,
+		AcceptLoop:     *acceptLp,
 		GatewayCache:   *gwCache,
 		Outbox: metacomm.OutboxConfig{
 			Dir:         *outbox,
@@ -154,6 +157,8 @@ func main() {
 		srv.SyncStats = sys.UM.LastSyncStats
 		srv.OutboxStats = sys.UM.OutboxStats
 		srv.JournalStats = sys.DIT.JournalStats
+		srv.LTAPWireStats = func() ldapserver.WireStats { return sys.WireStats().LTAP }
+		srv.DirWireStats = func() ldapserver.WireStats { return sys.WireStats().Directory }
 		if sys.Replicator != nil {
 			srv.ReplicationStats = sys.Replicator.Stats
 		}
@@ -178,6 +183,16 @@ func main() {
 	fmt.Printf("wire directory: messages=%d responses=%d flushes=%d responses/flush=%.1f oversize-rejected=%d\n",
 		ws.Directory.MessagesRead, ws.Directory.ResponsesWritten, ws.Directory.Flushes,
 		ws.Directory.ResponsesPerFlush(), ws.Directory.OversizeRejected)
+	for _, r := range []struct {
+		name string
+		st   ldapserver.ReactorStats
+	}{{"ltap", ws.LTAP.Reactor}, {"directory", ws.Directory.Reactor}} {
+		if r.st.Enabled {
+			fmt.Printf("reactor %s: conns=%d workers=%d wakeups=%d events=%d frames=%d frames/wakeup=%.1f queue-depth=%d\n",
+				r.name, r.st.Conns, r.st.Workers, r.st.Wakeups, r.st.Events,
+				r.st.Frames, r.st.FramesPerWakeup(), r.st.QueueDepth)
+		}
+	}
 	gs := sys.Gateway.Stats()
 	fmt.Printf("gateway: searches=%d updates=%d backend-fetches=%d cache-hits=%d cache-misses=%d hit-rate=%.1f%% quiesces=%d quiesce-ms=%.1f updates-delayed=%d\n",
 		gs.Searches, gs.Updates, gs.BackendFetches, gs.Cache.Hits, gs.Cache.Misses, 100*gs.Cache.HitRate(),

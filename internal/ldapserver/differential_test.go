@@ -1,0 +1,187 @@
+package ldapserver
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"metacomm/internal/directory"
+	"metacomm/internal/ldap"
+	"metacomm/internal/mcschema"
+)
+
+// TestAcceptLoopDifferential replays one scripted op corpus — pipelined
+// bursts, torn/partial frames, an oversize request, mid-op disconnects —
+// against a goroutine-mode and an epoll-mode server and asserts the
+// response byte streams are identical per scenario and the WireStats op
+// counts are identical in total. This is the contract the reactor was built
+// to: not "mostly compatible", the same bytes.
+func TestAcceptLoopDifferential(t *testing.T) {
+	if !reactorSupported {
+		t.Skip("epoll reactor not supported on this platform")
+	}
+	scenarios := differentialScenarios()
+	type run struct {
+		streams [][]byte
+		stats   WireStats
+	}
+	runMode := func(mode string) run {
+		t.Helper()
+		d := directory.New(mcschema.New())
+		srv := NewServer(NewDITHandler(d))
+		srv.AcceptLoop = mode
+		srv.MaxMessageSize = 1 << 16
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		var streams [][]byte
+		for _, sc := range scenarios {
+			streams = append(streams, sc.play(t, mode, addr.String()))
+		}
+		// Every scenario's stream ended in EOF, and the server counts before
+		// it closes, so the counters are final here.
+		return run{streams: streams, stats: srv.WireStats()}
+	}
+
+	gor := runMode(AcceptLoopGoroutine)
+	epo := runMode(AcceptLoopEpoll)
+
+	for i, sc := range scenarios {
+		if !bytes.Equal(gor.streams[i], epo.streams[i]) {
+			t.Errorf("scenario %q: response streams differ:\n goroutine (%d bytes): %x\n epoll     (%d bytes): %x",
+				sc.name, len(gor.streams[i]), gor.streams[i], len(epo.streams[i]), epo.streams[i])
+		}
+	}
+	g, e := gor.stats, epo.stats
+	if g.MessagesRead != e.MessagesRead {
+		t.Errorf("MessagesRead: goroutine=%d epoll=%d", g.MessagesRead, e.MessagesRead)
+	}
+	if g.ResponsesWritten != e.ResponsesWritten {
+		t.Errorf("ResponsesWritten: goroutine=%d epoll=%d", g.ResponsesWritten, e.ResponsesWritten)
+	}
+	if g.OversizeRejected != e.OversizeRejected {
+		t.Errorf("OversizeRejected: goroutine=%d epoll=%d", g.OversizeRejected, e.OversizeRejected)
+	}
+	if g.MessagesRead == 0 || g.ResponsesWritten == 0 {
+		t.Fatalf("corpus exercised nothing: %+v", g)
+	}
+}
+
+// diffStep is one client action in a scenario script.
+type diffStep struct {
+	send       []byte
+	pause      time.Duration // settle time before the next segment (torn frames)
+	closeWrite bool          // half-close after sending: mid-op disconnect
+}
+
+type diffScenario struct {
+	name  string
+	steps []diffStep
+}
+
+// play runs the script on a fresh connection and returns everything the
+// server sent back until it closed the connection.
+func (sc diffScenario) play(t *testing.T, mode, addr string) []byte {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("%s/%s: dial: %v", mode, sc.name, err)
+	}
+	defer nc.Close()
+	for _, st := range sc.steps {
+		if len(st.send) > 0 {
+			if _, err := nc.Write(st.send); err != nil {
+				t.Fatalf("%s/%s: write: %v", mode, sc.name, err)
+			}
+		}
+		if st.pause > 0 {
+			time.Sleep(st.pause)
+		}
+		if st.closeWrite {
+			if err := nc.(*net.TCPConn).CloseWrite(); err != nil {
+				t.Fatalf("%s/%s: close-write: %v", mode, sc.name, err)
+			}
+		}
+	}
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	stream, err := io.ReadAll(nc)
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("%s/%s: read: %v", mode, sc.name, err)
+	}
+	return stream
+}
+
+func encodeMsg(id int32, op ldap.Op) []byte {
+	return (&ldap.Message{ID: id, Op: op}).AppendTo(nil)
+}
+
+func differentialScenarios() []diffScenario {
+	unbind := encodeMsg(99, &ldap.UnbindRequest{})
+	baseSearch := encodeMsg(2, &ldap.SearchRequest{BaseDN: "o=Lucent", Scope: ldap.ScopeBaseObject})
+
+	// Scenario state carries across the corpus in order (the org added first
+	// exists for everything after), so both modes see the same directory.
+	var crud []byte
+	crud = append(crud, encodeMsg(1, &ldap.AddRequest{DN: "o=Lucent", Attributes: []ldap.Attribute{
+		{Type: "objectClass", Values: []string{"organization"}}}})...)
+	crud = append(crud, encodeMsg(2, &ldap.AddRequest{DN: "cn=Ann Example,o=Lucent", Attributes: []ldap.Attribute{
+		{Type: "objectClass", Values: []string{"mcPerson"}},
+		{Type: "sn", Values: []string{"Example"}},
+		{Type: "telephoneNumber", Values: []string{"+1 908 582 1234"}}}})...)
+	crud = append(crud, encodeMsg(3, &ldap.SearchRequest{BaseDN: "o=Lucent", Scope: ldap.ScopeWholeSubtree})...)
+	crud = append(crud, encodeMsg(4, &ldap.CompareRequest{DN: "cn=Ann Example,o=Lucent", Attr: "sn", Value: "Example"})...)
+	crud = append(crud, encodeMsg(5, &ldap.ModifyRequest{DN: "cn=Ann Example,o=Lucent", Changes: []ldap.Change{
+		{Op: ldap.ModReplace, Attribute: ldap.Attribute{Type: "telephoneNumber", Values: []string{"+1 908 582 5678"}}}}})...)
+	crud = append(crud, encodeMsg(6, &ldap.ExtendedRequest{Name: "1.2.3.4.5", Value: []byte("?")})...)
+	crud = append(crud, encodeMsg(7, &ldap.DeleteRequest{DN: "cn=Ann Example,o=Lucent"})...)
+	crud = append(crud, unbind...)
+
+	var burst []byte
+	for i := int32(1); i <= 32; i++ {
+		burst = append(burst, encodeMsg(i, &ldap.SearchRequest{
+			BaseDN: "o=Lucent", Scope: ldap.ScopeBaseObject})...)
+	}
+	burst = append(burst, unbind...)
+
+	// A search torn into 3-byte segments with settle pauses: arrives as many
+	// separate readiness events / blocking reads.
+	var torn []diffStep
+	tornReq := append(append([]byte{}, baseSearch...), unbind...)
+	for i := 0; i < len(tornReq); i += 3 {
+		end := i + 3
+		if end > len(tornReq) {
+			end = len(tornReq)
+		}
+		torn = append(torn, diffStep{send: tornReq[i:end], pause: 2 * time.Millisecond})
+	}
+
+	// Pipeline with an unbind in the middle: the op after the unbind must be
+	// discarded unserved by both modes.
+	var midUnbind []byte
+	midUnbind = append(midUnbind, baseSearch...)
+	midUnbind = append(midUnbind, unbind...)
+	midUnbind = append(midUnbind, encodeMsg(3, &ldap.SearchRequest{
+		BaseDN: "o=Lucent", Scope: ldap.ScopeBaseObject})...)
+
+	return []diffScenario{
+		{name: "crud", steps: []diffStep{{send: crud}}},
+		{name: "pipelined-burst", steps: []diffStep{{send: burst}}},
+		{name: "torn-frames", steps: torn},
+		{name: "oversize", steps: []diffStep{
+			// SEQUENCE declaring 16 MB against the 64 KB limit: unsolicited
+			// notice-of-disconnection, then close.
+			{send: []byte{0x30, 0x84, 0x01, 0x00, 0x00, 0x00}}}},
+		{name: "unbind-mid-pipeline", steps: []diffStep{{send: midUnbind}}},
+		{name: "partial-frame-disconnect", steps: []diffStep{
+			{send: baseSearch[:4], pause: 5 * time.Millisecond, closeWrite: true}}},
+		{name: "complete-op-disconnect", steps: []diffStep{
+			{send: baseSearch, closeWrite: true}}},
+		{name: "malformed-length", steps: []diffStep{
+			{send: []byte{0x30, 0x85, 0x01, 0x02, 0x03, 0x04, 0x05}}}},
+	}
+}

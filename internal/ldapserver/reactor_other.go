@@ -1,0 +1,23 @@
+//go:build !linux
+
+package ldapserver
+
+import (
+	"errors"
+	"net"
+)
+
+// reactorSupported reports build-level availability of the epoll reactor.
+const reactorSupported = false
+
+// reactor is a stub off Linux: newReactor always fails, so Start logs a
+// note and the server keeps the portable goroutine-per-conn path.
+type reactor struct{}
+
+func newReactor(*Server) (*reactor, error) {
+	return nil, errors.New("epoll accept loop requires linux")
+}
+
+func (*reactor) register(net.Conn)   {}
+func (*reactor) shutdown()           {}
+func (*reactor) stats() ReactorStats { return ReactorStats{} }

@@ -1,0 +1,222 @@
+package ldapserver
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"metacomm/internal/ber"
+	"metacomm/internal/ldap"
+)
+
+// TestEpollAcceptLoopSuite re-runs the full server test suite — end-to-end
+// ops, auth, schema errors, pipelining coalescing, oversize
+// notice-of-disconnection, panic recovery — with every test server in epoll
+// mode. The contracts must hold unchanged on both serving paths.
+func TestEpollAcceptLoopSuite(t *testing.T) {
+	if !reactorSupported {
+		t.Skip("epoll reactor not supported on this platform")
+	}
+	old := testAcceptLoop
+	testAcceptLoop = AcceptLoopEpoll
+	defer func() { testAcceptLoop = old }()
+	for name, fn := range map[string]func(*testing.T){
+		"EndToEndAddSearch":          TestEndToEndAddSearch,
+		"EndToEndModifyDeleteDN":     TestEndToEndModifyDeleteModifyDN,
+		"CompareOverWire":            TestCompareOverWire,
+		"AuthRequiredForUpdates":     TestAuthRequiredForUpdates,
+		"SchemaViolations":           TestSchemaViolationsSurfaceOverWire,
+		"AttributeSelection":         TestAttributeSelection,
+		"InvalidDN":                  TestInvalidDNSurfacesCleanly,
+		"ManyClientsConcurrently":    TestManyClientsConcurrently,
+		"UnknownExtendedOp":          TestUnknownExtendedOp,
+		"SizeLimitPartialResults":    TestSizeLimitReturnsPartialResults,
+		"OversizeRequestRejected":    TestOversizeRequestRejected,
+		"OversizeDefaultLimit":       TestOversizeDefaultLimit,
+		"PipelinedResponsesCoalesce": TestPipelinedResponsesCoalesce,
+		"HandlerPanicRecovery":       TestHandlerPanicBecomesOperationsError,
+	} {
+		t.Run(name, fn)
+	}
+}
+
+// TestTornFramesAcrossEvents drips a request a few bytes at a time (forcing
+// a flush between segments so each arrives as its own readiness event) and
+// expects a correct response: the reactor must reassemble partial frames
+// across events.
+func TestTornFramesAcrossEvents(t *testing.T) {
+	if !reactorSupported {
+		t.Skip("epoll reactor not supported on this platform")
+	}
+	old := testAcceptLoop
+	testAcceptLoop = AcceptLoopEpoll
+	defer func() { testAcceptLoop = old }()
+	_, addr := startWireServer(t, 0)
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	req := (&ldap.Message{ID: 1, Op: &ldap.SearchRequest{
+		BaseDN: "o=Nowhere", Scope: ldap.ScopeBaseObject}}).AppendTo(nil)
+	for i := 0; i < len(req); i += 3 {
+		end := i + 3
+		if end > len(req) {
+			end = len(req)
+		}
+		if _, err := nc.Write(req[i:end]); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	msg, err := ldap.NewReader(nc).ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, ok := msg.Op.(*ldap.SearchResultDone)
+	if !ok || done.Result.Code != ldap.ResultNoSuchObject {
+		t.Fatalf("response = %#v, want noSuchObject SearchResultDone", msg.Op)
+	}
+}
+
+// TestManyIdleConns is the O(workers)-not-O(conns) smoke: ~10k held-open
+// connections (bounded by RLIMIT_NOFILE — client and server share this
+// process) each issue one operation, then sit idle. In epoll mode the
+// goroutine count must stay bounded near the worker pool size, nowhere near
+// the connection count, and idle buffers must be back in the pools.
+func TestManyIdleConns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-connection smoke")
+	}
+	if !reactorSupported {
+		t.Skip("epoll reactor not supported on this platform")
+	}
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		t.Fatal(err)
+	}
+	if rl.Cur < rl.Max {
+		rl.Cur = rl.Max
+		_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl)
+		syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl)
+	}
+	// Two fds per connection in-process (client + server), plus headroom
+	// for the DIT, test runner and epoll plumbing.
+	target := (int(rl.Cur) - 512) / 2
+	if target > 10000 {
+		target = 10000
+	}
+	if target < 1000 {
+		t.Skipf("RLIMIT_NOFILE %d too low for a many-conns smoke", rl.Cur)
+	}
+
+	old := testAcceptLoop
+	testAcceptLoop = AcceptLoopEpoll
+	defer func() { testAcceptLoop = old }()
+	srv, addr := startWireServer(t, 0)
+
+	// Raw clients: no ldapclient.Conn per-connection reader buffers, so the
+	// client side stays cheap and (critically) spawns no goroutines that
+	// would pollute the count we are asserting on.
+	req := (&ldap.Message{ID: 1, Op: &ldap.SearchRequest{
+		BaseDN: "o=Nowhere", Scope: ldap.ScopeBaseObject}}).AppendTo(nil)
+	conns := make([]net.Conn, 0, target)
+	var connsMu sync.Mutex
+	const dialers = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, dialers)
+	for d := 0; d < dialers; d++ {
+		share := target / dialers
+		if d < target%dialers {
+			share++
+		}
+		wg.Add(1)
+		go func(share int) {
+			defer wg.Done()
+			for i := 0; i < share; i++ {
+				nc, err := net.Dial("tcp", addr)
+				if err != nil {
+					errs <- fmt.Errorf("dial: %w", err)
+					return
+				}
+				if _, err := nc.Write(req); err != nil {
+					errs <- fmt.Errorf("write: %w", err)
+					return
+				}
+				if err := readOneMessage(nc); err != nil {
+					errs <- fmt.Errorf("read: %w", err)
+					return
+				}
+				connsMu.Lock()
+				conns = append(conns, nc)
+				connsMu.Unlock()
+			}
+		}(share)
+	}
+	wg.Wait()
+	defer func() {
+		for _, nc := range conns {
+			nc.Close()
+		}
+	}()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	ws := srv.WireStats()
+	if ws.Reactor.Conns != uint64(target) {
+		t.Errorf("reactor conns = %d, want %d", ws.Reactor.Conns, target)
+	}
+	if ws.MessagesRead != uint64(target) {
+		t.Errorf("messages read = %d, want %d", ws.MessagesRead, target)
+	}
+
+	// Transient overflow workers decay once the ramp's op burst is served;
+	// poll until the goroutine count settles under the bound.
+	bound := 100
+	deadline := time.Now().Add(10 * time.Second)
+	var n int
+	for {
+		n = runtime.NumGoroutine()
+		if n < bound || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n >= bound {
+		t.Errorf("goroutines = %d with %d idle conns; want O(workers) < %d", n, target, bound)
+	}
+	t.Logf("%d idle conns: goroutines=%d reactor workers=%d frames/wakeup=%.1f",
+		target, n, ws.Reactor.Workers, ws.Reactor.FramesPerWakeup())
+}
+
+// readOneMessage consumes exactly one BER frame from nc using a small
+// throwaway buffer (search against a missing base returns a single done).
+func readOneMessage(nc net.Conn) error {
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	defer nc.SetReadDeadline(time.Time{})
+	buf := make([]byte, 0, 256)
+	for {
+		size, ok, err := ber.FrameSize(buf, 0)
+		if err != nil {
+			return err
+		}
+		if ok && len(buf) >= size {
+			return nil
+		}
+		var chunk [256]byte
+		n, err := nc.Read(chunk[:])
+		if err != nil {
+			return err
+		}
+		buf = append(buf, chunk[:n]...)
+	}
+}

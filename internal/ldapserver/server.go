@@ -53,15 +53,33 @@ type Server struct {
 	// larger length is answered with a protocolError unsolicited notice and
 	// the connection is closed, before any content is read or allocated.
 	MaxMessageSize int
+	// AcceptLoop selects the connection-serving strategy: "goroutine" (or
+	// "", the default) parks one goroutine plus dedicated buffers on every
+	// connection; "epoll" multiplexes all connections onto a readiness
+	// reactor with a bounded worker pool, so an idle connection costs no
+	// goroutine and no buffer (Linux only — elsewhere the server logs a
+	// note and falls back to goroutine mode). Set before Start.
+	AcceptLoop string
+	// Workers sizes the reactor's resident worker pool in epoll mode; 0
+	// means a GOMAXPROCS-derived default. Ignored in goroutine mode.
+	Workers int
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]bool
 	closed   bool
 	wg       sync.WaitGroup
+	reactor  *reactor
 
 	wire wireCounters
 }
+
+// Accept-loop mode names accepted by Server.AcceptLoop (and the -accept-loop
+// flags in metacommd and loadgen).
+const (
+	AcceptLoopGoroutine = "goroutine"
+	AcceptLoopEpoll     = "epoll"
+)
 
 // wireCounters aggregates per-connection wire activity across the server.
 type wireCounters struct {
@@ -82,6 +100,30 @@ type WireStats struct {
 	ResponsesWritten uint64
 	Flushes          uint64
 	OversizeRejected uint64
+	// Reactor is the epoll accept-loop snapshot; the zero value (with
+	// Enabled=false) in goroutine mode.
+	Reactor ReactorStats
+}
+
+// ReactorStats is a point-in-time snapshot of the epoll reactor.
+type ReactorStats struct {
+	Enabled    bool
+	Conns      uint64 // connections currently registered with the reactor
+	Workers    uint64 // live worker goroutines (resident + overflow)
+	Wakeups    uint64 // epoll_wait returns
+	Events     uint64 // readiness events dispatched to connections
+	Frames     uint64 // complete BER frames peeled off readiness events
+	QueueDepth uint64 // ready connections awaiting a worker right now
+}
+
+// FramesPerWakeup returns the mean number of complete frames served per
+// epoll_wait return — the reactor's batching factor (higher = fewer wakeups
+// doing more work each).
+func (r ReactorStats) FramesPerWakeup() float64 {
+	if r.Wakeups == 0 {
+		return 0
+	}
+	return float64(r.Frames) / float64(r.Wakeups)
 }
 
 // ResponsesPerFlush returns the mean number of response messages coalesced
@@ -95,12 +137,19 @@ func (w WireStats) ResponsesPerFlush() float64 {
 
 // WireStats snapshots the server's wire counters.
 func (s *Server) WireStats() WireStats {
-	return WireStats{
+	ws := WireStats{
 		MessagesRead:     s.wire.messagesRead.Load(),
 		ResponsesWritten: s.wire.responsesWritten.Load(),
 		Flushes:          s.wire.flushes.Load(),
 		OversizeRejected: s.wire.oversizeRejected.Load(),
 	}
+	s.mu.Lock()
+	r := s.reactor
+	s.mu.Unlock()
+	if r != nil {
+		ws.Reactor = r.stats()
+	}
+	return ws
 }
 
 // NewServer returns a server for the handler.
@@ -111,17 +160,38 @@ func NewServer(h Handler) *Server {
 // Start listens on addr (e.g. "127.0.0.1:0") and serves in the background.
 // It returns the bound address.
 func (s *Server) Start(addr string) (net.Addr, error) {
+	var r *reactor
+	switch s.AcceptLoop {
+	case "", AcceptLoopGoroutine:
+	case AcceptLoopEpoll:
+		var err error
+		if r, err = newReactor(s); err != nil {
+			// Portable fallback: serve goroutine-per-conn and say so, since
+			// benchmarks comparing the modes must not silently converge.
+			s.logf("ldapserver: epoll accept loop unavailable (%v); falling back to goroutine mode", err)
+		}
+	default:
+		return nil, fmt.Errorf("ldapserver: unknown accept loop %q (want %q or %q)",
+			s.AcceptLoop, AcceptLoopGoroutine, AcceptLoopEpoll)
+	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
+		if r != nil {
+			r.shutdown()
+		}
 		return nil, err
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		l.Close()
+		if r != nil {
+			r.shutdown()
+		}
 		return nil, errors.New("ldapserver: server closed")
 	}
 	s.listener = l
+	s.reactor = r
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go func() {
@@ -143,6 +213,14 @@ func (s *Server) acceptLoop(l net.Listener) {
 			c.Close()
 			return
 		}
+		if s.reactor != nil {
+			// Reactor mode: the conn's fd moves into the epoll set; no
+			// per-conn goroutine and no entry in the conns map (the reactor
+			// owns teardown).
+			s.mu.Unlock()
+			s.reactor.register(c)
+			continue
+		}
 		s.conns[c] = true
 		s.mu.Unlock()
 		s.wg.Add(1)
@@ -163,7 +241,11 @@ func (s *Server) Close() {
 	for c := range s.conns {
 		c.Close()
 	}
+	r := s.reactor
 	s.mu.Unlock()
+	if r != nil {
+		r.shutdown()
+	}
 	s.wg.Wait()
 }
 

@@ -69,6 +69,12 @@ const (
 	ModeLibrary Mode = "library"
 )
 
+// Accept-loop strategies for Config.AcceptLoop (see ldapserver.Server).
+const (
+	AcceptLoopGoroutine = ldapserver.AcceptLoopGoroutine
+	AcceptLoopEpoll     = ldapserver.AcceptLoopEpoll
+)
+
 // Config configures a System. The zero value works: every listener binds a
 // loopback ephemeral port and both device simulators start embedded.
 type Config struct {
@@ -117,6 +123,14 @@ type Config struct {
 	// is refused with a protocolError unsolicited notice and the connection
 	// is closed, before any content is read or allocated.
 	MaxMessageSize int
+	// AcceptLoop selects the connection-serving strategy for both LDAP
+	// listeners (the LTAP gateway and the backing directory server):
+	// AcceptLoopGoroutine (or "", the default) serves
+	// goroutine-per-connection; AcceptLoopEpoll multiplexes connections
+	// onto a readiness reactor so 10k+ mostly-idle consumers cost no
+	// parked goroutines or buffers (Linux only; elsewhere it logs a note
+	// and falls back to goroutine mode).
+	AcceptLoop string
 	// GatewayCache is the capacity of the LTAP gateway's before-image
 	// cache, which is kept coherent by the directory changelog (0 = default
 	// capacity, < 0 disables the cache so every trap refetches its
@@ -301,6 +315,7 @@ func Start(cfg Config) (*System, error) {
 	s.dirServer = ldapserver.NewServer(ldapserver.NewDITHandler(s.DIT))
 	s.dirServer.ErrorLog = cfg.Logger
 	s.dirServer.MaxMessageSize = cfg.MaxMessageSize
+	s.dirServer.AcceptLoop = cfg.AcceptLoop
 	dirAddr, err := s.dirServer.Start(defaultStr(cfg.DirectoryAddr, "127.0.0.1:0"))
 	if err != nil {
 		return nil, fmt.Errorf("metacomm: directory listener: %w", err)
@@ -469,6 +484,7 @@ func Start(cfg Config) (*System, error) {
 	s.ltapServer = ldapserver.NewServer(s.Gateway)
 	s.ltapServer.ErrorLog = cfg.Logger
 	s.ltapServer.MaxMessageSize = cfg.MaxMessageSize
+	s.ltapServer.AcceptLoop = cfg.AcceptLoop
 	ltapAddr, err := s.ltapServer.Start(defaultStr(cfg.LTAPAddr, "127.0.0.1:0"))
 	if err != nil {
 		return nil, fmt.Errorf("metacomm: ltap listener: %w", err)

@@ -27,6 +27,11 @@ go test -run '^$' -bench . -benchtime=1x .
 # two seconds, and verify the machine-readable benchmark record is written.
 go run ./cmd/loadgen -spawn -conns 64 -duration 2s -warmup 500ms -entries 64 -out /tmp/bench_wire_smoke.json
 test -s /tmp/bench_wire_smoke.json
+# Epoll accept-loop smoke: the event-loop serving path end to end, with a
+# mostly-idle connection pool held alongside the active workers (falls back
+# to goroutine mode off Linux, so this stays portable).
+go run ./cmd/loadgen -spawn -accept-loop epoll -conns 32 -idle-conns 96 -idle-interval 1s -duration 2s -warmup 500ms -entries 64 -out /tmp/bench_wire_epoll_smoke.json
+test -s /tmp/bench_wire_epoll_smoke.json
 # Scale-harness smoke at 10k entries: segmented populate, online compaction
 # under load (the tool exits nonzero on any rejected write), journal replay.
 go run ./cmd/benchscale -pops 10000 -ops 200 -out /tmp/bench_scale_smoke.json
